@@ -1,0 +1,141 @@
+// Ablations of swm's design choices (DESIGN.md §4):
+//
+//  * Decoration complexity: how the §4 object model's cost scales with the
+//    number of objects in the decoration panel — the price of policy
+//    freedom over twm's fixed titlebar.
+//  * Specific resources: what the per-client class/instance prefix (§3)
+//    adds to every attribute query.
+//  * Re-decoration: the cost of swm's rebuild-on-stick choice (§6.2)
+//    versus a plain reparent.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+std::string DecorationWithButtons(int buttons) {
+  std::string def;
+  for (int i = 0; i < buttons; ++i) {
+    def += "button b" + std::to_string(i) + " +" + std::to_string(i) + "+0 ";
+  }
+  def += "panel client +0+1";
+  return def;
+}
+
+// Manage cost vs decoration object count (0 extra buttons = bare client
+// container, like the shaped decoration; 3 = OpenLook; more = baroque).
+void BM_Ablation_DecorationComplexity(benchmark::State& state) {
+  const int buttons = static_cast<int>(state.range(0));
+  auto server = bench_util::MakeServer();
+  std::string resources = "swm*decoration: fancy\nswm*panner: False\n"
+                          "swm*panel.fancy: " +
+                          DecorationWithButtons(buttons) + "\n";
+  auto wm = bench_util::MakeSwm(server.get(), resources);
+  int index = 0;
+  for (auto _ : state) {
+    xlib::ClientApp app(server.get(), bench_util::ClientConfig(index++));
+    app.Map();
+    wm->ProcessEvents();
+    state.PauseTiming();
+    app.display().DestroyWindow(app.window());
+    wm->ProcessEvents();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["objects"] = buttons + 2;
+}
+BENCHMARK(BM_Ablation_DecorationComplexity)->Arg(0)->Arg(3)->Arg(8)->Arg(24);
+
+// Attribute query cost with and without a populated specific-resource
+// space (class/instance entries that force longer precedence searches).
+void BM_Ablation_SpecificResourceLoad(benchmark::State& state) {
+  const bool populated = state.range(0) != 0;
+  std::string resources = "swm*panner: False\n";
+  if (populated) {
+    for (int i = 0; i < 500; ++i) {
+      resources += "swm*Class" + std::to_string(i) + "*inst" + std::to_string(i) +
+                   "*background: x\n";
+    }
+  }
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), resources);
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm->ProcessEvents();
+  oi::Object* name = wm->FindClient(app.window())->name_object;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(name->Attribute("background"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ablation_SpecificResourceLoad)->Arg(0)->Arg(1);
+
+// Stick toggle = full re-decoration (swm's fidelity-to-resources choice)
+// vs what a plain reparent between roots would cost.
+void BM_Ablation_StickRedecorate(benchmark::State& state) {
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(),
+                                "swm*virtualDesktop: 2304x1800\nswm*panner: False\n");
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm->ProcessEvents();
+  for (auto _ : state) {
+    swm::ManagedClient* client = wm->FindClient(app.window());
+    wm->SetSticky(client, !client->sticky);
+    wm->ProcessEvents();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ablation_StickRedecorate);
+
+void BM_Ablation_PlainReparent(benchmark::State& state) {
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(),
+                                "swm*virtualDesktop: 2304x1800\nswm*panner: False\n");
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm->ProcessEvents();
+  swm::ManagedClient* client = wm->FindClient(app.window());
+  xlib::Display& dpy = wm->display();
+  xproto::WindowId frame = client->frame->window();
+  xproto::WindowId root = dpy.RootWindow(0);
+  xproto::WindowId desk = wm->vdesk(0)->window();
+  bool on_root = false;
+  for (auto _ : state) {
+    dpy.ReparentWindow(frame, on_root ? desk : root, {50, 50});
+    on_root = !on_root;
+    wm->ProcessEvents();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ablation_PlainReparent);
+
+// Bindings-table size: matching cost with many bindings per object.
+void BM_Ablation_BindingTableSize(benchmark::State& state) {
+  const int bindings = static_cast<int>(state.range(0));
+  std::string table;
+  for (int i = 0; i < bindings; ++i) {
+    table += "<Key>K" + std::to_string(i) + " : f.nop\\n";
+  }
+  table += "<Btn1> : f.nop";
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(),
+                                "swm*panner: False\nSwm*button.name.bindings: " + table +
+                                    "\n");
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm->ProcessEvents();
+  oi::Object* name = wm->FindClient(app.window())->name_object;
+  xtb::BindingEvent event;
+  event.kind = xtb::EventKind::kButtonPress;
+  event.button = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(name->MatchBindings(event));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ablation_BindingTableSize)->Arg(1)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

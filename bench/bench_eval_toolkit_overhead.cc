@@ -1,0 +1,210 @@
+// Evaluation §8 — the paper's central performance claim:
+//
+//   "swm, like any toolkit based window manager, has somewhat slower
+//    performance than a window manager written directly on top of Xlib."
+//
+// Head-to-head: swm (OI objects, resource lookups, bindings) vs the twm
+// baseline (fixed decoration, direct xlib) on identical operations.  The
+// expected *shape*: both linear in window count, swm slower by a constant
+// factor — the flexibility/performance trade-off the paper calls
+// "well worth the speed trade-off".
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+// ---- Manage/unmanage ---------------------------------------------------------
+
+void BM_Swm_ManageUnmanage(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), "swm*panner: False\n");
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<xlib::ClientApp>> apps;
+    for (int i = 0; i < batch; ++i) {
+      apps.push_back(
+          std::make_unique<xlib::ClientApp>(server.get(), bench_util::ClientConfig(i)));
+      apps.back()->Map();
+    }
+    wm->ProcessEvents();
+    for (auto& app : apps) {
+      app->display().DestroyWindow(app->window());
+    }
+    wm->ProcessEvents();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Swm_ManageUnmanage)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Twm_ManageUnmanage(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  auto server = bench_util::MakeServer();
+  twm::Twm wm(server.get());
+  wm.Start();
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<xlib::ClientApp>> apps;
+    for (int i = 0; i < batch; ++i) {
+      apps.push_back(
+          std::make_unique<xlib::ClientApp>(server.get(), bench_util::ClientConfig(i)));
+      apps.back()->Map();
+    }
+    wm.ProcessEvents();
+    for (auto& app : apps) {
+      app->display().DestroyWindow(app->window());
+    }
+    wm.ProcessEvents();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Twm_ManageUnmanage)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+// ---- Move --------------------------------------------------------------------
+
+void BM_Swm_MoveWindow(benchmark::State& state) {
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), "swm*panner: False\n");
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm->ProcessEvents();
+  swm::ManagedClient* client = wm->FindClient(app.window());
+  int i = 0;
+  for (auto _ : state) {
+    wm->MoveFrameTo(client, {10 + (i % 50), 10 + (i % 40)});
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Swm_MoveWindow);
+
+void BM_Twm_MoveWindow(benchmark::State& state) {
+  auto server = bench_util::MakeServer();
+  twm::Twm wm(server.get());
+  wm.Start();
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm.ProcessEvents();
+  twm::TwmClient* client = wm.FindClient(app.window());
+  int i = 0;
+  for (auto _ : state) {
+    wm.MoveClient(client, {10 + (i % 50), 10 + (i % 40)});
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Twm_MoveWindow);
+
+// ---- Resize (relayout of the decoration) -----------------------------------------
+
+void BM_Swm_ResizeWindow(benchmark::State& state) {
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), "swm*panner: False\n");
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm->ProcessEvents();
+  swm::ManagedClient* client = wm->FindClient(app.window());
+  int i = 0;
+  for (auto _ : state) {
+    wm->ResizeClient(client, {100 + (i % 40), 60 + (i % 30)});
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Swm_ResizeWindow);
+
+void BM_Twm_ResizeWindow(benchmark::State& state) {
+  auto server = bench_util::MakeServer();
+  twm::Twm wm(server.get());
+  wm.Start();
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm.ProcessEvents();
+  twm::TwmClient* client = wm.FindClient(app.window());
+  int i = 0;
+  for (auto _ : state) {
+    wm.ResizeClient(client, {100 + (i % 40), 60 + (i % 30)});
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Twm_ResizeWindow);
+
+// ---- Titlebar click handling ----------------------------------------------------
+
+void BM_Swm_TitleClick(benchmark::State& state) {
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), "swm*panner: False\n");
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm->ProcessEvents();
+  swm::ManagedClient* client = wm->FindClient(app.window());
+  xbase::Point pos = server->RootPosition(client->name_object->window());
+  server->SimulateMotion({pos.x + 1, pos.y + 1});
+  wm->ProcessEvents();
+  for (auto _ : state) {
+    server->SimulateButton(1, true);  // Bindings: f.raise.
+    server->SimulateButton(1, false);
+    wm->ProcessEvents();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Swm_TitleClick);
+
+void BM_Twm_TitleClick(benchmark::State& state) {
+  auto server = bench_util::MakeServer();
+  twm::Twm wm(server.get());
+  wm.Start();
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm.ProcessEvents();
+  twm::TwmClient* client = wm.FindClient(app.window());
+  xbase::Point pos = server->RootPosition(client->title);
+  server->SimulateMotion({pos.x + 1, pos.y + 1});
+  wm.ProcessEvents();
+  for (auto _ : state) {
+    server->SimulateButton(1, true);  // Fixed policy: raise.
+    server->SimulateButton(1, false);
+    wm.ProcessEvents();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Twm_TitleClick);
+
+// ---- Iconify/deiconify cycle -------------------------------------------------------
+
+void BM_Swm_IconifyCycle(benchmark::State& state) {
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), "swm*panner: False\n");
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm->ProcessEvents();
+  swm::ManagedClient* client = wm->FindClient(app.window());
+  for (auto _ : state) {
+    wm->Iconify(client);
+    wm->Deiconify(client);
+    wm->ProcessEvents();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Swm_IconifyCycle);
+
+void BM_Twm_IconifyCycle(benchmark::State& state) {
+  auto server = bench_util::MakeServer();
+  twm::Twm wm(server.get());
+  wm.Start();
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm.ProcessEvents();
+  twm::TwmClient* client = wm.FindClient(app.window());
+  for (auto _ : state) {
+    wm.Iconify(client);
+    wm.Deiconify(client);
+    wm.ProcessEvents();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Twm_IconifyCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

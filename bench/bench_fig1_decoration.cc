@@ -1,0 +1,93 @@
+// Figure 1 — the OpenLook+ decoration (paper §4.1.1).
+//
+// Regenerates the figure as ASCII (printed before the benchmarks run) and
+// measures the machinery behind it: building a decoration tree from the
+// resource database, and the full manage pipeline (reparent + decorate +
+// map) as the number of already-managed windows grows.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+void PrintFigure1() {
+  xserver::Server server({xserver::ScreenConfig{60, 18, false}});
+  auto wm = bench_util::MakeSwm(&server, "swm*panner: False\n");
+  xlib::ClientAppConfig config;
+  config.name = "xclock";
+  config.wm_class = {"xclock", "XClock"};
+  config.command = {"xclock"};
+  config.geometry = {0, 0, 40, 9};
+  xlib::ClientApp xclock(&server, config);
+  xclock.Map();
+  wm->ProcessEvents();
+  std::printf("Figure 1: OpenLook+ decoration (regenerated)\n%s\n",
+              server.RenderScreen(0).ToString().c_str());
+}
+
+// Cost of building one decoration tree from the panel definition (objects,
+// windows, attribute queries, bindings parse) — the core §4 machinery.
+void BM_BuildDecorationTree(benchmark::State& state) {
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), "swm*panner: False\n");
+  oi::Toolkit& toolkit = wm->toolkit(0);
+  auto lookup = [&](const std::string& name) { return wm->PanelDefinition(0, name); };
+  for (auto _ : state) {
+    auto tree =
+        toolkit.BuildPanelTree("openLook", server->RootWindow(0), lookup);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuildDecorationTree);
+
+// Full manage pipeline for one new client while N windows are already
+// managed (map-redirect, decorate, reparent, place, map).
+void BM_ManageWindow(benchmark::State& state) {
+  const int existing = static_cast<int>(state.range(0));
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), "swm*panner: False\n");
+  auto apps = bench_util::SpawnClients(server.get(), existing,
+                                       [&] { wm->ProcessEvents(); });
+  int index = existing;
+  for (auto _ : state) {
+    xlib::ClientApp app(server.get(), bench_util::ClientConfig(index++));
+    app.Map();
+    wm->ProcessEvents();
+    benchmark::DoNotOptimize(wm->ClientCount());
+    state.PauseTiming();
+    app.display().DestroyWindow(app.window());
+    wm->ProcessEvents();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ManageWindow)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+// Re-titling (WM_NAME change -> button relabel + relayout), a common
+// steady-state decoration update.
+void BM_TitleUpdate(benchmark::State& state) {
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), "swm*panner: False\n");
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm->ProcessEvents();
+  int i = 0;
+  for (auto _ : state) {
+    xlib::SetWmName(&app.display(), app.window(), "title " + std::to_string(i++));
+    wm->ProcessEvents();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TitleUpdate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,140 @@
+// §7 — session management.
+//
+// f.places generation and the restart-matching path, scaling with client
+// count and with duplicate WM_COMMAND entries.  Expected shape: places
+// generation linear in N; a single restart match linear in table size with
+// O(1) removal once found (first-match-wins).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/swm/session.h"
+
+namespace {
+
+// f.places over N managed clients.
+void BM_GeneratePlaces(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(),
+                                "swm*virtualDesktop: 4608x3600\nswm*panner: False\n");
+  auto apps = bench_util::SpawnClients(server.get(), clients,
+                                       [&] { wm->ProcessEvents(); });
+  for (auto _ : state) {
+    std::string places = wm->GeneratePlaces();
+    benchmark::DoNotOptimize(places);
+  }
+  state.SetItemsProcessed(state.iterations() * clients);
+}
+BENCHMARK(BM_GeneratePlaces)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+// swmhints record encode/parse round trip.
+void BM_SwmHintsRoundTrip(benchmark::State& state) {
+  swm::SwmHintsRecord record;
+  record.geometry = {1010, 359, 120, 120};
+  record.icon_position = xbase::Point{0, 0};
+  record.state = xproto::WmState::kIconic;
+  record.sticky = true;
+  record.command = "xterm -e vi notes.txt";
+  record.machine = "farhost";
+  for (auto _ : state) {
+    auto reparsed = swm::SwmHintsRecord::Parse(record.Encode());
+    benchmark::DoNotOptimize(reparsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwmHintsRoundTrip);
+
+// Matching one reparented client against a restart table of size N
+// (worst case: the match is at the end).
+void BM_RestartTableMatch(benchmark::State& state) {
+  const int entries = static_cast<int>(state.range(0));
+  swm::RestartTable prototype;
+  for (int i = 0; i < entries; ++i) {
+    swm::SwmHintsRecord record;
+    record.geometry = {i, i, 10, 10};
+    record.command = "client" + std::to_string(i);
+    prototype.Add(record);
+  }
+  std::string text = prototype.ToPropertyText();
+  std::string needle = "client" + std::to_string(entries - 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    swm::RestartTable table = swm::RestartTable::FromPropertyText(text);
+    state.ResumeTiming();
+    auto match = table.MatchAndConsume(needle, "");
+    benchmark::DoNotOptimize(match);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RestartTableMatch)->Arg(1)->Arg(16)->Arg(256)->Arg(1024);
+
+// End-to-end restart: seed N records, start swm, map N matching clients.
+// Manual timing: only the swm-start + manage phase is measured; server and
+// client construction happen off the clock.
+void BM_FullSessionRestore(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto server = bench_util::MakeServer();
+    {
+      xlib::Display seeder(server.get(), "localhost");
+      for (int i = 0; i < clients; ++i) {
+        swm::SwmHintsRecord record;
+        record.geometry = {40 * (i % 20), 30 * (i / 20), 100, 60};
+        record.command = "client" + std::to_string(i);
+        swm::AppendSwmHints(&seeder, 0, record);
+      }
+    }
+    std::vector<std::unique_ptr<xlib::ClientApp>> apps;
+    for (int i = 0; i < clients; ++i) {
+      apps.push_back(
+          std::make_unique<xlib::ClientApp>(server.get(), bench_util::ClientConfig(i)));
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    auto wm = bench_util::MakeSwm(server.get(), "swm*panner: False\n");
+    for (auto& app : apps) {
+      app->Map();
+    }
+    wm->ProcessEvents();
+    benchmark::DoNotOptimize(wm->ClientCount());
+    auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start);
+    state.SetIterationTime(elapsed.count());
+
+    apps.clear();
+    wm.reset();
+    server.reset();
+  }
+  state.SetItemsProcessed(state.iterations() * clients);
+}
+BENCHMARK(BM_FullSessionRestore)->Arg(4)->Arg(16)->Arg(64)->UseManualTime();
+
+// Duplicate WM_COMMAND pathological case: every entry identical.
+void BM_RestartTableAllDuplicates(benchmark::State& state) {
+  const int entries = static_cast<int>(state.range(0));
+  swm::RestartTable prototype;
+  for (int i = 0; i < entries; ++i) {
+    swm::SwmHintsRecord record;
+    record.geometry = {i, i, 10, 10};
+    record.command = "xterm";
+    prototype.Add(record);
+  }
+  std::string text = prototype.ToPropertyText();
+  for (auto _ : state) {
+    state.PauseTiming();
+    swm::RestartTable table = swm::RestartTable::FromPropertyText(text);
+    state.ResumeTiming();
+    // Consume all of them, in order, as N xterms get reparented.
+    for (int i = 0; i < entries; ++i) {
+      benchmark::DoNotOptimize(table.MatchAndConsume("xterm", ""));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * entries);
+}
+BENCHMARK(BM_RestartTableAllDuplicates)->Arg(4)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

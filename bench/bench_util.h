@@ -1,0 +1,61 @@
+// Shared helpers for the benchmark harness.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/swm/panner.h"
+#include "src/swm/wm.h"
+#include "src/twm/twm.h"
+#include "src/xlib/client_app.h"
+#include "src/xserver/server.h"
+
+namespace bench_util {
+
+inline std::unique_ptr<xserver::Server> MakeServer(int width = 1152, int height = 900) {
+  return std::make_unique<xserver::Server>(
+      std::vector<xserver::ScreenConfig>{xserver::ScreenConfig{width, height, false}});
+}
+
+inline std::unique_ptr<swm::WindowManager> MakeSwm(xserver::Server* server,
+                                                   const std::string& resources = "",
+                                                   const std::string& template_name =
+                                                       "openlook") {
+  swm::WindowManager::Options options;
+  options.resources = resources;
+  options.template_name = template_name;
+  auto wm = std::make_unique<swm::WindowManager>(server, options);
+  wm->Start();
+  return wm;
+}
+
+inline xlib::ClientAppConfig ClientConfig(int index, const std::string& clazz = "Bench") {
+  xlib::ClientAppConfig config;
+  config.name = "client" + std::to_string(index);
+  config.wm_class = {"client" + std::to_string(index), clazz};
+  config.command = {"client" + std::to_string(index)};
+  config.geometry = {(index * 13) % 600, (index * 7) % 500, 120, 80};
+  return config;
+}
+
+// Spawns `n` mapped clients and settles the WM event queue via `process`.
+template <typename ProcessFn>
+std::vector<std::unique_ptr<xlib::ClientApp>> SpawnClients(xserver::Server* server, int n,
+                                                           ProcessFn&& process,
+                                                           const std::string& clazz =
+                                                               "Bench") {
+  std::vector<std::unique_ptr<xlib::ClientApp>> apps;
+  apps.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    apps.push_back(std::make_unique<xlib::ClientApp>(server, ClientConfig(i, clazz)));
+    apps.back()->Map();
+  }
+  process();
+  return apps;
+}
+
+}  // namespace bench_util
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,132 @@
+// §6 — Virtual Desktop panning.
+//
+// Panning is one window move regardless of population ("the desktop is an
+// X window different from the actual root"), while a naive
+// move-every-window scheme is linear in window count.  The sweep varies the
+// number of managed windows and the sticky fraction; sticky windows are
+// exempt from panning by construction.  Also exercises the 32767 ceiling.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+constexpr char kResources[] =
+    "swm*virtualDesktop: 4608x3600\n"
+    "swm*panner: False\n";
+
+// Pan cost with N windows, S% of them sticky.
+void BM_Pan(benchmark::State& state) {
+  const int windows = static_cast<int>(state.range(0));
+  const int sticky_percent = static_cast<int>(state.range(1));
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), kResources);
+  auto apps = bench_util::SpawnClients(server.get(), windows,
+                                       [&] { wm->ProcessEvents(); });
+  int made_sticky = 0;
+  for (auto* client : wm->Clients()) {
+    if (made_sticky * 100 < windows * sticky_percent) {
+      wm->SetSticky(client, true);
+      ++made_sticky;
+    }
+  }
+  wm->ProcessEvents();
+  swm::VirtualDesktop* desk = wm->vdesk(0);
+  int toggle = 0;
+  for (auto _ : state) {
+    desk->PanTo(toggle++ % 2 == 0 ? xbase::Point{1200, 900} : xbase::Point{0, 0});
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["windows"] = windows;
+  state.counters["sticky_pct"] = sticky_percent;
+}
+BENCHMARK(BM_Pan)
+    ->Args({1, 0})
+    ->Args({16, 0})
+    ->Args({64, 0})
+    ->Args({256, 0})
+    ->Args({64, 25})
+    ->Args({64, 50})
+    ->Args({64, 100});
+
+// The strawman without a Virtual Desktop: pan by moving every frame.
+void BM_NaivePanMovesEveryWindow(benchmark::State& state) {
+  const int windows = static_cast<int>(state.range(0));
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), "swm*panner: False\n");
+  auto apps = bench_util::SpawnClients(server.get(), windows,
+                                       [&] { wm->ProcessEvents(); });
+  std::vector<swm::ManagedClient*> clients = wm->Clients();
+  int toggle = 0;
+  for (auto _ : state) {
+    int dx = toggle++ % 2 == 0 ? -1200 : 1200;
+    for (swm::ManagedClient* client : clients) {
+      xbase::Rect geometry = client->FrameGeometry();
+      wm->MoveFrameTo(client, {geometry.x + dx, geometry.y});
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["windows"] = windows;
+}
+BENCHMARK(BM_NaivePanMovesEveryWindow)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+// Stick/unstick round trip: re-decoration + reparent between roots.
+void BM_StickToggle(benchmark::State& state) {
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), kResources);
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm->ProcessEvents();
+  for (auto _ : state) {
+    swm::ManagedClient* client = wm->FindClient(app.window());
+    wm->SetSticky(client, !client->sticky);
+    wm->ProcessEvents();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StickToggle);
+
+// Desktop resize (the panner-resize path) across sizes up to the 32767
+// protocol ceiling.
+void BM_DesktopResize(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), kResources);
+  swm::VirtualDesktop* desk = wm->vdesk(0);
+  int toggle = 0;
+  for (auto _ : state) {
+    desk->Resize(toggle++ % 2 == 0 ? xbase::Size{size, size}
+                                   : xbase::Size{size / 2, size / 2});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DesktopResize)->Arg(4096)->Arg(16384)->Arg(32767);
+
+// USPosition vs PPosition placement cost (the §6.3.2 logic).
+void BM_PlacementWithHints(benchmark::State& state) {
+  const bool user_position = state.range(0) != 0;
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), kResources);
+  wm->vdesk(0)->PanTo({1000, 1000});
+  int i = 0;
+  for (auto _ : state) {
+    xlib::ClientAppConfig config = bench_util::ClientConfig(i++);
+    config.geometry = {500, 400, 80, 50};
+    config.size_hint_flags =
+        (user_position ? xproto::kUSPosition | xproto::kUSSize
+                       : xproto::kPPosition | xproto::kPSize);
+    xlib::ClientApp app(server.get(), config);
+    app.Map();
+    wm->ProcessEvents();
+    state.PauseTiming();
+    app.display().DestroyWindow(app.window());
+    wm->ProcessEvents();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlacementWithHints)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

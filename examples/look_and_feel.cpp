@@ -1,0 +1,74 @@
+// Policy freedom (paper §1, §3): the same client decorated under the
+// OpenLook+ template, the Motif emulation, and a custom user-written
+// policy — without recompiling anything.  "It is very easy to implement a
+// particular window management policy without the need to learn a new
+// programming language."
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/swm/templates.h"
+#include "src/swm/wm.h"
+#include "src/xlib/client_app.h"
+#include "src/xserver/server.h"
+
+namespace {
+
+// A decoration nobody ships: buttons on the *left side* of the client, to
+// show decoration panels are not limited to titlebars (paper §4.1.1:
+// "Objects can easily be placed to the sides or below the client window").
+constexpr char kCustomPolicy[] = R"(
+swm*template: default
+swm*decoration: sidebar
+swm*panel.sidebar: \
+  panel rail +0+0 \
+  panel client +1+0
+swm*panel.rail: \
+  button up +0+0 \
+  button name +0+1 \
+  button dn +0+2
+swm*button.up.label: ^
+swm*button.up.bindings: <Btn1> : f.raise
+swm*button.dn.label: v
+swm*button.dn.bindings: <Btn1> : f.lower
+swm*button.name.bindings: <Btn1> : f.move
+swm*panner: False
+)";
+
+void ShowUnder(const std::string& label, const std::string& template_name,
+               const std::string& resources) {
+  xserver::Server server({xserver::ScreenConfig{64, 18, false}});
+  swm::WindowManager::Options options;
+  options.template_name = template_name;
+  options.resources = resources.empty() ? "swm*panner: False\n" : resources;
+  swm::WindowManager wm(&server, options);
+  if (!wm.Start()) {
+    return;
+  }
+  xlib::ClientAppConfig config;
+  config.name = "xedit";
+  config.wm_class = {"xedit", "XEdit"};
+  config.command = {"xedit"};
+  config.geometry = {0, 0, 36, 9};
+  xlib::ClientApp app(&server, config);
+  app.Map();
+  wm.ProcessEvents();
+  swm::ManagedClient* client = wm.FindClient(app.window());
+  std::printf("==== %s (decoration '%s') ====\n%s\n", label.c_str(),
+              client != nullptr ? client->decoration_name.c_str() : "?",
+              server.RenderScreen(0).ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  ShowUnder("OPEN LOOK emulation", "openlook", "");
+  ShowUnder("OSF/Motif emulation", "motif", "");
+  ShowUnder("custom user policy: side rail", "default", kCustomPolicy);
+  std::printf("available templates:");
+  for (const std::string& name : swm::TemplateNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Rooms on the Virtual Desktop (paper §6): "it is very easy to implement a
+// rooms like environment by grouping windows into various quadrants of the
+// desktop."  Four rooms, a sticky clock and mail notifier that stay on the
+// glass, and panner-driven navigation between rooms.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/swm/panner.h"
+#include "src/swm/wm.h"
+#include "src/xlib/client_app.h"
+#include "src/xserver/server.h"
+
+namespace {
+
+std::unique_ptr<xlib::ClientApp> Launch(xserver::Server* server, const std::string& name,
+                                        const std::string& clazz,
+                                        const xbase::Rect& geometry) {
+  xlib::ClientAppConfig config;
+  config.name = name;
+  config.wm_class = {name, clazz};
+  config.command = {name};
+  config.geometry = geometry;
+  auto app = std::make_unique<xlib::ClientApp>(server, config);
+  app->Map();
+  return app;
+}
+
+}  // namespace
+
+int main() {
+  xserver::Server server({xserver::ScreenConfig{76, 26, false}});
+
+  swm::WindowManager::Options options;
+  options.template_name = "openlook";
+  options.resources =
+      "swm*virtualDesktop: 152x52\n"   // 2x2 rooms of one screen each.
+      "swm*panner: True\n"
+      "swm*pannerScale: 4\n"
+      "swm*XClock*sticky: True\n"
+      "swm*XBiff*sticky: True\n";
+  swm::WindowManager wm(&server, options);
+  if (!wm.Start()) {
+    return 1;
+  }
+
+  // The standard environment: clock + mail notifier, stuck to the glass.
+  auto clock = Launch(&server, "xclock", "XClock", {0, 0, 10, 4});
+  auto biff = Launch(&server, "xbiff", "XBiff", {0, 0, 10, 4});
+  wm.ProcessEvents();
+  wm.MoveFrameTo(wm.FindClient(clock->window()), {1, 18});
+  wm.MoveFrameTo(wm.FindClient(biff->window()), {13, 18});
+
+  // One application per room.
+  struct Room {
+    const char* name;
+    xbase::Point origin;
+  };
+  const Room rooms[] = {{"editor", {0, 0}},
+                        {"mailer", {76, 0}},
+                        {"debugger", {0, 26}},
+                        {"browser", {76, 26}}};
+  std::vector<std::unique_ptr<xlib::ClientApp>> apps;
+  for (const Room& room : rooms) {
+    apps.push_back(Launch(&server, room.name, "Tool", {0, 0, 30, 9}));
+    wm.ProcessEvents();
+    wm.MoveFrameTo(wm.FindClient(apps.back()->window()),
+                   {room.origin.x + 6, room.origin.y + 3});
+  }
+  wm.ProcessEvents();
+
+  for (const Room& room : rooms) {
+    wm.vdesk(0)->PanTo(room.origin);
+    wm.panner(0)->Update();
+    wm.ProcessEvents();
+    std::printf("==== room: %s (desktop offset %d,%d) ====\n%s\n", room.name,
+                wm.vdesk(0)->offset().x, wm.vdesk(0)->offset().y,
+                server.RenderScreen(0).ToString().c_str());
+  }
+
+  // The panner can jump rooms too: click its lower-right quadrant.
+  swm::Panner* panner = wm.panner(0);
+  xbase::Point origin = server.RootPosition(panner->window());
+  server.SimulateMotion({origin.x + 28, origin.y + 10});
+  server.SimulateButton(1, true);
+  server.SimulateButton(1, false);
+  wm.ProcessEvents();
+  std::printf("after a panner click, the desktop offset is %d,%d\n",
+              wm.vdesk(0)->offset().x, wm.vdesk(0)->offset().y);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// The swmcmd client (paper §4.5): "a way to execute window manager commands
+// by typing them into a shell running in an xterm."  Reads commands from
+// stdin (or runs a scripted demo when stdin is not a terminal feed) and
+// sends each through the SWM_COMMAND root property.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/swm/swmcmd.h"
+#include "src/swm/wm.h"
+#include "src/xlib/client_app.h"
+#include "src/xserver/server.h"
+
+int main(int argc, char** argv) {
+  xserver::Server server({xserver::ScreenConfig{70, 22, false}});
+  swm::WindowManager::Options options;
+  options.template_name = "openlook";
+  options.resources = "swm*panner: False\n";
+  swm::WindowManager wm(&server, options);
+  if (!wm.Start()) {
+    return 1;
+  }
+
+  xlib::ClientAppConfig config;
+  config.name = "xterm";
+  config.wm_class = {"xterm", "XTerm"};
+  config.command = {"xterm"};
+  config.geometry = {0, 0, 40, 10};
+  xlib::ClientApp xterm(&server, config);
+  xterm.Map();
+  wm.ProcessEvents();
+
+  // The "shell" connection swmcmd would run inside.
+  xlib::Display shell(&server, "localhost");
+
+  auto run = [&](const std::string& command) {
+    std::printf("$ swmcmd %s\n", command.c_str());
+    swm::SendSwmCommand(&shell, 0, command);
+    wm.ProcessEvents();
+    if (wm.awaiting_target()) {
+      // The paper: "The pointer would be changed to a question mark
+      // prompting you to select a window."  Select the xterm.
+      std::printf("  (pointer is now a question mark; clicking the xterm)\n");
+      xbase::Point pos = server.RootPosition(xterm.window());
+      server.SimulateMotion({pos.x + 1, pos.y + 1});
+      server.SimulateButton(1, true);
+      server.SimulateButton(1, false);
+      wm.ProcessEvents();
+    }
+    swm::ManagedClient* client = wm.FindClient(xterm.window());
+    if (client != nullptr) {
+      std::printf("  xterm state: %s, frame at %s\n\n",
+                  xproto::WmStateName(client->state).c_str(),
+                  client->FrameGeometry().ToString().c_str());
+    }
+  };
+
+  if (argc > 1 && std::string(argv[1]) == "--stdin") {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) {
+        run(line);
+      }
+    }
+    return 0;
+  }
+
+  // Scripted demo of the §4.4.1 invocation modes.
+  run("f.iconify(XTerm)");    // By class.
+  run("f.deiconify(XTerm)");
+  run("f.raise");             // Prompts for a window, like the paper's example.
+  char by_id[48];
+  std::snprintf(by_id, sizeof(by_id), "f.lower(#0x%x)", xterm.window());
+  run(by_id);                 // By explicit window id.
+  run("f.save f.zoom");       // Two functions in one command (prompted).
+  run("f.restore(XTerm)");
+  std::printf("final screen:\n%s", server.RenderScreen(0).ToString().c_str());
+  return 0;
+}

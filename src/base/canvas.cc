@@ -1,0 +1,96 @@
+#include "src/base/canvas.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace xbase {
+
+Canvas::Canvas(int width, int height, char background) : width_(width), height_(height) {
+  XB_CHECK_GE(width, 0);
+  XB_CHECK_GE(height, 0);
+  cells_.assign(static_cast<size_t>(width) * height, background);
+}
+
+char Canvas::At(int x, int y) const {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) {
+    return '\0';
+  }
+  return cells_[static_cast<size_t>(y) * width_ + x];
+}
+
+bool Canvas::Clipped(int x, int y) const {
+  return !clip_.IsEmpty() && !clip_.Contains({x, y});
+}
+
+void Canvas::Put(int x, int y, char c) {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_ || Clipped(x, y)) {
+    return;
+  }
+  cells_[static_cast<size_t>(y) * width_ + x] = c;
+}
+
+void Canvas::Clear(char background) {
+  std::fill(cells_.begin(), cells_.end(), background);
+}
+
+void Canvas::FillRect(const Rect& r, char c) {
+  for (int y = std::max(0, r.y); y < std::min(height_, r.Bottom()); ++y) {
+    for (int x = std::max(0, r.x); x < std::min(width_, r.Right()); ++x) {
+      Put(x, y, c);
+    }
+  }
+}
+
+void Canvas::DrawBorder(const Rect& r, char horizontal, char vertical, char corner) {
+  if (r.width < 1 || r.height < 1) {
+    return;
+  }
+  for (int x = r.x; x < r.Right(); ++x) {
+    Put(x, r.y, horizontal);
+    Put(x, r.Bottom() - 1, horizontal);
+  }
+  for (int y = r.y; y < r.Bottom(); ++y) {
+    Put(r.x, y, vertical);
+    Put(r.Right() - 1, y, vertical);
+  }
+  Put(r.x, r.y, corner);
+  Put(r.Right() - 1, r.y, corner);
+  Put(r.x, r.Bottom() - 1, corner);
+  Put(r.Right() - 1, r.Bottom() - 1, corner);
+}
+
+void Canvas::DrawText(int x, int y, const std::string& text) {
+  for (size_t i = 0; i < text.size(); ++i) {
+    Put(x + static_cast<int>(i), y, text[i]);
+  }
+}
+
+void Canvas::DrawTextCentered(int x, int width, int y, const std::string& text) {
+  int tx = x + std::max(0, (width - static_cast<int>(text.size())) / 2);
+  DrawText(tx, y, text);
+}
+
+void Canvas::DrawBitmap(int x, int y, const Bitmap& bm, char on) {
+  for (int by = 0; by < bm.height(); ++by) {
+    for (int bx = 0; bx < bm.width(); ++bx) {
+      if (bm.Get(bx, by)) {
+        Put(x + bx, y + by, on);
+      }
+    }
+  }
+}
+
+std::string Canvas::ToString() const {
+  std::string out;
+  out.reserve(static_cast<size_t>(width_ + 1) * height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      out.push_back(cells_[static_cast<size_t>(y) * width_ + x]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace xbase

@@ -1,0 +1,120 @@
+#include "src/base/geometry.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace xbase {
+
+std::string Rect::ToString() const {
+  std::ostringstream os;
+  os << width << "x" << height << "+" << x << "+" << y;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << "," << p.y << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Size& s) {
+  return os << s.width << "x" << s.height;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) { return os << r.ToString(); }
+
+Rect GeometrySpec::Resolve(const Size& parent, const Size& fallback) const {
+  Rect out;
+  out.width = width.value_or(fallback.width);
+  out.height = height.value_or(fallback.height);
+  int px = x.value_or(0);
+  int py = y.value_or(0);
+  out.x = x_negative ? parent.width - out.width + px : px;
+  out.y = y_negative ? parent.height - out.height + py : py;
+  return out;
+}
+
+std::string GeometrySpec::ToString() const {
+  std::ostringstream os;
+  if (width && height) {
+    os << *width << "x" << *height;
+  }
+  if (x && y) {
+    os << (x_negative ? "-" : "+") << std::abs(*x) << (y_negative ? "-" : "+") << std::abs(*y);
+  }
+  return os.str();
+}
+
+namespace {
+
+// Parses an unsigned decimal run; returns nullopt if none present.
+std::optional<int> ParseUnsigned(const std::string& s, size_t* pos) {
+  size_t start = *pos;
+  long value = 0;
+  while (*pos < s.size() && std::isdigit(static_cast<unsigned char>(s[*pos]))) {
+    value = value * 10 + (s[*pos] - '0');
+    if (value > 1000000000) {
+      return std::nullopt;
+    }
+    ++(*pos);
+  }
+  if (*pos == start) {
+    return std::nullopt;
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+std::optional<GeometrySpec> ParseGeometry(const std::string& text) {
+  GeometrySpec spec;
+  size_t pos = 0;
+  if (pos < text.size() && text[pos] == '=') {
+    ++pos;  // XParseGeometry accepts a leading '='.
+  }
+  if (pos < text.size() && text[pos] != '+' && text[pos] != '-') {
+    std::optional<int> w = ParseUnsigned(text, &pos);
+    if (!w) {
+      return std::nullopt;
+    }
+    if (pos >= text.size() || (text[pos] != 'x' && text[pos] != 'X')) {
+      return std::nullopt;
+    }
+    ++pos;
+    std::optional<int> h = ParseUnsigned(text, &pos);
+    if (!h) {
+      return std::nullopt;
+    }
+    spec.width = w;
+    spec.height = h;
+  }
+  if (pos < text.size()) {
+    if (text[pos] != '+' && text[pos] != '-') {
+      return std::nullopt;
+    }
+    spec.x_negative = text[pos] == '-';
+    ++pos;
+    std::optional<int> vx = ParseUnsigned(text, &pos);
+    if (!vx) {
+      return std::nullopt;
+    }
+    spec.x = spec.x_negative ? -*vx : *vx;
+    if (pos >= text.size() || (text[pos] != '+' && text[pos] != '-')) {
+      return std::nullopt;
+    }
+    spec.y_negative = text[pos] == '-';
+    ++pos;
+    std::optional<int> vy = ParseUnsigned(text, &pos);
+    if (!vy) {
+      return std::nullopt;
+    }
+    spec.y = spec.y_negative ? -*vy : *vy;
+  }
+  if (pos != text.size()) {
+    return std::nullopt;
+  }
+  if (!spec.width && !spec.x) {
+    return std::nullopt;  // Entirely empty string.
+  }
+  return spec;
+}
+
+}  // namespace xbase

@@ -1,0 +1,125 @@
+// Integer 2-D geometry primitives shared by the protocol simulator, toolkit
+// and window manager.  Coordinates follow X conventions: y grows downward,
+// rectangles are half-open in neither axis (width/height are extents).
+#ifndef SRC_BASE_GEOMETRY_H_
+#define SRC_BASE_GEOMETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+
+namespace xbase {
+
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+struct Size {
+  int width = 0;
+  int height = 0;
+
+  friend bool operator==(const Size&, const Size&) = default;
+  bool IsEmpty() const { return width <= 0 || height <= 0; }
+  int64_t Area() const { return static_cast<int64_t>(width) * height; }
+};
+
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  static Rect FromCorners(int left, int top, int right, int bottom) {
+    return Rect{left, top, right - left, bottom - top};
+  }
+
+  int Left() const { return x; }
+  int Top() const { return y; }
+  int Right() const { return x + width; }    // exclusive
+  int Bottom() const { return y + height; }  // exclusive
+
+  Point origin() const { return {x, y}; }
+  Size size() const { return {width, height}; }
+
+  bool IsEmpty() const { return width <= 0 || height <= 0; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= x && p.x < Right() && p.y >= y && p.y < Bottom();
+  }
+
+  bool Contains(const Rect& r) const {
+    return !r.IsEmpty() && r.x >= x && r.y >= y && r.Right() <= Right() && r.Bottom() <= Bottom();
+  }
+
+  bool Intersects(const Rect& r) const {
+    return !IsEmpty() && !r.IsEmpty() && r.x < Right() && x < r.Right() && r.y < Bottom() &&
+           y < r.Bottom();
+  }
+
+  Rect Intersection(const Rect& r) const {
+    int left = std::max(x, r.x);
+    int top = std::max(y, r.y);
+    int right = std::min(Right(), r.Right());
+    int bottom = std::min(Bottom(), r.Bottom());
+    if (right <= left || bottom <= top) {
+      return Rect{};
+    }
+    return FromCorners(left, top, right, bottom);
+  }
+
+  // Smallest rectangle covering both; empty inputs are ignored.
+  Rect Union(const Rect& r) const {
+    if (IsEmpty()) {
+      return r;
+    }
+    if (r.IsEmpty()) {
+      return *this;
+    }
+    return FromCorners(std::min(x, r.x), std::min(y, r.y), std::max(Right(), r.Right()),
+                       std::max(Bottom(), r.Bottom()));
+  }
+
+  Rect Translated(int dx, int dy) const { return Rect{x + dx, y + dy, width, height}; }
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+std::ostream& operator<<(std::ostream& os, const Size& s);
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+// Result of parsing an X geometry string such as "120x120+1010+359",
+// "=80x24", "+10-20", or "100x50".  Negative offsets (XNegative set) are
+// relative to the right/bottom edge as in XParseGeometry(3).
+struct GeometrySpec {
+  std::optional<int> width;
+  std::optional<int> height;
+  std::optional<int> x;
+  std::optional<int> y;
+  bool x_negative = false;
+  bool y_negative = false;
+
+  friend bool operator==(const GeometrySpec&, const GeometrySpec&) = default;
+
+  // Resolves the spec against a parent of the given size, using fallback
+  // size for missing components.  Mirrors XGeometry(3) placement.
+  Rect Resolve(const Size& parent, const Size& fallback) const;
+
+  std::string ToString() const;
+};
+
+// Parses an X geometry string.  Returns nullopt on malformed input.
+std::optional<GeometrySpec> ParseGeometry(const std::string& text);
+
+}  // namespace xbase
+
+#endif  // SRC_BASE_GEOMETRY_H_

@@ -1,0 +1,57 @@
+#include "src/base/logging.h"
+
+#include <atomic>
+
+namespace xbase {
+namespace {
+
+std::atomic<LogSeverity> g_min_severity{LogSeverity::kWarning};
+std::atomic<int> g_error_count{0};
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARNING";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line) : severity_(severity) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << "[" << SeverityName(severity) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= LogSeverity::kWarning) {
+    g_error_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (severity_ >= g_min_severity.load(std::memory_order_relaxed)) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(severity, std::memory_order_relaxed);
+}
+
+LogSeverity MinLogSeverity() { return g_min_severity.load(std::memory_order_relaxed); }
+
+int LogErrorCount() { return g_error_count.load(std::memory_order_relaxed); }
+
+}  // namespace xbase

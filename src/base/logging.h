@@ -1,0 +1,63 @@
+// Minimal logging and invariant-checking support used throughout the tree.
+//
+// Style note: hot paths report recoverable failures through return values
+// (bool / std::optional); CHECK is reserved for programming errors where
+// continuing would corrupt state.
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace xbase {
+
+enum class LogSeverity {
+  kInfo,
+  kWarning,
+  kError,
+  kFatal,
+};
+
+// Accumulates a log line and emits it (to stderr) on destruction.  Fatal
+// messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Global minimum severity; messages below it are swallowed.  Tests raise this
+// to keep output quiet.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+// Total number of kWarning/kError messages emitted; used by failure-injection
+// tests to assert that bad input was diagnosed rather than ignored.
+int LogErrorCount();
+
+}  // namespace xbase
+
+#define XB_LOG(severity)                                                                 \
+  ::xbase::LogMessage(::xbase::LogSeverity::k##severity, __FILE__, __LINE__).stream()
+
+#define XB_CHECK(cond)                                                                   \
+  if (!(cond)) XB_LOG(Fatal) << "Check failed: " #cond " "
+
+#define XB_CHECK_EQ(a, b) XB_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define XB_CHECK_NE(a, b) XB_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define XB_CHECK_LE(a, b) XB_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define XB_CHECK_LT(a, b) XB_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define XB_CHECK_GE(a, b) XB_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // SRC_BASE_LOGGING_H_

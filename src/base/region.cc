@@ -1,0 +1,261 @@
+#include "src/base/region.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace xbase {
+namespace {
+
+struct Interval {
+  int left;
+  int right;  // exclusive
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+// Merges overlapping/adjacent intervals in place; input must be sorted by left.
+void MergeIntervals(std::vector<Interval>* intervals) {
+  if (intervals->empty()) {
+    return;
+  }
+  std::vector<Interval> merged;
+  merged.push_back((*intervals)[0]);
+  for (size_t i = 1; i < intervals->size(); ++i) {
+    Interval& last = merged.back();
+    const Interval& cur = (*intervals)[i];
+    if (cur.left <= last.right) {
+      last.right = std::max(last.right, cur.right);
+    } else {
+      merged.push_back(cur);
+    }
+  }
+  *intervals = std::move(merged);
+}
+
+// Returns merged x-intervals of all rects that fully cover the band [y0, y1).
+// Rects are assumed to either cover the band or miss it entirely (guaranteed
+// when y0/y1 are consecutive breakpoints of the rect set).
+std::vector<Interval> BandIntervals(const std::vector<Rect>& rects, int y0) {
+  std::vector<Interval> out;
+  for (const Rect& r : rects) {
+    if (r.y <= y0 && r.Bottom() > y0) {
+      out.push_back({r.x, r.Right()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Interval& a, const Interval& b) { return a.left < b.left; });
+  MergeIntervals(&out);
+  return out;
+}
+
+std::vector<Interval> SubtractIntervals(const std::vector<Interval>& a,
+                                        const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  size_t bi = 0;
+  for (Interval cur : a) {
+    while (bi < b.size() && b[bi].right <= cur.left) {
+      ++bi;
+    }
+    size_t j = bi;
+    int pos = cur.left;
+    while (j < b.size() && b[j].left < cur.right) {
+      if (b[j].left > pos) {
+        out.push_back({pos, b[j].left});
+      }
+      pos = std::max(pos, b[j].right);
+      if (pos >= cur.right) {
+        break;
+      }
+      ++j;
+    }
+    if (pos < cur.right) {
+      out.push_back({pos, cur.right});
+    }
+  }
+  return out;
+}
+
+std::vector<Interval> IntersectIntervals(const std::vector<Interval>& a,
+                                         const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    int left = std::max(a[i].left, b[j].left);
+    int right = std::min(a[i].right, b[j].right);
+    if (left < right) {
+      out.push_back({left, right});
+    }
+    if (a[i].right < b[j].right) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<Interval> UnionIntervals(std::vector<Interval> a, const std::vector<Interval>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  std::sort(a.begin(), a.end(),
+            [](const Interval& x, const Interval& y) { return x.left < y.left; });
+  MergeIntervals(&a);
+  return a;
+}
+
+// Rebuilds canonical banded rects from per-band interval computation.
+// `op` maps (intervals-of-a-at-band, intervals-of-b-at-band) -> intervals.
+template <typename Op>
+std::vector<Rect> BandCombine(const std::vector<Rect>& a, const std::vector<Rect>& b, Op op) {
+  std::set<int> ys;
+  for (const Rect& r : a) {
+    ys.insert(r.y);
+    ys.insert(r.Bottom());
+  }
+  for (const Rect& r : b) {
+    ys.insert(r.y);
+    ys.insert(r.Bottom());
+  }
+  std::vector<Rect> out;
+  // Previous band's intervals plus its y-range, for vertical coalescing.
+  std::vector<Interval> prev_intervals;
+  int prev_y0 = 0;
+  int prev_y1 = 0;
+  bool have_prev = false;
+
+  auto flush_prev = [&]() {
+    for (const Interval& iv : prev_intervals) {
+      out.push_back(Rect::FromCorners(iv.left, prev_y0, iv.right, prev_y1));
+    }
+    have_prev = false;
+  };
+
+  int band_start = 0;
+  bool first = true;
+  for (int y : ys) {
+    if (!first) {
+      std::vector<Interval> ivs = op(BandIntervals(a, band_start), BandIntervals(b, band_start));
+      if (!ivs.empty()) {
+        if (have_prev && prev_y1 == band_start && prev_intervals == ivs) {
+          prev_y1 = y;  // Coalesce with previous band.
+        } else {
+          if (have_prev) {
+            flush_prev();
+          }
+          prev_intervals = std::move(ivs);
+          prev_y0 = band_start;
+          prev_y1 = y;
+          have_prev = true;
+        }
+      } else if (have_prev) {
+        flush_prev();
+      }
+    }
+    band_start = y;
+    first = false;
+  }
+  if (have_prev) {
+    flush_prev();
+  }
+  return out;
+}
+
+}  // namespace
+
+Region::Region(const Rect& rect) {
+  if (!rect.IsEmpty()) {
+    rects_.push_back(rect);
+  }
+}
+
+Region::Region(std::vector<Rect> rects) : rects_(std::move(rects)) { Canonicalize(); }
+
+void Region::Canonicalize() {
+  rects_.erase(std::remove_if(rects_.begin(), rects_.end(),
+                              [](const Rect& r) { return r.IsEmpty(); }),
+               rects_.end());
+  if (rects_.size() <= 1) {
+    return;
+  }
+  // Union with the empty region re-bands arbitrary input.
+  rects_ = BandCombine(rects_, {}, [](std::vector<Interval> a, const std::vector<Interval>&) {
+    return a;
+  });
+}
+
+int64_t Region::Area() const {
+  int64_t area = 0;
+  for (const Rect& r : rects_) {
+    area += r.size().Area();
+  }
+  return area;
+}
+
+Rect Region::Bounds() const {
+  Rect bounds;
+  for (const Rect& r : rects_) {
+    bounds = bounds.Union(r);
+  }
+  return bounds;
+}
+
+bool Region::Contains(const Point& p) const {
+  for (const Rect& r : rects_) {
+    if (r.Contains(p)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Region::ContainsRect(const Rect& r) const {
+  if (r.IsEmpty()) {
+    return true;
+  }
+  return Region(r).Subtract(*this).IsEmpty();
+}
+
+bool Region::Intersects(const Region& other) const { return !Intersect(other).IsEmpty(); }
+
+Region Region::Union(const Region& other) const {
+  Region out;
+  out.rects_ = BandCombine(rects_, other.rects_, UnionIntervals);
+  return out;
+}
+
+Region Region::Intersect(const Region& other) const {
+  Region out;
+  out.rects_ = BandCombine(rects_, other.rects_, IntersectIntervals);
+  return out;
+}
+
+Region Region::Subtract(const Region& other) const {
+  Region out;
+  out.rects_ = BandCombine(rects_, other.rects_, SubtractIntervals);
+  return out;
+}
+
+Region Region::Translated(int dx, int dy) const {
+  Region out;
+  out.rects_ = rects_;
+  for (Rect& r : out.rects_) {
+    r.x += dx;
+    r.y += dy;
+  }
+  return out;
+}
+
+std::string Region::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < rects_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << rects_[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace xbase

@@ -1,0 +1,58 @@
+// Pixel-region algebra in the style of the X server's banded regions.
+// Regions are maintained in canonical y-x banded form: rectangles are
+// non-overlapping, sorted by (y, x), and vertically adjacent bands with
+// identical x-interval sets are coalesced.  Canonical form makes equality
+// comparison structural.
+//
+// Used for the SHAPE extension (bounding shapes), exposure computation and
+// the panner's visible-area bookkeeping.
+#ifndef SRC_BASE_REGION_H_
+#define SRC_BASE_REGION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/geometry.h"
+
+namespace xbase {
+
+class Region {
+ public:
+  Region() = default;
+  explicit Region(const Rect& rect);
+  explicit Region(std::vector<Rect> rects);  // Arbitrary input; canonicalized.
+
+  static Region FromRects(const std::vector<Rect>& rects) { return Region(rects); }
+
+  bool IsEmpty() const { return rects_.empty(); }
+  const std::vector<Rect>& rects() const { return rects_; }
+  size_t RectCount() const { return rects_.size(); }
+
+  // Total covered area in pixels.
+  int64_t Area() const;
+
+  // Tight bounding box (empty Rect for an empty region).
+  Rect Bounds() const;
+
+  bool Contains(const Point& p) const;
+  bool ContainsRect(const Rect& r) const;
+  bool Intersects(const Region& other) const;
+
+  Region Union(const Region& other) const;
+  Region Intersect(const Region& other) const;
+  Region Subtract(const Region& other) const;
+  Region Translated(int dx, int dy) const;
+
+  friend bool operator==(const Region&, const Region&) = default;
+
+  std::string ToString() const;
+
+ private:
+  void Canonicalize();
+
+  std::vector<Rect> rects_;
+};
+
+}  // namespace xbase
+
+#endif  // SRC_BASE_REGION_H_

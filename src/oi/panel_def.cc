@@ -1,0 +1,134 @@
+#include "src/oi/panel_def.h"
+
+#include <cctype>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace oi {
+
+std::optional<ObjectType> ObjectTypeFromName(const std::string& name) {
+  std::string lower = xbase::ToLowerAscii(name);
+  if (lower == "panel") {
+    return ObjectType::kPanel;
+  }
+  if (lower == "button") {
+    return ObjectType::kButton;
+  }
+  if (lower == "text") {
+    return ObjectType::kText;
+  }
+  if (lower == "menu") {
+    return ObjectType::kMenu;
+  }
+  return std::nullopt;
+}
+
+std::string ObjectTypeName(ObjectType type) {
+  switch (type) {
+    case ObjectType::kPanel:
+      return "panel";
+    case ObjectType::kButton:
+      return "button";
+    case ObjectType::kText:
+      return "text";
+    case ObjectType::kMenu:
+      return "menu";
+  }
+  return "?";
+}
+
+std::string ObjectTypeClass(ObjectType type) {
+  switch (type) {
+    case ObjectType::kPanel:
+      return "Panel";
+    case ObjectType::kButton:
+      return "Button";
+    case ObjectType::kText:
+      return "Text";
+    case ObjectType::kMenu:
+      return "Menu";
+  }
+  return "?";
+}
+
+std::string ObjectPosition::ToString() const {
+  std::string out;
+  switch (align) {
+    case HAlign::kLeft:
+      out = "+" + std::to_string(column);
+      break;
+    case HAlign::kCenter:
+      out = "+C";
+      break;
+    case HAlign::kRight:
+      out = "-" + std::to_string(column);
+      break;
+  }
+  out += "+" + std::to_string(row);
+  return out;
+}
+
+std::optional<ObjectPosition> ParseObjectPosition(const std::string& text) {
+  if (text.size() < 4) {
+    return std::nullopt;
+  }
+  ObjectPosition pos;
+  size_t i = 0;
+  if (text[i] == '-') {
+    pos.align = HAlign::kRight;
+  } else if (text[i] != '+') {
+    return std::nullopt;
+  }
+  ++i;
+  // X component: digits or 'C'.
+  if ((text[i] == 'C' || text[i] == 'c') && pos.align == HAlign::kLeft) {
+    pos.align = HAlign::kCenter;
+    ++i;
+  } else {
+    size_t start = i;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i == start) {
+      return std::nullopt;
+    }
+    pos.column = *xbase::ParseInt(text.substr(start, i - start));
+  }
+  if (i >= text.size() || text[i] != '+') {
+    return std::nullopt;
+  }
+  ++i;
+  size_t start = i;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  if (i == start || i != text.size()) {
+    return std::nullopt;
+  }
+  pos.row = *xbase::ParseInt(text.substr(start, i - start));
+  return pos;
+}
+
+std::optional<std::vector<PanelItemDef>> ParsePanelDefinition(const std::string& value) {
+  std::vector<std::string> tokens = xbase::SplitWhitespace(value);
+  if (tokens.empty() || tokens.size() % 3 != 0) {
+    return std::nullopt;
+  }
+  std::vector<PanelItemDef> items;
+  for (size_t i = 0; i < tokens.size(); i += 3) {
+    PanelItemDef item;
+    std::optional<ObjectType> type = ObjectTypeFromName(tokens[i]);
+    std::optional<ObjectPosition> position = ParseObjectPosition(tokens[i + 2]);
+    if (!type.has_value() || !position.has_value() || tokens[i + 1].empty()) {
+      return std::nullopt;
+    }
+    item.type = *type;
+    item.name = tokens[i + 1];
+    item.position = *position;
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace oi

@@ -1,0 +1,64 @@
+// Panel definition syntax (paper §4.1):
+//
+//   swm*panel.panel-name:
+//       object-type object-name position
+//       object-type object-name position ...
+//
+// After resource-file unescaping a definition is a whitespace-separated list
+// of (type, name, position) triples.  `position` is a geometry-like string
+// whose X component is the column within the row — a number, "C" to center,
+// or a "-" prefix to align from the right — and whose Y component is the row.
+#ifndef SRC_OI_PANEL_DEF_H_
+#define SRC_OI_PANEL_DEF_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace oi {
+
+enum class ObjectType {
+  kPanel,
+  kButton,
+  kText,
+  kMenu,
+};
+
+std::optional<ObjectType> ObjectTypeFromName(const std::string& name);
+std::string ObjectTypeName(ObjectType type);   // "panel", "button", ...
+std::string ObjectTypeClass(ObjectType type);  // "Panel", "Button", ...
+
+enum class HAlign {
+  kLeft,    // "+col+row": column counted from the left.
+  kCenter,  // "+C+row": centered within the row.
+  kRight,   // "-col+row": column counted from the right edge.
+};
+
+struct ObjectPosition {
+  HAlign align = HAlign::kLeft;
+  int column = 0;
+  int row = 0;
+
+  friend bool operator==(const ObjectPosition&, const ObjectPosition&) = default;
+
+  std::string ToString() const;
+};
+
+// Parses "+0+0", "+C+1", "-0+0".  Returns nullopt on malformed input.
+std::optional<ObjectPosition> ParseObjectPosition(const std::string& text);
+
+struct PanelItemDef {
+  ObjectType type = ObjectType::kButton;
+  std::string name;
+  ObjectPosition position;
+
+  friend bool operator==(const PanelItemDef&, const PanelItemDef&) = default;
+};
+
+// Parses a full panel definition value.  Returns nullopt if the token count
+// is not a multiple of three or any triple is malformed.
+std::optional<std::vector<PanelItemDef>> ParsePanelDefinition(const std::string& value);
+
+}  // namespace oi
+
+#endif  // SRC_OI_PANEL_DEF_H_

@@ -1,0 +1,240 @@
+#include "src/oi/toolkit.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace oi {
+
+namespace {
+
+std::string Capitalized(const std::string& s) {
+  if (s.empty()) {
+    return s;
+  }
+  std::string out = s;
+  out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  return out;
+}
+
+}  // namespace
+
+Toolkit::Toolkit(xlib::Display* display, const xrdb::ResourceDatabase* resources, int screen)
+    : display_(display), resources_(resources), screen_(screen) {
+  prefix_names_ = {"swm"};
+  prefix_classes_ = {"Swm"};
+}
+
+Toolkit::~Toolkit() = default;
+
+void Toolkit::SetResourcePrefix(std::vector<std::string> names,
+                                std::vector<std::string> classes) {
+  XB_CHECK_EQ(names.size(), classes.size());
+  prefix_names_ = std::move(names);
+  prefix_classes_ = std::move(classes);
+}
+
+std::unique_ptr<Panel> Toolkit::CreatePanel(Panel* parent, xproto::WindowId parent_window,
+                                            const std::string& name) {
+  return std::make_unique<Panel>(this, parent, parent_window, name);
+}
+
+std::unique_ptr<Button> Toolkit::CreateButton(Panel* parent, xproto::WindowId parent_window,
+                                              const std::string& name) {
+  return std::make_unique<Button>(this, parent, parent_window, name);
+}
+
+std::unique_ptr<TextObject> Toolkit::CreateText(Panel* parent, xproto::WindowId parent_window,
+                                                const std::string& name) {
+  return std::make_unique<TextObject>(this, parent, parent_window, name);
+}
+
+std::unique_ptr<Menu> Toolkit::CreateMenu(xproto::WindowId parent_window,
+                                          const std::string& name) {
+  return std::make_unique<Menu>(this, nullptr, parent_window, name);
+}
+
+void Toolkit::Register(Object* object) { registry_[object->window()] = object; }
+
+void Toolkit::Unregister(Object* object) {
+  registry_.erase(object->window());
+  tree_prefixes_.erase(object);
+}
+
+Object* Toolkit::FindObject(xproto::WindowId window) const {
+  auto it = registry_.find(window);
+  return it == registry_.end() ? nullptr : it->second;
+}
+
+Object* Toolkit::TreeRootOf(const Object& object) const {
+  const Object* cur = &object;
+  while (cur->parent() != nullptr) {
+    cur = cur->parent();
+  }
+  return const_cast<Object*>(cur);
+}
+
+void Toolkit::SetTreePrefix(const Object* tree_root, std::vector<std::string> names,
+                            std::vector<std::string> classes) {
+  XB_CHECK_EQ(names.size(), classes.size());
+  tree_prefixes_[tree_root] = {std::move(names), std::move(classes)};
+}
+
+const std::pair<std::vector<std::string>, std::vector<std::string>>* Toolkit::TreePrefix(
+    const Object* tree_root) const {
+  auto it = tree_prefixes_.find(tree_root);
+  return it == tree_prefixes_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::string> Toolkit::QueryAttribute(const Object& object,
+                                                   const std::string& attribute) const {
+  std::vector<std::string> names = prefix_names_;
+  std::vector<std::string> classes = prefix_classes_;
+  const auto* tree_prefix = TreePrefix(TreeRootOf(object));
+  if (tree_prefix != nullptr) {
+    names.insert(names.end(), tree_prefix->first.begin(), tree_prefix->first.end());
+    classes.insert(classes.end(), tree_prefix->second.begin(), tree_prefix->second.end());
+  }
+  names.insert(names.end(), object.path_names().begin(), object.path_names().end());
+  classes.insert(classes.end(), object.path_classes().begin(), object.path_classes().end());
+  names.push_back(attribute);
+  classes.push_back(Capitalized(attribute));
+  return resources_->Get(names, classes);
+}
+
+std::unique_ptr<Panel> Toolkit::BuildPanelTree(const std::string& panel_name,
+                                               xproto::WindowId parent_window,
+                                               const DefinitionLookup& definition_lookup,
+                                               std::vector<std::string> prefix_names,
+                                               std::vector<std::string> prefix_classes) {
+  std::optional<std::string> definition = definition_lookup(panel_name);
+  if (!definition.has_value()) {
+    XB_LOG(Warning) << "no panel definition for '" << panel_name << "'";
+    return nullptr;
+  }
+  std::optional<std::vector<PanelItemDef>> items = ParsePanelDefinition(*definition);
+  if (!items.has_value()) {
+    XB_LOG(Warning) << "malformed panel definition for '" << panel_name << "'";
+    return nullptr;
+  }
+  std::unique_ptr<Panel> root = CreatePanel(nullptr, parent_window, panel_name);
+  if (!prefix_names.empty()) {
+    // Install the prefix before populating children so their construction-
+    // time attribute reads already see specific resources; the root itself
+    // re-reads below.
+    SetTreePrefix(root.get(), std::move(prefix_names), std::move(prefix_classes));
+    root->RefreshAttributes();
+  }
+  build_stack_.push_back(panel_name);
+
+  // Recursive lambda to populate a panel from its item definitions.
+  std::function<void(Panel*, const std::vector<PanelItemDef>&)> populate =
+      [&](Panel* panel, const std::vector<PanelItemDef>& defs) {
+        for (const PanelItemDef& def : defs) {
+          std::unique_ptr<Object> child;
+          switch (def.type) {
+            case ObjectType::kButton:
+              child = std::make_unique<Button>(this, panel, panel->window(), def.name);
+              break;
+            case ObjectType::kText:
+              child = std::make_unique<TextObject>(this, panel, panel->window(), def.name);
+              break;
+            case ObjectType::kMenu:
+              child = std::make_unique<Menu>(this, panel, panel->window(), def.name);
+              break;
+            case ObjectType::kPanel: {
+              auto sub = std::make_unique<Panel>(this, panel, panel->window(), def.name);
+              bool cycle = std::find(build_stack_.begin(), build_stack_.end(), def.name) !=
+                           build_stack_.end();
+              if (cycle) {
+                XB_LOG(Warning) << "panel definition cycle at '" << def.name
+                                << "'; treating as plain container";
+              } else {
+                std::optional<std::string> sub_def = definition_lookup(def.name);
+                if (sub_def.has_value()) {
+                  std::optional<std::vector<PanelItemDef>> sub_items =
+                      ParsePanelDefinition(*sub_def);
+                  if (sub_items.has_value()) {
+                    build_stack_.push_back(def.name);
+                    populate(sub.get(), *sub_items);
+                    build_stack_.pop_back();
+                  } else {
+                    XB_LOG(Warning) << "malformed nested panel definition '" << def.name
+                                    << "'";
+                  }
+                }
+                // No definition: a plain container panel (like `client`).
+              }
+              child = std::move(sub);
+              break;
+            }
+          }
+          child->SetPosition(def.position);
+          panel->AddChild(std::move(child));
+        }
+      };
+  populate(root.get(), *items);
+  build_stack_.pop_back();
+  return root;
+}
+
+bool Toolkit::DispatchEvent(const xproto::Event& event) {
+  Object* object = FindObject(xproto::EventWindow(event));
+  if (object == nullptr) {
+    return false;
+  }
+
+  xtb::BindingEvent binding_event;
+  ActionContext context;
+  context.object = object;
+  context.event_window = object->window();
+  bool actionable = true;
+
+  if (const auto* button = std::get_if<xproto::ButtonEvent>(&event)) {
+    binding_event.kind =
+        button->press ? xtb::EventKind::kButtonPress : xtb::EventKind::kButtonRelease;
+    binding_event.button = button->button;
+    binding_event.modifiers = button->modifiers;
+    context.root_pos = button->root_pos;
+    context.pos = button->pos;
+    context.button = button->button;
+    context.modifiers = button->modifiers;
+  } else if (const auto* key = std::get_if<xproto::KeyEvent>(&event)) {
+    if (!key->press) {
+      return true;
+    }
+    binding_event.kind = xtb::EventKind::kKeyPress;
+    binding_event.keysym = key->keysym;
+    binding_event.modifiers = key->modifiers;
+    context.root_pos = key->root_pos;
+    context.pos = key->pos;
+    context.modifiers = key->modifiers;
+  } else if (const auto* crossing = std::get_if<xproto::CrossingEvent>(&event)) {
+    binding_event.kind = crossing->enter ? xtb::EventKind::kEnter : xtb::EventKind::kLeave;
+    context.root_pos = crossing->root_pos;
+    context.pos = crossing->pos;
+  } else if (const auto* motion = std::get_if<xproto::MotionEvent>(&event)) {
+    binding_event.kind = xtb::EventKind::kMotion;
+    binding_event.modifiers = motion->modifiers;
+    context.root_pos = motion->root_pos;
+    context.pos = motion->pos;
+    context.modifiers = motion->modifiers;
+  } else if (std::get_if<xproto::ExposeEvent>(&event) != nullptr) {
+    object->Render();
+    return true;
+  } else {
+    actionable = false;
+  }
+
+  if (!actionable || !action_handler_) {
+    return true;
+  }
+  for (const xtb::Binding* binding : object->MatchBindings(binding_event)) {
+    for (const xtb::FunctionCall& function : binding->functions) {
+      action_handler_(function, context);
+    }
+  }
+  return true;
+}
+
+}  // namespace oi

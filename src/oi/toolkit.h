@@ -1,0 +1,124 @@
+// The OI toolkit runtime (paper §2): owns the connection between objects,
+// the resource database and the display; builds object trees from panel
+// definitions; dispatches X events to object bindings.
+#ifndef SRC_OI_TOOLKIT_H_
+#define SRC_OI_TOOLKIT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/oi/menu.h"
+#include "src/oi/panel.h"
+#include "src/oi/panel_def.h"
+#include "src/oi/widgets.h"
+#include "src/xlib/display.h"
+#include "src/xrdb/database.h"
+
+namespace oi {
+
+// Context an event was dispatched in, handed to action callbacks so
+// window-manager functions can resolve "the current window", "#$", etc.
+struct ActionContext {
+  Object* object = nullptr;
+  xproto::WindowId event_window = xproto::kNone;
+  xbase::Point root_pos;
+  xbase::Point pos;
+  int button = 0;
+  uint32_t modifiers = 0;
+};
+
+// Invoked once per function call of a matched binding.
+using ActionHandler = std::function<void(const xtb::FunctionCall&, const ActionContext&)>;
+
+class Toolkit {
+ public:
+  // `resource_prefix_names` / `_classes` are prepended to every attribute
+  // query of every object (swm passes e.g. {"swm","color","screen0"} /
+  // {"Swm","Color","Screen0"}).
+  Toolkit(xlib::Display* display, const xrdb::ResourceDatabase* resources, int screen);
+  ~Toolkit();
+
+  Toolkit(const Toolkit&) = delete;
+  Toolkit& operator=(const Toolkit&) = delete;
+
+  xlib::Display& display() { return *display_; }
+  const xrdb::ResourceDatabase& resources() const { return *resources_; }
+  void SetResources(const xrdb::ResourceDatabase* resources) { resources_ = resources; }
+  int screen() const { return screen_; }
+
+  void SetResourcePrefix(std::vector<std::string> names, std::vector<std::string> classes);
+  const std::vector<std::string>& prefix_names() const { return prefix_names_; }
+  const std::vector<std::string>& prefix_classes() const { return prefix_classes_; }
+
+  void SetActionHandler(ActionHandler handler) { action_handler_ = std::move(handler); }
+
+  // ---- Object factory -------------------------------------------------------
+  // All object creation funnels through these so the registry stays correct.
+  std::unique_ptr<Panel> CreatePanel(Panel* parent, xproto::WindowId parent_window,
+                                     const std::string& name);
+  std::unique_ptr<Button> CreateButton(Panel* parent, xproto::WindowId parent_window,
+                                       const std::string& name);
+  std::unique_ptr<TextObject> CreateText(Panel* parent, xproto::WindowId parent_window,
+                                         const std::string& name);
+  std::unique_ptr<Menu> CreateMenu(xproto::WindowId parent_window, const std::string& name);
+
+  // Builds a full object tree for the named panel definition.  Definitions
+  // are resolved through `definition_lookup` (swm resolves "swm*panel.NAME"
+  // with its screen prefixes); nested panel items recurse, with cycles and
+  // missing definitions diagnosed and skipped.  Extra resource-path prefix
+  // components for this tree (e.g. the client's class/instance for specific
+  // resources) are installed with SetTreePrefix on the returned panel.
+  using DefinitionLookup =
+      std::function<std::optional<std::string>(const std::string& panel_name)>;
+  std::unique_ptr<Panel> BuildPanelTree(const std::string& panel_name,
+                                        xproto::WindowId parent_window,
+                                        const DefinitionLookup& definition_lookup,
+                                        std::vector<std::string> prefix_names = {},
+                                        std::vector<std::string> prefix_classes = {});
+
+  // Per-tree extra resource prefix (between the toolkit prefix and the
+  // object path).  Used for specific resources: class + instance of the
+  // client a decoration tree belongs to, and the "sticky"/"shaped" markers.
+  void SetTreePrefix(const Object* tree_root, std::vector<std::string> names,
+                     std::vector<std::string> classes);
+  const std::pair<std::vector<std::string>, std::vector<std::string>>* TreePrefix(
+      const Object* tree_root) const;
+
+  // ---- Event dispatch ----------------------------------------------------------
+  // Routes an event to the owning object's bindings; returns true if the
+  // event targeted a toolkit object (regardless of binding matches).
+  bool DispatchEvent(const xproto::Event& event);
+
+  Object* FindObject(xproto::WindowId window) const;
+
+  // Full attribute query for an object (toolkit prefix + tree prefix +
+  // object path + attribute).
+  std::optional<std::string> QueryAttribute(const Object& object,
+                                            const std::string& attribute) const;
+
+  // Registry maintenance (called from Object's ctor/dtor).
+  void Register(Object* object);
+  void Unregister(Object* object);
+
+ private:
+  Object* TreeRootOf(const Object& object) const;
+
+  xlib::Display* display_;
+  const xrdb::ResourceDatabase* resources_;
+  int screen_;
+  std::vector<std::string> prefix_names_;
+  std::vector<std::string> prefix_classes_;
+  std::map<xproto::WindowId, Object*> registry_;
+  std::map<const Object*, std::pair<std::vector<std::string>, std::vector<std::string>>>
+      tree_prefixes_;
+  ActionHandler action_handler_;
+  std::vector<std::string> build_stack_;  // Cycle detection during BuildPanelTree.
+};
+
+}  // namespace oi
+
+#endif  // SRC_OI_TOOLKIT_H_

@@ -1,0 +1,107 @@
+#include "src/oi/widgets.h"
+
+#include "src/oi/toolkit.h"
+
+namespace oi {
+
+// ---- Button ----------------------------------------------------------------
+
+Button::Button(Toolkit* toolkit, Panel* parent, xproto::WindowId parent_window,
+               std::string name)
+    : Object(toolkit, parent, parent_window, std::move(name), ObjectType::kButton) {
+  ApplyStandardAttributes();
+  std::optional<std::string> label = Attribute("label");
+  label_ = label.value_or(name_);
+  std::optional<std::string> image = Attribute("image");
+  if (image.has_value() && *image == "xlogo") {
+    image_ = xbase::XLogo32();
+  }
+}
+
+void Button::RefreshAttributes() {
+  Object::RefreshAttributes();
+  if (std::optional<std::string> label = Attribute("label")) {
+    label_ = *label;
+  }
+  if (std::optional<std::string> image = Attribute("image"); image && *image == "xlogo") {
+    image_ = xbase::XLogo32();
+  }
+}
+
+void Button::SetLabel(std::string label) {
+  label_ = std::move(label);
+  Render();
+}
+
+void Button::SetImage(xbase::Bitmap image) {
+  image_ = std::move(image);
+  Render();
+}
+
+void Button::ClearImage() {
+  image_.reset();
+  Render();
+}
+
+xbase::Size Button::PreferredSize() const {
+  if (image_.has_value()) {
+    return {image_->width() + 2, image_->height() + 2};
+  }
+  // Label plus one border cell on each side.
+  return {static_cast<int>(label_.size()) + 4, 3};
+}
+
+void Button::Render() {
+  xlib::Display& dpy = toolkit_->display();
+  dpy.ClearWindow(window_);
+  xbase::Rect bounds{0, 0, geometry_.width, geometry_.height};
+  xserver::DrawOp border;
+  border.kind = xserver::DrawOp::Kind::kBorder;
+  border.rect = bounds;
+  dpy.Draw(window_, border);
+  if (image_.has_value()) {
+    xserver::DrawOp image_op;
+    image_op.kind = xserver::DrawOp::Kind::kBitmap;
+    image_op.rect = xbase::Rect{1, 1, image_->width(), image_->height()};
+    image_op.bitmap = *image_;
+    image_op.fill = '#';
+    dpy.Draw(window_, image_op);
+  } else {
+    xserver::DrawOp text_op;
+    text_op.kind = xserver::DrawOp::Kind::kTextCentered;
+    text_op.rect = xbase::Rect{0, geometry_.height / 2, geometry_.width, 1};
+    text_op.text = label_;
+    dpy.Draw(window_, text_op);
+  }
+}
+
+// ---- TextObject --------------------------------------------------------------
+
+TextObject::TextObject(Toolkit* toolkit, Panel* parent, xproto::WindowId parent_window,
+                       std::string name)
+    : Object(toolkit, parent, parent_window, std::move(name), ObjectType::kText) {
+  ApplyStandardAttributes();
+  std::optional<std::string> label = Attribute("label");
+  text_ = label.value_or(name_);
+}
+
+void TextObject::SetText(std::string text) {
+  text_ = std::move(text);
+  Render();
+}
+
+xbase::Size TextObject::PreferredSize() const {
+  return {static_cast<int>(text_.size()) + 2, 1};
+}
+
+void TextObject::Render() {
+  xlib::Display& dpy = toolkit_->display();
+  dpy.ClearWindow(window_);
+  xserver::DrawOp text_op;
+  text_op.kind = xserver::DrawOp::Kind::kTextCentered;
+  text_op.rect = xbase::Rect{0, geometry_.height / 2, geometry_.width, 1};
+  text_op.text = text_;
+  dpy.Draw(window_, text_op);
+}
+
+}  // namespace oi

@@ -1,0 +1,59 @@
+// Button and Text objects (paper §4.2, §4.3).
+#ifndef SRC_OI_WIDGETS_H_
+#define SRC_OI_WIDGETS_H_
+
+#include <optional>
+#include <string>
+
+#include "src/base/bitmap.h"
+#include "src/oi/object.h"
+
+namespace oi {
+
+// "The button object can contain either text or a bitmap image. [...] its
+// appearance can be changed dynamically through the use of window manager
+// functions."
+class Button : public Object {
+ public:
+  Button(Toolkit* toolkit, Panel* parent, xproto::WindowId parent_window, std::string name);
+
+  ObjectType type() const override { return ObjectType::kButton; }
+
+  const std::string& label() const { return label_; }
+  void SetLabel(std::string label);
+  bool has_image() const { return image_.has_value(); }
+  void SetImage(xbase::Bitmap image);
+  void ClearImage();
+
+  xbase::Size PreferredSize() const override;
+  void Render() override;
+  // Re-reads the label/image attributes if configured (explicit SetLabel
+  // values survive when no resource entry exists).
+  void RefreshAttributes() override;
+
+ private:
+  std::string label_;
+  std::optional<xbase::Bitmap> image_;
+};
+
+// A non-interactive text display object.
+class TextObject : public Object {
+ public:
+  TextObject(Toolkit* toolkit, Panel* parent, xproto::WindowId parent_window,
+             std::string name);
+
+  ObjectType type() const override { return ObjectType::kText; }
+
+  const std::string& text() const { return text_; }
+  void SetText(std::string text);
+
+  xbase::Size PreferredSize() const override;
+  void Render() override;
+
+ private:
+  std::string text_;
+};
+
+}  // namespace oi
+
+#endif  // SRC_OI_WIDGETS_H_

@@ -1,0 +1,73 @@
+// The Virtual Desktop panner (paper §6.1, Figure 3).
+//
+// "The panner shows a miniature representation of all windows currently on
+// the Virtual Desktop.  It also displays an outline indicating your current
+// position within the desktop."  Button 1 pans; button 2 on a miniature
+// window starts a move of the real window (finishing inside or outside the
+// panner); the panner itself is reparented and managed like any client, and
+// resizing it resizes the underlying Virtual Desktop.
+#ifndef SRC_SWM_PANNER_H_
+#define SRC_SWM_PANNER_H_
+
+#include <memory>
+
+#include "src/xlib/client_app.h"
+#include "src/xlib/display.h"
+
+namespace swm {
+
+class WindowManager;
+struct ManagedClient;
+
+class Panner {
+ public:
+  // `scale` is the desktop-pixels-per-panner-cell factor (resource
+  // swm*panner.scale, default 16): desktop size == panner size * scale.
+  Panner(WindowManager* wm, int screen, int scale);
+  ~Panner();
+
+  Panner(const Panner&) = delete;
+  Panner& operator=(const Panner&) = delete;
+
+  // The panner's client window (owned by the WM's aux connection and
+  // managed/reparented like a normal client).
+  xproto::WindowId window() const { return app_->window(); }
+  int scale() const { return scale_; }
+  int screen() const { return screen_; }
+
+  // Maps the client window (kicks off normal management).
+  void Map();
+
+  // Redraws the miniature: desktop outline, one box per non-sticky managed
+  // window, and the viewport position outline.
+  void Update();
+
+  // Event handling; return true when the event was consumed.
+  bool HandleButton(const xproto::ButtonEvent& event);
+  bool HandleMotion(const xproto::MotionEvent& event);
+
+  // Called when the panner's client window got resized: resizes the
+  // Virtual Desktop to panner-size * scale (paper: "The act of resizing
+  // the panner object causes the underlying Virtual Desktop window to
+  // resize").
+  void OnResized(const xbase::Size& new_size);
+
+  // Coordinate mapping between panner cells and desktop pixels.
+  xbase::Point PannerToDesktop(const xbase::Point& p) const;
+  xbase::Point DesktopToPanner(const xbase::Point& p) const;
+
+  bool dragging_window() const { return drag_window_ != xproto::kNone; }
+
+ private:
+  WindowManager* wm_;
+  int screen_;
+  int scale_;
+  std::unique_ptr<xlib::ClientApp> app_;
+  bool panning_ = false;
+  xproto::WindowId drag_window_ = xproto::kNone;  // Miniature-move in progress.
+  xbase::Point drag_offset_;  // Pointer offset inside the miniature box.
+};
+
+}  // namespace swm
+
+#endif  // SRC_SWM_PANNER_H_

@@ -1,0 +1,57 @@
+// Desktop scrollbars (paper §6): "This large root window can be panned
+// using scrollbars, a two dimensional panner object, or window manager
+// functions."
+//
+// Two thin bars stuck to the glass along the right and bottom display
+// edges, with proportional thumbs showing the viewport's position within
+// the Virtual Desktop.  Clicking or dragging in a bar pans that axis.
+// Enabled by the resource `swm*scrollbars: True` (requires a virtual
+// desktop).
+#ifndef SRC_SWM_SCROLLBARS_H_
+#define SRC_SWM_SCROLLBARS_H_
+
+#include "src/xlib/display.h"
+#include "src/xproto/events.h"
+
+namespace swm {
+
+class WindowManager;
+
+class DesktopScrollbars {
+ public:
+  DesktopScrollbars(WindowManager* wm, int screen);
+  ~DesktopScrollbars();
+
+  DesktopScrollbars(const DesktopScrollbars&) = delete;
+  DesktopScrollbars& operator=(const DesktopScrollbars&) = delete;
+
+  xproto::WindowId horizontal() const { return horizontal_; }
+  xproto::WindowId vertical() const { return vertical_; }
+
+  // Redraws both thumbs from the current desktop offset.
+  void Update();
+
+  // Pointer handling; returns true when the event was consumed.
+  bool HandleButton(const xproto::ButtonEvent& event);
+  bool HandleMotion(const xproto::MotionEvent& event);
+
+  // The desktop x (or y) that corresponds to a click at track position
+  // `track_pos`, centering the viewport there.
+  int TrackToDesktopX(int track_pos) const;
+  int TrackToDesktopY(int track_pos) const;
+
+ private:
+  void DrawBar(xproto::WindowId window, int track_length, int desktop_extent,
+               int viewport_extent, int offset, bool horizontal);
+
+  WindowManager* wm_;
+  int screen_;
+  xproto::WindowId horizontal_ = xproto::kNone;  // Bottom edge.
+  xproto::WindowId vertical_ = xproto::kNone;    // Right edge.
+  bool dragging_horizontal_ = false;
+  bool dragging_vertical_ = false;
+};
+
+}  // namespace swm
+
+#endif  // SRC_SWM_SCROLLBARS_H_

@@ -1,0 +1,90 @@
+// Primitive session management (paper §7).
+//
+// Two-step approach: an `swmhints` program provides swm with hints about a
+// client's previous state (encoded onto a root-window property), and swm
+// interprets those hints when clients are reparented, matching on
+// WM_COMMAND (and possibly WM_CLIENT_MACHINE) and restoring window size,
+// location, icon location, icon-on-root, sticky state and normal/iconic
+// state.  `f.places` writes a file suitable as an .xinitrc replacement.
+#ifndef SRC_SWM_SESSION_H_
+#define SRC_SWM_SESSION_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/geometry.h"
+#include "src/xlib/display.h"
+#include "src/xproto/types.h"
+
+namespace swm {
+
+// Everything one swmhints invocation communicates about one client.
+struct SwmHintsRecord {
+  xbase::Rect geometry;  // Window geometry in desktop coordinates.
+  std::optional<xbase::Point> icon_position;
+  xproto::WmState state = xproto::WmState::kNormal;
+  bool sticky = false;
+  bool icon_on_root = true;  // False: the icon lived in an icon holder.
+  std::string command;       // The exact WM_COMMAND string.
+  std::string machine;       // WM_CLIENT_MACHINE; "" means unknown/local.
+
+  friend bool operator==(const SwmHintsRecord&, const SwmHintsRecord&) = default;
+
+  // Serializes as an swmhints command line:
+  //   swmhints -geometry 120x120+1010+359 -icongeometry +0+0
+  //            -state NormalState -cmd "oclock -geom 100x100"
+  std::string Encode() const;
+  // Parses an swmhints command line (tolerates unknown flags).
+  static std::optional<SwmHintsRecord> Parse(const std::string& line);
+};
+
+// The table swm builds at startup from the root property and consumes as
+// clients get reparented.
+class RestartTable {
+ public:
+  void Add(SwmHintsRecord record) { records_.push_back(std::move(record)); }
+
+  // First-match-wins lookup by WM_COMMAND (+ machine when both known); the
+  // matched entry is removed.  "The scheme outlined above breaks down if
+  // two windows have identical WM_COMMAND properties" — duplicates are
+  // consumed in order, which is the paper's observed behaviour.
+  std::optional<SwmHintsRecord> MatchAndConsume(const std::string& command,
+                                                const std::string& machine);
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const std::deque<SwmHintsRecord>& records() const { return records_; }
+
+  // Property text is newline-separated encoded records.
+  static RestartTable FromPropertyText(const std::string& text);
+  std::string ToPropertyText() const;
+
+ private:
+  std::deque<SwmHintsRecord> records_;
+};
+
+// What the swmhints *program* does: appends one record to the
+// SWM_RESTART_INFO property on the screen's root window.
+bool AppendSwmHints(xlib::Display* display, int screen, const SwmHintsRecord& record);
+
+// Reads and deletes the accumulated property (done by swm at startup).
+RestartTable TakeRestartInfo(xlib::Display* display, int screen);
+
+// Generates the .xinitrc-replacement text of f.places.  Remote clients use
+// `remote_startup_template` with %h → host, %c → command (empty template
+// falls back to a bare "rsh host command").
+std::string GeneratePlacesFile(const std::vector<SwmHintsRecord>& records,
+                               const std::string& remote_startup_template);
+
+// Parses the swmhints lines back out of a places file.
+std::vector<SwmHintsRecord> ParsePlacesFile(const std::string& text);
+
+// Expands %h/%c (and %%) in a remote startup template.
+std::string ExpandRemoteStartup(const std::string& templ, const std::string& host,
+                                const std::string& command);
+
+}  // namespace swm
+
+#endif  // SRC_SWM_SESSION_H_

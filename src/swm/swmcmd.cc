@@ -1,0 +1,12 @@
+#include "src/swm/swmcmd.h"
+
+#include "src/xproto/hints.h"
+
+namespace swm {
+
+bool SendSwmCommand(xlib::Display* display, int screen, const std::string& command) {
+  return display->SetStringProperty(display->RootWindow(screen), xproto::kAtomSwmCommand,
+                                    command);
+}
+
+}  // namespace swm

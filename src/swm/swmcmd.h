@@ -1,0 +1,21 @@
+// Client side of the swmcmd protocol (paper §4.5): "a way to execute window
+// manager commands by typing them into a shell" — the command string is
+// written to a property on the root window, which swm interprets.
+#ifndef SRC_SWM_SWMCMD_H_
+#define SRC_SWM_SWMCMD_H_
+
+#include <string>
+
+#include "src/xlib/display.h"
+
+namespace swm {
+
+// Appends a command (e.g. "f.raise" or "f.iconify(XClock)") to the
+// SWM_COMMAND property on the root window of `screen`.  The running swm
+// picks it up via PropertyNotify.  Returns false if the property write
+// failed.
+bool SendSwmCommand(xlib::Display* display, int screen, const std::string& command);
+
+}  // namespace swm
+
+#endif  // SRC_SWM_SWMCMD_H_

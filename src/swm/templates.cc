@@ -1,0 +1,157 @@
+#include "src/swm/templates.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/base/logging.h"
+
+namespace swm {
+
+namespace {
+
+// The minimal look used when "no swm configuration resources have been
+// specified, a default configuration can be loaded" (paper §3).
+constexpr char kDefaultTemplate[] = R"(! swm default template
+swm*panel.swmDefault: \
+  button name +C+0 \
+  panel client +0+1
+swm*decoration: swmDefault
+swm*panel.swmIcon: \
+  button iconimage +C+0 \
+  button iconname +C+1
+swm*icon: swmIcon
+swm*button.name.bindings: <Btn1> : f.raise\n\
+Shift<Btn1> : f.lower\n\
+<Btn2> : f.move\n\
+<Btn3> : f.iconify
+swm*button.iconimage.bindings: <Btn1> : f.deiconify
+swm*button.iconname.bindings: <Btn1> : f.deiconify
+)";
+
+// The OpenLook+ emulation; the openLook decoration panel and Xicon icon
+// panel definitions are verbatim from the paper (§4.1.1, §4.1.2, Fig. 1).
+constexpr char kOpenLookTemplate[] = R"(! swm OpenLook+ template
+Swm*panel.openLook: \
+  button pulldown +0+0 \
+  button name +C+0 \
+  button nail -0+0 \
+  panel client +0+1
+Swm*panel.openLook.resizeCorners: True
+Swm*panel.Xicon: \
+  button iconimage +C+0 \
+  button iconname +C+1
+Swm*decoration: openLook
+Swm*icon: Xicon
+Swm*button.pulldown.label: v
+Swm*button.pulldown.bindings: <Btn1> : f.menu(windowMenu)
+Swm*button.nail.label: @
+Swm*button.nail.bindings: <Btn1> : f.stick
+Swm*button.name.bindings: <Btn1> : f.raise\n\
+<Btn2> : f.save f.zoom\n\
+<Btn3> : f.move\n\
+<Key>Up : f.warpVertical(-50)\n\
+<Key>Down : f.warpVertical(50)
+Swm*menu.windowMenu.items: wmRaise wmLower wmIconify wmResize wmDelete
+Swm*button.wmRaise.label: Raise
+Swm*button.wmRaise.bindings: <Btn1> : f.raise
+Swm*button.wmLower.label: Lower
+Swm*button.wmLower.bindings: <Btn1> : f.lower
+Swm*button.wmIconify.label: Close
+Swm*button.wmIconify.bindings: <Btn1> : f.iconify
+Swm*button.wmResize.label: Resize
+Swm*button.wmResize.bindings: <Btn1> : f.resize
+Swm*button.wmDelete.label: Quit
+Swm*button.wmDelete.bindings: <Btn1> : f.delete
+Swm*button.iconimage.bindings: <Btn1> : f.deiconify\n<Btn2> : f.move
+Swm*button.iconname.bindings: <Btn1> : f.deiconify\n<Btn2> : f.move
+! Shaped clients get an invisible decoration (paper §5).
+Swm*shaped*decoration: shapeit
+Swm*panel.shapeit: panel client +0+0
+Swm*panel.shapeit*shape: True
+! The paper's Figure 2 root panel (instantiate with swm*rootPanels: RootPanel).
+Swm*panel.RootPanel: \
+  button quit +0+0 \
+  button restart +1+0 \
+  button iconify +2+0 \
+  button deiconify +3+0 \
+  button move +0+1 \
+  button resize +1+1 \
+  button raise +2+1 \
+  button lower +3+1
+Swm*panel.RootPanel.button.quit.bindings: <Btn1> : f.quit
+Swm*panel.RootPanel.button.restart.bindings: <Btn1> : f.restart
+Swm*panel.RootPanel.button.iconify.bindings: <Btn1> : f.iconify
+Swm*panel.RootPanel.button.deiconify.bindings: <Btn1> : f.deiconify
+Swm*panel.RootPanel.button.move.bindings: <Btn1> : f.move
+Swm*panel.RootPanel.button.resize.bindings: <Btn1> : f.resize
+Swm*panel.RootPanel.button.raise.bindings: <Btn1> : f.raise
+Swm*panel.RootPanel.button.lower.bindings: <Btn1> : f.lower
+)";
+
+constexpr char kMotifTemplate[] = R"(! swm OSF/Motif emulation template
+Swm*panel.motif: \
+  button menub +0+0 \
+  button name +C+0 \
+  button minimize -1+0 \
+  button maximize -0+0 \
+  panel client +0+1
+Swm*decoration: motif
+Swm*panel.motifIcon: \
+  button iconimage +C+0 \
+  button iconname +C+1
+Swm*icon: motifIcon
+Swm*button.menub.label: =
+Swm*button.menub.bindings: <Btn1> : f.menu(windowMenu)
+Swm*button.minimize.label: _
+Swm*button.minimize.bindings: <Btn1> : f.iconify
+Swm*button.maximize.label: ^
+Swm*button.maximize.bindings: <Btn1> : f.save f.zoom
+Swm*button.name.bindings: <Btn1> : f.raise\n<Btn2> : f.move\nShift<Btn1> : f.lower
+Swm*menu.windowMenu.items: wmRestore wmMove wmIconify wmDelete
+Swm*button.wmRestore.label: Restore
+Swm*button.wmRestore.bindings: <Btn1> : f.restore
+Swm*button.wmMove.label: Move
+Swm*button.wmMove.bindings: <Btn1> : f.move
+Swm*button.wmIconify.label: Minimize
+Swm*button.wmIconify.bindings: <Btn1> : f.iconify
+Swm*button.wmDelete.label: Close
+Swm*button.wmDelete.bindings: <Btn1> : f.delete
+Swm*button.iconimage.bindings: <Btn1> : f.deiconify
+Swm*button.iconname.bindings: <Btn1> : f.deiconify
+)";
+
+}  // namespace
+
+std::vector<std::string> TemplateNames() { return {"default", "openlook", "motif"}; }
+
+std::optional<std::string> TemplateText(const std::string& name) {
+  if (name == "default") {
+    return std::string(kDefaultTemplate);
+  }
+  if (name == "openlook") {
+    return std::string(kOpenLookTemplate);
+  }
+  if (name == "motif") {
+    return std::string(kMotifTemplate);
+  }
+  return std::nullopt;
+}
+
+int WriteTemplateFiles(const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  int written = 0;
+  for (const std::string& name : TemplateNames()) {
+    std::string path = directory + "/" + name + ".ad";
+    std::ofstream out(path);
+    if (!out) {
+      XB_LOG(Warning) << "cannot write template " << path;
+      continue;
+    }
+    out << *TemplateText(name);
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace swm

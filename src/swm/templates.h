@@ -1,0 +1,25 @@
+// Built-in template configurations (paper §3): "Several template files are
+// supplied with swm to get the user up and running quickly.  Among the
+// template files are emulations for both the OPEN LOOK and OSF/Motif window
+// managers."  Templates are resource-file text; users include one and
+// override entries.
+#ifndef SRC_SWM_TEMPLATES_H_
+#define SRC_SWM_TEMPLATES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace swm {
+
+// Template names: "default", "openlook", "motif".
+std::vector<std::string> TemplateNames();
+std::optional<std::string> TemplateText(const std::string& name);
+
+// Writes all templates as .ad files into a directory (the "supplied with
+// swm" files); returns the number written.
+int WriteTemplateFiles(const std::string& directory);
+
+}  // namespace swm
+
+#endif  // SRC_SWM_TEMPLATES_H_

@@ -1,0 +1,62 @@
+// The Virtual Desktop (paper §6): a window larger than the display that
+// plays the role of the root window.  "Because the Virtual Desktop is an X
+// window different from the actual root window, the size of the Virtual
+// Desktop is limited only by the usable area of an X window, 32767 x 32767
+// pixels."  Panning moves this window to negative offsets; sticky windows
+// are children of the *real* root and therefore stay put.
+#ifndef SRC_SWM_VDESK_H_
+#define SRC_SWM_VDESK_H_
+
+#include "src/xlib/display.h"
+#include "src/xproto/hints.h"
+
+namespace swm {
+
+class VirtualDesktop {
+ public:
+  // Creates the desktop window as a child of the screen's root, maps and
+  // lowers it, and stamps the __SWM_VROOT property so clients can discover
+  // the virtual root.  `size` is clamped to the 32767 protocol limit.
+  VirtualDesktop(xlib::Display* display, int screen, xbase::Size size);
+  ~VirtualDesktop();
+
+  VirtualDesktop(const VirtualDesktop&) = delete;
+  VirtualDesktop& operator=(const VirtualDesktop&) = delete;
+
+  xproto::WindowId window() const { return window_; }
+  int screen() const { return screen_; }
+  xbase::Size size() const { return size_; }
+  xbase::Size viewport() const;  // The physical screen size.
+
+  // Desktop coordinates of the viewport's top-left corner.
+  xbase::Point offset() const { return offset_; }
+
+  // Pans so that desktop position `target` is at the top-left of the
+  // display, clamped to keep the viewport inside the desktop.  Returns true
+  // if the offset changed.
+  bool PanTo(xbase::Point target);
+  bool PanBy(int dx, int dy) { return PanTo({offset_.x + dx, offset_.y + dy}); }
+
+  // Resizes the desktop (the paper resizes it by resizing the panner).
+  // Clamped to the viewport at minimum and 32767 at maximum.
+  void Resize(xbase::Size new_size);
+
+  xbase::Point DesktopToScreen(const xbase::Point& p) const {
+    return {p.x - offset_.x, p.y - offset_.y};
+  }
+  xbase::Point ScreenToDesktop(const xbase::Point& p) const {
+    return {p.x + offset_.x, p.y + offset_.y};
+  }
+  bool IsVisible(const xbase::Rect& desktop_rect) const;
+
+ private:
+  xlib::Display* display_;
+  int screen_;
+  xbase::Size size_;
+  xbase::Point offset_{0, 0};
+  xproto::WindowId window_ = xproto::kNone;
+};
+
+}  // namespace swm
+
+#endif  // SRC_SWM_VDESK_H_

@@ -1,0 +1,605 @@
+#include "src/swm/wm.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+#include "src/swm/panner.h"
+#include "src/swm/scrollbars.h"
+#include "src/swm/templates.h"
+#include "src/xlib/icccm.h"
+#include "src/xproto/hints.h"
+
+namespace swm {
+
+namespace {
+
+std::string Capitalized(const std::string& s) {
+  if (s.empty()) {
+    return s;
+  }
+  std::string out = s;
+  out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  return out;
+}
+
+}  // namespace
+
+// Accumulated offset of an object's window within its tree root's window.
+static xbase::Point OffsetWithinTree(const oi::Object* object) {
+  xbase::Point offset{0, 0};
+  const oi::Object* cur = object;
+  while (cur != nullptr && cur->parent() != nullptr) {
+    offset.x += cur->geometry().x;
+    offset.y += cur->geometry().y;
+    cur = cur->parent();
+  }
+  return offset;
+}
+
+xbase::Rect ManagedClient::FrameGeometry() const {
+  return frame != nullptr ? frame->geometry() : xbase::Rect{};
+}
+
+xbase::Point ManagedClient::ClientDesktopPosition() const {
+  if (frame == nullptr || client_panel == nullptr) {
+    return {};
+  }
+  xbase::Point offset = OffsetWithinTree(client_panel);
+  return {frame->geometry().x + offset.x, frame->geometry().y + offset.y};
+}
+
+WindowManager::WindowManager(xserver::Server* server, Options options)
+    : server_(server),
+      display_(server, "localhost"),
+      aux_display_(server, "localhost"),
+      options_(std::move(options)) {
+  LoadResources();
+}
+
+WindowManager::~WindowManager() {
+  // Withdraw management: reparent all clients back to their roots so that a
+  // successor window manager finds them intact.
+  std::vector<xproto::WindowId> windows;
+  for (const auto& [window, client] : clients_) {
+    windows.push_back(window);
+  }
+  for (xproto::WindowId window : windows) {
+    UnmanageWindow(window, server_->WindowExists(window));
+  }
+  // Screens (toolkits, vdesks, panners) tear down before the displays
+  // disconnect below.
+  screens_.clear();
+}
+
+void WindowManager::LoadResources() {
+  // Template under user resources: the user "can include and then override
+  // defaults in a standard template file" (paper §3).
+  xrdb::ResourceDatabase user;
+  user.LoadFromString(options_.resources);
+  std::string template_name = options_.template_name;
+  if (std::optional<std::string> chosen = user.Get("swm.template", "Swm.Template")) {
+    template_name = xbase::TrimWhitespace(*chosen);
+  }
+  std::optional<std::string> template_text = TemplateText(template_name);
+  if (!template_text.has_value()) {
+    XB_LOG(Warning) << "swm: unknown template '" << template_name << "', using default";
+    template_text = TemplateText("default");
+  }
+  db_.LoadFromString(*template_text);
+  // Internal defaults that templates may override.
+  db_.Put("swm*SwmPanner*sticky", "True");
+  db_.Put("swm*SwmPanner*decoration", "swmPannerFrame");
+  db_.Put("swm*panel.swmPannerFrame", "button name +C+0 panel client +0+1");
+  db_.LoadFromString(options_.resources);
+}
+
+bool WindowManager::Start() {
+  XB_CHECK(!started_);
+  // Claim window management on every screen; failure means another window
+  // manager holds SubstructureRedirect.
+  for (int screen = 0; screen < display_.ScreenCount(); ++screen) {
+    uint32_t mask = xproto::kSubstructureRedirectMask | xproto::kSubstructureNotifyMask |
+                    xproto::kPropertyChangeMask | xproto::kButtonPressMask |
+                    xproto::kButtonReleaseMask | xproto::kKeyPressMask;
+    if (!display_.SelectInput(display_.RootWindow(screen), mask)) {
+      XB_LOG(Error) << "swm: another window manager is running on screen " << screen;
+      return false;
+    }
+  }
+  started_ = true;
+  for (int screen = 0; screen < display_.ScreenCount(); ++screen) {
+    InitScreen(screen);
+  }
+  for (int screen = 0; screen < display_.ScreenCount(); ++screen) {
+    ManageExistingWindows(screen);
+  }
+  ProcessEvents();
+  return true;
+}
+
+void WindowManager::InitScreen(int screen) {
+  ScreenState state;
+  state.number = screen;
+  state.toolkit = std::make_unique<oi::Toolkit>(&display_, &db_, screen);
+  std::string screen_name = "screen" + std::to_string(screen);
+  std::string visual_name = display_.IsMonochrome(screen) ? "monochrome" : "color";
+  state.toolkit->SetResourcePrefix({"swm", visual_name, screen_name},
+                                   {"Swm", Capitalized(visual_name),
+                                    Capitalized(screen_name)});
+  state.toolkit->SetActionHandler(
+      [this](const xtb::FunctionCall& function, const oi::ActionContext& context) {
+        ExecuteFunction(function, context);
+      });
+
+  // Virtual Desktop (paper §6): resource value is "WIDTHxHEIGHT".
+  std::optional<std::string> vdesk_spec = ScreenResource(screen, "virtualDesktop");
+  if (vdesk_spec.has_value()) {
+    std::optional<xbase::GeometrySpec> parsed = xbase::ParseGeometry(
+        xbase::TrimWhitespace(*vdesk_spec));
+    if (parsed.has_value() && parsed->width.has_value()) {
+      int count = 1;
+      if (std::optional<std::string> count_res =
+              ScreenResource(screen, "virtualDesktops")) {
+        count = std::clamp(
+            xbase::ParseInt(xbase::TrimWhitespace(*count_res)).value_or(1), 1, 32);
+      }
+      // The `virtualDesktops` count creates several desktops (the paper's
+      // §6.3.1 multiple-desktops extension); only the active one is mapped.
+      for (int i = 0; i < count; ++i) {
+        state.vdesks.push_back(std::make_unique<VirtualDesktop>(
+            &display_, screen, xbase::Size{*parsed->width, *parsed->height}));
+        if (i != 0) {
+          display_.UnmapWindow(state.vdesks.back()->window());
+        }
+      }
+    } else {
+      XB_LOG(Warning) << "swm: bad virtualDesktop geometry '" << *vdesk_spec << "'";
+    }
+  }
+
+  screens_.push_back(std::move(state));
+  ScreenState& installed = screens_.back();
+
+  // Session restart table (paper §7): read and clear the root property.
+  RestartTable table = TakeRestartInfo(&display_, screen);
+  for (const SwmHintsRecord& record : table.records()) {
+    restart_table_.Add(record);
+  }
+
+  // Panner (paper §6.1) — requires the Virtual Desktop.
+  if (installed.vdesk() != nullptr) {
+    bool want_panner = true;
+    if (std::optional<std::string> panner_res = ScreenResource(screen, "panner")) {
+      std::string lower = xbase::ToLowerAscii(xbase::TrimWhitespace(*panner_res));
+      want_panner = lower == "true" || lower == "yes" || lower == "on";
+    }
+    if (want_panner) {
+      int scale = 16;
+      if (std::optional<std::string> scale_res = ScreenResource(screen, "pannerScale")) {
+        scale = xbase::ParseInt(xbase::TrimWhitespace(*scale_res)).value_or(16);
+      }
+      installed.panner = std::make_unique<Panner>(this, screen, std::max(1, scale));
+      installed.panner->Map();
+    }
+  }
+
+  // Desktop scrollbars (§6's first panning method); off by default.
+  if (installed.vdesk() != nullptr) {
+    if (std::optional<std::string> res = ScreenResource(screen, "scrollbars")) {
+      std::string lower = xbase::ToLowerAscii(xbase::TrimWhitespace(*res));
+      if (lower == "true" || lower == "yes" || lower == "on") {
+        installed.scrollbars = std::make_unique<DesktopScrollbars>(this, screen);
+      }
+    }
+  }
+
+  CreateIconHolders(screen);
+  CreateRootPanels(screen);
+  CreateRootIcons(screen);
+}
+
+void WindowManager::ManageExistingWindows(int screen) {
+  std::optional<xserver::QueryTreeReply> tree =
+      display_.QueryTree(display_.RootWindow(screen));
+  if (!tree.has_value()) {
+    return;
+  }
+  ScreenState& state = screens_[screen];
+  for (xproto::WindowId child : tree->children) {
+    bool is_desktop_window = false;
+    for (const auto& desk : state.vdesks) {
+      if (child == desk->window()) {
+        is_desktop_window = true;
+      }
+    }
+    if (is_desktop_window) {
+      continue;
+    }
+    // Never manage swm's own windows (root icons, icon holders, frames).
+    const xserver::WindowRec* rec = server_->FindWindowForTest(child);
+    if (rec != nullptr && rec->owner == display_.client_id()) {
+      continue;
+    }
+    std::optional<xserver::WindowAttributes> attrs = display_.GetWindowAttributes(child);
+    if (!attrs.has_value() || attrs->override_redirect ||
+        attrs->map_state == xproto::MapState::kUnmapped) {
+      continue;
+    }
+    if (FindClient(child) == nullptr) {
+      ManageWindow(child, screen);
+    }
+  }
+}
+
+// ---- Resource helpers ---------------------------------------------------------
+
+std::optional<std::string> WindowManager::ScreenResource(int screen,
+                                                         const std::string& resource) const {
+  return ScreenResource(screen, {}, {}, resource);
+}
+
+std::optional<std::string> WindowManager::ScreenResource(
+    int screen, const std::vector<std::string>& extra_names,
+    const std::vector<std::string>& extra_classes, const std::string& resource) const {
+  std::string screen_name = "screen" + std::to_string(screen);
+  std::string visual_name = display_.IsMonochrome(screen) ? "monochrome" : "color";
+  std::vector<std::string> names{"swm", visual_name, screen_name};
+  std::vector<std::string> classes{"Swm", Capitalized(visual_name), Capitalized(screen_name)};
+  names.insert(names.end(), extra_names.begin(), extra_names.end());
+  classes.insert(classes.end(), extra_classes.begin(), extra_classes.end());
+  names.push_back(resource);
+  classes.push_back(Capitalized(resource));
+  return db_.Get(names, classes);
+}
+
+std::optional<std::string> WindowManager::ClientResource(const ManagedClient& client,
+                                                         const std::string& resource) const {
+  // "swm recognizes if a client window is shaped and adds the string shaped
+  // to the beginning of the resource strings" (§5); likewise "sticky" (§6.2).
+  std::vector<std::string> extra_names;
+  std::vector<std::string> extra_classes;
+  if (client.sticky) {
+    extra_names.push_back("sticky");
+    extra_classes.push_back("Sticky");
+  }
+  if (client.shaped) {
+    extra_names.push_back("shaped");
+    extra_classes.push_back("Shaped");
+  }
+  if (!client.wm_class.clazz.empty() || !client.wm_class.instance.empty()) {
+    extra_names.push_back(client.wm_class.clazz);
+    extra_names.push_back(client.wm_class.instance);
+    extra_classes.push_back(client.wm_class.clazz);
+    extra_classes.push_back(client.wm_class.instance);
+  }
+  return ScreenResource(client.screen, extra_names, extra_classes, resource);
+}
+
+std::optional<std::string> WindowManager::PanelDefinition(int screen,
+                                                          const std::string& name) const {
+  return ScreenResource(screen, {"panel"}, {"Panel"}, name);
+}
+
+// ---- Introspection -----------------------------------------------------------------
+
+oi::Toolkit& WindowManager::toolkit(int screen) {
+  XB_CHECK_GE(screen, 0);
+  XB_CHECK_LT(screen, static_cast<int>(screens_.size()));
+  return *screens_[screen].toolkit;
+}
+
+VirtualDesktop* WindowManager::vdesk(int screen) {
+  if (screen < 0 || screen >= static_cast<int>(screens_.size())) {
+    return nullptr;
+  }
+  return screens_[screen].vdesk();
+}
+
+int WindowManager::DesktopCount(int screen) const {
+  if (screen < 0 || screen >= static_cast<int>(screens_.size())) {
+    return 0;
+  }
+  return static_cast<int>(screens_[screen].vdesks.size());
+}
+
+int WindowManager::ActiveDesktop(int screen) const {
+  if (screen < 0 || screen >= static_cast<int>(screens_.size())) {
+    return 0;
+  }
+  return screens_[screen].active_vdesk;
+}
+
+bool WindowManager::SwitchDesktop(int screen, int index) {
+  if (screen < 0 || screen >= static_cast<int>(screens_.size())) {
+    return false;
+  }
+  ScreenState& state = screens_[screen];
+  if (index < 0 || index >= static_cast<int>(state.vdesks.size()) ||
+      index == state.active_vdesk) {
+    return false;
+  }
+  // Hide the current desktop (its windows become unviewable with it), show
+  // the target.  Sticky windows live on the real root and stay visible.
+  display_.UnmapWindow(state.vdesks[static_cast<size_t>(state.active_vdesk)]->window());
+  state.active_vdesk = index;
+  VirtualDesktop* desk = state.vdesk();
+  display_.MapWindow(desk->window());
+  display_.LowerWindow(desk->window());
+  DesktopViewChanged(screen);
+  return true;
+}
+
+Panner* WindowManager::panner(int screen) {
+  if (screen < 0 || screen >= static_cast<int>(screens_.size())) {
+    return nullptr;
+  }
+  return screens_[screen].panner.get();
+}
+
+DesktopScrollbars* WindowManager::scrollbars(int screen) {
+  if (screen < 0 || screen >= static_cast<int>(screens_.size())) {
+    return nullptr;
+  }
+  return screens_[screen].scrollbars.get();
+}
+
+void WindowManager::DesktopViewChanged(int screen) {
+  if (screen < 0 || screen >= static_cast<int>(screens_.size())) {
+    return;
+  }
+  ScreenState& state = screens_[screen];
+  if (state.panner != nullptr) {
+    state.panner->Update();
+  }
+  if (state.scrollbars != nullptr) {
+    state.scrollbars->Update();
+  }
+}
+
+size_t WindowManager::ClientCount() const { return clients_.size(); }
+
+ManagedClient* WindowManager::FindClient(xproto::WindowId client_window) {
+  auto it = clients_.find(client_window);
+  return it == clients_.end() ? nullptr : it->second.get();
+}
+
+std::vector<ManagedClient*> WindowManager::Clients() {
+  std::vector<ManagedClient*> out;
+  out.reserve(clients_.size());
+  for (const auto& [window, client] : clients_) {
+    out.push_back(client.get());
+  }
+  return out;
+}
+
+std::vector<IconHolder*> WindowManager::icon_holders(int screen) {
+  std::vector<IconHolder*> out;
+  if (screen >= 0 && screen < static_cast<int>(screens_.size())) {
+    for (const auto& holder : screens_[screen].icon_holders) {
+      out.push_back(holder.get());
+    }
+  }
+  return out;
+}
+
+ManagedClient* WindowManager::FindClientByAnyWindow(xproto::WindowId window) {
+  if (window == xproto::kNone) {
+    return nullptr;
+  }
+  if (ManagedClient* direct = FindClient(window)) {
+    return direct;
+  }
+  // A decoration/icon object window?
+  for (ScreenState& state : screens_) {
+    oi::Object* object = state.toolkit->FindObject(window);
+    if (object != nullptr) {
+      const oi::Object* root = object;
+      while (root->parent() != nullptr) {
+        root = root->parent();
+      }
+      auto it = tree_owner_.find(root);
+      if (it != tree_owner_.end()) {
+        return FindClient(it->second);
+      }
+      return nullptr;
+    }
+  }
+  // A frame window or descendant of one (e.g. the client's own subwindows):
+  // walk up the tree looking for a client window.
+  xproto::WindowId cur = window;
+  while (cur != xproto::kNone) {
+    if (ManagedClient* client = FindClient(cur)) {
+      return client;
+    }
+    std::optional<xserver::QueryTreeReply> tree = display_.QueryTree(cur);
+    if (!tree.has_value()) {
+      return nullptr;
+    }
+    cur = tree->parent;
+  }
+  return nullptr;
+}
+
+int WindowManager::ScreenOf(xproto::WindowId window) const {
+  int screen = server_->ScreenOfWindow(window);
+  return screen < 0 ? 0 : screen;
+}
+
+xproto::WindowId WindowManager::FrameParent(int screen, bool sticky) {
+  ScreenState& state = screens_[screen];
+  if (!sticky && state.vdesk() != nullptr) {
+    return state.vdesk()->window();
+  }
+  return display_.RootWindow(screen);
+}
+
+// ---- Simple window operations ------------------------------------------------------
+
+void WindowManager::MoveFrameTo(ManagedClient* client, const xbase::Point& parent_pos) {
+  if (client == nullptr || client->frame == nullptr) {
+    return;
+  }
+  xbase::Rect geometry = client->frame->geometry();
+  geometry.x = parent_pos.x;
+  geometry.y = parent_pos.y;
+  client->frame->SetGeometry(geometry);
+  SendSyntheticConfigure(client);
+  if (Panner* p = panner(client->screen)) {
+    p->Update();
+  }
+}
+
+void WindowManager::ResizeClient(ManagedClient* client, xbase::Size client_size) {
+  if (client == nullptr || client->frame == nullptr || client->client_panel == nullptr) {
+    return;
+  }
+  client_size = client->size_hints.Constrain(client_size);
+  display_.ResizeWindow(client->window, client_size);
+  client->client_panel->SetSizeOverride(client_size);
+  client->frame->DoLayout();
+  PositionResizeCorners(client);
+  client->frame->Render();
+  client->frame->ApplyShape();
+  ApplyClientShapeToFrame(client);
+  SendSyntheticConfigure(client);
+  if (client->is_internal) {
+    Panner* p = panner(client->screen);
+    if (p != nullptr && client->window == p->window()) {
+      p->OnResized(client_size);
+    }
+  }
+  if (Panner* p = panner(client->screen)) {
+    p->Update();
+  }
+}
+
+void WindowManager::RaiseClient(ManagedClient* client) {
+  if (client != nullptr && client->frame != nullptr) {
+    display_.RaiseWindow(client->frame->window());
+  }
+}
+
+void WindowManager::LowerClient(ManagedClient* client) {
+  if (client != nullptr && client->frame != nullptr) {
+    display_.LowerWindow(client->frame->window());
+  }
+}
+
+void WindowManager::SaveGeometry(ManagedClient* client) {
+  if (client != nullptr && client->frame != nullptr) {
+    client->saved_frame_geometry = client->frame->geometry();
+  }
+}
+
+void WindowManager::RestoreGeometry(ManagedClient* client) {
+  if (client == nullptr || !client->saved_frame_geometry.has_value() ||
+      client->client_panel == nullptr) {
+    return;
+  }
+  xbase::Rect saved = *client->saved_frame_geometry;
+  client->saved_frame_geometry.reset();
+  // Restore the client size implied by the saved frame size.
+  xbase::Point client_offset = OffsetWithinTree(client->client_panel);
+  xbase::Size frame_size = client->frame->geometry().size();
+  xbase::Size client_size = client->client_panel->geometry().size();
+  xbase::Size new_client{saved.width - (frame_size.width - client_size.width),
+                         saved.height - (frame_size.height - client_size.height)};
+  (void)client_offset;
+  MoveFrameTo(client, saved.origin());
+  ResizeClient(client, new_client);
+}
+
+void WindowManager::Zoom(ManagedClient* client) {
+  if (client == nullptr || client->frame == nullptr || client->client_panel == nullptr) {
+    return;
+  }
+  // f.zoom expands to the full size of the screen (the visible viewport).
+  ScreenState& state = screens_[client->screen];
+  xbase::Size view = display_.DisplaySize(client->screen);
+  xbase::Point origin{0, 0};
+  if (!client->sticky && state.vdesk() != nullptr) {
+    origin = state.vdesk()->offset();
+  }
+  xbase::Size frame_size = client->frame->geometry().size();
+  xbase::Size client_size = client->client_panel->geometry().size();
+  xbase::Size decoration{frame_size.width - client_size.width,
+                         frame_size.height - client_size.height};
+  MoveFrameTo(client, origin);
+  ResizeClient(client, {view.width - decoration.width, view.height - decoration.height});
+}
+
+void WindowManager::RefreshAll() {
+  for (const auto& [window, client] : clients_) {
+    if (client->frame != nullptr) {
+      client->frame->Render();
+    }
+    if (client->icon != nullptr && client->state == xproto::WmState::kIconic) {
+      client->icon->Render();
+    }
+  }
+  for (ScreenState& state : screens_) {
+    if (state.panner != nullptr) {
+      state.panner->Update();
+    }
+    for (const auto& icon : state.root_icons) {
+      icon->Render();
+    }
+  }
+}
+
+void WindowManager::SendSyntheticConfigure(ManagedClient* client) {
+  if (client == nullptr || client->frame == nullptr) {
+    return;
+  }
+  // Coordinates are relative to the client's *effective* root (the Virtual
+  // Desktop for normal windows) — the companion of the SWM_ROOT property.
+  std::optional<xbase::Rect> geometry = display_.GetGeometry(client->window);
+  if (!geometry.has_value()) {
+    return;
+  }
+  xbase::Point pos = client->ClientDesktopPosition();
+  xlib::SendSyntheticConfigureNotify(
+      &display_, client->window,
+      xbase::Rect{pos.x, pos.y, geometry->width, geometry->height});
+}
+
+void WindowManager::ApplyClientShapeToFrame(ManagedClient* client) {
+  if (client == nullptr || !client->shaped || client->frame == nullptr ||
+      client->client_panel == nullptr) {
+    return;
+  }
+  // Only when the decoration opted into shaping (e.g. the shapeit panel's
+  // `shape: True`): the frame's shape becomes the union of its opaque
+  // children with the client's own shape in place of the client rectangle.
+  if (!client->frame->BoolAttribute("shape") &&
+      !client->frame->Attribute("shapeMask").has_value()) {
+    return;
+  }
+  std::optional<xbase::Region> client_shape = server_->GetShape(client->window);
+  if (!client_shape.has_value()) {
+    return;
+  }
+  xbase::Point offset = OffsetWithinTree(client->client_panel);
+  xbase::Region shape = client_shape->Translated(offset.x, offset.y);
+  for (const std::unique_ptr<oi::Object>& child : client->frame->children()) {
+    if (child.get() == client->client_panel || child->floating()) {
+      continue;
+    }
+    shape = shape.Union(xbase::Region(child->geometry()));
+  }
+  display_.ShapeSetRegion(client->frame->window(), std::move(shape));
+}
+
+void WindowManager::UpdateSwmRootProperty(ManagedClient* client) {
+  // Paper §6.3.1: "When swm reparents a window it places a property on the
+  // window indicating the window ID of its root window [...] updated
+  // whenever the root window for a client changes."
+  ScreenState& state = screens_[client->screen];
+  xproto::WindowId effective_root =
+      (!client->sticky && state.vdesk() != nullptr) ? state.vdesk()->window()
+                                                  : display_.RootWindow(client->screen);
+  display_.SetWindowIdProperty(client->window, xproto::kAtomSwmRoot, effective_root);
+}
+
+}  // namespace swm

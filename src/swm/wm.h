@@ -1,0 +1,357 @@
+// swm — the window manager shell (the paper's primary contribution).
+//
+// A policy-free reparenting window manager: decorations, icons, root panels
+// and their behaviour are described entirely by resource-database panel
+// definitions and Xt-syntax bindings; the Virtual Desktop makes the root
+// window larger than the display; session state survives server restarts.
+#ifndef SRC_SWM_WM_H_
+#define SRC_SWM_WM_H_
+
+#include <map>
+#include <set>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/oi/toolkit.h"
+#include "src/swm/session.h"
+#include "src/swm/vdesk.h"
+#include "src/xlib/display.h"
+#include "src/xrdb/database.h"
+
+namespace swm {
+
+class WindowManager;
+class Panner;
+class IconHolder;
+class DesktopScrollbars;
+
+// Per-managed-window state.
+struct ManagedClient {
+  xproto::WindowId window = xproto::kNone;  // The client's window.
+  int screen = 0;
+
+  // ICCCM properties at manage time (name/icon name tracked live).
+  std::string name;
+  std::string icon_name;
+  xproto::WmClass wm_class;
+  std::string command;  // WM_COMMAND argv joined with spaces.
+  std::string machine;  // WM_CLIENT_MACHINE.
+  xproto::SizeHints size_hints;
+  xproto::WmHints wm_hints;
+
+  bool shaped = false;
+  bool sticky = false;
+  bool is_internal = false;  // swm's own windows (root panels, panner).
+  xproto::WmState state = xproto::WmState::kNormal;
+
+  // Decoration.
+  std::string decoration_name;
+  std::unique_ptr<oi::Panel> frame;      // Tree root; frame->window() is the frame.
+  oi::Panel* client_panel = nullptr;     // The `client` sub-panel.
+  oi::Object* name_object = nullptr;     // The `name` button/text, if any.
+
+  // Icon state.
+  std::unique_ptr<oi::Panel> icon;       // Icon appearance tree (lazy).
+  xbase::Point icon_position;
+  bool icon_position_set = false;
+  IconHolder* icon_holder = nullptr;
+  // True when the client supplied its own icon window (WM_HINTS
+  // IconWindowHint); it is reparented into the iconimage slot and must be
+  // given back on unmanage.
+  bool uses_icon_window = false;
+
+  // f.save / f.zoom bookkeeping (frame geometry in parent coordinates).
+  std::optional<xbase::Rect> saved_frame_geometry;
+
+  bool restored_from_session = false;
+  int ignore_unmaps = 0;  // Unmaps caused by swm itself (iconify etc).
+
+  // Frame geometry relative to its parent (vdesk for normal windows, real
+  // root for sticky windows).
+  xbase::Rect FrameGeometry() const;
+  // Client window position in desktop coordinates (== viewport coordinates
+  // for sticky windows).
+  xbase::Point ClientDesktopPosition() const;
+};
+
+// An icon holder panel (paper §4.1.5): a scrolling/size-to-fit container for
+// icons, optionally restricted to one client class and hidden when empty.
+class IconHolder {
+ public:
+  IconHolder(WindowManager* wm, int screen, std::string name);
+  ~IconHolder();
+
+  const std::string& name() const { return name_; }
+  xproto::WindowId window() const { return window_; }
+  const std::string& class_filter() const { return class_filter_; }
+  bool hide_when_empty() const { return hide_when_empty_; }
+  bool size_to_fit() const { return size_to_fit_; }
+
+  bool Accepts(const xproto::WmClass& wm_class) const;
+  void AddIcon(ManagedClient* client);
+  void RemoveIcon(ManagedClient* client);
+  const std::vector<ManagedClient*>& icons() const { return icons_; }
+  // Lays the contained icons out in rows and shows/hides/resizes itself.
+  void Relayout();
+
+  // §4.1.5's "optional scrolling window": scrolls the icon rows within a
+  // fixed-size holder.  No-op for size-to-fit holders.
+  void ScrollBy(int dy);
+  int scroll_offset() const { return scroll_offset_; }
+  int content_height() const { return content_height_; }
+
+ private:
+  WindowManager* wm_;
+  int screen_;
+  std::string name_;
+  xproto::WindowId window_ = xproto::kNone;
+  xbase::Rect configured_geometry_{0, 0, 40, 12};
+  std::string class_filter_;  // Empty accepts everything.
+  bool hide_when_empty_ = false;
+  bool size_to_fit_ = false;
+  int scroll_offset_ = 0;
+  int content_height_ = 0;
+  std::vector<ManagedClient*> icons_;
+};
+
+// Interactive drag state (f.move / f.resize with the pointer).
+struct DragState {
+  enum class Mode { kNone, kMove, kResize };
+  Mode mode = Mode::kNone;
+  xproto::WindowId client_window = xproto::kNone;
+  xbase::Point start_pointer;       // Root coordinates at drag start.
+  xbase::Rect start_frame;          // Frame geometry at drag start.
+};
+
+// Pending interactive target selection: a function executed without a
+// current window changes the pointer to a question mark and applies to the
+// next window clicked (f.iconify with no argument from a root panel, or a
+// bare `swmcmd f.raise`).  With (multiple), stays armed until a click on
+// the root.
+struct PendingSelection {
+  bool active = false;
+  bool multiple = false;
+  // All functions awaiting a target ("swmcmd f.iconify f.raise" applies
+  // both to the selected window).
+  std::vector<xtb::FunctionCall> functions;
+};
+
+class WindowManager {
+ public:
+  struct Options {
+    // Extra resource text merged over the selected template.
+    std::string resources;
+    // Built-in template preloaded under the user resources ("default",
+    // "openlook", "motif"); the resource `swm*template` in `resources`
+    // overrides this choice.
+    std::string template_name = "default";
+  };
+
+  WindowManager(xserver::Server* server, Options options);
+  ~WindowManager();
+
+  WindowManager(const WindowManager&) = delete;
+  WindowManager& operator=(const WindowManager&) = delete;
+
+  // Selects SubstructureRedirect on every screen's root (returns false if
+  // another WM is running), builds per-screen state (virtual desktop,
+  // panner, root panels, icon holders, root icons), loads the session
+  // restart table, and manages pre-existing client windows.
+  bool Start();
+
+  // Drains and handles all pending events.  Call after any client activity.
+  void ProcessEvents();
+
+  // ---- Introspection ---------------------------------------------------------
+  xlib::Display& display() { return display_; }
+  // The auxiliary "client-like" connection owning root-panel/panner
+  // toplevels (so they get reparented and managed like normal clients).
+  xlib::Display& display_aux() { return aux_display_; }
+  const xrdb::ResourceDatabase& resources() const { return db_; }
+  oi::Toolkit& toolkit(int screen);
+  VirtualDesktop* vdesk(int screen);
+  Panner* panner(int screen);
+  DesktopScrollbars* scrollbars(int screen);
+  // Refreshes the panner miniature and scrollbar thumbs after the desktop
+  // offset or population changed.
+  void DesktopViewChanged(int screen);
+
+  // Multiple Virtual Desktops (§6.3.1's proposed extension; resource
+  // `swm*virtualDesktops: N`).  New windows land on the active desktop;
+  // switching hides every desktop but the target; sticky windows are
+  // visible on all of them.
+  int DesktopCount(int screen) const;
+  int ActiveDesktop(int screen) const;
+  bool SwitchDesktop(int screen, int index);  // f.desktop(n) / f.nextDesktop.
+  size_t ClientCount() const;
+  ManagedClient* FindClient(xproto::WindowId client_window);
+  // Resolves a client from any related window: the client window, the
+  // frame, a decoration object, or an icon window.
+  ManagedClient* FindClientByAnyWindow(xproto::WindowId window);
+  std::vector<ManagedClient*> Clients();
+  std::vector<IconHolder*> icon_holders(int screen);
+  const std::vector<std::string>& executed_commands() const { return executed_commands_; }
+  bool quit_requested() const { return quit_requested_; }
+  bool restart_requested() const { return restart_requested_; }
+  bool awaiting_target() const { return pending_.active; }
+  RestartTable& restart_table() { return restart_table_; }
+
+  // Marks a window as one of swm's own (panner, root panels): it is managed
+  // like any client but excluded from session files and icon holders.
+  void RegisterInternalWindow(xproto::WindowId window) {
+    internal_windows_.insert(window);
+  }
+
+  // ---- Window management operations (also driven by bindings) -----------------
+  ManagedClient* ManageWindow(xproto::WindowId window, int screen);
+  // `reparent_back` restores the client to the root (withdrawal); false is
+  // used when the window is already destroyed.
+  void UnmanageWindow(xproto::WindowId window, bool reparent_back);
+  void MoveFrameTo(ManagedClient* client, const xbase::Point& parent_pos);
+  void ResizeClient(ManagedClient* client, xbase::Size client_size);
+  void RaiseClient(ManagedClient* client);
+  void LowerClient(ManagedClient* client);
+  void Iconify(ManagedClient* client);
+  void Deiconify(ManagedClient* client);
+  void Zoom(ManagedClient* client);
+  void SaveGeometry(ManagedClient* client);
+  void RestoreGeometry(ManagedClient* client);
+  void SetSticky(ManagedClient* client, bool sticky);
+
+  // ---- Function execution ------------------------------------------------------
+  // Executes one bound function in a dispatch context.
+  void ExecuteFunction(const xtb::FunctionCall& function, const oi::ActionContext& context);
+  // Parses and executes an swmcmd-style command string (paper §4.5).
+  bool ExecuteCommandString(const std::string& text, int screen);
+
+  // ---- Session management --------------------------------------------------------
+  // f.places: the .xinitrc-replacement text for the current session.
+  std::string GeneratePlaces();
+  // The text produced by the most recent f.places execution.
+  const std::string& last_places() const { return last_places_; }
+
+  // Re-renders every frame/icon and the panner (f.refresh).
+  void RefreshAll();
+
+  // Resource helpers (public: the panner and icon holders use them).
+  std::optional<std::string> ScreenResource(int screen, const std::string& resource) const;
+  std::optional<std::string> ScreenResource(int screen,
+                                            const std::vector<std::string>& extra_names,
+                                            const std::vector<std::string>& extra_classes,
+                                            const std::string& resource) const;
+  std::optional<std::string> ClientResource(const ManagedClient& client,
+                                            const std::string& resource) const;
+  // Looks up a panel definition ("swm*panel.NAME") for a screen.
+  std::optional<std::string> PanelDefinition(int screen, const std::string& name) const;
+
+ private:
+  friend class IconHolder;
+  friend class Panner;
+
+  struct ScreenState {
+    int number = 0;
+    std::unique_ptr<oi::Toolkit> toolkit;
+    // One or more Virtual Desktops (the paper's §6.3.1 "multiple Virtual
+    // Desktops" extension); vdesks[active_vdesk] is the mapped one.
+    std::vector<std::unique_ptr<VirtualDesktop>> vdesks;
+    int active_vdesk = 0;
+    VirtualDesktop* vdesk() const {
+      return vdesks.empty() ? nullptr : vdesks[static_cast<size_t>(active_vdesk)].get();
+    }
+    std::unique_ptr<Panner> panner;
+    std::unique_ptr<DesktopScrollbars> scrollbars;
+    std::vector<std::unique_ptr<IconHolder>> icon_holders;
+    std::vector<std::unique_ptr<oi::Panel>> root_icons;
+    std::vector<std::unique_ptr<oi::Panel>> root_panel_trees;
+    std::map<std::string, std::unique_ptr<oi::Menu>> menus;
+    xbase::Point place_cursor{8, 8};  // Default-placement cascade position.
+  };
+
+  // ---- Startup ---------------------------------------------------------------
+  void LoadResources();
+  void InitScreen(int screen);
+  void CreateRootPanels(int screen);
+  void CreateRootIcons(int screen);
+  void CreateIconHolders(int screen);
+  void ManageExistingWindows(int screen);
+
+  // ---- Manage helpers ----------------------------------------------------------
+  std::string ChooseDecoration(const ManagedClient& client) const;
+  std::unique_ptr<oi::Panel> BuildFrame(ManagedClient* client);
+  // resizeCorners (paper §4.1.1): adds four floating corner handles bound
+  // to f.resize, and keeps them pinned to the frame corners after layout.
+  void SetupResizeCorners(ManagedClient* client, oi::Panel* frame);
+  void PositionResizeCorners(ManagedClient* client);
+  // For shaped clients, intersects the frame's shape with the client's own
+  // shape so an oclock shows "without visible decoration" (§5).
+  void ApplyClientShapeToFrame(ManagedClient* client);
+  // Re-decorates in place (used when stickiness toggles: the resource
+  // prefix changes, so the decoration may change; paper §6.2).
+  void ReDecorate(ManagedClient* client);
+  xbase::Point PlaceNewWindow(ManagedClient* client, const xbase::Rect& client_geometry,
+                              const std::optional<SwmHintsRecord>& session);
+  void UpdateSwmRootProperty(ManagedClient* client);
+  void SendSyntheticConfigure(ManagedClient* client);
+  // Window the frames of this client should parent on (vdesk or root).
+  xproto::WindowId FrameParent(int screen, bool sticky);
+
+  // ---- Icons ----------------------------------------------------------------------
+  void BuildIcon(ManagedClient* client);
+  void PlaceIcon(ManagedClient* client);
+  IconHolder* HolderFor(const ManagedClient& client);
+
+  // ---- Event handling ----------------------------------------------------------------
+  void HandleEvent(const xproto::Event& event);
+  void HandleMapRequest(const xproto::MapRequestEvent& event);
+  void HandleConfigureRequest(const xproto::ConfigureRequestEvent& event);
+  void HandleUnmapNotify(const xproto::UnmapNotifyEvent& event);
+  void HandleDestroyNotify(const xproto::DestroyNotifyEvent& event);
+  void HandlePropertyNotify(const xproto::PropertyNotifyEvent& event);
+  void HandleClientMessage(const xproto::ClientMessageEvent& event);
+  bool HandleDrag(const xproto::Event& event);              // Returns true if consumed.
+  bool HandlePendingSelection(const xproto::Event& event);  // Returns true if consumed.
+
+  // ---- Function helpers -----------------------------------------------------------------
+  std::vector<ManagedClient*> ResolveTargets(const xtb::FunctionCall& function,
+                                             const oi::ActionContext& context,
+                                             bool needs_window);
+  void ApplyWindowFunction(const std::string& name, ManagedClient* client,
+                           const xtb::FunctionCall& function,
+                           const oi::ActionContext& context);
+  void PopupMenu(const std::string& name, int screen, const xbase::Point& root_pos,
+                 ManagedClient* for_client);
+  void PopdownMenus(int screen);
+  int ScreenOfContext(const oi::ActionContext& context) const;
+
+  // The screen a managed/related window lives on.
+  int ScreenOf(xproto::WindowId window) const;
+
+  xserver::Server* server_;
+  xlib::Display display_;      // The WM's own connection.
+  xlib::Display aux_display_;  // "Client-like" connection owning root panels/panner
+                               // toplevels so they are themselves reparented/managed.
+  Options options_;
+  xrdb::ResourceDatabase db_;
+
+  std::vector<ScreenState> screens_;
+  std::map<xproto::WindowId, std::unique_ptr<ManagedClient>> clients_;
+  std::set<xproto::WindowId> internal_windows_;
+  // Maps decoration/icon tree roots to their client window.
+  std::map<const oi::Object*, xproto::WindowId> tree_owner_;
+
+  RestartTable restart_table_;
+  DragState drag_;
+  PendingSelection pending_;
+  ManagedClient* menu_context_client_ = nullptr;
+  std::vector<std::string> executed_commands_;
+  std::string last_places_;
+  bool quit_requested_ = false;
+  bool restart_requested_ = false;
+  bool started_ = false;
+};
+
+}  // namespace swm
+
+#endif  // SRC_SWM_WM_H_

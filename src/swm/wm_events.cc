@@ -1,0 +1,385 @@
+// Event handling: redirect requests, client state changes, swmcmd property
+// commands, interactive drags and pending target selection.
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+#include "src/swm/panner.h"
+#include "src/swm/scrollbars.h"
+#include "src/swm/wm.h"
+#include "src/xlib/icccm.h"
+
+namespace swm {
+
+void WindowManager::ProcessEvents() {
+  // Events can cascade (managing a window produces more events for us), so
+  // loop until the queue settles.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    while (std::optional<xproto::Event> event = display_.NextEvent()) {
+      HandleEvent(*event);
+      progressed = true;
+    }
+  }
+}
+
+void WindowManager::HandleEvent(const xproto::Event& event) {
+  if (HandleDrag(event)) {
+    return;
+  }
+  if (HandlePendingSelection(event)) {
+    return;
+  }
+
+  // Panner interactions get first refusal on pointer events.
+  if (const auto* button = std::get_if<xproto::ButtonEvent>(&event)) {
+    for (ScreenState& state : screens_) {
+      if (state.panner != nullptr && (button->window == state.panner->window() ||
+                                      state.panner->dragging_window())) {
+        if (state.panner->HandleButton(*button)) {
+          return;
+        }
+      }
+    }
+  }
+  if (const auto* motion = std::get_if<xproto::MotionEvent>(&event)) {
+    for (ScreenState& state : screens_) {
+      if (state.panner != nullptr && (motion->window == state.panner->window() ||
+                                      state.panner->dragging_window())) {
+        if (state.panner->HandleMotion(*motion)) {
+          return;
+        }
+      }
+    }
+  }
+
+  if (const auto* button = std::get_if<xproto::ButtonEvent>(&event)) {
+    for (ScreenState& state : screens_) {
+      if (state.scrollbars != nullptr && state.scrollbars->HandleButton(*button)) {
+        return;
+      }
+    }
+  }
+  if (const auto* motion = std::get_if<xproto::MotionEvent>(&event)) {
+    for (ScreenState& state : screens_) {
+      if (state.scrollbars != nullptr && state.scrollbars->HandleMotion(*motion)) {
+        return;
+      }
+    }
+  }
+
+  if (const auto* map_request = std::get_if<xproto::MapRequestEvent>(&event)) {
+    HandleMapRequest(*map_request);
+    return;
+  }
+  if (const auto* configure = std::get_if<xproto::ConfigureRequestEvent>(&event)) {
+    HandleConfigureRequest(*configure);
+    return;
+  }
+  if (const auto* unmap = std::get_if<xproto::UnmapNotifyEvent>(&event)) {
+    HandleUnmapNotify(*unmap);
+    return;
+  }
+  if (const auto* destroy = std::get_if<xproto::DestroyNotifyEvent>(&event)) {
+    HandleDestroyNotify(*destroy);
+    return;
+  }
+  if (const auto* property = std::get_if<xproto::PropertyNotifyEvent>(&event)) {
+    HandlePropertyNotify(*property);
+    return;
+  }
+  if (const auto* message = std::get_if<xproto::ClientMessageEvent>(&event)) {
+    HandleClientMessage(*message);
+    return;
+  }
+  if (const auto* shape = std::get_if<xproto::ShapeNotifyEvent>(&event)) {
+    // A client became shaped/unshaped at runtime: re-decorate so the
+    // "shaped" resource prefix applies (§5).
+    if (ManagedClient* client = FindClient(shape->window)) {
+      bool shaped = display_.IsShaped(shape->window);
+      if (client->shaped != shaped) {
+        client->shaped = shaped;
+        ReDecorate(client);
+      }
+    }
+    return;
+  }
+
+  // Everything else is toolkit-object traffic (bindings, exposure).
+  for (ScreenState& state : screens_) {
+    if (state.toolkit->DispatchEvent(event)) {
+      return;
+    }
+  }
+}
+
+void WindowManager::HandleMapRequest(const xproto::MapRequestEvent& event) {
+  ManagedClient* existing = FindClient(event.window);
+  if (existing != nullptr) {
+    // Mapping an iconified window deiconifies it (ICCCM).
+    if (existing->state == xproto::WmState::kIconic) {
+      Deiconify(existing);
+    } else {
+      display_.MapWindow(event.window);
+    }
+    return;
+  }
+  ManageWindow(event.window, ScreenOf(event.parent));
+}
+
+void WindowManager::HandleConfigureRequest(const xproto::ConfigureRequestEvent& event) {
+  ManagedClient* client = FindClient(event.window);
+  if (client == nullptr) {
+    // Not managed (yet): forward the configuration unchanged.
+    xserver::ConfigureValues values;
+    values.geometry = event.geometry;
+    values.border_width = event.border_width;
+    values.sibling = event.sibling;
+    values.stack_mode = event.stack_mode;
+    display_.ConfigureWindow(event.window, event.value_mask, values);
+    return;
+  }
+  // Size change: constrain and re-layout the decoration around it.
+  std::optional<xbase::Rect> current = display_.GetGeometry(event.window);
+  if (!current.has_value()) {
+    return;
+  }
+  xbase::Size new_size = current->size();
+  if (event.value_mask & xproto::kConfigWidth) {
+    new_size.width = event.geometry.width;
+  }
+  if (event.value_mask & xproto::kConfigHeight) {
+    new_size.height = event.geometry.height;
+  }
+  if (new_size != current->size()) {
+    ResizeClient(client, new_size);
+  }
+  // Position change: requested coordinates are interpreted in the client's
+  // effective-root space (desktop coordinates for non-sticky windows).
+  if (event.value_mask & (xproto::kConfigX | xproto::kConfigY)) {
+    xbase::Point desired = client->ClientDesktopPosition();
+    if (event.value_mask & xproto::kConfigX) {
+      desired.x = event.geometry.x;
+    }
+    if (event.value_mask & xproto::kConfigY) {
+      desired.y = event.geometry.y;
+    }
+    xbase::Point client_offset{
+        client->ClientDesktopPosition().x - client->frame->geometry().x,
+        client->ClientDesktopPosition().y - client->frame->geometry().y};
+    MoveFrameTo(client, {desired.x - client_offset.x, desired.y - client_offset.y});
+  }
+  if (event.value_mask & xproto::kConfigStackMode) {
+    if (event.stack_mode == xproto::StackMode::kAbove) {
+      RaiseClient(client);
+    } else if (event.stack_mode == xproto::StackMode::kBelow) {
+      LowerClient(client);
+    }
+  }
+  SendSyntheticConfigure(client);
+}
+
+void WindowManager::HandleUnmapNotify(const xproto::UnmapNotifyEvent& event) {
+  ManagedClient* client = FindClient(event.window);
+  if (client == nullptr || event.event_window != event.window) {
+    return;
+  }
+  if (client->ignore_unmaps > 0) {
+    --client->ignore_unmaps;
+    return;
+  }
+  // The client unmapped its own window: ICCCM withdrawal.
+  UnmanageWindow(event.window, /*reparent_back=*/true);
+}
+
+void WindowManager::HandleDestroyNotify(const xproto::DestroyNotifyEvent& event) {
+  if (FindClient(event.window) != nullptr) {
+    UnmanageWindow(event.window, /*reparent_back=*/false);
+  }
+}
+
+void WindowManager::HandlePropertyNotify(const xproto::PropertyNotifyEvent& event) {
+  // swmcmd channel (paper §4.5): commands arrive as a root-window property.
+  for (int screen = 0; screen < display_.ScreenCount(); ++screen) {
+    if (event.window == display_.RootWindow(screen)) {
+      if (event.atom == display_.InternAtom(xproto::kAtomSwmCommand) &&
+          event.state == xproto::PropertyState::kNewValue) {
+        std::optional<std::string> text =
+            display_.GetStringProperty(event.window, xproto::kAtomSwmCommand);
+        display_.DeleteProperty(event.window,
+                                display_.InternAtom(xproto::kAtomSwmCommand));
+        if (text.has_value()) {
+          ExecuteCommandString(*text, screen);
+        }
+      }
+      return;
+    }
+  }
+
+  ManagedClient* client = FindClient(event.window);
+  if (client == nullptr || event.state != xproto::PropertyState::kNewValue) {
+    return;
+  }
+  std::optional<std::string> atom_name = display_.GetAtomName(event.atom);
+  if (!atom_name.has_value()) {
+    return;
+  }
+  if (*atom_name == xproto::kAtomWmName) {
+    client->name = xlib::GetWmName(&display_, client->window).value_or("");
+    if (client->name_object != nullptr) {
+      if (client->name_object->type() == oi::ObjectType::kButton) {
+        static_cast<oi::Button*>(client->name_object)->SetLabel(client->name);
+      } else if (client->name_object->type() == oi::ObjectType::kText) {
+        static_cast<oi::TextObject*>(client->name_object)->SetText(client->name);
+      }
+    }
+  } else if (*atom_name == xproto::kAtomWmIconName) {
+    client->icon_name =
+        xlib::GetWmIconName(&display_, client->window).value_or(client->name);
+    if (client->icon != nullptr) {
+      oi::Object* icon_name_obj = client->icon->FindDescendant("iconname");
+      if (icon_name_obj != nullptr &&
+          icon_name_obj->type() == oi::ObjectType::kButton) {
+        static_cast<oi::Button*>(icon_name_obj)->SetLabel(client->icon_name);
+      }
+    }
+  } else if (*atom_name == xproto::kAtomWmNormalHints) {
+    client->size_hints =
+        xlib::GetWmNormalHints(&display_, client->window).value_or(xproto::SizeHints{});
+  } else if (*atom_name == xproto::kAtomWmHints) {
+    client->wm_hints =
+        xlib::GetWmHints(&display_, client->window).value_or(xproto::WmHints{});
+  } else if (*atom_name == xproto::kAtomWmCommand) {
+    std::optional<std::vector<std::string>> argv =
+        xlib::GetWmCommand(&display_, client->window);
+    client->command = argv.has_value() ? xbase::JoinStrings(*argv, " ") : "";
+  }
+}
+
+void WindowManager::HandleClientMessage(const xproto::ClientMessageEvent& event) {
+  if (event.message_type == display_.InternAtom("WM_CHANGE_STATE") &&
+      event.data[0] == static_cast<uint32_t>(xproto::WmState::kIconic)) {
+    if (ManagedClient* client = FindClient(event.window)) {
+      Iconify(client);
+    }
+  }
+}
+
+// ---- Interactive move/resize drags -----------------------------------------------
+
+bool WindowManager::HandleDrag(const xproto::Event& event) {
+  if (drag_.mode == DragState::Mode::kNone) {
+    return false;
+  }
+  ManagedClient* client = FindClient(drag_.client_window);
+  if (client == nullptr || client->frame == nullptr) {
+    drag_.mode = DragState::Mode::kNone;
+    return false;
+  }
+  // §6.1's reverse direction: "when the window move was started on a client
+  // window and the pointer is moved into the panner", the drop lands at the
+  // miniature position — i.e. anywhere on the desktop.
+  auto panner_target = [&](const xbase::Point& root_pos)
+      -> std::optional<xbase::Point> {
+    Panner* p = panner(client->screen);
+    if (p == nullptr || drag_.mode != DragState::Mode::kMove) {
+      return std::nullopt;
+    }
+    if (!server_->IsViewable(p->window())) {
+      return std::nullopt;
+    }
+    xbase::Point origin = server_->RootPosition(p->window());
+    std::optional<xbase::Rect> geometry = display_.GetGeometry(p->window());
+    if (!geometry.has_value()) {
+      return std::nullopt;
+    }
+    xbase::Rect on_screen{origin.x, origin.y, geometry->width, geometry->height};
+    if (!on_screen.Contains(root_pos)) {
+      return std::nullopt;
+    }
+    return p->PannerToDesktop({root_pos.x - origin.x, root_pos.y - origin.y});
+  };
+  auto apply = [&](const xbase::Point& root_pos) {
+    int dx = root_pos.x - drag_.start_pointer.x;
+    int dy = root_pos.y - drag_.start_pointer.y;
+    if (drag_.mode == DragState::Mode::kMove) {
+      if (std::optional<xbase::Point> desktop = panner_target(root_pos)) {
+        MoveFrameTo(client, *desktop);
+        return;
+      }
+      MoveFrameTo(client, {drag_.start_frame.x + dx, drag_.start_frame.y + dy});
+    } else {
+      xbase::Size frame_size = client->frame->geometry().size();
+      xbase::Size client_size = client->client_panel->geometry().size();
+      xbase::Size decoration{frame_size.width - client_size.width,
+                             frame_size.height - client_size.height};
+      xbase::Size target{std::max(1, drag_.start_frame.width + dx - decoration.width),
+                         std::max(1, drag_.start_frame.height + dy - decoration.height)};
+      ResizeClient(client, target);
+    }
+  };
+  if (const auto* motion = std::get_if<xproto::MotionEvent>(&event)) {
+    apply(motion->root_pos);
+    return true;
+  }
+  if (const auto* button = std::get_if<xproto::ButtonEvent>(&event)) {
+    if (!button->press) {
+      apply(button->root_pos);
+      drag_.mode = DragState::Mode::kNone;
+    }
+    return true;
+  }
+  return false;
+}
+
+// ---- Pending interactive target selection -------------------------------------------
+
+bool WindowManager::HandlePendingSelection(const xproto::Event& event) {
+  if (!pending_.active) {
+    return false;
+  }
+  const auto* button = std::get_if<xproto::ButtonEvent>(&event);
+  if (button == nullptr || !button->press) {
+    return false;
+  }
+  // A press on the root (or desktop) cancels / terminates the selection.
+  xproto::WindowId target_window =
+      button->subwindow != xproto::kNone ? button->subwindow : button->window;
+  ManagedClient* client = FindClientByAnyWindow(target_window);
+  bool on_root = false;
+  for (int screen = 0; screen < display_.ScreenCount(); ++screen) {
+    ScreenState& state = screens_[screen];
+    if (target_window == display_.RootWindow(screen)) {
+      on_root = true;
+    }
+    for (const auto& desk : state.vdesks) {
+      if (target_window == desk->window()) {
+        on_root = true;
+      }
+    }
+  }
+  if (client == nullptr) {
+    if (on_root || !pending_.multiple) {
+      pending_.active = false;
+      for (int screen = 0; screen < display_.ScreenCount(); ++screen) {
+        display_.SetCursor(display_.RootWindow(screen), "");
+      }
+    }
+    return true;
+  }
+  std::vector<xtb::FunctionCall> functions = pending_.functions;
+  if (!pending_.multiple) {
+    pending_.active = false;
+    for (int screen = 0; screen < display_.ScreenCount(); ++screen) {
+      display_.SetCursor(display_.RootWindow(screen), "");
+    }
+  }
+  oi::ActionContext context;
+  context.root_pos = button->root_pos;
+  context.button = button->button;
+  for (const xtb::FunctionCall& function : functions) {
+    ApplyWindowFunction(function.name, client, function, context);
+  }
+  return true;
+}
+
+}  // namespace swm

@@ -1,0 +1,294 @@
+#include "src/twm/twm.h"
+
+#include "src/base/logging.h"
+
+namespace twm {
+
+Twm::Twm(xserver::Server* server) : server_(server), display_(server, "localhost") {}
+
+Twm::~Twm() {
+  std::vector<xproto::WindowId> windows;
+  for (const auto& [window, client] : clients_) {
+    windows.push_back(window);
+  }
+  for (xproto::WindowId window : windows) {
+    UnmanageWindow(window, server_->WindowExists(window));
+  }
+}
+
+bool Twm::Start() {
+  for (int screen = 0; screen < display_.ScreenCount(); ++screen) {
+    uint32_t mask = xproto::kSubstructureRedirectMask | xproto::kSubstructureNotifyMask |
+                    xproto::kButtonPressMask;
+    if (!display_.SelectInput(display_.RootWindow(screen), mask)) {
+      return false;
+    }
+  }
+  started_ = true;
+  // Manage pre-existing windows.
+  for (int screen = 0; screen < display_.ScreenCount(); ++screen) {
+    std::optional<xserver::QueryTreeReply> tree =
+        display_.QueryTree(display_.RootWindow(screen));
+    if (!tree.has_value()) {
+      continue;
+    }
+    for (xproto::WindowId child : tree->children) {
+      std::optional<xserver::WindowAttributes> attrs = display_.GetWindowAttributes(child);
+      if (attrs.has_value() && !attrs->override_redirect &&
+          attrs->map_state == xproto::MapState::kViewable) {
+        ManageWindow(child, screen);
+      }
+    }
+  }
+  ProcessEvents();
+  return true;
+}
+
+TwmClient* Twm::FindClient(xproto::WindowId window) {
+  auto it = clients_.find(window);
+  if (it != clients_.end()) {
+    return it->second.get();
+  }
+  auto frame_it = frame_to_client_.find(window);
+  if (frame_it != frame_to_client_.end()) {
+    return FindClient(frame_it->second);
+  }
+  return nullptr;
+}
+
+TwmClient* Twm::ManageWindow(xproto::WindowId window, int screen) {
+  if (FindClient(window) != nullptr) {
+    return FindClient(window);
+  }
+  std::optional<xbase::Rect> geometry = display_.GetGeometry(window);
+  std::optional<xserver::WindowAttributes> attrs = display_.GetWindowAttributes(window);
+  if (!geometry.has_value() || !attrs.has_value() || attrs->override_redirect) {
+    return nullptr;
+  }
+  auto owned = std::make_unique<TwmClient>();
+  TwmClient* client = owned.get();
+  client->window = window;
+  client->screen = screen;
+  client->name = xlib::GetWmName(&display_, window).value_or("");
+
+  xbase::Rect frame_rect{geometry->x, geometry->y, geometry->width + 2 * kBorder,
+                         geometry->height + kTitleHeight + 2 * kBorder};
+  client->frame = display_.CreateWindow(display_.RootWindow(screen), frame_rect);
+  display_.SetWindowBackground(client->frame, '#');
+  client->title = display_.CreateWindow(
+      client->frame, xbase::Rect{kBorder, kBorder, geometry->width, kTitleHeight});
+  display_.SelectInput(client->title,
+                       xproto::kButtonPressMask | xproto::kButtonReleaseMask |
+                           xproto::kExposureMask);
+
+  if (attrs->map_state == xproto::MapState::kViewable) {
+    ++client->ignore_unmaps;
+  }
+  display_.ReparentWindow(window, client->frame,
+                          {kBorder, kBorder + kTitleHeight});
+  display_.AddToSaveSet(window);
+  display_.SelectInput(window, xproto::kStructureNotifyMask);
+  // Keep redirecting the client's own configure/map requests now that it is
+  // parented on the frame rather than the root.
+  display_.SelectInput(client->frame, xproto::kSubstructureRedirectMask |
+                                          xproto::kSubstructureNotifyMask);
+
+  frame_to_client_[client->frame] = window;
+  frame_to_client_[client->title] = window;
+  clients_[window] = std::move(owned);
+
+  DrawDecoration(client);
+  display_.MapWindow(client->title);
+  display_.MapWindow(client->frame);
+  display_.MapWindow(window);
+  xlib::SetWmState(&display_, window, xproto::WmState::kNormal, xproto::kNone);
+  return client;
+}
+
+void Twm::UnmanageWindow(xproto::WindowId window, bool reparent_back) {
+  auto it = clients_.find(window);
+  if (it == clients_.end()) {
+    return;
+  }
+  TwmClient* client = it->second.get();
+  if (reparent_back && server_->WindowExists(window)) {
+    xbase::Point root_pos = server_->RootPosition(window);
+    ++client->ignore_unmaps;
+    display_.ReparentWindow(window, display_.RootWindow(client->screen), root_pos);
+    display_.RemoveFromSaveSet(window);
+  }
+  frame_to_client_.erase(client->frame);
+  frame_to_client_.erase(client->title);
+  if (server_->WindowExists(client->frame)) {
+    display_.DestroyWindow(client->frame);
+  }
+  if (client->icon != xproto::kNone && server_->WindowExists(client->icon)) {
+    display_.DestroyWindow(client->icon);
+  }
+  clients_.erase(it);
+}
+
+void Twm::DrawDecoration(TwmClient* client) {
+  display_.ClearWindow(client->title);
+  std::optional<xbase::Rect> title_rect = display_.GetGeometry(client->title);
+  if (!title_rect.has_value()) {
+    return;
+  }
+  xserver::DrawOp border;
+  border.kind = xserver::DrawOp::Kind::kBorder;
+  border.rect = xbase::Rect{0, 0, title_rect->width, title_rect->height};
+  display_.Draw(client->title, border);
+  xserver::DrawOp text;
+  text.kind = xserver::DrawOp::Kind::kTextCentered;
+  text.rect = xbase::Rect{0, title_rect->height / 2, title_rect->width, 1};
+  text.text = client->name;
+  display_.Draw(client->title, text);
+}
+
+void Twm::MoveClient(TwmClient* client, const xbase::Point& pos) {
+  display_.MoveWindow(client->frame, pos);
+  std::optional<xbase::Rect> geometry = display_.GetGeometry(client->window);
+  if (geometry.has_value()) {
+    xlib::SendSyntheticConfigureNotify(
+        &display_, client->window,
+        xbase::Rect{pos.x + kBorder, pos.y + kBorder + kTitleHeight, geometry->width,
+                    geometry->height});
+  }
+}
+
+void Twm::ResizeClient(TwmClient* client, const xbase::Size& size) {
+  display_.ResizeWindow(client->window, size);
+  display_.ResizeWindow(client->title, {size.width, kTitleHeight});
+  std::optional<xbase::Rect> frame = display_.GetGeometry(client->frame);
+  if (frame.has_value()) {
+    display_.ResizeWindow(client->frame, {size.width + 2 * kBorder,
+                                          size.height + kTitleHeight + 2 * kBorder});
+  }
+  DrawDecoration(client);
+}
+
+void Twm::RaiseClient(TwmClient* client) { display_.RaiseWindow(client->frame); }
+void Twm::LowerClient(TwmClient* client) { display_.LowerWindow(client->frame); }
+
+void Twm::Iconify(TwmClient* client) {
+  if (client->iconic) {
+    return;
+  }
+  if (client->icon == xproto::kNone) {
+    client->icon = display_.CreateWindow(display_.RootWindow(client->screen),
+                                         xbase::Rect{4, 4, 10, 3});
+    display_.SetWindowBackground(client->icon, 'i');
+    xserver::DrawOp text;
+    text.kind = xserver::DrawOp::Kind::kTextCentered;
+    text.rect = xbase::Rect{0, 1, 10, 1};
+    text.text = client->name.substr(0, 8);
+    display_.Draw(client->icon, text);
+  }
+  display_.UnmapWindow(client->frame);
+  ++client->ignore_unmaps;
+  display_.UnmapWindow(client->window);
+  display_.MapWindow(client->icon);
+  client->iconic = true;
+  xlib::SetWmState(&display_, client->window, xproto::WmState::kIconic, client->icon);
+}
+
+void Twm::Deiconify(TwmClient* client) {
+  if (!client->iconic) {
+    return;
+  }
+  display_.UnmapWindow(client->icon);
+  display_.MapWindow(client->frame);
+  display_.MapWindow(client->window);
+  client->iconic = false;
+  xlib::SetWmState(&display_, client->window, xproto::WmState::kNormal, xproto::kNone);
+}
+
+void Twm::ProcessEvents() {
+  while (std::optional<xproto::Event> event = display_.NextEvent()) {
+    HandleEvent(*event);
+  }
+}
+
+void Twm::HandleEvent(const xproto::Event& event) {
+  if (const auto* map_request = std::get_if<xproto::MapRequestEvent>(&event)) {
+    TwmClient* existing = FindClient(map_request->window);
+    if (existing != nullptr) {
+      if (existing->iconic) {
+        Deiconify(existing);
+      } else {
+        display_.MapWindow(map_request->window);
+      }
+      return;
+    }
+    ManageWindow(map_request->window, server_->ScreenOfWindow(map_request->parent));
+    return;
+  }
+  if (const auto* configure = std::get_if<xproto::ConfigureRequestEvent>(&event)) {
+    TwmClient* client = FindClient(configure->window);
+    if (client == nullptr) {
+      xserver::ConfigureValues values;
+      values.geometry = configure->geometry;
+      display_.ConfigureWindow(configure->window, configure->value_mask, values);
+      return;
+    }
+    if (configure->value_mask & (xproto::kConfigWidth | xproto::kConfigHeight)) {
+      std::optional<xbase::Rect> current = display_.GetGeometry(configure->window);
+      xbase::Size size = current.has_value() ? current->size() : xbase::Size{1, 1};
+      if (configure->value_mask & xproto::kConfigWidth) {
+        size.width = configure->geometry.width;
+      }
+      if (configure->value_mask & xproto::kConfigHeight) {
+        size.height = configure->geometry.height;
+      }
+      ResizeClient(client, size);
+    }
+    if (configure->value_mask & (xproto::kConfigX | xproto::kConfigY)) {
+      std::optional<xbase::Rect> frame = display_.GetGeometry(client->frame);
+      xbase::Point pos = frame.has_value() ? frame->origin() : xbase::Point{};
+      if (configure->value_mask & xproto::kConfigX) {
+        pos.x = configure->geometry.x;
+      }
+      if (configure->value_mask & xproto::kConfigY) {
+        pos.y = configure->geometry.y;
+      }
+      MoveClient(client, pos);
+    }
+    return;
+  }
+  if (const auto* unmap = std::get_if<xproto::UnmapNotifyEvent>(&event)) {
+    TwmClient* client = FindClient(unmap->window);
+    if (client != nullptr && unmap->event_window == unmap->window) {
+      if (client->ignore_unmaps > 0) {
+        --client->ignore_unmaps;
+      } else {
+        UnmanageWindow(unmap->window, /*reparent_back=*/true);
+      }
+    }
+    return;
+  }
+  if (const auto* destroy = std::get_if<xproto::DestroyNotifyEvent>(&event)) {
+    if (FindClient(destroy->window) != nullptr &&
+        clients_.count(destroy->window) != 0) {
+      UnmanageWindow(destroy->window, /*reparent_back=*/false);
+    }
+    return;
+  }
+  if (const auto* button = std::get_if<xproto::ButtonEvent>(&event)) {
+    // Fixed policy: button 1 on the title raises, button 2 lowers,
+    // button 3 iconifies.  (This is exactly the configurability gap the
+    // paper holds against twm.)
+    TwmClient* client = FindClient(button->window);
+    if (client != nullptr && button->press) {
+      if (button->button == 1) {
+        RaiseClient(client);
+      } else if (button->button == 2) {
+        LowerClient(client);
+      } else if (button->button == 3) {
+        Iconify(client);
+      }
+    }
+    return;
+  }
+}
+
+}  // namespace twm

@@ -1,0 +1,73 @@
+// A minimal twm-style window manager written directly against the xlib
+// layer, with a fixed, hard-coded decoration.
+//
+// This is the baseline for the paper's evaluation claim (§8): "swm, like
+// any toolkit based window manager, has somewhat slower performance than a
+// window manager written directly on top of Xlib".  It performs the same
+// management operations (reparent, titlebar, move, raise/lower, iconify)
+// without any object toolkit, resource lookups or bindings machinery.
+#ifndef SRC_TWM_TWM_H_
+#define SRC_TWM_TWM_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/xlib/display.h"
+#include "src/xlib/icccm.h"
+
+namespace twm {
+
+struct TwmClient {
+  xproto::WindowId window = xproto::kNone;
+  xproto::WindowId frame = xproto::kNone;
+  xproto::WindowId title = xproto::kNone;
+  xproto::WindowId icon = xproto::kNone;
+  int screen = 0;
+  std::string name;
+  bool iconic = false;
+  int ignore_unmaps = 0;
+};
+
+class Twm {
+ public:
+  explicit Twm(xserver::Server* server);
+  ~Twm();
+
+  Twm(const Twm&) = delete;
+  Twm& operator=(const Twm&) = delete;
+
+  bool Start();
+  void ProcessEvents();
+
+  size_t ClientCount() const { return clients_.size(); }
+  TwmClient* FindClient(xproto::WindowId window);
+  xlib::Display& display() { return display_; }
+
+  TwmClient* ManageWindow(xproto::WindowId window, int screen);
+  void UnmanageWindow(xproto::WindowId window, bool reparent_back);
+  void MoveClient(TwmClient* client, const xbase::Point& pos);
+  void ResizeClient(TwmClient* client, const xbase::Size& size);
+  void RaiseClient(TwmClient* client);
+  void LowerClient(TwmClient* client);
+  void Iconify(TwmClient* client);
+  void Deiconify(TwmClient* client);
+
+  static constexpr int kTitleHeight = 3;
+  static constexpr int kBorder = 1;
+
+ private:
+  void HandleEvent(const xproto::Event& event);
+  void DrawDecoration(TwmClient* client);
+
+  xserver::Server* server_;
+  xlib::Display display_;
+  std::map<xproto::WindowId, std::unique_ptr<TwmClient>> clients_;
+  std::map<xproto::WindowId, xproto::WindowId> frame_to_client_;
+  bool started_ = false;
+};
+
+}  // namespace twm
+
+#endif  // SRC_TWM_TWM_H_

@@ -1,0 +1,247 @@
+#include "src/xlib/display.h"
+
+namespace xlib {
+
+using xproto::AtomId;
+using xproto::WindowId;
+
+Display::Display(xserver::Server* server, std::string client_machine)
+    : server_(server), machine_(std::move(client_machine)) {
+  client_ = server_->Connect(machine_);
+}
+
+Display::~Display() {
+  if (server_->HasClient(client_)) {
+    server_->Disconnect(client_);
+  }
+}
+
+WindowId Display::CreateWindow(WindowId parent, const xbase::Rect& geometry, int border_width,
+                               bool override_redirect, xproto::WindowClass window_class) {
+  return server_->CreateWindow(client_, parent, geometry, border_width, window_class,
+                               override_redirect);
+}
+
+bool Display::DestroyWindow(WindowId window) { return server_->DestroyWindow(client_, window); }
+bool Display::MapWindow(WindowId window) { return server_->MapWindow(client_, window); }
+
+bool Display::MapRaised(WindowId window) {
+  server_->RaiseWindow(client_, window);
+  return server_->MapWindow(client_, window);
+}
+
+bool Display::UnmapWindow(WindowId window) { return server_->UnmapWindow(client_, window); }
+
+bool Display::ReparentWindow(WindowId window, WindowId parent, const xbase::Point& position) {
+  return server_->ReparentWindow(client_, window, parent, position);
+}
+
+bool Display::ConfigureWindow(WindowId window, uint16_t value_mask,
+                              const xserver::ConfigureValues& values) {
+  return server_->ConfigureWindow(client_, window, value_mask, values);
+}
+
+bool Display::MoveWindow(WindowId window, const xbase::Point& position) {
+  return server_->MoveWindow(client_, window, position);
+}
+
+bool Display::ResizeWindow(WindowId window, const xbase::Size& size) {
+  return server_->ResizeWindow(client_, window, size);
+}
+
+bool Display::MoveResizeWindow(WindowId window, const xbase::Rect& geometry) {
+  return server_->MoveResizeWindow(client_, window, geometry);
+}
+
+bool Display::RaiseWindow(WindowId window) { return server_->RaiseWindow(client_, window); }
+bool Display::LowerWindow(WindowId window) { return server_->LowerWindow(client_, window); }
+
+bool Display::SelectInput(WindowId window, uint32_t event_mask) {
+  return server_->SelectInput(client_, window, event_mask);
+}
+
+bool Display::AddToSaveSet(WindowId window) {
+  return server_->ChangeSaveSet(client_, window, /*add=*/true);
+}
+
+bool Display::RemoveFromSaveSet(WindowId window) {
+  return server_->ChangeSaveSet(client_, window, /*add=*/false);
+}
+
+std::optional<xserver::WindowAttributes> Display::GetWindowAttributes(WindowId window) const {
+  return server_->GetWindowAttributes(window);
+}
+
+std::optional<xbase::Rect> Display::GetGeometry(WindowId window) const {
+  return server_->GetGeometry(window);
+}
+
+std::optional<xserver::QueryTreeReply> Display::QueryTree(WindowId window) const {
+  return server_->QueryTree(window);
+}
+
+std::optional<xbase::Point> Display::TranslateCoordinates(WindowId src, WindowId dst,
+                                                          const xbase::Point& point) const {
+  return server_->TranslateCoordinates(src, dst, point);
+}
+
+AtomId Display::InternAtom(const std::string& name) { return server_->InternAtom(name); }
+
+std::optional<std::string> Display::GetAtomName(AtomId atom) const {
+  return server_->GetAtomName(atom);
+}
+
+bool Display::ChangeProperty(WindowId window, AtomId property, AtomId type, int format,
+                             xserver::PropMode mode, const std::vector<uint8_t>& data) {
+  return server_->ChangeProperty(client_, window, property, type, format, mode, data);
+}
+
+std::optional<xserver::PropertyRec> Display::GetProperty(WindowId window,
+                                                         AtomId property) const {
+  return server_->GetProperty(window, property);
+}
+
+bool Display::DeleteProperty(WindowId window, AtomId property) {
+  return server_->DeleteProperty(client_, window, property);
+}
+
+bool Display::SetStringProperty(WindowId window, const std::string& name,
+                                const std::string& value) {
+  AtomId prop = InternAtom(name);
+  AtomId type = InternAtom("STRING");
+  std::vector<uint8_t> data(value.begin(), value.end());
+  return ChangeProperty(window, prop, type, 8, xserver::PropMode::kReplace, data);
+}
+
+std::optional<std::string> Display::GetStringProperty(WindowId window,
+                                                      const std::string& name) const {
+  auto atom_it = server_->GetProperty(
+      window, const_cast<xserver::Server*>(server_)->InternAtom(name));
+  if (!atom_it.has_value()) {
+    return std::nullopt;
+  }
+  return std::string(atom_it->data.begin(), atom_it->data.end());
+}
+
+bool Display::AppendStringProperty(WindowId window, const std::string& name,
+                                   const std::string& value) {
+  AtomId prop = InternAtom(name);
+  AtomId type = InternAtom("STRING");
+  std::vector<uint8_t> data(value.begin(), value.end());
+  return ChangeProperty(window, prop, type, 8, xserver::PropMode::kAppend, data);
+}
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t value) {
+  out->push_back(static_cast<uint8_t>(value & 0xff));
+  out->push_back(static_cast<uint8_t>((value >> 8) & 0xff));
+  out->push_back(static_cast<uint8_t>((value >> 16) & 0xff));
+  out->push_back(static_cast<uint8_t>((value >> 24) & 0xff));
+}
+
+std::optional<std::vector<uint32_t>> GetU32s(const xserver::PropertyRec& rec) {
+  if (rec.format != 32 || rec.data.size() % 4 != 0) {
+    return std::nullopt;
+  }
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < rec.data.size(); i += 4) {
+    out.push_back(static_cast<uint32_t>(rec.data[i]) |
+                  (static_cast<uint32_t>(rec.data[i + 1]) << 8) |
+                  (static_cast<uint32_t>(rec.data[i + 2]) << 16) |
+                  (static_cast<uint32_t>(rec.data[i + 3]) << 24));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Display::SetCardinalProperty(WindowId window, const std::string& name,
+                                  const std::vector<uint32_t>& values) {
+  AtomId prop = InternAtom(name);
+  AtomId type = InternAtom("CARDINAL");
+  std::vector<uint8_t> data;
+  for (uint32_t v : values) {
+    PutU32(&data, v);
+  }
+  return ChangeProperty(window, prop, type, 32, xserver::PropMode::kReplace, data);
+}
+
+std::optional<std::vector<uint32_t>> Display::GetCardinalProperty(
+    WindowId window, const std::string& name) const {
+  auto rec = server_->GetProperty(window,
+                                  const_cast<xserver::Server*>(server_)->InternAtom(name));
+  if (!rec.has_value()) {
+    return std::nullopt;
+  }
+  return GetU32s(*rec);
+}
+
+bool Display::SetWindowIdProperty(WindowId window, const std::string& name, WindowId value) {
+  AtomId prop = InternAtom(name);
+  AtomId type = InternAtom("WINDOW");
+  std::vector<uint8_t> data;
+  PutU32(&data, value);
+  return ChangeProperty(window, prop, type, 32, xserver::PropMode::kReplace, data);
+}
+
+std::optional<WindowId> Display::GetWindowIdProperty(WindowId window,
+                                                     const std::string& name) const {
+  auto rec = server_->GetProperty(window,
+                                  const_cast<xserver::Server*>(server_)->InternAtom(name));
+  if (!rec.has_value()) {
+    return std::nullopt;
+  }
+  auto values = GetU32s(*rec);
+  if (!values.has_value() || values->empty()) {
+    return std::nullopt;
+  }
+  return (*values)[0];
+}
+
+bool Display::SendEvent(WindowId destination, uint32_t event_mask, xproto::Event event) {
+  return server_->SendEvent(client_, destination, event_mask, std::move(event));
+}
+
+std::optional<xproto::Event> Display::NextEvent() { return server_->NextEvent(client_); }
+
+size_t Display::Pending() const { return server_->PendingEvents(client_); }
+
+bool Display::GrabButton(WindowId window, int button, uint32_t modifiers,
+                         uint32_t event_mask) {
+  return server_->GrabButton(client_, window, button, modifiers, event_mask);
+}
+
+bool Display::UngrabButton(WindowId window, int button, uint32_t modifiers) {
+  return server_->UngrabButton(client_, window, button, modifiers);
+}
+
+bool Display::ShapeSetMask(WindowId window, const xbase::Bitmap& mask) {
+  return server_->ShapeSetMask(client_, window, mask);
+}
+
+bool Display::ShapeSetRegion(WindowId window, xbase::Region region) {
+  return server_->ShapeSetRegion(client_, window, std::move(region));
+}
+
+bool Display::ShapeClear(WindowId window) { return server_->ShapeClear(client_, window); }
+
+bool Display::ShapeSelect(WindowId window, bool enable) {
+  return server_->ShapeSelect(client_, window, enable);
+}
+
+bool Display::SetWindowBackground(WindowId window, char background) {
+  return server_->SetWindowBackground(client_, window, background);
+}
+
+bool Display::SetCursor(WindowId window, const std::string& name) {
+  return server_->SetCursor(client_, window, name);
+}
+
+bool Display::ClearWindow(WindowId window) { return server_->ClearWindow(client_, window); }
+
+bool Display::Draw(WindowId window, xserver::DrawOp op) {
+  return server_->Draw(client_, window, std::move(op));
+}
+
+}  // namespace xlib

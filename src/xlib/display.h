@@ -1,0 +1,148 @@
+// Client-side library over the server simulator — the Xlib substitute.
+//
+// A Display is one client connection: it owns a client id, forwards requests
+// to the in-process server, and drains its own event queue.  The call
+// surface intentionally mirrors Xlib (CreateSimpleWindow, SelectInput,
+// InternAtom, ChangeProperty, NextEvent, ...) so the window-manager code
+// above reads like real X client code.
+#ifndef SRC_XLIB_DISPLAY_H_
+#define SRC_XLIB_DISPLAY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/xproto/events.h"
+#include "src/xproto/types.h"
+#include "src/xserver/server.h"
+
+namespace xlib {
+
+class Display {
+ public:
+  // Connects to the in-process server.  `client_machine` models the host
+  // this client runs on (clients "are not constrained to be run on the same
+  // system that is actually running the X server", paper §1).
+  explicit Display(xserver::Server* server, std::string client_machine = "localhost");
+  ~Display();
+
+  Display(const Display&) = delete;
+  Display& operator=(const Display&) = delete;
+
+  xserver::Server& server() { return *server_; }
+  const xserver::Server& server() const { return *server_; }
+  xproto::ClientId client_id() const { return client_; }
+  const std::string& client_machine() const { return machine_; }
+
+  // ---- Screens -----------------------------------------------------------
+  int ScreenCount() const { return server_->ScreenCount(); }
+  xproto::WindowId RootWindow(int screen = 0) const { return server_->RootWindow(screen); }
+  xbase::Size DisplaySize(int screen = 0) const { return server_->screen(screen).size; }
+  bool IsMonochrome(int screen = 0) const { return server_->screen(screen).monochrome; }
+
+  // ---- Windows -----------------------------------------------------------
+  xproto::WindowId CreateWindow(xproto::WindowId parent, const xbase::Rect& geometry,
+                                int border_width = 0, bool override_redirect = false,
+                                xproto::WindowClass window_class =
+                                    xproto::WindowClass::kInputOutput);
+  bool DestroyWindow(xproto::WindowId window);
+  bool MapWindow(xproto::WindowId window);
+  bool MapRaised(xproto::WindowId window);
+  bool UnmapWindow(xproto::WindowId window);
+  bool ReparentWindow(xproto::WindowId window, xproto::WindowId parent,
+                      const xbase::Point& position);
+  bool ConfigureWindow(xproto::WindowId window, uint16_t value_mask,
+                       const xserver::ConfigureValues& values);
+  bool MoveWindow(xproto::WindowId window, const xbase::Point& position);
+  bool ResizeWindow(xproto::WindowId window, const xbase::Size& size);
+  bool MoveResizeWindow(xproto::WindowId window, const xbase::Rect& geometry);
+  bool RaiseWindow(xproto::WindowId window);
+  bool LowerWindow(xproto::WindowId window);
+  bool SelectInput(xproto::WindowId window, uint32_t event_mask);
+  bool AddToSaveSet(xproto::WindowId window);
+  bool RemoveFromSaveSet(xproto::WindowId window);
+
+  std::optional<xserver::WindowAttributes> GetWindowAttributes(xproto::WindowId window) const;
+  std::optional<xbase::Rect> GetGeometry(xproto::WindowId window) const;
+  std::optional<xserver::QueryTreeReply> QueryTree(xproto::WindowId window) const;
+  std::optional<xbase::Point> TranslateCoordinates(xproto::WindowId src, xproto::WindowId dst,
+                                                   const xbase::Point& point) const;
+
+  // ---- Atoms & properties --------------------------------------------------
+  xproto::AtomId InternAtom(const std::string& name);
+  std::optional<std::string> GetAtomName(xproto::AtomId atom) const;
+
+  bool ChangeProperty(xproto::WindowId window, xproto::AtomId property, xproto::AtomId type,
+                      int format, xserver::PropMode mode, const std::vector<uint8_t>& data);
+  std::optional<xserver::PropertyRec> GetProperty(xproto::WindowId window,
+                                                  xproto::AtomId property) const;
+  bool DeleteProperty(xproto::WindowId window, xproto::AtomId property);
+
+  // Typed helpers (property names interned on the fly).
+  bool SetStringProperty(xproto::WindowId window, const std::string& name,
+                         const std::string& value);
+  std::optional<std::string> GetStringProperty(xproto::WindowId window,
+                                               const std::string& name) const;
+  bool AppendStringProperty(xproto::WindowId window, const std::string& name,
+                            const std::string& value);
+  bool SetCardinalProperty(xproto::WindowId window, const std::string& name,
+                           const std::vector<uint32_t>& values);
+  std::optional<std::vector<uint32_t>> GetCardinalProperty(xproto::WindowId window,
+                                                           const std::string& name) const;
+  bool SetWindowIdProperty(xproto::WindowId window, const std::string& name,
+                           xproto::WindowId value);
+  std::optional<xproto::WindowId> GetWindowIdProperty(xproto::WindowId window,
+                                                      const std::string& name) const;
+
+  // ---- Events --------------------------------------------------------------
+  bool SendEvent(xproto::WindowId destination, uint32_t event_mask, xproto::Event event);
+  std::optional<xproto::Event> NextEvent();
+  size_t Pending() const;
+  // Drains the queue calling `handler` for each event; returns count handled.
+  template <typename Handler>
+  int DrainEvents(Handler&& handler) {
+    int n = 0;
+    while (std::optional<xproto::Event> event = NextEvent()) {
+      handler(*event);
+      ++n;
+    }
+    return n;
+  }
+
+  // ---- Focus ---------------------------------------------------------------
+  bool SetInputFocus(xproto::WindowId window) {
+    return server_->SetInputFocus(client_, window);
+  }
+  xproto::WindowId GetInputFocus() const { return server_->GetInputFocus(); }
+
+  // ---- Pointer -------------------------------------------------------------
+  void WarpPointer(int screen, const xbase::Point& root_pos) {
+    server_->WarpPointer(screen, root_pos);
+  }
+  xserver::PointerState QueryPointer() const { return server_->QueryPointer(); }
+  bool GrabButton(xproto::WindowId window, int button, uint32_t modifiers,
+                  uint32_t event_mask);
+  bool UngrabButton(xproto::WindowId window, int button, uint32_t modifiers);
+
+  // ---- SHAPE ----------------------------------------------------------------
+  bool ShapeSetMask(xproto::WindowId window, const xbase::Bitmap& mask);
+  bool ShapeSetRegion(xproto::WindowId window, xbase::Region region);
+  bool ShapeClear(xproto::WindowId window);
+  bool ShapeSelect(xproto::WindowId window, bool enable);
+  bool IsShaped(xproto::WindowId window) const { return server_->IsShaped(window); }
+
+  // ---- Drawing ---------------------------------------------------------------
+  bool SetWindowBackground(xproto::WindowId window, char background);
+  bool SetCursor(xproto::WindowId window, const std::string& name);
+  bool ClearWindow(xproto::WindowId window);
+  bool Draw(xproto::WindowId window, xserver::DrawOp op);
+
+ private:
+  xserver::Server* server_;
+  xproto::ClientId client_;
+  std::string machine_;
+};
+
+}  // namespace xlib
+
+#endif  // SRC_XLIB_DISPLAY_H_

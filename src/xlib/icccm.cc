@@ -1,0 +1,315 @@
+#include "src/xlib/icccm.h"
+
+#include "src/base/strings.h"
+
+namespace xlib {
+
+using xproto::AtomId;
+using xproto::WindowId;
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t value) {
+  out->push_back(static_cast<uint8_t>(value & 0xff));
+  out->push_back(static_cast<uint8_t>((value >> 8) & 0xff));
+  out->push_back(static_cast<uint8_t>((value >> 16) & 0xff));
+  out->push_back(static_cast<uint8_t>((value >> 24) & 0xff));
+}
+
+void PutI32(std::vector<uint8_t>* out, int32_t value) {
+  PutU32(out, static_cast<uint32_t>(value));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ >= data_.size(); }
+
+  uint32_t U32() {
+    if (pos_ + 4 > data_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    uint32_t v = static_cast<uint32_t>(data_[pos_]) |
+                 (static_cast<uint32_t>(data_[pos_ + 1]) << 8) |
+                 (static_cast<uint32_t>(data_[pos_ + 2]) << 16) |
+                 (static_cast<uint32_t>(data_[pos_ + 3]) << 24);
+    pos_ += 4;
+    return v;
+  }
+
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+
+  std::string Rest() {
+    std::string s(data_.begin() + static_cast<long>(pos_), data_.end());
+    pos_ = data_.size();
+    return s;
+  }
+
+ private:
+  const std::vector<uint8_t>& data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+// ---- Simple string properties -------------------------------------------------
+
+bool SetWmName(Display* dpy, WindowId window, const std::string& name) {
+  return dpy->SetStringProperty(window, xproto::kAtomWmName, name);
+}
+
+std::optional<std::string> GetWmName(Display* dpy, WindowId window) {
+  return dpy->GetStringProperty(window, xproto::kAtomWmName);
+}
+
+bool SetWmIconName(Display* dpy, WindowId window, const std::string& name) {
+  return dpy->SetStringProperty(window, xproto::kAtomWmIconName, name);
+}
+
+std::optional<std::string> GetWmIconName(Display* dpy, WindowId window) {
+  return dpy->GetStringProperty(window, xproto::kAtomWmIconName);
+}
+
+bool SetWmClientMachine(Display* dpy, WindowId window, const std::string& machine) {
+  return dpy->SetStringProperty(window, xproto::kAtomWmClientMachine, machine);
+}
+
+std::optional<std::string> GetWmClientMachine(Display* dpy, WindowId window) {
+  return dpy->GetStringProperty(window, xproto::kAtomWmClientMachine);
+}
+
+// ---- WM_CLASS --------------------------------------------------------------
+
+bool SetWmClass(Display* dpy, WindowId window, const xproto::WmClass& wm_class) {
+  std::string encoded = wm_class.instance + '\0' + wm_class.clazz + '\0';
+  return dpy->SetStringProperty(window, xproto::kAtomWmClass, encoded);
+}
+
+std::optional<xproto::WmClass> GetWmClass(Display* dpy, WindowId window) {
+  std::optional<std::string> raw = dpy->GetStringProperty(window, xproto::kAtomWmClass);
+  if (!raw.has_value()) {
+    return std::nullopt;
+  }
+  size_t first_nul = raw->find('\0');
+  if (first_nul == std::string::npos) {
+    return std::nullopt;
+  }
+  size_t second_nul = raw->find('\0', first_nul + 1);
+  xproto::WmClass out;
+  out.instance = raw->substr(0, first_nul);
+  out.clazz = raw->substr(first_nul + 1, second_nul == std::string::npos
+                                             ? std::string::npos
+                                             : second_nul - first_nul - 1);
+  return out;
+}
+
+// ---- WM_COMMAND --------------------------------------------------------------
+
+bool SetWmCommand(Display* dpy, WindowId window, const std::vector<std::string>& argv) {
+  std::string encoded;
+  for (const std::string& arg : argv) {
+    encoded += arg;
+    encoded += '\0';
+  }
+  return dpy->SetStringProperty(window, xproto::kAtomWmCommand, encoded);
+}
+
+std::optional<std::vector<std::string>> GetWmCommand(Display* dpy, WindowId window) {
+  std::optional<std::string> raw = dpy->GetStringProperty(window, xproto::kAtomWmCommand);
+  if (!raw.has_value()) {
+    return std::nullopt;
+  }
+  std::vector<std::string> argv;
+  std::string cur;
+  for (char c : *raw) {
+    if (c == '\0') {
+      argv.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    argv.push_back(cur);  // Tolerate a missing trailing NUL.
+  }
+  return argv;
+}
+
+// ---- WM_NORMAL_HINTS -----------------------------------------------------------
+
+bool SetWmNormalHints(Display* dpy, WindowId window, const xproto::SizeHints& hints) {
+  std::vector<uint8_t> data;
+  PutU32(&data, hints.flags);
+  PutI32(&data, hints.x);
+  PutI32(&data, hints.y);
+  PutI32(&data, hints.width);
+  PutI32(&data, hints.height);
+  PutI32(&data, hints.min_width);
+  PutI32(&data, hints.min_height);
+  PutI32(&data, hints.max_width);
+  PutI32(&data, hints.max_height);
+  PutI32(&data, hints.width_inc);
+  PutI32(&data, hints.height_inc);
+  AtomId prop = dpy->InternAtom(xproto::kAtomWmNormalHints);
+  AtomId type = dpy->InternAtom("WM_SIZE_HINTS");
+  return dpy->ChangeProperty(window, prop, type, 32, xserver::PropMode::kReplace, data);
+}
+
+std::optional<xproto::SizeHints> GetWmNormalHints(Display* dpy, WindowId window) {
+  auto rec = dpy->GetProperty(window, dpy->InternAtom(xproto::kAtomWmNormalHints));
+  if (!rec.has_value()) {
+    return std::nullopt;
+  }
+  Reader reader(rec->data);
+  xproto::SizeHints hints;
+  hints.flags = reader.U32();
+  hints.x = reader.I32();
+  hints.y = reader.I32();
+  hints.width = reader.I32();
+  hints.height = reader.I32();
+  hints.min_width = reader.I32();
+  hints.min_height = reader.I32();
+  hints.max_width = reader.I32();
+  hints.max_height = reader.I32();
+  hints.width_inc = reader.I32();
+  hints.height_inc = reader.I32();
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  return hints;
+}
+
+// ---- WM_HINTS --------------------------------------------------------------------
+
+bool SetWmHints(Display* dpy, WindowId window, const xproto::WmHints& hints) {
+  std::vector<uint8_t> data;
+  PutU32(&data, hints.flags);
+  PutU32(&data, hints.input ? 1 : 0);
+  PutU32(&data, static_cast<uint32_t>(hints.initial_state));
+  PutU32(&data, hints.icon_window);
+  PutI32(&data, hints.icon_position.x);
+  PutI32(&data, hints.icon_position.y);
+  // The icon pixmap id is modeled as a named bitmap appended as bytes.
+  for (char c : hints.icon_pixmap_name) {
+    data.push_back(static_cast<uint8_t>(c));
+  }
+  AtomId prop = dpy->InternAtom(xproto::kAtomWmHints);
+  AtomId type = dpy->InternAtom("WM_HINTS");
+  return dpy->ChangeProperty(window, prop, type, 8, xserver::PropMode::kReplace, data);
+}
+
+std::optional<xproto::WmHints> GetWmHints(Display* dpy, WindowId window) {
+  auto rec = dpy->GetProperty(window, dpy->InternAtom(xproto::kAtomWmHints));
+  if (!rec.has_value()) {
+    return std::nullopt;
+  }
+  Reader reader(rec->data);
+  xproto::WmHints hints;
+  hints.flags = reader.U32();
+  hints.input = reader.U32() != 0;
+  hints.initial_state = static_cast<xproto::WmState>(reader.U32());
+  hints.icon_window = reader.U32();
+  hints.icon_position.x = reader.I32();
+  hints.icon_position.y = reader.I32();
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  hints.icon_pixmap_name = reader.Rest();
+  return hints;
+}
+
+// ---- WM_STATE ----------------------------------------------------------------------
+
+bool SetWmState(Display* dpy, WindowId window, xproto::WmState state, WindowId icon_window) {
+  std::vector<uint8_t> data;
+  PutU32(&data, static_cast<uint32_t>(state));
+  PutU32(&data, icon_window);
+  AtomId prop = dpy->InternAtom(xproto::kAtomWmState);
+  return dpy->ChangeProperty(window, prop, prop, 32, xserver::PropMode::kReplace, data);
+}
+
+std::optional<WmStateValue> GetWmState(Display* dpy, WindowId window) {
+  auto rec = dpy->GetProperty(window, dpy->InternAtom(xproto::kAtomWmState));
+  if (!rec.has_value()) {
+    return std::nullopt;
+  }
+  Reader reader(rec->data);
+  WmStateValue out;
+  out.state = static_cast<xproto::WmState>(reader.U32());
+  out.icon_window = reader.U32();
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+// ---- WM_PROTOCOLS ---------------------------------------------------------------------
+
+bool SetWmProtocols(Display* dpy, WindowId window,
+                    const std::vector<std::string>& protocols) {
+  std::vector<uint8_t> data;
+  for (const std::string& protocol : protocols) {
+    PutU32(&data, dpy->InternAtom(protocol));
+  }
+  AtomId prop = dpy->InternAtom(xproto::kAtomWmProtocols);
+  AtomId type = dpy->InternAtom("ATOM");
+  return dpy->ChangeProperty(window, prop, type, 32, xserver::PropMode::kReplace, data);
+}
+
+std::optional<std::vector<std::string>> GetWmProtocols(Display* dpy, WindowId window) {
+  auto rec = dpy->GetProperty(window, dpy->InternAtom(xproto::kAtomWmProtocols));
+  if (!rec.has_value() || rec->format != 32) {
+    return std::nullopt;
+  }
+  Reader reader(rec->data);
+  std::vector<std::string> out;
+  while (!reader.AtEnd()) {
+    AtomId atom = reader.U32();
+    if (!reader.ok()) {
+      return std::nullopt;
+    }
+    std::optional<std::string> name = dpy->GetAtomName(atom);
+    if (name.has_value()) {
+      out.push_back(*name);
+    }
+  }
+  return out;
+}
+
+// ---- Client messages ---------------------------------------------------------------------
+
+bool RequestIconify(Display* dpy, WindowId window, int screen) {
+  xproto::ClientMessageEvent message;
+  message.window = window;
+  message.message_type = dpy->InternAtom("WM_CHANGE_STATE");
+  message.format = 32;
+  message.data[0] = static_cast<uint32_t>(xproto::WmState::kIconic);
+  return dpy->SendEvent(dpy->RootWindow(screen),
+                        xproto::kSubstructureRedirectMask | xproto::kSubstructureNotifyMask,
+                        xproto::Event{message});
+}
+
+bool SendDeleteWindow(Display* dpy, WindowId window) {
+  xproto::ClientMessageEvent message;
+  message.window = window;
+  message.message_type = dpy->InternAtom(xproto::kAtomWmProtocols);
+  message.format = 32;
+  message.data[0] = dpy->InternAtom(xproto::kAtomWmDeleteWindow);
+  return dpy->SendEvent(window, 0, xproto::Event{message});
+}
+
+bool SendSyntheticConfigureNotify(Display* dpy, WindowId window,
+                                  const xbase::Rect& root_relative_geometry) {
+  xproto::ConfigureNotifyEvent notify;
+  notify.event_window = window;
+  notify.window = window;
+  notify.geometry = root_relative_geometry;
+  notify.synthetic = true;
+  return dpy->SendEvent(window, xproto::kStructureNotifyMask, xproto::Event{notify});
+}
+
+}  // namespace xlib

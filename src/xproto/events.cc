@@ -1,0 +1,70 @@
+#include "src/xproto/events.h"
+
+namespace xproto {
+namespace {
+
+struct NameVisitor {
+  std::string operator()(const ButtonEvent& e) const {
+    return e.press ? "ButtonPress" : "ButtonRelease";
+  }
+  std::string operator()(const MotionEvent&) const { return "MotionNotify"; }
+  std::string operator()(const KeyEvent& e) const { return e.press ? "KeyPress" : "KeyRelease"; }
+  std::string operator()(const CrossingEvent& e) const {
+    return e.enter ? "EnterNotify" : "LeaveNotify";
+  }
+  std::string operator()(const ExposeEvent&) const { return "Expose"; }
+  std::string operator()(const CreateNotifyEvent&) const { return "CreateNotify"; }
+  std::string operator()(const DestroyNotifyEvent&) const { return "DestroyNotify"; }
+  std::string operator()(const MapRequestEvent&) const { return "MapRequest"; }
+  std::string operator()(const MapNotifyEvent&) const { return "MapNotify"; }
+  std::string operator()(const UnmapNotifyEvent&) const { return "UnmapNotify"; }
+  std::string operator()(const ReparentNotifyEvent&) const { return "ReparentNotify"; }
+  std::string operator()(const ConfigureRequestEvent&) const { return "ConfigureRequest"; }
+  std::string operator()(const ConfigureNotifyEvent&) const { return "ConfigureNotify"; }
+  std::string operator()(const CirculateRequestEvent&) const { return "CirculateRequest"; }
+  std::string operator()(const PropertyNotifyEvent&) const { return "PropertyNotify"; }
+  std::string operator()(const ClientMessageEvent&) const { return "ClientMessage"; }
+  std::string operator()(const FocusEvent& e) const { return e.in ? "FocusIn" : "FocusOut"; }
+  std::string operator()(const ShapeNotifyEvent&) const { return "ShapeNotify"; }
+};
+
+struct WindowVisitor {
+  WindowId operator()(const ButtonEvent& e) const { return e.window; }
+  WindowId operator()(const MotionEvent& e) const { return e.window; }
+  WindowId operator()(const KeyEvent& e) const { return e.window; }
+  WindowId operator()(const CrossingEvent& e) const { return e.window; }
+  WindowId operator()(const ExposeEvent& e) const { return e.window; }
+  WindowId operator()(const CreateNotifyEvent& e) const { return e.parent; }
+  WindowId operator()(const DestroyNotifyEvent& e) const { return e.event_window; }
+  WindowId operator()(const MapRequestEvent& e) const { return e.parent; }
+  WindowId operator()(const MapNotifyEvent& e) const { return e.event_window; }
+  WindowId operator()(const UnmapNotifyEvent& e) const { return e.event_window; }
+  WindowId operator()(const ReparentNotifyEvent& e) const { return e.event_window; }
+  WindowId operator()(const ConfigureRequestEvent& e) const { return e.parent; }
+  WindowId operator()(const ConfigureNotifyEvent& e) const { return e.event_window; }
+  WindowId operator()(const CirculateRequestEvent& e) const { return e.parent; }
+  WindowId operator()(const PropertyNotifyEvent& e) const { return e.window; }
+  WindowId operator()(const ClientMessageEvent& e) const { return e.window; }
+  WindowId operator()(const FocusEvent& e) const { return e.window; }
+  WindowId operator()(const ShapeNotifyEvent& e) const { return e.window; }
+};
+
+}  // namespace
+
+std::string EventName(const Event& event) { return std::visit(NameVisitor{}, event); }
+
+WindowId EventWindow(const Event& event) { return std::visit(WindowVisitor{}, event); }
+
+std::string WmStateName(WmState state) {
+  switch (state) {
+    case WmState::kWithdrawn:
+      return "WithdrawnState";
+    case WmState::kNormal:
+      return "NormalState";
+    case WmState::kIconic:
+      return "IconicState";
+  }
+  return "UnknownState";
+}
+
+}  // namespace xproto

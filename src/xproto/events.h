@@ -1,0 +1,164 @@
+// Event structures delivered by the server simulator.  One struct per
+// protocol event; `Event` is the variant delivered to client queues.
+#ifndef SRC_XPROTO_EVENTS_H_
+#define SRC_XPROTO_EVENTS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/base/geometry.h"
+#include "src/xproto/types.h"
+
+namespace xproto {
+
+struct ButtonEvent {
+  bool press = true;
+  WindowId window = kNone;     // Event window (where delivered).
+  WindowId subwindow = kNone;  // Child of event window containing pointer.
+  int button = 1;
+  uint32_t modifiers = 0;
+  xbase::Point root_pos;  // Pointer position in (real) root coordinates.
+  xbase::Point pos;       // Pointer position relative to event window.
+  Timestamp time = 0;
+};
+
+struct MotionEvent {
+  WindowId window = kNone;
+  WindowId subwindow = kNone;
+  uint32_t modifiers = 0;
+  xbase::Point root_pos;
+  xbase::Point pos;
+  Timestamp time = 0;
+};
+
+struct KeyEvent {
+  bool press = true;
+  WindowId window = kNone;
+  KeySym keysym = 0;
+  uint32_t modifiers = 0;
+  xbase::Point root_pos;
+  xbase::Point pos;
+  Timestamp time = 0;
+};
+
+struct CrossingEvent {
+  bool enter = true;
+  WindowId window = kNone;
+  xbase::Point root_pos;
+  xbase::Point pos;
+  Timestamp time = 0;
+};
+
+struct ExposeEvent {
+  WindowId window = kNone;
+  xbase::Rect area;
+  int count = 0;  // Number of Expose events still to come for this window.
+};
+
+struct CreateNotifyEvent {
+  WindowId parent = kNone;
+  WindowId window = kNone;
+  xbase::Rect geometry;
+  bool override_redirect = false;
+};
+
+struct DestroyNotifyEvent {
+  WindowId event_window = kNone;
+  WindowId window = kNone;
+};
+
+struct MapRequestEvent {
+  WindowId parent = kNone;
+  WindowId window = kNone;
+};
+
+struct MapNotifyEvent {
+  WindowId event_window = kNone;
+  WindowId window = kNone;
+  bool override_redirect = false;
+};
+
+struct UnmapNotifyEvent {
+  WindowId event_window = kNone;
+  WindowId window = kNone;
+  bool from_configure = false;
+};
+
+struct ReparentNotifyEvent {
+  WindowId event_window = kNone;
+  WindowId window = kNone;
+  WindowId parent = kNone;
+  xbase::Point pos;
+  bool override_redirect = false;
+};
+
+struct ConfigureRequestEvent {
+  WindowId parent = kNone;
+  WindowId window = kNone;
+  uint16_t value_mask = 0;
+  xbase::Rect geometry;
+  int border_width = 0;
+  WindowId sibling = kNone;
+  StackMode stack_mode = StackMode::kAbove;
+};
+
+struct ConfigureNotifyEvent {
+  WindowId event_window = kNone;
+  WindowId window = kNone;
+  xbase::Rect geometry;  // Relative to parent; synthetic events carry
+                         // root-relative coordinates per ICCCM §4.1.5.
+  int border_width = 0;
+  WindowId above_sibling = kNone;
+  bool override_redirect = false;
+  bool synthetic = false;
+};
+
+struct CirculateRequestEvent {
+  WindowId parent = kNone;
+  WindowId window = kNone;
+  bool place_on_top = true;
+};
+
+struct PropertyNotifyEvent {
+  WindowId window = kNone;
+  AtomId atom = kAtomNone;
+  PropertyState state = PropertyState::kNewValue;
+  Timestamp time = 0;
+};
+
+struct ClientMessageEvent {
+  WindowId window = kNone;
+  AtomId message_type = kAtomNone;
+  int format = 32;
+  std::array<uint32_t, 5> data = {};
+};
+
+struct FocusEvent {
+  bool in = true;
+  WindowId window = kNone;
+};
+
+struct ShapeNotifyEvent {
+  WindowId window = kNone;
+  bool shaped = false;
+  xbase::Rect extents;
+};
+
+using Event =
+    std::variant<ButtonEvent, MotionEvent, KeyEvent, CrossingEvent, ExposeEvent,
+                 CreateNotifyEvent, DestroyNotifyEvent, MapRequestEvent, MapNotifyEvent,
+                 UnmapNotifyEvent, ReparentNotifyEvent, ConfigureRequestEvent,
+                 ConfigureNotifyEvent, CirculateRequestEvent, PropertyNotifyEvent,
+                 ClientMessageEvent, FocusEvent, ShapeNotifyEvent>;
+
+// Human-readable event name for logging/tests.
+std::string EventName(const Event& event);
+
+// The window an event is reported against (its "event window").
+WindowId EventWindow(const Event& event);
+
+}  // namespace xproto
+
+#endif  // SRC_XPROTO_EVENTS_H_

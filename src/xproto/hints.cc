@@ -1,0 +1,28 @@
+#include "src/xproto/hints.h"
+
+#include <algorithm>
+
+namespace xproto {
+
+xbase::Size SizeHints::Constrain(xbase::Size requested) const {
+  xbase::Size out = requested;
+  if (flags & kPMinSize) {
+    out.width = std::max(out.width, min_width);
+    out.height = std::max(out.height, min_height);
+  }
+  if (flags & kPMaxSize) {
+    out.width = std::min(out.width, max_width);
+    out.height = std::min(out.height, max_height);
+  }
+  if ((flags & kPResizeInc) && width_inc > 0 && height_inc > 0) {
+    int base_w = (flags & kPMinSize) ? min_width : 0;
+    int base_h = (flags & kPMinSize) ? min_height : 0;
+    out.width = base_w + ((out.width - base_w) / width_inc) * width_inc;
+    out.height = base_h + ((out.height - base_h) / height_inc) * height_inc;
+  }
+  out.width = std::clamp(out.width, 1, kMaxCoordinate);
+  out.height = std::clamp(out.height, 1, kMaxCoordinate);
+  return out;
+}
+
+}  // namespace xproto

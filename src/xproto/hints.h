@@ -1,0 +1,101 @@
+// ICCCM client hint structures (WM_NORMAL_HINTS, WM_HINTS) and the standard
+// property names window managers care about.
+#ifndef SRC_XPROTO_HINTS_H_
+#define SRC_XPROTO_HINTS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/geometry.h"
+#include "src/xproto/types.h"
+
+namespace xproto {
+
+// WM_NORMAL_HINTS flag bits (XSizeHints flags).
+enum SizeHintFlags : uint32_t {
+  kUSPosition = 1u << 0,  // User-specified x, y.
+  kUSSize = 1u << 1,      // User-specified width, height.
+  kPPosition = 1u << 2,   // Program-specified position.
+  kPSize = 1u << 3,       // Program-specified size.
+  kPMinSize = 1u << 4,
+  kPMaxSize = 1u << 5,
+  kPResizeInc = 1u << 6,
+};
+
+struct SizeHints {
+  uint32_t flags = 0;
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+  int min_width = 1;
+  int min_height = 1;
+  int max_width = kMaxCoordinate;
+  int max_height = kMaxCoordinate;
+  int width_inc = 1;
+  int height_inc = 1;
+
+  friend bool operator==(const SizeHints&, const SizeHints&) = default;
+
+  bool HasUserPosition() const { return (flags & kUSPosition) != 0; }
+  bool HasProgramPosition() const { return (flags & kPPosition) != 0; }
+
+  // Clamps a requested size to min/max and resize increments.
+  xbase::Size Constrain(xbase::Size requested) const;
+};
+
+// WM_HINTS flag bits (XWMHints flags).
+enum WmHintFlags : uint32_t {
+  kInputHint = 1u << 0,
+  kStateHint = 1u << 1,
+  kIconPixmapHint = 1u << 2,
+  kIconWindowHint = 1u << 3,
+  kIconPositionHint = 1u << 4,
+};
+
+struct WmHints {
+  uint32_t flags = 0;
+  bool input = true;
+  WmState initial_state = WmState::kNormal;
+  // Icon pixmap is modeled as a named built-in bitmap; empty = none.
+  std::string icon_pixmap_name;
+  WindowId icon_window = kNone;
+  xbase::Point icon_position;
+
+  friend bool operator==(const WmHints&, const WmHints&) = default;
+};
+
+struct WmClass {
+  std::string instance;  // res_name, e.g. "xclock".
+  std::string clazz;     // res_class, e.g. "XClock".
+
+  friend bool operator==(const WmClass&, const WmClass&) = default;
+};
+
+// Standard property/atom names (ICCCM plus swm's private protocol atoms).
+inline constexpr char kAtomWmName[] = "WM_NAME";
+inline constexpr char kAtomWmIconName[] = "WM_ICON_NAME";
+inline constexpr char kAtomWmClass[] = "WM_CLASS";
+inline constexpr char kAtomWmCommand[] = "WM_COMMAND";
+inline constexpr char kAtomWmClientMachine[] = "WM_CLIENT_MACHINE";
+inline constexpr char kAtomWmNormalHints[] = "WM_NORMAL_HINTS";
+inline constexpr char kAtomWmHints[] = "WM_HINTS";
+inline constexpr char kAtomWmState[] = "WM_STATE";
+inline constexpr char kAtomWmProtocols[] = "WM_PROTOCOLS";
+inline constexpr char kAtomWmDeleteWindow[] = "WM_DELETE_WINDOW";
+// swm-private: placed on the Virtual Desktop window so clients can discover
+// the virtual root (the historical __SWM_VROOT convention).
+inline constexpr char kAtomSwmVroot[] = "__SWM_VROOT";
+// swm-private: placed on each client, names the window id of its effective
+// root (virtual desktop or real root); updated on stick/unstick (paper §6.3.1).
+inline constexpr char kAtomSwmRoot[] = "SWM_ROOT";
+// swm-private: root-window property carrying swmcmd command strings (§4.5).
+inline constexpr char kAtomSwmCommand[] = "SWM_COMMAND";
+// swm-private: root-window property seeded by swmhints for session restart (§7).
+inline constexpr char kAtomSwmRestartInfo[] = "SWM_RESTART_INFO";
+
+}  // namespace xproto
+
+#endif  // SRC_XPROTO_HINTS_H_

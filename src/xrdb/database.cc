@@ -1,0 +1,281 @@
+#include "src/xrdb/database.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace xrdb {
+
+std::vector<ResourceComponent> ParseResourceName(const std::string& text) {
+  std::vector<ResourceComponent> components;
+  std::string current;
+  bool loose = false;       // Binding preceding the component being built.
+  bool have_binding = true; // The first component has an implicit tight binding.
+  for (char c : text) {
+    if (c == '.' || c == '*') {
+      if (current.empty()) {
+        if (c == '*') {
+          // Runs like "**" or ".*" collapse to a loose binding; "*" at the
+          // very start is also legal ("*foo").
+          loose = true;
+          have_binding = true;
+          continue;
+        }
+        return {};  // ".." or leading "." is malformed.
+      }
+      components.push_back({loose, current});
+      current.clear();
+      loose = c == '*';
+      have_binding = true;
+    } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+               c == '?') {
+      current.push_back(c);
+    } else {
+      return {};  // Illegal character in component.
+    }
+  }
+  if (current.empty() || !have_binding) {
+    return {};
+  }
+  components.push_back({loose, current});
+  return components;
+}
+
+std::string FormatResourceName(const std::vector<ResourceComponent>& components) {
+  std::string out;
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (components[i].loose) {
+      out += '*';
+    } else if (i > 0) {
+      out += '.';
+    }
+    out += components[i].name;
+  }
+  return out;
+}
+
+struct ResourceDatabase::Node {
+  // Children keyed by (binding, component-name).
+  std::map<ResourceComponent, std::unique_ptr<Node>> children;
+  std::optional<std::string> value;
+  bool has_loose_child = false;  // Cached: any loose-bound descendant edge here.
+};
+
+ResourceDatabase::ResourceDatabase() : root_(std::make_unique<Node>()) {}
+ResourceDatabase::~ResourceDatabase() = default;
+ResourceDatabase::ResourceDatabase(ResourceDatabase&&) noexcept = default;
+ResourceDatabase& ResourceDatabase::operator=(ResourceDatabase&&) noexcept = default;
+
+bool ResourceDatabase::Put(const std::string& specifier, const std::string& value) {
+  std::vector<ResourceComponent> components = ParseResourceName(specifier);
+  if (components.empty()) {
+    XB_LOG(Warning) << "xrdb: malformed resource specifier '" << specifier << "'";
+    return false;
+  }
+  Node* node = root_.get();
+  for (const ResourceComponent& component : components) {
+    if (component.loose) {
+      node->has_loose_child = true;
+    }
+    std::unique_ptr<Node>& child = node->children[component];
+    if (child == nullptr) {
+      child = std::make_unique<Node>();
+    }
+    node = child.get();
+  }
+  if (!node->value.has_value()) {
+    ++entry_count_;
+  }
+  node->value = value;
+  return true;
+}
+
+std::optional<std::string> ResourceDatabase::Match(const Node& node,
+                                                   const std::vector<std::string>& names,
+                                                   const std::vector<std::string>& classes,
+                                                   size_t level, bool loose_only) const {
+  if (level == names.size()) {
+    return node.value;
+  }
+  // Candidates in precedence order (see header).  After a skip, only
+  // loose-bound edges are eligible, because a tight binding means
+  // "immediately follows".
+  const std::string& name = names[level];
+  const std::string& clazz = classes[level];
+  struct Candidate {
+    bool loose;
+    const std::string* text;
+  };
+  const std::string question = "?";
+  const Candidate candidates[] = {
+      {false, &name},   {true, &name},   {false, &clazz},
+      {true, &clazz},   {false, &question}, {true, &question},
+  };
+  for (const Candidate& candidate : candidates) {
+    if (loose_only && !candidate.loose) {
+      continue;
+    }
+    auto it = node.children.find(ResourceComponent{candidate.loose, *candidate.text});
+    if (it != node.children.end()) {
+      std::optional<std::string> result =
+          Match(*it->second, names, classes, level + 1, /*loose_only=*/false);
+      if (result.has_value()) {
+        return result;
+      }
+    }
+  }
+  // Lowest precedence: skip this component (requires a loose edge below).
+  // The final component can never be skipped: an entry must match the
+  // resource name itself, not just a prefix.
+  if (node.has_loose_child && level + 1 < names.size()) {
+    return Match(node, names, classes, level + 1, /*loose_only=*/true);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ResourceDatabase::Get(const std::vector<std::string>& names,
+                                                 const std::vector<std::string>& classes) const {
+  if (names.empty() || names.size() != classes.size()) {
+    return std::nullopt;
+  }
+  return Match(*root_, names, classes, 0, /*loose_only=*/false);
+}
+
+std::optional<std::string> ResourceDatabase::Get(const std::string& dotted_names,
+                                                 const std::string& dotted_classes) const {
+  return Get(xbase::Split(dotted_names, '.'), xbase::Split(dotted_classes, '.'));
+}
+
+int ResourceDatabase::LoadFromString(const std::string& text) {
+  int loaded = 0;
+  std::istringstream stream(text);
+  std::string line;
+  std::string logical;
+  auto flush = [&]() {
+    std::string line_text = std::move(logical);
+    logical.clear();
+    std::string trimmed = xbase::TrimWhitespace(line_text);
+    if (trimmed.empty() || trimmed[0] == '!' || trimmed[0] == '#') {
+      return;
+    }
+    size_t colon = line_text.find(':');
+    if (colon == std::string::npos) {
+      XB_LOG(Warning) << "xrdb: line without ':' skipped: " << trimmed;
+      return;
+    }
+    std::string key = xbase::TrimWhitespace(line_text.substr(0, colon));
+    // Trailing whitespace in values is significant (only leading is eaten).
+    std::string raw_value = line_text.substr(colon + 1);
+    // Leading whitespace in the value is not significant; embedded is.
+    size_t start = 0;
+    while (start < raw_value.size() &&
+           (raw_value[start] == ' ' || raw_value[start] == '\t')) {
+      ++start;
+    }
+    std::string value;
+    for (size_t i = start; i < raw_value.size(); ++i) {
+      if (raw_value[i] == '\\' && i + 1 < raw_value.size() && raw_value[i + 1] == 'n') {
+        value.push_back('\n');
+        ++i;
+      } else if (raw_value[i] == '\\' && i + 1 < raw_value.size() &&
+                 raw_value[i + 1] == '\\') {
+        value.push_back('\\');
+        ++i;
+      } else {
+        value.push_back(raw_value[i]);
+      }
+    }
+    if (Put(key, value)) {
+      ++loaded;
+    }
+  };
+  while (std::getline(stream, line)) {
+    // Backslash at end of line continues onto the next line.
+    while (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      logical += line;
+      continue;
+    }
+    logical += line;
+    flush();
+  }
+  flush();
+  return loaded;
+}
+
+int ResourceDatabase::LoadFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    XB_LOG(Warning) << "xrdb: cannot open " << path;
+    return 0;
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return LoadFromString(contents.str());
+}
+
+void ResourceDatabase::Merge(const ResourceDatabase& other) {
+  for (const auto& [specifier, value] : other.Enumerate()) {
+    Put(specifier, value);
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> ResourceDatabase::Enumerate() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::vector<ResourceComponent> prefix;
+  // Iterative DFS using an explicit walker to keep Node private.
+  struct Frame {
+    const Node* node;
+    std::map<ResourceComponent, std::unique_ptr<Node>>::const_iterator it;
+  };
+  std::vector<Frame> stack;
+  if (root_->value.has_value()) {
+    out.emplace_back("", *root_->value);
+  }
+  stack.push_back({root_.get(), root_->children.begin()});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.it == frame.node->children.end()) {
+      if (!prefix.empty()) {
+        prefix.pop_back();
+      }
+      stack.pop_back();
+      continue;
+    }
+    const ResourceComponent& component = frame.it->first;
+    const Node* child = frame.it->second.get();
+    ++frame.it;
+    prefix.push_back(component);
+    if (child->value.has_value()) {
+      out.emplace_back(FormatResourceName(prefix), *child->value);
+    }
+    stack.push_back({child, child->children.begin()});
+  }
+  return out;
+}
+
+std::string ResourceDatabase::Serialize() const {
+  std::ostringstream os;
+  for (const auto& [specifier, value] : Enumerate()) {
+    std::string escaped;
+    for (char c : value) {
+      if (c == '\n') {
+        escaped += "\\n";
+      } else if (c == '\\') {
+        escaped += "\\\\";
+      } else {
+        escaped.push_back(c);
+      }
+    }
+    os << specifier << ": " << escaped << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xrdb

@@ -1,0 +1,95 @@
+// X resource database (Xrm) reimplementation.
+//
+// swm is configured *entirely* through the resource database (paper §3):
+// per-screen and per-visual prefixes, specific resources naming WM_CLASS
+// components, panel definitions, bindings, template files.  This module
+// implements the standard Xrm model: entries are component sequences with
+// tight (".") or loose ("*") bindings plus a single-component wildcard
+// ("?"), and queries follow XrmGetResource's precedence rules:
+//
+//   1. Matching a component (by name, class or "?") outranks skipping it
+//      (which only a loose binding permits).
+//   2. Matching by name outranks matching by class outranks "?".
+//   3. A tight binding outranks a loose binding.
+//
+// Rules apply per component, left to right, rule 1 strongest.
+#ifndef SRC_XRDB_DATABASE_H_
+#define SRC_XRDB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xrdb {
+
+struct ResourceComponent {
+  bool loose = false;  // Binding *preceding* this component: '.' or '*'.
+  std::string name;
+
+  friend bool operator==(const ResourceComponent&, const ResourceComponent&) = default;
+  friend auto operator<=>(const ResourceComponent&, const ResourceComponent&) = default;
+};
+
+// Parses "Swm*panel.openLook.resizeCorners" into components.  Returns an
+// empty vector on malformed input (empty component, trailing binding).
+std::vector<ResourceComponent> ParseResourceName(const std::string& text);
+
+// Re-serializes a component list ("a*b.c").
+std::string FormatResourceName(const std::vector<ResourceComponent>& components);
+
+class ResourceDatabase {
+ public:
+  ResourceDatabase();
+  ~ResourceDatabase();
+
+  ResourceDatabase(const ResourceDatabase&) = delete;
+  ResourceDatabase& operator=(const ResourceDatabase&) = delete;
+  ResourceDatabase(ResourceDatabase&&) noexcept;
+  ResourceDatabase& operator=(ResourceDatabase&&) noexcept;
+
+  // Inserts or replaces one entry.  Returns false on malformed specifier.
+  bool Put(const std::string& specifier, const std::string& value);
+
+  // XrmGetResource: `names` and `classes` must be the same length (the fully
+  // qualified name and class of the resource).  Returns the value of the
+  // most specific matching entry.
+  std::optional<std::string> Get(const std::vector<std::string>& names,
+                                 const std::vector<std::string>& classes) const;
+
+  // Convenience for "name.name.name" / "Class.Class.Class" dotted strings.
+  std::optional<std::string> Get(const std::string& dotted_names,
+                                 const std::string& dotted_classes) const;
+
+  // Loads "key: value" lines.  Supports '!' comment lines, '#' directives
+  // (ignored), backslash line-continuation and the \n escape in values.
+  // Returns the number of entries loaded; malformed lines are skipped with
+  // a warning.
+  int LoadFromString(const std::string& text);
+  int LoadFromFile(const std::string& path);
+
+  // Merges another database over this one (other's entries win).
+  void Merge(const ResourceDatabase& other);
+
+  // All entries as (specifier, value) pairs, in deterministic order.
+  std::vector<std::pair<std::string, std::string>> Enumerate() const;
+  std::string Serialize() const;
+
+  size_t size() const { return entry_count_; }
+  bool empty() const { return entry_count_ == 0; }
+
+ private:
+  struct Node;
+
+  std::optional<std::string> Match(const Node& node, const std::vector<std::string>& names,
+                                   const std::vector<std::string>& classes, size_t level,
+                                   bool loose_only) const;
+
+  std::unique_ptr<Node> root_;
+  size_t entry_count_ = 0;
+};
+
+}  // namespace xrdb
+
+#endif  // SRC_XRDB_DATABASE_H_

@@ -1,0 +1,822 @@
+#include "src/xserver/server.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace xserver {
+
+using xproto::AtomId;
+using xproto::ClientId;
+using xproto::Event;
+using xproto::EventMask;
+using xproto::kNone;
+using xproto::WindowId;
+
+Server::Server(std::vector<ScreenConfig> screens) {
+  XB_CHECK(!screens.empty());
+  for (size_t i = 0; i < screens.size(); ++i) {
+    const ScreenConfig& cfg = screens[i];
+    WindowRec root;
+    root.id = next_window_id_++;
+    root.parent = kNone;
+    root.screen = static_cast<int>(i);
+    root.geometry = xbase::Rect{0, 0, cfg.width, cfg.height};
+    root.mapped = true;
+    root.background = '.';
+    windows_[root.id] = root;
+    screens_.push_back(ScreenInfo{static_cast<int>(i), root.id,
+                                  xbase::Size{cfg.width, cfg.height}, cfg.monochrome});
+  }
+  pointer_.screen = 0;
+  pointer_.root_pos = {screens_[0].size.width / 2, screens_[0].size.height / 2};
+  pointer_.window = screens_[0].root;
+}
+
+Server::~Server() = default;
+
+// ---- Connections ----------------------------------------------------------
+
+ClientId Server::Connect(const std::string& client_machine) {
+  ClientId id = next_client_id_++;
+  clients_[id].machine = client_machine;
+  return id;
+}
+
+void Server::Disconnect(ClientId client) {
+  ClientRec* rec = FindClient(client);
+  if (rec == nullptr) {
+    return;
+  }
+  // Save-set processing: windows of *other* clients that this client added
+  // to its save set are reparented back to their screen's root and mapped.
+  std::vector<WindowId> save_set = rec->save_set;
+  for (WindowId wid : save_set) {
+    WindowRec* win = Find(wid);
+    if (win == nullptr || win->owner == client) {
+      continue;
+    }
+    xbase::Point root_pos = RootPosition(wid);
+    ReparentWindow(client, wid, screens_[win->screen].root, root_pos);
+    MapWindow(win->owner, wid);
+  }
+  // Destroy windows created by the client (top-level first is not required;
+  // DestroyRecursive handles nesting).
+  std::vector<WindowId> owned;
+  for (const auto& [wid, win] : windows_) {
+    if (win.owner == client) {
+      owned.push_back(wid);
+    }
+  }
+  for (WindowId wid : owned) {
+    if (windows_.count(wid) != 0) {
+      DestroyWindow(client, wid);
+    }
+  }
+  // Drop selections and grabs referencing the client.
+  for (auto& [wid, win] : windows_) {
+    win.selections.erase(client);
+    win.shape_selections.erase(client);
+    std::erase_if(win.passive_grabs,
+                  [client](const PassiveGrab& g) { return g.client == client; });
+    std::erase(win.save_set_clients, client);
+  }
+  if (grab_.active && grab_.client == client) {
+    grab_.active = false;
+  }
+  clients_.erase(client);
+}
+
+bool Server::HasClient(ClientId client) const { return clients_.count(client) != 0; }
+
+std::string Server::ClientMachine(ClientId client) const {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? std::string() : it->second.machine;
+}
+
+// ---- Screens / atoms --------------------------------------------------------
+
+const ScreenInfo& Server::screen(int number) const {
+  XB_CHECK_GE(number, 0);
+  XB_CHECK_LT(number, static_cast<int>(screens_.size()));
+  return screens_[number];
+}
+
+int Server::ScreenOfWindow(WindowId window) const {
+  const WindowRec* win = Find(window);
+  return win == nullptr ? -1 : win->screen;
+}
+
+AtomId Server::InternAtom(const std::string& name) {
+  auto it = atoms_.find(name);
+  if (it != atoms_.end()) {
+    return it->second;
+  }
+  atom_names_.push_back(name);
+  AtomId id = static_cast<AtomId>(atom_names_.size());
+  atoms_[name] = id;
+  return id;
+}
+
+std::optional<std::string> Server::GetAtomName(AtomId atom) const {
+  if (atom == 0 || atom > atom_names_.size()) {
+    return std::nullopt;
+  }
+  return atom_names_[atom - 1];
+}
+
+// ---- Lookup helpers ---------------------------------------------------------
+
+WindowRec* Server::Find(WindowId window) {
+  auto it = windows_.find(window);
+  return it == windows_.end() ? nullptr : &it->second;
+}
+
+const WindowRec* Server::Find(WindowId window) const {
+  auto it = windows_.find(window);
+  return it == windows_.end() ? nullptr : &it->second;
+}
+
+Server::ClientRec* Server::FindClient(ClientId client) {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? nullptr : &it->second;
+}
+
+ClientId Server::RedirectHolder(const WindowRec& win) const {
+  for (const auto& [client, mask] : win.selections) {
+    if (mask & xproto::kSubstructureRedirectMask) {
+      return client;
+    }
+  }
+  return 0;
+}
+
+// ---- Event delivery ---------------------------------------------------------
+
+void Server::Enqueue(ClientId client, Event event) {
+  ClientRec* rec = FindClient(client);
+  if (rec != nullptr) {
+    rec->queue.push_back(std::move(event));
+  }
+}
+
+int Server::DeliverToSelecting(WindowId window, uint32_t required_mask, const Event& event,
+                               ClientId skip) {
+  const WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return 0;
+  }
+  int delivered = 0;
+  for (const auto& [client, mask] : win->selections) {
+    if (client != skip && (mask & required_mask) != 0) {
+      Enqueue(client, event);
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+bool Server::SendEvent(ClientId client, WindowId destination, uint32_t event_mask,
+                       Event event) {
+  (void)client;
+  const WindowRec* win = Find(destination);
+  if (win == nullptr) {
+    return false;
+  }
+  if (event_mask == 0) {
+    Enqueue(win->owner, std::move(event));
+    return true;
+  }
+  DeliverToSelecting(destination, event_mask, event);
+  return true;
+}
+
+std::optional<Event> Server::NextEvent(ClientId client) {
+  ClientRec* rec = FindClient(client);
+  if (rec == nullptr || rec->queue.empty()) {
+    return std::nullopt;
+  }
+  Event event = std::move(rec->queue.front());
+  rec->queue.pop_front();
+  return event;
+}
+
+size_t Server::PendingEvents(ClientId client) const {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? 0 : it->second.queue.size();
+}
+
+// ---- Window lifecycle -------------------------------------------------------
+
+WindowId Server::CreateWindow(ClientId client, WindowId parent, const xbase::Rect& geometry,
+                              int border_width, xproto::WindowClass window_class,
+                              bool override_redirect) {
+  WindowRec* parent_rec = Find(parent);
+  if (parent_rec == nullptr || !HasClient(client)) {
+    XB_LOG(Warning) << "CreateWindow: bad parent " << parent;
+    return kNone;
+  }
+  WindowRec win;
+  win.id = next_window_id_++;
+  win.parent = parent;
+  win.screen = parent_rec->screen;
+  win.window_class = window_class;
+  win.geometry = geometry;
+  win.border_width = border_width;
+  win.override_redirect = override_redirect;
+  win.owner = client;
+  WindowId id = win.id;
+  windows_[id] = std::move(win);
+  parent_rec = Find(parent);  // Map may have rehashed.
+  parent_rec->children.push_back(id);
+  Tick();
+
+  xproto::CreateNotifyEvent notify;
+  notify.parent = parent;
+  notify.window = id;
+  notify.geometry = geometry;
+  notify.override_redirect = override_redirect;
+  DeliverToSelecting(parent, xproto::kSubstructureNotifyMask, Event{notify});
+  return id;
+}
+
+void Server::RemoveFromParent(WindowRec* win) {
+  WindowRec* parent = Find(win->parent);
+  if (parent != nullptr) {
+    std::erase(parent->children, win->id);
+  }
+}
+
+void Server::DestroyRecursive(WindowId window, bool notify_parent) {
+  WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return;
+  }
+  std::vector<WindowId> children = win->children;
+  for (WindowId child : children) {
+    DestroyRecursive(child, /*notify_parent=*/false);
+  }
+  win = Find(window);  // Children destruction does not rehash parents, but be safe.
+  if (win == nullptr) {
+    return;
+  }
+  Tick();
+  xproto::DestroyNotifyEvent notify;
+  notify.window = window;
+
+  // StructureNotify on the window itself.
+  notify.event_window = window;
+  DeliverToSelecting(window, xproto::kStructureNotifyMask, Event{notify});
+  // SubstructureNotify on the parent.
+  if (notify_parent && win->parent != kNone) {
+    notify.event_window = win->parent;
+    DeliverToSelecting(win->parent, xproto::kSubstructureNotifyMask, Event{notify});
+  }
+  RemoveFromParent(win);
+  // Drop the window from all save sets.
+  for (auto& [cid, rec] : clients_) {
+    std::erase(rec.save_set, window);
+  }
+  if (grab_.active && grab_.window == window) {
+    grab_.active = false;
+  }
+  if (pointer_.window == window) {
+    pointer_.window = screens_[pointer_.screen].root;
+  }
+  if (focus_window_ == window) {
+    focus_window_ = kNone;  // Revert to pointer-root focus.
+  }
+  windows_.erase(window);
+}
+
+bool Server::DestroyWindow(ClientId client, WindowId window) {
+  (void)client;
+  WindowRec* win = Find(window);
+  if (win == nullptr || win->parent == kNone) {
+    return false;  // Roots cannot be destroyed.
+  }
+  bool was_viewable = IsViewable(window);
+  if (was_viewable) {
+    UnmapWindow(client, window);
+  }
+  DestroyRecursive(window, /*notify_parent=*/true);
+  UpdatePointerWindow();
+  return true;
+}
+
+bool Server::AncestorsMapped(const WindowRec& win) const {
+  WindowId parent = win.parent;
+  while (parent != kNone) {
+    const WindowRec* p = Find(parent);
+    if (p == nullptr || !p->mapped) {
+      return false;
+    }
+    parent = p->parent;
+  }
+  return true;
+}
+
+void Server::SendExpose(WindowRec* win) {
+  if (win->window_class == xproto::WindowClass::kInputOnly) {
+    return;
+  }
+  xproto::ExposeEvent expose;
+  expose.window = win->id;
+  expose.area = xbase::Rect{0, 0, win->geometry.width, win->geometry.height};
+  expose.count = 0;
+  DeliverToSelecting(win->id, xproto::kExposureMask, Event{expose});
+}
+
+void Server::MapApplied(WindowRec* win) {
+  win->mapped = true;
+  Tick();
+  xproto::MapNotifyEvent notify;
+  notify.window = win->id;
+  notify.override_redirect = win->override_redirect;
+  notify.event_window = win->id;
+  DeliverToSelecting(win->id, xproto::kStructureNotifyMask, Event{notify});
+  if (win->parent != kNone) {
+    notify.event_window = win->parent;
+    DeliverToSelecting(win->parent, xproto::kSubstructureNotifyMask, Event{notify});
+  }
+  if (IsViewable(win->id)) {
+    SendExpose(win);
+  }
+  UpdatePointerWindow();
+}
+
+bool Server::MapWindow(ClientId client, WindowId window) {
+  WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return false;
+  }
+  if (win->mapped) {
+    return true;
+  }
+  if (!win->override_redirect && win->parent != kNone) {
+    const WindowRec* parent = Find(win->parent);
+    ClientId holder = RedirectHolder(*parent);
+    if (holder != 0 && holder != client) {
+      Tick();
+      xproto::MapRequestEvent request;
+      request.parent = win->parent;
+      request.window = window;
+      Enqueue(holder, Event{request});
+      return true;  // Redirected, not mapped.
+    }
+  }
+  MapApplied(win);
+  return true;
+}
+
+bool Server::UnmapWindow(ClientId client, WindowId window) {
+  (void)client;
+  WindowRec* win = Find(window);
+  if (win == nullptr || !win->mapped) {
+    return false;
+  }
+  win->mapped = false;
+  Tick();
+  xproto::UnmapNotifyEvent notify;
+  notify.window = window;
+  notify.event_window = window;
+  DeliverToSelecting(window, xproto::kStructureNotifyMask, Event{notify});
+  if (win->parent != kNone) {
+    notify.event_window = win->parent;
+    DeliverToSelecting(win->parent, xproto::kSubstructureNotifyMask, Event{notify});
+  }
+  UpdatePointerWindow();
+  return true;
+}
+
+bool Server::ReparentWindow(ClientId client, WindowId window, WindowId new_parent,
+                            const xbase::Point& position) {
+  WindowRec* win = Find(window);
+  WindowRec* parent = Find(new_parent);
+  if (win == nullptr || parent == nullptr || win->parent == kNone) {
+    return false;
+  }
+  if (window == new_parent || IsAncestorOrSelf(window, new_parent)) {
+    return false;  // Would create a cycle.
+  }
+  bool was_mapped = win->mapped;
+  if (was_mapped) {
+    UnmapWindow(client, window);
+  }
+  WindowId old_parent = win->parent;
+  RemoveFromParent(win);
+  win->parent = new_parent;
+  win->screen = parent->screen;
+  win->geometry.x = position.x;
+  win->geometry.y = position.y;
+  parent->children.push_back(window);
+  Tick();
+
+  xproto::ReparentNotifyEvent notify;
+  notify.window = window;
+  notify.parent = new_parent;
+  notify.pos = position;
+  notify.override_redirect = win->override_redirect;
+  notify.event_window = window;
+  DeliverToSelecting(window, xproto::kStructureNotifyMask, Event{notify});
+  notify.event_window = old_parent;
+  DeliverToSelecting(old_parent, xproto::kSubstructureNotifyMask, Event{notify});
+  if (new_parent != old_parent) {
+    notify.event_window = new_parent;
+    DeliverToSelecting(new_parent, xproto::kSubstructureNotifyMask, Event{notify});
+  }
+  if (was_mapped) {
+    // Re-map goes through redirect again per protocol.
+    MapWindow(client, window);
+  }
+  return true;
+}
+
+bool Server::ConfigureWindow(ClientId client, WindowId window, uint16_t value_mask,
+                             const ConfigureValues& values) {
+  WindowRec* win = Find(window);
+  if (win == nullptr || win->parent == kNone) {
+    return false;
+  }
+  WindowRec* parent = Find(win->parent);
+  if (!win->override_redirect && parent != nullptr) {
+    ClientId holder = RedirectHolder(*parent);
+    if (holder != 0 && holder != client) {
+      Tick();
+      xproto::ConfigureRequestEvent request;
+      request.parent = win->parent;
+      request.window = window;
+      request.value_mask = value_mask;
+      request.geometry = values.geometry;
+      request.border_width = values.border_width;
+      request.sibling = values.sibling;
+      request.stack_mode = values.stack_mode;
+      Enqueue(holder, Event{request});
+      return true;
+    }
+  }
+
+  xbase::Rect old_geometry = win->geometry;
+  if (value_mask & xproto::kConfigX) {
+    win->geometry.x = values.geometry.x;
+  }
+  if (value_mask & xproto::kConfigY) {
+    win->geometry.y = values.geometry.y;
+  }
+  if (value_mask & xproto::kConfigWidth) {
+    win->geometry.width = std::clamp(values.geometry.width, 1, xproto::kMaxCoordinate);
+  }
+  if (value_mask & xproto::kConfigHeight) {
+    win->geometry.height = std::clamp(values.geometry.height, 1, xproto::kMaxCoordinate);
+  }
+  if (value_mask & xproto::kConfigBorderWidth) {
+    win->border_width = values.border_width;
+  }
+  if ((value_mask & xproto::kConfigStackMode) && parent != nullptr) {
+    auto& siblings = parent->children;
+    std::erase(siblings, window);
+    switch (values.stack_mode) {
+      case xproto::StackMode::kAbove:
+      case xproto::StackMode::kTopIf:
+      case xproto::StackMode::kOpposite: {
+        if ((value_mask & xproto::kConfigSibling) && values.sibling != kNone) {
+          auto it = std::find(siblings.begin(), siblings.end(), values.sibling);
+          if (it != siblings.end()) {
+            siblings.insert(it + 1, window);
+          } else {
+            siblings.push_back(window);
+          }
+        } else {
+          siblings.push_back(window);
+        }
+        break;
+      }
+      case xproto::StackMode::kBelow:
+      case xproto::StackMode::kBottomIf: {
+        if ((value_mask & xproto::kConfigSibling) && values.sibling != kNone) {
+          auto it = std::find(siblings.begin(), siblings.end(), values.sibling);
+          siblings.insert(it, window);
+        } else {
+          siblings.insert(siblings.begin(), window);
+        }
+        break;
+      }
+    }
+  }
+
+  Tick();
+  xproto::ConfigureNotifyEvent notify;
+  notify.window = window;
+  notify.geometry = win->geometry;
+  notify.border_width = win->border_width;
+  notify.override_redirect = win->override_redirect;
+  notify.event_window = window;
+  DeliverToSelecting(window, xproto::kStructureNotifyMask, Event{notify});
+  if (win->parent != kNone) {
+    notify.event_window = win->parent;
+    DeliverToSelecting(win->parent, xproto::kSubstructureNotifyMask, Event{notify});
+  }
+  bool resized = old_geometry.size() != win->geometry.size();
+  if (resized && IsViewable(window)) {
+    SendExpose(win);
+  }
+  UpdatePointerWindow();
+  return true;
+}
+
+bool Server::MoveWindow(ClientId client, WindowId window, const xbase::Point& pos) {
+  ConfigureValues values;
+  values.geometry.x = pos.x;
+  values.geometry.y = pos.y;
+  return ConfigureWindow(client, window, xproto::kConfigX | xproto::kConfigY, values);
+}
+
+bool Server::ResizeWindow(ClientId client, WindowId window, const xbase::Size& size) {
+  ConfigureValues values;
+  values.geometry.width = size.width;
+  values.geometry.height = size.height;
+  return ConfigureWindow(client, window, xproto::kConfigWidth | xproto::kConfigHeight, values);
+}
+
+bool Server::MoveResizeWindow(ClientId client, WindowId window, const xbase::Rect& r) {
+  ConfigureValues values;
+  values.geometry = r;
+  return ConfigureWindow(
+      client, window,
+      xproto::kConfigX | xproto::kConfigY | xproto::kConfigWidth | xproto::kConfigHeight,
+      values);
+}
+
+bool Server::RaiseWindow(ClientId client, WindowId window) {
+  ConfigureValues values;
+  values.stack_mode = xproto::StackMode::kAbove;
+  return ConfigureWindow(client, window, xproto::kConfigStackMode, values);
+}
+
+bool Server::LowerWindow(ClientId client, WindowId window) {
+  ConfigureValues values;
+  values.stack_mode = xproto::StackMode::kBelow;
+  return ConfigureWindow(client, window, xproto::kConfigStackMode, values);
+}
+
+bool Server::SelectInput(ClientId client, WindowId window, uint32_t event_mask) {
+  WindowRec* win = Find(window);
+  if (win == nullptr || !HasClient(client)) {
+    return false;
+  }
+  if (event_mask & xproto::kSubstructureRedirectMask) {
+    ClientId holder = RedirectHolder(*win);
+    if (holder != 0 && holder != client) {
+      return false;  // Another window manager is running.
+    }
+  }
+  if (event_mask == 0) {
+    win->selections.erase(client);
+  } else {
+    win->selections[client] = event_mask;
+  }
+  return true;
+}
+
+uint32_t Server::SelectedInput(ClientId client, WindowId window) const {
+  const WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return 0;
+  }
+  auto it = win->selections.find(client);
+  return it == win->selections.end() ? 0 : it->second;
+}
+
+bool Server::ChangeSaveSet(ClientId client, WindowId window, bool add) {
+  WindowRec* win = Find(window);
+  ClientRec* rec = FindClient(client);
+  if (win == nullptr || rec == nullptr) {
+    return false;
+  }
+  if (add) {
+    if (std::find(rec->save_set.begin(), rec->save_set.end(), window) == rec->save_set.end()) {
+      rec->save_set.push_back(window);
+      win->save_set_clients.push_back(client);
+    }
+  } else {
+    std::erase(rec->save_set, window);
+    std::erase(win->save_set_clients, client);
+  }
+  return true;
+}
+
+// ---- Introspection ----------------------------------------------------------
+
+std::optional<WindowAttributes> Server::GetWindowAttributes(WindowId window) const {
+  const WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return std::nullopt;
+  }
+  WindowAttributes attrs;
+  attrs.window_class = win->window_class;
+  attrs.override_redirect = win->override_redirect;
+  attrs.all_event_masks = win->AllSelections();
+  attrs.border_width = win->border_width;
+  if (!win->mapped) {
+    attrs.map_state = xproto::MapState::kUnmapped;
+  } else if (AncestorsMapped(*win)) {
+    attrs.map_state = xproto::MapState::kViewable;
+  } else {
+    attrs.map_state = xproto::MapState::kUnviewable;
+  }
+  return attrs;
+}
+
+std::optional<xbase::Rect> Server::GetGeometry(WindowId window) const {
+  const WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return std::nullopt;
+  }
+  return win->geometry;
+}
+
+std::optional<QueryTreeReply> Server::QueryTree(WindowId window) const {
+  const WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return std::nullopt;
+  }
+  QueryTreeReply reply;
+  reply.parent = win->parent;
+  reply.children = win->children;
+  reply.root = screens_[win->screen].root;
+  return reply;
+}
+
+xbase::Point Server::RootPosition(WindowId window) const {
+  xbase::Point pos;
+  const WindowRec* win = Find(window);
+  while (win != nullptr) {
+    pos.x += win->geometry.x;
+    pos.y += win->geometry.y;
+    win = Find(win->parent);
+  }
+  return pos;
+}
+
+std::optional<xbase::Point> Server::TranslateCoordinates(WindowId src, WindowId dst,
+                                                         const xbase::Point& point) const {
+  const WindowRec* src_win = Find(src);
+  const WindowRec* dst_win = Find(dst);
+  if (src_win == nullptr || dst_win == nullptr || src_win->screen != dst_win->screen) {
+    return std::nullopt;
+  }
+  xbase::Point src_root = RootPosition(src);
+  xbase::Point dst_root = RootPosition(dst);
+  return xbase::Point{point.x + src_root.x - dst_root.x, point.y + src_root.y - dst_root.y};
+}
+
+bool Server::WindowExists(WindowId window) const { return Find(window) != nullptr; }
+
+bool Server::IsViewable(WindowId window) const {
+  const WindowRec* win = Find(window);
+  return win != nullptr && win->mapped && AncestorsMapped(*win);
+}
+
+bool Server::IsAncestorOrSelf(WindowId ancestor, WindowId descendant) const {
+  WindowId cur = descendant;
+  while (cur != kNone) {
+    if (cur == ancestor) {
+      return true;
+    }
+    const WindowRec* win = Find(cur);
+    if (win == nullptr) {
+      return false;
+    }
+    cur = win->parent;
+  }
+  return false;
+}
+
+// ---- Properties -------------------------------------------------------------
+
+bool Server::ChangeProperty(ClientId client, WindowId window, AtomId property, AtomId type,
+                            int format, PropMode mode, const std::vector<uint8_t>& data) {
+  (void)client;
+  WindowRec* win = Find(window);
+  if (win == nullptr || property == xproto::kAtomNone) {
+    return false;
+  }
+  if (format != 8 && format != 16 && format != 32) {
+    return false;
+  }
+  PropertyRec& rec = win->properties[property];
+  switch (mode) {
+    case PropMode::kReplace:
+      rec.type = type;
+      rec.format = format;
+      rec.data = data;
+      break;
+    case PropMode::kAppend:
+      if (!rec.data.empty() && (rec.type != type || rec.format != format)) {
+        return false;
+      }
+      rec.type = type;
+      rec.format = format;
+      rec.data.insert(rec.data.end(), data.begin(), data.end());
+      break;
+    case PropMode::kPrepend:
+      if (!rec.data.empty() && (rec.type != type || rec.format != format)) {
+        return false;
+      }
+      rec.type = type;
+      rec.format = format;
+      rec.data.insert(rec.data.begin(), data.begin(), data.end());
+      break;
+  }
+  xproto::PropertyNotifyEvent notify;
+  notify.window = window;
+  notify.atom = property;
+  notify.state = xproto::PropertyState::kNewValue;
+  notify.time = Tick();
+  DeliverToSelecting(window, xproto::kPropertyChangeMask, Event{notify});
+  return true;
+}
+
+bool Server::DeleteProperty(ClientId client, WindowId window, AtomId property) {
+  (void)client;
+  WindowRec* win = Find(window);
+  if (win == nullptr || win->properties.erase(property) == 0) {
+    return false;
+  }
+  xproto::PropertyNotifyEvent notify;
+  notify.window = window;
+  notify.atom = property;
+  notify.state = xproto::PropertyState::kDeleted;
+  notify.time = Tick();
+  DeliverToSelecting(window, xproto::kPropertyChangeMask, Event{notify});
+  return true;
+}
+
+std::optional<PropertyRec> Server::GetProperty(WindowId window, AtomId property) const {
+  const WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return std::nullopt;
+  }
+  auto it = win->properties.find(property);
+  if (it == win->properties.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<AtomId> Server::ListProperties(WindowId window) const {
+  std::vector<AtomId> out;
+  const WindowRec* win = Find(window);
+  if (win != nullptr) {
+    for (const auto& [atom, rec] : win->properties) {
+      out.push_back(atom);
+    }
+  }
+  return out;
+}
+
+// ---- Drawing ----------------------------------------------------------------
+
+bool Server::SetWindowBackground(ClientId client, WindowId window, char background) {
+  (void)client;
+  WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return false;
+  }
+  win->background = background;
+  return true;
+}
+
+bool Server::SetCursor(ClientId client, WindowId window, const std::string& name) {
+  (void)client;
+  WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return false;
+  }
+  win->cursor_name = name;
+  return true;
+}
+
+bool Server::ClearWindow(ClientId client, WindowId window) {
+  (void)client;
+  WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return false;
+  }
+  // No Expose is generated here: redraw-on-clear would make every renderer
+  // that clears-then-draws in its Expose handler loop forever.
+  win->draw_ops.clear();
+  return true;
+}
+
+bool Server::Draw(ClientId client, WindowId window, DrawOp op) {
+  (void)client;
+  WindowRec* win = Find(window);
+  if (win == nullptr || win->window_class == xproto::WindowClass::kInputOnly) {
+    return false;
+  }
+  win->draw_ops.push_back(std::move(op));
+  return true;
+}
+
+}  // namespace xserver

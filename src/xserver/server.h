@@ -1,0 +1,267 @@
+// In-memory X server simulator.
+//
+// Substitutes for the live X11 server the paper ran against.  It implements
+// the protocol semantics a window manager exercises: the window tree with
+// stacking, reparenting and save-sets; per-client event selection and
+// delivery including SubstructureRedirect (MapRequest / ConfigureRequest);
+// properties and atoms with PropertyNotify; pointer/keyboard simulation with
+// propagation, automatic and passive grabs; the SHAPE extension; and a
+// display-list renderer that paints a screen into an ASCII canvas so the
+// paper's figures can be regenerated deterministically.
+//
+// Single-threaded by design: requests are synchronous calls and events are
+// queued per client connection, exactly like a round-trip-free Xlib stream.
+#ifndef SRC_XSERVER_SERVER_H_
+#define SRC_XSERVER_SERVER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/canvas.h"
+#include "src/xproto/events.h"
+#include "src/xproto/types.h"
+#include "src/xserver/window.h"
+
+namespace xserver {
+
+struct ScreenConfig {
+  int width = 1152;
+  int height = 900;
+  bool monochrome = false;
+};
+
+struct ScreenInfo {
+  int number = 0;
+  xproto::WindowId root = xproto::kNone;
+  xbase::Size size;
+  bool monochrome = false;
+};
+
+struct ConfigureValues {
+  xbase::Rect geometry;
+  int border_width = 0;
+  xproto::WindowId sibling = xproto::kNone;
+  xproto::StackMode stack_mode = xproto::StackMode::kAbove;
+};
+
+struct WindowAttributes {
+  xproto::WindowClass window_class = xproto::WindowClass::kInputOutput;
+  xproto::MapState map_state = xproto::MapState::kUnmapped;
+  bool override_redirect = false;
+  uint32_t all_event_masks = 0;
+  int border_width = 0;
+};
+
+struct QueryTreeReply {
+  xproto::WindowId root = xproto::kNone;
+  xproto::WindowId parent = xproto::kNone;
+  std::vector<xproto::WindowId> children;  // Bottom-most first.
+};
+
+struct PointerState {
+  int screen = 0;
+  xbase::Point root_pos;
+  xproto::WindowId window = xproto::kNone;  // Deepest viewable window under pointer.
+  uint32_t buttons_down = 0;                // Bit i-1 set for button i.
+};
+
+enum class PropMode {
+  kReplace,
+  kAppend,
+  kPrepend,
+};
+
+class Server {
+ public:
+  explicit Server(std::vector<ScreenConfig> screens = {ScreenConfig{}});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // ---- Connections -------------------------------------------------------
+  xproto::ClientId Connect(const std::string& client_machine = "localhost");
+  // Runs save-set processing (reparent-to-root + remap of other clients'
+  // windows the disconnecting client had added), then destroys the client's
+  // own windows and selections.
+  void Disconnect(xproto::ClientId client);
+  bool HasClient(xproto::ClientId client) const;
+  std::string ClientMachine(xproto::ClientId client) const;
+
+  // ---- Screens -----------------------------------------------------------
+  int ScreenCount() const { return static_cast<int>(screens_.size()); }
+  const ScreenInfo& screen(int number) const;
+  xproto::WindowId RootWindow(int number) const { return screen(number).root; }
+  // Screen a window lives on, or -1 for unknown windows.
+  int ScreenOfWindow(xproto::WindowId window) const;
+
+  // ---- Atoms -------------------------------------------------------------
+  xproto::AtomId InternAtom(const std::string& name);
+  std::optional<std::string> GetAtomName(xproto::AtomId atom) const;
+
+  // ---- Window lifecycle --------------------------------------------------
+  xproto::WindowId CreateWindow(xproto::ClientId client, xproto::WindowId parent,
+                                const xbase::Rect& geometry, int border_width,
+                                xproto::WindowClass window_class, bool override_redirect);
+  bool DestroyWindow(xproto::ClientId client, xproto::WindowId window);
+  bool MapWindow(xproto::ClientId client, xproto::WindowId window);
+  bool UnmapWindow(xproto::ClientId client, xproto::WindowId window);
+  bool ReparentWindow(xproto::ClientId client, xproto::WindowId window,
+                      xproto::WindowId new_parent, const xbase::Point& position);
+  bool ConfigureWindow(xproto::ClientId client, xproto::WindowId window, uint16_t value_mask,
+                       const ConfigureValues& values);
+
+  // Convenience wrappers over ConfigureWindow.
+  bool MoveWindow(xproto::ClientId client, xproto::WindowId window, const xbase::Point& pos);
+  bool ResizeWindow(xproto::ClientId client, xproto::WindowId window, const xbase::Size& size);
+  bool MoveResizeWindow(xproto::ClientId client, xproto::WindowId window, const xbase::Rect& r);
+  bool RaiseWindow(xproto::ClientId client, xproto::WindowId window);
+  bool LowerWindow(xproto::ClientId client, xproto::WindowId window);
+
+  // Fails (returns false) when another client already holds
+  // SubstructureRedirect on the window — "another WM is running".
+  bool SelectInput(xproto::ClientId client, xproto::WindowId window, uint32_t event_mask);
+  uint32_t SelectedInput(xproto::ClientId client, xproto::WindowId window) const;
+
+  bool ChangeSaveSet(xproto::ClientId client, xproto::WindowId window, bool add);
+
+  // ---- Introspection -----------------------------------------------------
+  std::optional<WindowAttributes> GetWindowAttributes(xproto::WindowId window) const;
+  std::optional<xbase::Rect> GetGeometry(xproto::WindowId window) const;
+  std::optional<QueryTreeReply> QueryTree(xproto::WindowId window) const;
+  std::optional<xbase::Point> TranslateCoordinates(xproto::WindowId src, xproto::WindowId dst,
+                                                   const xbase::Point& point) const;
+  bool WindowExists(xproto::WindowId window) const;
+  bool IsViewable(xproto::WindowId window) const;
+  // Position of the window's top-left corner in real-root coordinates.
+  xbase::Point RootPosition(xproto::WindowId window) const;
+
+  // ---- Properties --------------------------------------------------------
+  bool ChangeProperty(xproto::ClientId client, xproto::WindowId window, xproto::AtomId property,
+                      xproto::AtomId type, int format, PropMode mode,
+                      const std::vector<uint8_t>& data);
+  bool DeleteProperty(xproto::ClientId client, xproto::WindowId window,
+                      xproto::AtomId property);
+  std::optional<PropertyRec> GetProperty(xproto::WindowId window,
+                                         xproto::AtomId property) const;
+  std::vector<xproto::AtomId> ListProperties(xproto::WindowId window) const;
+
+  // ---- Events ------------------------------------------------------------
+  // event_mask == 0 delivers to the window's creating client (SendEvent
+  // semantics for ClientMessage).
+  bool SendEvent(xproto::ClientId client, xproto::WindowId destination, uint32_t event_mask,
+                 xproto::Event event);
+  std::optional<xproto::Event> NextEvent(xproto::ClientId client);
+  size_t PendingEvents(xproto::ClientId client) const;
+
+  // ---- Input focus ---------------------------------------------------------
+  // kNone means pointer-root focus (keys go to the window under the
+  // pointer).  FocusIn/FocusOut are delivered to FocusChangeMask selectors.
+  bool SetInputFocus(xproto::ClientId client, xproto::WindowId window);
+  xproto::WindowId GetInputFocus() const { return focus_window_; }
+
+  // ---- Pointer / keyboard ------------------------------------------------
+  void WarpPointer(int screen, const xbase::Point& root_pos);
+  PointerState QueryPointer() const { return pointer_; }
+  // Moves the pointer, generating Enter/Leave and MotionNotify events.
+  void SimulateMotion(const xbase::Point& root_pos);
+  void SimulateButton(int button, bool press, uint32_t modifiers = 0);
+  void SimulateKey(xproto::KeySym keysym, bool press, uint32_t modifiers = 0);
+  bool GrabButton(xproto::ClientId client, xproto::WindowId window, int button,
+                  uint32_t modifiers, uint32_t event_mask);
+  bool UngrabButton(xproto::ClientId client, xproto::WindowId window, int button,
+                    uint32_t modifiers);
+
+  // ---- SHAPE extension ---------------------------------------------------
+  bool ShapeSetMask(xproto::ClientId client, xproto::WindowId window,
+                    const xbase::Bitmap& mask);
+  bool ShapeSetRegion(xproto::ClientId client, xproto::WindowId window, xbase::Region region);
+  bool ShapeClear(xproto::ClientId client, xproto::WindowId window);
+  bool ShapeSelect(xproto::ClientId client, xproto::WindowId window, bool enable);
+  std::optional<xbase::Region> GetShape(xproto::WindowId window) const;
+  bool IsShaped(xproto::WindowId window) const;
+
+  // ---- Drawing / rendering ----------------------------------------------
+  bool SetWindowBackground(xproto::ClientId client, xproto::WindowId window, char background);
+  bool SetCursor(xproto::ClientId client, xproto::WindowId window, const std::string& name);
+  bool ClearWindow(xproto::ClientId client, xproto::WindowId window);
+  bool Draw(xproto::ClientId client, xproto::WindowId window, DrawOp op);
+  xbase::Canvas RenderScreen(int number) const;
+
+  xproto::Timestamp CurrentTime() const { return time_; }
+
+  // Test-only introspection (const view of internal records).
+  const WindowRec* FindWindowForTest(xproto::WindowId window) const { return Find(window); }
+
+ private:
+  struct ClientRec {
+    std::string machine;
+    std::deque<xproto::Event> queue;
+    std::vector<xproto::WindowId> save_set;
+  };
+
+  struct ActiveGrab {
+    bool active = false;
+    xproto::ClientId client = 0;
+    xproto::WindowId window = xproto::kNone;
+    int button = 0;
+    uint32_t event_mask = 0;
+  };
+
+  WindowRec* Find(xproto::WindowId window);
+  const WindowRec* Find(xproto::WindowId window) const;
+  ClientRec* FindClient(xproto::ClientId client);
+
+  xproto::Timestamp Tick() { return ++time_; }
+
+  // Delivers `event` to every client that selected `required_mask` on
+  // `window` (excluding `skip`).  Returns number of clients reached.
+  int DeliverToSelecting(xproto::WindowId window, uint32_t required_mask,
+                         const xproto::Event& event, xproto::ClientId skip = 0);
+  void Enqueue(xproto::ClientId client, xproto::Event event);
+
+  // The client holding SubstructureRedirect on `window`, or 0.
+  xproto::ClientId RedirectHolder(const WindowRec& win) const;
+
+  void DestroyRecursive(xproto::WindowId window, bool notify_parent);
+  void MapApplied(WindowRec* win);
+  void SendExpose(WindowRec* win);
+  bool AncestorsMapped(const WindowRec& win) const;
+  void RemoveFromParent(WindowRec* win);
+
+  // Pointer helpers.
+  xproto::WindowId DeepestViewableAt(const xbase::Point& root_pos) const;
+  xproto::WindowId DeepestInWindow(const WindowRec& win, const xbase::Point& local) const;
+  void UpdatePointerWindow();
+  // Child of `ancestor` on the path toward `descendant` (kNone if none).
+  xproto::WindowId ChildTowards(xproto::WindowId ancestor, xproto::WindowId descendant) const;
+  bool IsAncestorOrSelf(xproto::WindowId ancestor, xproto::WindowId descendant) const;
+
+  void SetShapeInternal(xproto::ClientId client, WindowRec* win,
+                        std::optional<xbase::Region> region);
+
+  void RenderWindow(const WindowRec& win, const xbase::Point& origin,
+                    const xbase::Region& clip, xbase::Canvas* canvas) const;
+
+  std::vector<ScreenInfo> screens_;
+  std::map<xproto::WindowId, WindowRec> windows_;
+  std::map<xproto::ClientId, ClientRec> clients_;
+  std::map<std::string, xproto::AtomId> atoms_;
+  std::vector<std::string> atom_names_;  // atom id - 1 -> name.
+
+  xproto::WindowId next_window_id_ = 1;
+  xproto::ClientId next_client_id_ = 1;
+  xproto::Timestamp time_ = 0;
+
+  PointerState pointer_;
+  ActiveGrab grab_;
+  xproto::WindowId focus_window_ = xproto::kNone;  // kNone = pointer-root.
+};
+
+}  // namespace xserver
+
+#endif  // SRC_XSERVER_SERVER_H_

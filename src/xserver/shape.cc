@@ -1,0 +1,81 @@
+// SHAPE extension: non-rectangular bounding shapes (paper §5).
+#include "src/xserver/server.h"
+
+namespace xserver {
+
+using xproto::ClientId;
+using xproto::Event;
+using xproto::WindowId;
+
+void Server::SetShapeInternal(ClientId client, WindowRec* win,
+                              std::optional<xbase::Region> region) {
+  (void)client;
+  win->shape = std::move(region);
+  Tick();
+  xproto::ShapeNotifyEvent notify;
+  notify.window = win->id;
+  notify.shaped = win->shape.has_value();
+  notify.extents = win->shape.has_value()
+                       ? win->shape->Bounds()
+                       : xbase::Rect{0, 0, win->geometry.width, win->geometry.height};
+  for (const auto& [cid, enabled] : win->shape_selections) {
+    if (enabled) {
+      Enqueue(cid, Event{notify});
+    }
+  }
+}
+
+bool Server::ShapeSetMask(ClientId client, WindowId window, const xbase::Bitmap& mask) {
+  WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return false;
+  }
+  SetShapeInternal(client, win, mask.ToRegion());
+  return true;
+}
+
+bool Server::ShapeSetRegion(ClientId client, WindowId window, xbase::Region region) {
+  WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return false;
+  }
+  SetShapeInternal(client, win, std::move(region));
+  return true;
+}
+
+bool Server::ShapeClear(ClientId client, WindowId window) {
+  WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return false;
+  }
+  SetShapeInternal(client, win, std::nullopt);
+  return true;
+}
+
+bool Server::ShapeSelect(ClientId client, WindowId window, bool enable) {
+  WindowRec* win = Find(window);
+  if (win == nullptr || !HasClient(client)) {
+    return false;
+  }
+  if (enable) {
+    win->shape_selections[client] = true;
+  } else {
+    win->shape_selections.erase(client);
+  }
+  return true;
+}
+
+std::optional<xbase::Region> Server::GetShape(WindowId window) const {
+  const WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return std::nullopt;
+  }
+  return win->shape;
+}
+
+bool Server::IsShaped(WindowId window) const {
+  const WindowRec* win = Find(window);
+  return win != nullptr && win->shape.has_value();
+}
+
+}  // namespace xserver

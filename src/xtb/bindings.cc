@@ -1,0 +1,266 @@
+#include "src/xtb/bindings.h"
+
+#include <map>
+#include <sstream>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace xtb {
+
+namespace {
+
+std::map<std::string, xproto::KeySym>& KeySymTable() {
+  static auto* table = new std::map<std::string, xproto::KeySym>();
+  return *table;
+}
+
+std::vector<std::string>& KeySymNames() {
+  static auto* names = new std::vector<std::string>();
+  return *names;
+}
+
+}  // namespace
+
+xproto::KeySym InternKeySym(const std::string& name) {
+  auto& table = KeySymTable();
+  auto it = table.find(name);
+  if (it != table.end()) {
+    return it->second;
+  }
+  KeySymNames().push_back(name);
+  xproto::KeySym sym = static_cast<xproto::KeySym>(KeySymNames().size());
+  table[name] = sym;
+  return sym;
+}
+
+std::string KeySymName(xproto::KeySym keysym) {
+  const auto& names = KeySymNames();
+  if (keysym == 0 || keysym > names.size()) {
+    return "";
+  }
+  return names[keysym - 1];
+}
+
+std::string BindingEvent::ToString() const {
+  std::string out;
+  if (modifiers & static_cast<uint32_t>(xproto::ModifierMask::kShift)) {
+    out += "Shift ";
+  }
+  if (modifiers & static_cast<uint32_t>(xproto::ModifierMask::kControl)) {
+    out += "Ctrl ";
+  }
+  if (modifiers & static_cast<uint32_t>(xproto::ModifierMask::kMod1)) {
+    out += "Meta ";
+  }
+  switch (kind) {
+    case EventKind::kButtonPress:
+      out += "<Btn" + std::to_string(button) + ">";
+      break;
+    case EventKind::kButtonRelease:
+      out += "<Btn" + std::to_string(button) + "Up>";
+      break;
+    case EventKind::kKeyPress:
+      out += "<Key>" + KeySymName(keysym);
+      break;
+    case EventKind::kEnter:
+      out += "<Enter>";
+      break;
+    case EventKind::kLeave:
+      out += "<Leave>";
+      break;
+    case EventKind::kMotion:
+      out += "<Motion>";
+      break;
+  }
+  return out;
+}
+
+std::string FunctionCall::ToString() const {
+  if (args.empty()) {
+    return name;
+  }
+  return name + "(" + xbase::JoinStrings(args, ",") + ")";
+}
+
+std::string Binding::ToString() const {
+  std::string out = event.ToString() + " :";
+  for (const FunctionCall& fn : functions) {
+    out += " " + fn.ToString();
+  }
+  return out;
+}
+
+namespace {
+
+// Parses the modifier prefix tokens before '<'.  Returns nullopt on an
+// unknown modifier name.
+std::optional<uint32_t> ParseModifiers(const std::string& prefix) {
+  uint32_t mods = 0;
+  for (const std::string& token : xbase::SplitWhitespace(prefix)) {
+    std::string lower = xbase::ToLowerAscii(token);
+    if (lower == "shift") {
+      mods |= static_cast<uint32_t>(xproto::ModifierMask::kShift);
+    } else if (lower == "ctrl" || lower == "control") {
+      mods |= static_cast<uint32_t>(xproto::ModifierMask::kControl);
+    } else if (lower == "meta" || lower == "mod1" || lower == "alt") {
+      mods |= static_cast<uint32_t>(xproto::ModifierMask::kMod1);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return mods;
+}
+
+std::optional<BindingEvent> ParseEventSpec(const std::string& text) {
+  size_t open = text.find('<');
+  size_t close = text.find('>');
+  if (open == std::string::npos || close == std::string::npos || close < open) {
+    return std::nullopt;
+  }
+  BindingEvent event;
+  std::optional<uint32_t> mods = ParseModifiers(text.substr(0, open));
+  if (!mods.has_value()) {
+    return std::nullopt;
+  }
+  event.modifiers = *mods;
+  std::string type = text.substr(open + 1, close - open - 1);
+  std::string detail = xbase::TrimWhitespace(text.substr(close + 1));
+  std::string type_lower = xbase::ToLowerAscii(type);
+
+  if (xbase::StartsWith(type_lower, "btn")) {
+    std::string rest = type_lower.substr(3);
+    bool release = false;
+    if (xbase::EndsWith(rest, "up")) {
+      release = true;
+      rest = rest.substr(0, rest.size() - 2);
+    } else if (xbase::EndsWith(rest, "down")) {
+      rest = rest.substr(0, rest.size() - 4);
+    }
+    std::optional<int> button = xbase::ParseInt(rest);
+    if (!button.has_value() || *button < 1 || *button > xproto::kMaxButton ||
+        !detail.empty()) {
+      return std::nullopt;
+    }
+    event.kind = release ? EventKind::kButtonRelease : EventKind::kButtonPress;
+    event.button = *button;
+    return event;
+  }
+  if (type_lower == "key") {
+    if (detail.empty()) {
+      return std::nullopt;
+    }
+    event.kind = EventKind::kKeyPress;
+    event.keysym = InternKeySym(detail);
+    return event;
+  }
+  if (type_lower == "enter" || type_lower == "enterwindow") {
+    event.kind = EventKind::kEnter;
+    return detail.empty() ? std::optional<BindingEvent>(event) : std::nullopt;
+  }
+  if (type_lower == "leave" || type_lower == "leavewindow") {
+    event.kind = EventKind::kLeave;
+    return detail.empty() ? std::optional<BindingEvent>(event) : std::nullopt;
+  }
+  if (type_lower == "motion" || type_lower == "ptrmoved") {
+    event.kind = EventKind::kMotion;
+    return detail.empty() ? std::optional<BindingEvent>(event) : std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<FunctionCall>> ParseFunctionList(const std::string& text) {
+  std::vector<FunctionCall> functions;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i >= n) {
+      break;
+    }
+    // Function name: up to whitespace or '('.
+    size_t start = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(text[i])) && text[i] != '(') {
+      ++i;
+    }
+    FunctionCall fn;
+    fn.name = text.substr(start, i - start);
+    if (fn.name.empty() || !xbase::StartsWith(fn.name, "f.")) {
+      return std::nullopt;
+    }
+    if (i < n && text[i] == '(') {
+      size_t close = text.find(')', i);
+      if (close == std::string::npos) {
+        return std::nullopt;
+      }
+      std::string args_text = text.substr(i + 1, close - i - 1);
+      if (!xbase::TrimWhitespace(args_text).empty()) {
+        for (const std::string& arg : xbase::Split(args_text, ',')) {
+          fn.args.push_back(xbase::TrimWhitespace(arg));
+        }
+      }
+      i = close + 1;
+    }
+    functions.push_back(std::move(fn));
+  }
+  if (functions.empty()) {
+    return std::nullopt;
+  }
+  return functions;
+}
+
+std::optional<Binding> ParseBindingLine(const std::string& line) {
+  size_t colon = line.find(':');
+  if (colon == std::string::npos) {
+    return std::nullopt;
+  }
+  std::optional<BindingEvent> event =
+      ParseEventSpec(xbase::TrimWhitespace(line.substr(0, colon)));
+  if (!event.has_value()) {
+    return std::nullopt;
+  }
+  std::optional<std::vector<FunctionCall>> functions =
+      ParseFunctionList(line.substr(colon + 1));
+  if (!functions.has_value()) {
+    return std::nullopt;
+  }
+  Binding binding;
+  binding.event = *event;
+  binding.functions = std::move(*functions);
+  return binding;
+}
+
+ParseResult ParseBindings(const std::string& text) {
+  ParseResult result;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    std::string trimmed = xbase::TrimWhitespace(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    std::optional<Binding> binding = ParseBindingLine(trimmed);
+    if (binding.has_value()) {
+      result.bindings.push_back(std::move(*binding));
+    } else {
+      XB_LOG(Warning) << "bindings: malformed line skipped: '" << trimmed << "'";
+      ++result.errors;
+    }
+  }
+  return result;
+}
+
+std::string FormatBindings(const std::vector<Binding>& bindings) {
+  std::string out;
+  for (const Binding& binding : bindings) {
+    out += binding.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace xtb

@@ -1,0 +1,91 @@
+// Parser for swm's object `bindings` attribute (paper §4.4):
+//
+//   swm*button.foo.bindings:
+//       <Btn1> : f.raise
+//       <Btn2> : f.save f.zoom
+//       <Key>Up : f.warpVertical(-50)
+//
+// (in resource files the lines are joined with trailing backslashes)
+//
+// The syntax is the X Toolkit Intrinsics translation-table format "so that
+// those familiar with the Xt syntax will not have to learn yet another way
+// of specifying actions".  Any number of bindings per object, any number of
+// functions per binding.
+#ifndef SRC_XTB_BINDINGS_H_
+#define SRC_XTB_BINDINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/xproto/types.h"
+
+namespace xtb {
+
+enum class EventKind {
+  kButtonPress,
+  kButtonRelease,
+  kKeyPress,
+  kEnter,
+  kLeave,
+  kMotion,
+};
+
+// Interned keysym registry: maps symbolic key names ("Up", "a", "F1") to
+// stable KeySym values shared by event producers and binding matchers.
+xproto::KeySym InternKeySym(const std::string& name);
+std::string KeySymName(xproto::KeySym keysym);
+
+struct BindingEvent {
+  EventKind kind = EventKind::kButtonPress;
+  int button = 0;            // 1..5 for button events, 0 otherwise.
+  uint32_t modifiers = 0;    // xproto::ModifierMask bits.
+  xproto::KeySym keysym = 0; // For kKeyPress.
+
+  friend bool operator==(const BindingEvent&, const BindingEvent&) = default;
+
+  std::string ToString() const;
+};
+
+struct FunctionCall {
+  std::string name;               // e.g. "f.raise", "f.warpVertical".
+  std::vector<std::string> args;  // Raw argument strings ("-50", "#$", "blob").
+
+  friend bool operator==(const FunctionCall&, const FunctionCall&) = default;
+
+  std::string ToString() const;
+};
+
+struct Binding {
+  BindingEvent event;
+  std::vector<FunctionCall> functions;
+
+  friend bool operator==(const Binding&, const Binding&) = default;
+
+  std::string ToString() const;
+};
+
+struct ParseResult {
+  std::vector<Binding> bindings;
+  int errors = 0;  // Malformed lines skipped (each also logged).
+};
+
+// Parses a whole bindings attribute value: one binding per line; blank
+// lines ignored.  Never fails wholesale — bad lines are counted and skipped
+// so one typo does not disable an object (matching Xt's resilience).
+ParseResult ParseBindings(const std::string& text);
+
+// Parses a single "event : functions" line.
+std::optional<Binding> ParseBindingLine(const std::string& line);
+
+// Parses just a function list ("f.save f.zoom f.warpVertical(-50)") — also
+// the syntax of swmcmd command strings (paper §4.5).
+std::optional<std::vector<FunctionCall>> ParseFunctionList(const std::string& text);
+
+// Serializes bindings back to the textual form (round-trip testable).
+std::string FormatBindings(const std::vector<Binding>& bindings);
+
+}  // namespace xtb
+
+#endif  // SRC_XTB_BINDINGS_H_

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "src/base/bitmap.h"
+#include "src/base/canvas.h"
+
+namespace xbase {
+namespace {
+
+TEST(BitmapTest, SetGetBounds) {
+  Bitmap bm(4, 3);
+  EXPECT_FALSE(bm.Get(0, 0));
+  bm.Set(0, 0, true);
+  bm.Set(3, 2, true);
+  EXPECT_TRUE(bm.Get(0, 0));
+  EXPECT_TRUE(bm.Get(3, 2));
+  // Out-of-bounds reads are false; writes are ignored.
+  EXPECT_FALSE(bm.Get(-1, 0));
+  EXPECT_FALSE(bm.Get(4, 0));
+  bm.Set(10, 10, true);
+  EXPECT_EQ(bm.PopCount(), 2);
+}
+
+TEST(BitmapTest, AsciiRoundTrip) {
+  const char* art =
+      "#..#\n"
+      ".##.\n"
+      ".##.\n"
+      "#..#\n";
+  auto bm = Bitmap::FromAscii(art);
+  ASSERT_TRUE(bm.has_value());
+  EXPECT_EQ(bm->width(), 4);
+  EXPECT_EQ(bm->height(), 4);
+  EXPECT_EQ(bm->ToAscii(), art);
+}
+
+TEST(BitmapTest, FromAsciiRejectsRaggedAndJunk) {
+  EXPECT_FALSE(Bitmap::FromAscii("##\n#\n").has_value());
+  EXPECT_FALSE(Bitmap::FromAscii("#x\n##\n").has_value());
+}
+
+TEST(BitmapTest, ToRegionMatchesPopCount) {
+  auto bm = Bitmap::FromAscii(
+      "##..\n"
+      "##..\n"
+      "..##\n"
+      "..##\n");
+  ASSERT_TRUE(bm.has_value());
+  Region region = bm->ToRegion();
+  EXPECT_EQ(region.Area(), bm->PopCount());
+  EXPECT_EQ(region.RectCount(), 2u);  // Two coalesced squares.
+  EXPECT_TRUE(region.Contains({0, 0}));
+  EXPECT_FALSE(region.Contains({2, 0}));
+  EXPECT_TRUE(region.Contains({3, 3}));
+}
+
+TEST(BitmapTest, FillRectClamps) {
+  Bitmap bm(8, 8);
+  bm.FillRect(Rect{-2, -2, 5, 5}, true);
+  EXPECT_EQ(bm.PopCount(), 9);  // Only the in-bounds 3x3 corner.
+}
+
+TEST(BitmapTest, BuiltinsLookRight) {
+  const Bitmap& logo = XLogo32();
+  EXPECT_EQ(logo.width(), 32);
+  EXPECT_EQ(logo.height(), 32);
+  EXPECT_GT(logo.PopCount(), 0);
+  EXPECT_TRUE(logo.Get(0, 0));    // Diagonal stroke.
+  EXPECT_TRUE(logo.Get(31, 0));   // Anti-diagonal stroke.
+  EXPECT_FALSE(logo.Get(15, 0));  // Middle top is clear.
+
+  const Bitmap& circle = CircleMask(16);
+  EXPECT_TRUE(circle.Get(8, 8));
+  EXPECT_FALSE(circle.Get(0, 0));  // Corners are outside the circle.
+  EXPECT_FALSE(circle.Get(15, 15));
+
+  const Bitmap& rounded = RoundedMask16();
+  EXPECT_TRUE(rounded.Get(8, 8));
+  EXPECT_FALSE(rounded.Get(0, 0));
+  EXPECT_TRUE(rounded.Get(2, 0));
+}
+
+TEST(CanvasTest, PutAtGetAt) {
+  Canvas canvas(10, 5, '.');
+  EXPECT_EQ(canvas.At(0, 0), '.');
+  canvas.Put(3, 2, 'X');
+  EXPECT_EQ(canvas.At(3, 2), 'X');
+  EXPECT_EQ(canvas.At(-1, 0), '\0');
+  EXPECT_EQ(canvas.At(10, 0), '\0');
+  canvas.Put(99, 99, 'Y');  // Ignored.
+}
+
+TEST(CanvasTest, FillAndBorder) {
+  Canvas canvas(8, 4, ' ');
+  canvas.DrawBorder(Rect{0, 0, 8, 4});
+  EXPECT_EQ(canvas.At(0, 0), '+');
+  EXPECT_EQ(canvas.At(7, 3), '+');
+  EXPECT_EQ(canvas.At(3, 0), '-');
+  EXPECT_EQ(canvas.At(0, 2), '|');
+  EXPECT_EQ(canvas.At(3, 2), ' ');
+  canvas.FillRect(Rect{1, 1, 6, 2}, '#');
+  EXPECT_EQ(canvas.At(3, 2), '#');
+}
+
+TEST(CanvasTest, TextAndCenteredText) {
+  Canvas canvas(11, 3, ' ');
+  canvas.DrawText(0, 0, "hi");
+  EXPECT_EQ(canvas.At(0, 0), 'h');
+  EXPECT_EQ(canvas.At(1, 0), 'i');
+  canvas.DrawTextCentered(0, 11, 1, "abc");
+  EXPECT_EQ(canvas.At(4, 1), 'a');
+  EXPECT_EQ(canvas.At(6, 1), 'c');
+  // Overlong text is clipped at the canvas edge, not wrapped.
+  canvas.DrawText(9, 2, "xyz");
+  EXPECT_EQ(canvas.At(9, 2), 'x');
+  EXPECT_EQ(canvas.At(10, 2), 'y');
+  EXPECT_EQ(canvas.At(0, 2), ' ');
+}
+
+TEST(CanvasTest, ClipRestrictsDrawing) {
+  Canvas canvas(10, 10, ' ');
+  canvas.SetClip(Region(Rect{2, 2, 3, 3}));
+  canvas.FillRect(Rect{0, 0, 10, 10}, '#');
+  EXPECT_EQ(canvas.At(2, 2), '#');
+  EXPECT_EQ(canvas.At(4, 4), '#');
+  EXPECT_EQ(canvas.At(5, 5), ' ');
+  EXPECT_EQ(canvas.At(0, 0), ' ');
+  canvas.ClearClip();
+  canvas.Put(0, 0, 'Y');
+  EXPECT_EQ(canvas.At(0, 0), 'Y');
+}
+
+TEST(CanvasTest, DrawBitmap) {
+  Canvas canvas(6, 6, '.');
+  auto bm = Bitmap::FromAscii("##\n.#\n");
+  canvas.DrawBitmap(1, 1, *bm, '@');
+  EXPECT_EQ(canvas.At(1, 1), '@');
+  EXPECT_EQ(canvas.At(2, 1), '@');
+  EXPECT_EQ(canvas.At(1, 2), '.');  // Unset bitmap pixel leaves background.
+  EXPECT_EQ(canvas.At(2, 2), '@');
+}
+
+TEST(CanvasTest, ToStringShape) {
+  Canvas canvas(3, 2, '.');
+  EXPECT_EQ(canvas.ToString(), "...\n...\n");
+}
+
+}  // namespace
+}  // namespace xbase

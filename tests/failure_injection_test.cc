@@ -1,0 +1,237 @@
+// Failure injection: malformed configuration, hostile clients and nasty
+// sequencing.  swm must diagnose (XB_LOG) and degrade, never crash or
+// corrupt its bookkeeping.
+#include "src/swm/swmcmd.h"
+#include "src/xlib/icccm.h"
+#include "tests/swm_test_util.h"
+
+namespace swm_test {
+namespace {
+
+using swm::ManagedClient;
+
+class FailureTest : public SwmTest {
+ protected:
+  void SetUp() override { xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal); }
+  void TearDown() override { xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning); }
+};
+
+TEST_F(FailureTest, MalformedPanelDefinitionFallsBack) {
+  StartWm(
+      "swm*XTerm*decoration: broken\n"
+      "swm*panel.broken: button incomplete\n");  // Token count not ×3.
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  ManagedClient* client = Managed(*app);
+  ASSERT_NE(client, nullptr);
+  // Managed with the undecorated fallback; still fully functional.
+  EXPECT_TRUE(server_->IsViewable(app->window()));
+  wm_->Iconify(client);
+  EXPECT_EQ(client->state, xproto::WmState::kIconic);
+}
+
+TEST_F(FailureTest, MalformedBindingsKeepGoodLines) {
+  StartWm(
+      "Swm*button.name.bindings: <Btn1> : f.raise\\n"
+      "THIS IS GARBAGE\\n"
+      "<Btn2> : f.iconify\n");
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  ManagedClient* client = Managed(*app);
+  EXPECT_EQ(client->name_object->bindings().size(), 2u);
+}
+
+TEST_F(FailureTest, BadVirtualDesktopGeometryMeansNoDesktop) {
+  StartWm("swm*virtualDesktop: banana\n");
+  EXPECT_EQ(wm_->vdesk(0), nullptr);
+  // Management still works without a desktop.
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  EXPECT_NE(Managed(*app), nullptr);
+}
+
+TEST_F(FailureTest, BadIconHolderGeometryUsesDefault) {
+  StartWm(
+      "swm*iconHolders: box\n"
+      "swm*iconHolder.box.geometry: not-a-geometry\n");
+  ASSERT_EQ(wm_->icon_holders(0).size(), 1u);
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  wm_->Iconify(Managed(*app));
+  wm_->ProcessEvents();
+  EXPECT_EQ(Managed(*app)->icon_holder, wm_->icon_holders(0)[0]);
+}
+
+TEST_F(FailureTest, GarbageSwmcmdIgnored) {
+  StartWm();
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  xlib::Display shell(server_.get(), "s");
+  for (const char* junk :
+       {"", "   ", "rm -rf /", "f.", "f.raise(", ")(", "<Btn1> f.raise"}) {
+    swm::SendSwmCommand(&shell, 0, junk);
+    wm_->ProcessEvents();
+  }
+  EXPECT_EQ(Managed(*app)->state, xproto::WmState::kNormal);
+  EXPECT_EQ(wm_->ClientCount(), 1u);
+}
+
+TEST_F(FailureTest, ClientDestroyedWhileIconic) {
+  StartWm();
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  ManagedClient* client = Managed(*app);
+  wm_->Iconify(client);
+  wm_->ProcessEvents();
+  xproto::WindowId icon_window = client->icon->window();
+  app->display().DestroyWindow(app->window());
+  wm_->ProcessEvents();
+  EXPECT_EQ(wm_->ClientCount(), 0u);
+  EXPECT_FALSE(server_->WindowExists(icon_window));  // Icon cleaned up.
+}
+
+TEST_F(FailureTest, ClientDestroyedDuringPendingSelection) {
+  StartWm();
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  wm_->ExecuteCommandString("f.raise", 0);  // Arms the prompt.
+  ASSERT_TRUE(wm_->awaiting_target());
+  xbase::Point pos = server_->RootPosition(app->window());
+  app->display().DestroyWindow(app->window());
+  wm_->ProcessEvents();
+  // Clicking where the window used to be hits the root: prompt cancelled.
+  Click({pos.x + 1, pos.y + 1});
+  EXPECT_FALSE(wm_->awaiting_target());
+}
+
+TEST_F(FailureTest, ClientDestroyedMidDrag) {
+  StartWm("Swm*button.name.bindings: <Btn1> : f.move\n");
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  ManagedClient* client = Managed(*app);
+  xbase::Point pos = ObjectRootPos(client->name_object);
+  server_->SimulateMotion({pos.x + 1, pos.y + 1});
+  wm_->ProcessEvents();
+  server_->SimulateButton(1, true);
+  wm_->ProcessEvents();
+  // The client dies mid-drag.
+  app->display().DestroyWindow(app->window());
+  wm_->ProcessEvents();
+  server_->SimulateMotion({pos.x + 20, pos.y + 10});
+  server_->SimulateButton(1, false);
+  wm_->ProcessEvents();  // Must not crash.
+  EXPECT_EQ(wm_->ClientCount(), 0u);
+}
+
+TEST_F(FailureTest, CorruptWmHintsIgnored) {
+  StartWm();
+  xlib::ClientAppConfig config;
+  config.name = "weird";
+  config.wm_class = {"weird", "Weird"};
+  xlib::ClientApp app(server_.get(), config);
+  // Truncated WM_HINTS bytes.
+  app.display().ChangeProperty(app.window(), app.display().InternAtom("WM_HINTS"),
+                               app.display().InternAtom("WM_HINTS"), 8,
+                               xserver::PropMode::kReplace, {1, 2, 3});
+  // Truncated WM_NORMAL_HINTS too.
+  app.display().ChangeProperty(app.window(),
+                               app.display().InternAtom("WM_NORMAL_HINTS"),
+                               app.display().InternAtom("WM_SIZE_HINTS"), 32,
+                               xserver::PropMode::kReplace, {0, 0, 0, 0});
+  app.Map();
+  wm_->ProcessEvents();
+  ManagedClient* client = wm_->FindClient(app.window());
+  ASSERT_NE(client, nullptr);  // Defaults applied.
+  EXPECT_EQ(client->size_hints.flags, 0u);
+}
+
+TEST_F(FailureTest, MalformedRestartInfoSkipped) {
+  server_ = std::make_unique<xserver::Server>(
+      std::vector<xserver::ScreenConfig>{xserver::ScreenConfig{200, 100, false}});
+  xlib::Display seeder(server_.get(), "localhost");
+  seeder.AppendStringProperty(seeder.RootWindow(0), "SWM_RESTART_INFO",
+                              "swmhints -geometry 10x10+0+0 -cmd good\n"
+                              "complete garbage\n"
+                              "swmhints -geometry broken -cmd bad\n");
+  swm::WindowManager::Options options;
+  options.template_name = "openlook";
+  wm_ = std::make_unique<swm::WindowManager>(server_.get(), options);
+  ASSERT_TRUE(wm_->Start());
+  EXPECT_EQ(wm_->restart_table().size(), 1u);
+}
+
+TEST_F(FailureTest, OversizedClientRequestClamped) {
+  StartWm();
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  app->RequestMoveResize({0, 0, 9999999, 9999999});
+  wm_->ProcessEvents();
+  auto geometry = server_->GetGeometry(app->window());
+  EXPECT_LE(geometry->width, xproto::kMaxCoordinate);
+  EXPECT_LE(geometry->height, xproto::kMaxCoordinate);
+}
+
+TEST_F(FailureTest, DeeplyNestedPanelDefinitions) {
+  std::string resources = "swm*XTerm*decoration: p0\n";
+  for (int i = 0; i < 20; ++i) {
+    resources += "swm*panel.p" + std::to_string(i) + ": panel p" + std::to_string(i + 1) +
+                 " +0+0 panel client +0+1\n";
+  }
+  StartWm(resources);
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  EXPECT_NE(Managed(*app), nullptr);
+  EXPECT_TRUE(server_->IsViewable(app->window()));
+}
+
+TEST_F(FailureTest, SelfReferentialDecorationDegrades) {
+  StartWm(
+      "swm*XTerm*decoration: loop\n"
+      "swm*panel.loop: panel loop +0+0 panel client +0+1\n");
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  ManagedClient* client = Managed(*app);
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(server_->IsViewable(app->window()));
+}
+
+TEST_F(FailureTest, EmptyWmClassHandled) {
+  StartWm();
+  xlib::ClientAppConfig config;
+  config.name = "anon";
+  config.wm_class = {"", ""};
+  xlib::ClientApp app(server_.get(), config);
+  app.Map();
+  wm_->ProcessEvents();
+  EXPECT_NE(wm_->FindClient(app.window()), nullptr);
+}
+
+TEST_F(FailureTest, RapidMapUnmapChurn) {
+  StartWm();
+  xlib::ClientAppConfig config;
+  config.name = "flappy";
+  config.wm_class = {"flappy", "Flappy"};
+  xlib::ClientApp app(server_.get(), config);
+  for (int i = 0; i < 10; ++i) {
+    app.Map();
+    wm_->ProcessEvents();
+    ASSERT_NE(wm_->FindClient(app.window()), nullptr) << i;
+    app.Unmap();
+    wm_->ProcessEvents();
+    ASSERT_EQ(wm_->FindClient(app.window()), nullptr) << i;
+  }
+  EXPECT_EQ(server_->QueryTree(app.window())->parent, server_->RootWindow(0));
+}
+
+TEST_F(FailureTest, UnknownTemplateNameFallsBackToDefault) {
+  StartWm("", "no-such-template");
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  ManagedClient* client = Managed(*app);
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(client->decoration_name, "swmDefault");
+}
+
+TEST_F(FailureTest, IconifyAlreadyIconicIsIdempotent) {
+  StartWm();
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  ManagedClient* client = Managed(*app);
+  wm_->Iconify(client);
+  wm_->Iconify(client);
+  wm_->Deiconify(client);
+  wm_->Deiconify(client);
+  wm_->ProcessEvents();
+  EXPECT_EQ(client->state, xproto::WmState::kNormal);
+  EXPECT_TRUE(server_->IsViewable(app->window()));
+}
+
+}  // namespace
+}  // namespace swm_test

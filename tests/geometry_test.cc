@@ -1,0 +1,159 @@
+#include "src/base/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace xbase {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  Point a{3, 4};
+  Point b{-1, 10};
+  EXPECT_EQ((a + b), (Point{2, 14}));
+  EXPECT_EQ((a - b), (Point{4, -6}));
+  EXPECT_EQ(a, (Point{3, 4}));
+  EXPECT_NE(a, b);
+}
+
+TEST(SizeTest, EmptyAndArea) {
+  EXPECT_TRUE((Size{0, 5}.IsEmpty()));
+  EXPECT_TRUE((Size{5, 0}.IsEmpty()));
+  EXPECT_TRUE((Size{-1, 3}.IsEmpty()));
+  EXPECT_FALSE((Size{1, 1}.IsEmpty()));
+  EXPECT_EQ((Size{100, 200}.Area()), 20000);
+  EXPECT_EQ((Size{32767, 32767}.Area()), 32767LL * 32767LL);  // No overflow.
+}
+
+TEST(RectTest, EdgesAndContainment) {
+  Rect r{10, 20, 30, 40};
+  EXPECT_EQ(r.Left(), 10);
+  EXPECT_EQ(r.Top(), 20);
+  EXPECT_EQ(r.Right(), 40);
+  EXPECT_EQ(r.Bottom(), 60);
+  EXPECT_TRUE(r.Contains(Point{10, 20}));
+  EXPECT_TRUE(r.Contains(Point{39, 59}));
+  EXPECT_FALSE(r.Contains(Point{40, 20}));  // Right edge is exclusive.
+  EXPECT_FALSE(r.Contains(Point{10, 60}));
+  EXPECT_TRUE(r.Contains(Rect{10, 20, 30, 40}));
+  EXPECT_TRUE(r.Contains(Rect{15, 25, 5, 5}));
+  EXPECT_FALSE(r.Contains(Rect{15, 25, 30, 5}));
+}
+
+TEST(RectTest, IntersectionAndUnion) {
+  Rect a{0, 0, 10, 10};
+  Rect b{5, 5, 10, 10};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.Intersection(b), (Rect{5, 5, 5, 5}));
+  EXPECT_EQ(a.Union(b), (Rect{0, 0, 15, 15}));
+
+  Rect c{20, 20, 5, 5};
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Intersection(c).IsEmpty());
+
+  // Union with empty ignores the empty side.
+  EXPECT_EQ(a.Union(Rect{}), a);
+  EXPECT_EQ(Rect{}.Union(a), a);
+}
+
+TEST(RectTest, AdjacentRectsDoNotIntersect) {
+  Rect a{0, 0, 10, 10};
+  Rect b{10, 0, 10, 10};
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(RectTest, Translated) {
+  EXPECT_EQ((Rect{1, 2, 3, 4}.Translated(10, -2)), (Rect{11, 0, 3, 4}));
+}
+
+TEST(ParseGeometryTest, FullSpec) {
+  auto spec = ParseGeometry("120x120+1010+359");  // From the paper's §7 example.
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->width, 120);
+  EXPECT_EQ(spec->height, 120);
+  EXPECT_EQ(spec->x, 1010);
+  EXPECT_EQ(spec->y, 359);
+  EXPECT_FALSE(spec->x_negative);
+  EXPECT_FALSE(spec->y_negative);
+}
+
+TEST(ParseGeometryTest, SizeOnly) {
+  auto spec = ParseGeometry("100x50");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->width, 100);
+  EXPECT_EQ(spec->height, 50);
+  EXPECT_FALSE(spec->x.has_value());
+}
+
+TEST(ParseGeometryTest, PositionOnly) {
+  auto spec = ParseGeometry("+0+0");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_FALSE(spec->width.has_value());
+  EXPECT_EQ(spec->x, 0);
+  EXPECT_EQ(spec->y, 0);
+}
+
+TEST(ParseGeometryTest, NegativeOffsets) {
+  auto spec = ParseGeometry("80x24-10-20");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_TRUE(spec->x_negative);
+  EXPECT_TRUE(spec->y_negative);
+  EXPECT_EQ(spec->x, -10);
+  EXPECT_EQ(spec->y, -20);
+}
+
+TEST(ParseGeometryTest, LeadingEqualsAccepted) {
+  EXPECT_TRUE(ParseGeometry("=80x24").has_value());
+}
+
+TEST(ParseGeometryTest, Malformed) {
+  EXPECT_FALSE(ParseGeometry("").has_value());
+  EXPECT_FALSE(ParseGeometry("abc").has_value());
+  EXPECT_FALSE(ParseGeometry("100").has_value());
+  EXPECT_FALSE(ParseGeometry("100x").has_value());
+  EXPECT_FALSE(ParseGeometry("100x50+3").has_value());
+  EXPECT_FALSE(ParseGeometry("100x50+3+").has_value());
+  EXPECT_FALSE(ParseGeometry("100x50+3+4junk").has_value());
+  EXPECT_FALSE(ParseGeometry("99999999999x5").has_value());
+}
+
+TEST(GeometrySpecTest, ResolveNegativeAgainstParent) {
+  GeometrySpec spec = *ParseGeometry("10x10-0-0");
+  Rect resolved = spec.Resolve(Size{100, 50}, Size{1, 1});
+  EXPECT_EQ(resolved, (Rect{90, 40, 10, 10}));
+}
+
+TEST(GeometrySpecTest, ResolveUsesFallbackSize) {
+  GeometrySpec spec = *ParseGeometry("+5+6");
+  Rect resolved = spec.Resolve(Size{100, 50}, Size{20, 30});
+  EXPECT_EQ(resolved, (Rect{5, 6, 20, 30}));
+}
+
+// Round trip: parse(ToString(spec)) == spec for full specs.
+struct GeometryCase {
+  int w;
+  int h;
+  int x;
+  int y;
+};
+
+class GeometryRoundTrip : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(GeometryRoundTrip, ParseFormatsBack) {
+  const GeometryCase& c = GetParam();
+  Rect r{c.x, c.y, c.w, c.h};
+  auto spec = ParseGeometry(r.ToString());
+  ASSERT_TRUE(spec.has_value()) << r.ToString();
+  EXPECT_EQ(spec->width, c.w);
+  EXPECT_EQ(spec->height, c.h);
+  EXPECT_EQ(spec->x, c.x);
+  EXPECT_EQ(spec->y, c.y);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeometryRoundTrip,
+                         ::testing::Values(GeometryCase{1, 1, 0, 0},
+                                           GeometryCase{100, 100, 100, 100},
+                                           GeometryCase{120, 120, 1010, 359},
+                                           GeometryCase{32767, 32767, 0, 0},
+                                           GeometryCase{640, 480, 512, 342}));
+
+}  // namespace
+}  // namespace xbase

@@ -1,0 +1,187 @@
+// Deeper layout-engine coverage: forced sizes, size overrides, floating
+// objects, nested panels, preferred-size arithmetic and refresh semantics.
+#include <gtest/gtest.h>
+
+#include "src/base/logging.h"
+#include "src/oi/toolkit.h"
+#include "src/xserver/server.h"
+
+namespace oi {
+namespace {
+
+class LayoutTest : public ::testing::Test {
+ protected:
+  LayoutTest()
+      : server_({xserver::ScreenConfig{300, 200, false}}), dpy_(&server_, "wm") {
+    toolkit_ = std::make_unique<Toolkit>(&dpy_, &db_, 0);
+    toolkit_->SetResourcePrefix({"swm", "color", "screen0"},
+                                {"Swm", "Color", "Screen0"});
+  }
+
+  std::unique_ptr<Panel> Build(const std::string& root) {
+    auto lookup = [this](const std::string& name) -> std::optional<std::string> {
+      return db_.Get({"swm", "color", "screen0", "panel", name},
+                     {"Swm", "Color", "Screen0", "Panel", name});
+    };
+    return toolkit_->BuildPanelTree(root, dpy_.RootWindow(0), lookup);
+  }
+
+  xserver::Server server_;
+  xlib::Display dpy_;
+  xrdb::ResourceDatabase db_;
+  std::unique_ptr<Toolkit> toolkit_;
+};
+
+TEST_F(LayoutTest, PreferredSizeSumsRows) {
+  db_.Put("swm*panel.p", "button a +0+0 button b +1+0 button c +0+1");
+  auto tree = Build("p");
+  Object* a = tree->FindDescendant("a");
+  Object* b = tree->FindDescendant("b");
+  Object* c = tree->FindDescendant("c");
+  xbase::Size pref = tree->PreferredSize();
+  // Width: row 0 = a + gap + b; row 1 = c alone; max of the two.
+  int row0 = a->PreferredSize().width + Panel::kGap + b->PreferredSize().width;
+  EXPECT_EQ(pref.width, std::max(row0, c->PreferredSize().width));
+  EXPECT_EQ(pref.height, a->PreferredSize().height + c->PreferredSize().height);
+}
+
+TEST_F(LayoutTest, ForcedSizeWinsOverPreferred) {
+  db_.Put("swm*panel.p", "button a +0+0");
+  auto tree = Build("p");
+  xbase::Size forced{120, 40};
+  tree->DoLayout(&forced);
+  EXPECT_EQ(tree->geometry().size(), forced);
+  // Children keep natural sizes.
+  EXPECT_EQ(tree->FindDescendant("a")->geometry().size(),
+            tree->FindDescendant("a")->PreferredSize());
+}
+
+TEST_F(LayoutTest, SizeOverrideDrivesLayout) {
+  db_.Put("swm*panel.p", "panel client +0+0");
+  auto tree = Build("p");
+  Object* client = tree->FindDescendant("client");
+  client->SetSizeOverride(xbase::Size{77, 33});
+  tree->DoLayout();
+  EXPECT_EQ(client->geometry().size(), (xbase::Size{77, 33}));
+  EXPECT_EQ(tree->geometry().size(), (xbase::Size{77, 33}));
+  client->SetSizeOverride(std::nullopt);
+  tree->DoLayout();
+  EXPECT_EQ(tree->geometry().size(), client->PreferredSize());
+}
+
+TEST_F(LayoutTest, FloatingChildrenExcludedFromRows) {
+  db_.Put("swm*panel.p", "button a +0+0 button b +1+0");
+  auto tree = Build("p");
+  auto corner = toolkit_->CreateButton(tree.get(), tree->window(), "corner");
+  corner->SetFloating(true);
+  corner->SetGeometry({0, 0, 1, 1});
+  Object* corner_ptr = tree->AddChild(std::move(corner));
+  xbase::Size before = tree->PreferredSize();
+  tree->DoLayout();
+  // The floating child was not laid out into a row and does not widen the
+  // panel.
+  EXPECT_EQ(tree->geometry().size(), before);
+  EXPECT_EQ(corner_ptr->geometry(), (xbase::Rect{0, 0, 1, 1}));
+}
+
+TEST_F(LayoutTest, NestedPanelGetsAssignedSize) {
+  db_.Put("swm*panel.outer", "panel inner +0+0");
+  db_.Put("swm*panel.inner", "button x +0+0");
+  auto tree = Build("outer");
+  Object* inner = tree->FindDescendant("inner");
+  inner->SetSizeOverride(xbase::Size{50, 20});
+  tree->DoLayout();
+  // The nested panel was laid out at its assigned (overridden) size, and
+  // its own child is positioned inside it.
+  EXPECT_EQ(inner->geometry().size(), (xbase::Size{50, 20}));
+  Object* x = static_cast<Panel*>(inner)->FindDescendant("x");
+  EXPECT_EQ(x->geometry().origin(), (xbase::Point{0, 0}));
+}
+
+TEST_F(LayoutTest, CenterGroupOfSeveralButtons) {
+  db_.Put("swm*panel.p",
+          "button l +0+0 button c1 +C+0 button c2 +C+0 panel client +0+1");
+  auto tree = Build("p");
+  tree->FindDescendant("client")->SetSizeOverride(xbase::Size{80, 5});
+  tree->DoLayout();
+  Object* c1 = tree->FindDescendant("c1");
+  Object* c2 = tree->FindDescendant("c2");
+  // Centered as a block, in column order, around x=40.
+  EXPECT_LT(c1->geometry().x, c2->geometry().x);
+  int block_left = c1->geometry().x;
+  int block_right = c2->geometry().Right();
+  EXPECT_NEAR((block_left + block_right) / 2, 40, 2);
+}
+
+TEST_F(LayoutTest, RightGroupPacksFromRightInColumnOrder) {
+  db_.Put("swm*panel.p", "button r0 -0+0 button r1 -1+0 panel client +0+1");
+  auto tree = Build("p");
+  tree->FindDescendant("client")->SetSizeOverride(xbase::Size{60, 5});
+  tree->DoLayout();
+  Object* r0 = tree->FindDescendant("r0");
+  Object* r1 = tree->FindDescendant("r1");
+  // -0 is the rightmost column; -1 sits to its left.
+  EXPECT_EQ(r0->geometry().Right(), 60);
+  EXPECT_LT(r1->geometry().Right(), r0->geometry().x);
+}
+
+TEST_F(LayoutTest, RowHeightIsMaxOfChildren) {
+  db_.Put("swm*panel.p", "button small +0+0 panel tall +1+0 button below +0+1");
+  auto tree = Build("p");
+  Object* tall = tree->FindDescendant("tall");
+  tall->SetSizeOverride(xbase::Size{10, 9});
+  tree->DoLayout();
+  EXPECT_EQ(tree->FindDescendant("below")->geometry().y, 9);
+}
+
+TEST_F(LayoutTest, EmptyPanelHasMinimalSize) {
+  db_.Put("swm*panel.p", "panel client +0+0");
+  auto tree = Build("p");
+  Object* client = tree->FindDescendant("client");
+  EXPECT_EQ(client->PreferredSize(), (xbase::Size{1, 1}));
+}
+
+TEST_F(LayoutTest, RemoveChildReturnsOwnership) {
+  db_.Put("swm*panel.p", "button a +0+0 button b +1+0");
+  auto tree = Build("p");
+  Object* b = tree->FindDescendant("b");
+  std::unique_ptr<Object> removed = tree->RemoveChild(b);
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(removed.get(), b);
+  EXPECT_EQ(tree->FindDescendant("b"), nullptr);
+  EXPECT_EQ(tree->children().size(), 1u);
+  EXPECT_EQ(tree->RemoveChild(b), nullptr);  // Already removed.
+}
+
+TEST_F(LayoutTest, RefreshAttributesPicksUpDatabaseChanges) {
+  db_.Put("swm*panel.p", "button a +0+0");
+  auto tree = Build("p");
+  auto* a = static_cast<Button*>(tree->FindDescendant("a"));
+  EXPECT_TRUE(a->bindings().empty());
+  db_.Put("swm*button.a.bindings", "<Btn1> : f.raise");
+  db_.Put("swm*button.a.label", "NEW");
+  tree->RefreshAttributes();
+  EXPECT_EQ(a->bindings().size(), 1u);
+  EXPECT_EQ(a->label(), "NEW");
+}
+
+TEST_F(LayoutTest, MenuPreferredSizeTracksItems) {
+  auto menu = toolkit_->CreateMenu(dpy_.RootWindow(0), "m");
+  xbase::Size empty = menu->PreferredSize();
+  menu->AddItem("i1", "Short");
+  menu->AddItem("i2", "A much longer item label");
+  xbase::Size filled = menu->PreferredSize();
+  EXPECT_GT(filled.height, empty.height);
+  EXPECT_GE(filled.width, static_cast<int>(std::string("A much longer item label")
+                                               .size()));
+}
+
+TEST_F(LayoutTest, TextObjectSizing) {
+  auto text = toolkit_->CreateText(nullptr, dpy_.RootWindow(0), "t");
+  text->SetText("hello world");
+  EXPECT_EQ(text->PreferredSize().width, 13);  // len + 2 padding.
+  EXPECT_EQ(text->PreferredSize().height, 1);
+}
+
+}  // namespace
+}  // namespace oi

@@ -1,0 +1,159 @@
+#include "src/base/region.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace xbase {
+namespace {
+
+TEST(RegionTest, EmptyRegion) {
+  Region r;
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_EQ(r.Area(), 0);
+  EXPECT_TRUE(r.Bounds().IsEmpty());
+  EXPECT_FALSE(r.Contains({0, 0}));
+}
+
+TEST(RegionTest, SingleRect) {
+  Region r(Rect{1, 2, 10, 5});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_EQ(r.Area(), 50);
+  EXPECT_EQ(r.Bounds(), (Rect{1, 2, 10, 5}));
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({11, 2}));
+}
+
+TEST(RegionTest, EmptyRectYieldsEmptyRegion) {
+  EXPECT_TRUE(Region(Rect{5, 5, 0, 10}).IsEmpty());
+}
+
+TEST(RegionTest, UnionDisjoint) {
+  Region a(Rect{0, 0, 10, 10});
+  Region b(Rect{20, 20, 10, 10});
+  Region u = a.Union(b);
+  EXPECT_EQ(u.Area(), 200);
+  EXPECT_EQ(u.Bounds(), (Rect{0, 0, 30, 30}));
+}
+
+TEST(RegionTest, UnionOverlapCountsOnce) {
+  Region a(Rect{0, 0, 10, 10});
+  Region b(Rect{5, 0, 10, 10});
+  EXPECT_EQ(a.Union(b).Area(), 150);
+}
+
+TEST(RegionTest, UnionCoalescesAdjacentBands) {
+  // Two vertically adjacent rects with identical x extents become one rect.
+  Region a(Rect{0, 0, 10, 5});
+  Region b(Rect{0, 5, 10, 5});
+  Region u = a.Union(b);
+  EXPECT_EQ(u.RectCount(), 1u);
+  EXPECT_EQ(u.rects()[0], (Rect{0, 0, 10, 10}));
+}
+
+TEST(RegionTest, IntersectBasic) {
+  Region a(Rect{0, 0, 10, 10});
+  Region b(Rect{5, 5, 10, 10});
+  Region i = a.Intersect(b);
+  EXPECT_EQ(i.Area(), 25);
+  EXPECT_EQ(i.Bounds(), (Rect{5, 5, 5, 5}));
+}
+
+TEST(RegionTest, SubtractHole) {
+  Region a(Rect{0, 0, 10, 10});
+  Region hole(Rect{3, 3, 4, 4});
+  Region d = a.Subtract(hole);
+  EXPECT_EQ(d.Area(), 100 - 16);
+  EXPECT_FALSE(d.Contains({4, 4}));
+  EXPECT_TRUE(d.Contains({0, 0}));
+  EXPECT_TRUE(d.Contains({9, 9}));
+  EXPECT_EQ(d.Bounds(), (Rect{0, 0, 10, 10}));
+}
+
+TEST(RegionTest, SubtractEverything) {
+  Region a(Rect{2, 2, 5, 5});
+  EXPECT_TRUE(a.Subtract(Region(Rect{0, 0, 100, 100})).IsEmpty());
+}
+
+TEST(RegionTest, TranslatePreservesShape) {
+  Region a = Region(Rect{0, 0, 10, 10}).Subtract(Region(Rect{2, 2, 2, 2}));
+  Region moved = a.Translated(100, 50);
+  EXPECT_EQ(moved.Area(), a.Area());
+  EXPECT_TRUE(moved.Contains({100, 100 - 50}));  // (0,50)+ (100,0)? sanity below
+  EXPECT_TRUE(moved.Contains({100, 50}));
+  EXPECT_FALSE(moved.Contains({102, 52}));
+}
+
+TEST(RegionTest, ContainsRect) {
+  Region a = Region(Rect{0, 0, 10, 10}).Union(Region(Rect{10, 0, 10, 10}));
+  EXPECT_TRUE(a.ContainsRect(Rect{5, 0, 10, 5}));  // Spans the seam.
+  EXPECT_FALSE(a.ContainsRect(Rect{15, 5, 10, 2}));
+  EXPECT_TRUE(a.ContainsRect(Rect{}));  // Empty rect trivially contained.
+}
+
+TEST(RegionTest, CanonicalFormMakesEqualityStructural) {
+  Region a(std::vector<Rect>{{0, 0, 10, 10}, {10, 0, 10, 10}});
+  Region b(Rect{0, 0, 20, 10});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.RectCount(), 1u);
+}
+
+TEST(RegionTest, OverlappingInputCanonicalized) {
+  Region a(std::vector<Rect>{{0, 0, 10, 10}, {5, 5, 10, 10}});
+  EXPECT_EQ(a.Area(), 175);
+}
+
+TEST(RegionTest, IntersectsPredicate) {
+  Region a(Rect{0, 0, 10, 10});
+  EXPECT_TRUE(a.Intersects(Region(Rect{9, 9, 5, 5})));
+  EXPECT_FALSE(a.Intersects(Region(Rect{10, 10, 5, 5})));
+}
+
+// ---- Property-based sweeps: algebraic identities on random rect sets --------
+
+Region RandomRegion(std::mt19937* rng, int max_rects) {
+  std::uniform_int_distribution<int> count(0, max_rects);
+  std::uniform_int_distribution<int> coord(0, 60);
+  std::uniform_int_distribution<int> extent(1, 25);
+  std::vector<Rect> rects;
+  int n = count(*rng);
+  for (int i = 0; i < n; ++i) {
+    rects.push_back(Rect{coord(*rng), coord(*rng), extent(*rng), extent(*rng)});
+  }
+  return Region(std::move(rects));
+}
+
+class RegionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionPropertyTest, AlgebraicIdentities) {
+  std::mt19937 rng(GetParam());
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    Region a = RandomRegion(&rng, 6);
+    Region b = RandomRegion(&rng, 6);
+
+    // Inclusion–exclusion: |A∪B| = |A| + |B| - |A∩B|.
+    EXPECT_EQ(a.Union(b).Area(), a.Area() + b.Area() - a.Intersect(b).Area());
+    // A \ B and A∩B partition A.
+    EXPECT_EQ(a.Subtract(b).Area() + a.Intersect(b).Area(), a.Area());
+    // Commutativity.
+    EXPECT_EQ(a.Union(b), b.Union(a));
+    EXPECT_EQ(a.Intersect(b), b.Intersect(a));
+    // Idempotence.
+    EXPECT_EQ(a.Union(a), a);
+    EXPECT_EQ(a.Intersect(a), a);
+    EXPECT_TRUE(a.Subtract(a).IsEmpty());
+    // (A \ B) ∩ B = ∅.
+    EXPECT_TRUE(a.Subtract(b).Intersect(b).IsEmpty());
+    // De Morgan-ish inside the bounding box: A \ (A \ B) == A ∩ B.
+    EXPECT_EQ(a.Subtract(a.Subtract(b)), a.Intersect(b));
+    // Translation invariance of area.
+    EXPECT_EQ(a.Translated(13, -7).Area(), a.Area());
+    // Round-trip translation is identity.
+    EXPECT_EQ(a.Translated(9, 11).Translated(-9, -11), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionPropertyTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace xbase

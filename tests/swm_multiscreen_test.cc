@@ -1,0 +1,131 @@
+// Multi-screen management (paper §3: "swm manages multiple screens on a
+// multi-screen X server" with per-screen, per-visual resources).
+#include "tests/swm_test_util.h"
+
+namespace swm_test {
+namespace {
+
+using swm::ManagedClient;
+
+class MultiScreenTest : public SwmTest {
+ protected:
+  void StartTwoScreens(const std::string& resources = "") {
+    StartWm(resources, "openlook",
+            {xserver::ScreenConfig{200, 100, false},   // screen0: color
+             xserver::ScreenConfig{120, 80, true}});   // screen1: monochrome
+  }
+
+  std::unique_ptr<xlib::ClientApp> SpawnOn(int screen, const std::string& name,
+                                           const xproto::WmClass& wm_class) {
+    xlib::ClientAppConfig config;
+    config.name = name;
+    config.wm_class = wm_class;
+    config.command = {name};
+    config.screen = screen;
+    config.geometry = {0, 0, 24, 8};
+    auto app = std::make_unique<xlib::ClientApp>(server_.get(), config);
+    app->Map();
+    wm_->ProcessEvents();
+    return app;
+  }
+};
+
+TEST_F(MultiScreenTest, RedirectClaimedOnEveryScreen) {
+  StartTwoScreens();
+  // A would-be second WM fails on either screen.
+  xlib::Display rival(server_.get(), "rival");
+  EXPECT_FALSE(rival.SelectInput(rival.RootWindow(0), xproto::kSubstructureRedirectMask));
+  EXPECT_FALSE(rival.SelectInput(rival.RootWindow(1), xproto::kSubstructureRedirectMask));
+}
+
+TEST_F(MultiScreenTest, ClientsManagedOnTheirOwnScreen) {
+  StartTwoScreens();
+  auto a = SpawnOn(0, "a", {"a", "A"});
+  auto b = SpawnOn(1, "b", {"b", "B"});
+  EXPECT_EQ(wm_->FindClient(a->window())->screen, 0);
+  EXPECT_EQ(wm_->FindClient(b->window())->screen, 1);
+  EXPECT_EQ(server_->ScreenOfWindow(wm_->FindClient(b->window())->frame->window()), 1);
+  EXPECT_TRUE(server_->IsViewable(a->window()));
+  EXPECT_TRUE(server_->IsViewable(b->window()));
+}
+
+TEST_F(MultiScreenTest, MonochromeResourcePrefix) {
+  // "swm.monochrome.screen1..." beats generic entries on the mono screen
+  // only (paper §3's whole point).
+  StartTwoScreens(
+      "swm*decoration: openLook\n"
+      "swm.monochrome.screen1*decoration: shapeit\n");
+  auto color_app = SpawnOn(0, "a", {"a", "A"});
+  auto mono_app = SpawnOn(1, "b", {"b", "B"});
+  EXPECT_EQ(wm_->FindClient(color_app->window())->decoration_name, "openLook");
+  EXPECT_EQ(wm_->FindClient(mono_app->window())->decoration_name, "shapeit");
+}
+
+TEST_F(MultiScreenTest, IndependentVirtualDesktops) {
+  StartTwoScreens(
+      "swm*virtualDesktop: 400x200\n"
+      "swm*panner: False\n");
+  ASSERT_NE(wm_->vdesk(0), nullptr);
+  ASSERT_NE(wm_->vdesk(1), nullptr);
+  wm_->vdesk(0)->PanTo({100, 50});
+  EXPECT_EQ(wm_->vdesk(0)->offset(), (xbase::Point{100, 50}));
+  EXPECT_EQ(wm_->vdesk(1)->offset(), (xbase::Point{0, 0}));
+  // Screen 1's desktop is clamped by its own (smaller) viewport.
+  wm_->vdesk(1)->PanTo({10000, 10000});
+  EXPECT_EQ(wm_->vdesk(1)->offset(), (xbase::Point{400 - 120, 200 - 80}));
+}
+
+TEST_F(MultiScreenTest, PerScreenVdeskSizes) {
+  StartTwoScreens(
+      "swm.color.screen0*virtualDesktop: 600x300\n"
+      "swm.monochrome.screen1*virtualDesktop: 240x160\n"
+      "swm*panner: False\n");
+  EXPECT_EQ(wm_->vdesk(0)->size(), (xbase::Size{600, 300}));
+  EXPECT_EQ(wm_->vdesk(1)->size(), (xbase::Size{240, 160}));
+}
+
+TEST_F(MultiScreenTest, IconHoldersPerScreen) {
+  StartTwoScreens(
+      "swm.color.screen0*iconHolders: box0\n"
+      "swm*iconHolder.box0.geometry: 50x30+100+4\n");
+  EXPECT_EQ(wm_->icon_holders(0).size(), 1u);
+  EXPECT_TRUE(wm_->icon_holders(1).empty());
+  // A screen-1 icon goes to the root, not screen 0's holder.
+  auto b = SpawnOn(1, "b", {"b", "B"});
+  wm_->Iconify(wm_->FindClient(b->window()));
+  wm_->ProcessEvents();
+  EXPECT_EQ(wm_->FindClient(b->window())->icon_holder, nullptr);
+  EXPECT_EQ(server_->ScreenOfWindow(wm_->FindClient(b->window())->icon->window()), 1);
+}
+
+TEST_F(MultiScreenTest, SessionCoversAllScreens) {
+  StartTwoScreens();
+  auto a = SpawnOn(0, "appzero", {"appzero", "AppZero"});
+  auto b = SpawnOn(1, "appone", {"appone", "AppOne"});
+  std::string places = wm_->GeneratePlaces();
+  EXPECT_NE(places.find("appzero"), std::string::npos);
+  EXPECT_NE(places.find("appone"), std::string::npos);
+}
+
+TEST_F(MultiScreenTest, FunctionsResolveTheRightScreen) {
+  StartTwoScreens();
+  auto a = SpawnOn(0, "a", {"a", "A"});
+  auto b = SpawnOn(1, "b", {"b", "B"});
+  // Class-targeted functions work across screens.
+  wm_->ExecuteCommandString("f.iconify(B)", 0);
+  wm_->ProcessEvents();
+  EXPECT_EQ(wm_->FindClient(b->window())->state, xproto::WmState::kIconic);
+  EXPECT_EQ(wm_->FindClient(a->window())->state, xproto::WmState::kNormal);
+}
+
+TEST_F(MultiScreenTest, TeardownRestoresBothScreens) {
+  StartTwoScreens();
+  auto a = SpawnOn(0, "a", {"a", "A"});
+  auto b = SpawnOn(1, "b", {"b", "B"});
+  wm_.reset();
+  EXPECT_EQ(server_->QueryTree(a->window())->parent, server_->RootWindow(0));
+  EXPECT_EQ(server_->QueryTree(b->window())->parent, server_->RootWindow(1));
+}
+
+}  // namespace
+}  // namespace swm_test

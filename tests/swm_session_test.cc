@@ -1,0 +1,366 @@
+// Session management (paper §7): swmhints, the restart table, f.places and
+// full save/restart round trips including remote clients.
+#include "src/swm/session.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/xlib/icccm.h"
+#include "tests/swm_test_util.h"
+
+namespace swm_test {
+namespace {
+
+using swm::ManagedClient;
+using swm::RestartTable;
+using swm::SwmHintsRecord;
+
+TEST(SwmHintsRecordTest, EncodeMatchesPaperShape) {
+  // The paper's §7 example line:
+  //   swmhints -geometry 120x120+1010+359 -icongeometry +0+0
+  //            -state NormalState -cmd "oclock -geom 100x100"
+  SwmHintsRecord record;
+  record.geometry = {1010, 359, 120, 120};
+  record.icon_position = xbase::Point{0, 0};
+  record.state = xproto::WmState::kNormal;
+  record.command = "oclock -geom 100x100";
+  std::string encoded = record.Encode();
+  EXPECT_NE(encoded.find("swmhints -geometry 120x120+1010+359"), std::string::npos);
+  EXPECT_NE(encoded.find("-icongeometry +0+0"), std::string::npos);
+  EXPECT_NE(encoded.find("-state NormalState"), std::string::npos);
+  EXPECT_NE(encoded.find("-cmd \"oclock -geom 100x100\""), std::string::npos);
+}
+
+TEST(SwmHintsRecordTest, ParsePaperExample) {
+  auto record = SwmHintsRecord::Parse(
+      "swmhints -geometry 120x120+1010+359 -icongeometry +0+0 "
+      "-state NormalState -cmd \"oclock -geom 100x100\"");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->geometry, (xbase::Rect{1010, 359, 120, 120}));
+  EXPECT_EQ(record->icon_position, (xbase::Point{0, 0}));
+  EXPECT_EQ(record->state, xproto::WmState::kNormal);
+  EXPECT_EQ(record->command, "oclock -geom 100x100");
+  EXPECT_TRUE(record->machine.empty());
+  EXPECT_FALSE(record->sticky);
+}
+
+TEST(SwmHintsRecordTest, RoundTripAllFields) {
+  SwmHintsRecord record;
+  record.geometry = {5, 6, 70, 80};
+  record.icon_position = xbase::Point{12, 34};
+  record.state = xproto::WmState::kIconic;
+  record.sticky = true;
+  record.icon_on_root = false;
+  record.command = "xterm -e vi notes.txt";
+  record.machine = "farhost";
+  auto reparsed = SwmHintsRecord::Parse(record.Encode());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*reparsed, record);
+}
+
+TEST(SwmHintsRecordTest, MalformedRejected) {
+  EXPECT_FALSE(SwmHintsRecord::Parse("").has_value());
+  EXPECT_FALSE(SwmHintsRecord::Parse("notswmhints -geometry 1x1+0+0").has_value());
+  // Missing mandatory flags.
+  EXPECT_FALSE(SwmHintsRecord::Parse("swmhints -cmd foo").has_value());
+  EXPECT_FALSE(SwmHintsRecord::Parse("swmhints -geometry 1x1+0+0").has_value());
+  EXPECT_FALSE(
+      SwmHintsRecord::Parse("swmhints -geometry bogus -cmd foo").has_value());
+  EXPECT_FALSE(
+      SwmHintsRecord::Parse("swmhints -geometry 1x1+0+0 -state Weird -cmd x").has_value());
+  EXPECT_FALSE(SwmHintsRecord::Parse("swmhints -geometry 1x1+0+0 -cmd").has_value());
+}
+
+TEST(RestartTableTest, MatchConsumesFirst) {
+  RestartTable table;
+  SwmHintsRecord a;
+  a.geometry = {0, 0, 10, 10};
+  a.command = "oclock";
+  table.Add(a);
+  EXPECT_EQ(table.size(), 1u);
+  auto match = table.MatchAndConsume("oclock", "localhost");
+  ASSERT_TRUE(match.has_value());
+  EXPECT_TRUE(table.empty());
+  EXPECT_FALSE(table.MatchAndConsume("oclock", "localhost").has_value());
+}
+
+TEST(RestartTableTest, DuplicateCommandsConsumedInOrder) {
+  // "The scheme outlined above breaks down if two windows have identical
+  // WM_COMMAND properties" — we consume in order.
+  RestartTable table;
+  SwmHintsRecord first;
+  first.geometry = {1, 1, 10, 10};
+  first.command = "xterm";
+  SwmHintsRecord second;
+  second.geometry = {2, 2, 10, 10};
+  second.command = "xterm";
+  table.Add(first);
+  table.Add(second);
+  EXPECT_EQ(table.MatchAndConsume("xterm", "")->geometry.x, 1);
+  EXPECT_EQ(table.MatchAndConsume("xterm", "")->geometry.x, 2);
+}
+
+TEST(RestartTableTest, MachineMatchingRules) {
+  RestartTable table;
+  SwmHintsRecord remote;
+  remote.geometry = {0, 0, 10, 10};
+  remote.command = "xload";
+  remote.machine = "serverA";
+  table.Add(remote);
+  // Wrong machine: no match.
+  EXPECT_FALSE(table.MatchAndConsume("xload", "serverB").has_value());
+  // Unknown local machine ("" on either side) matches.
+  EXPECT_TRUE(table.MatchAndConsume("xload", "serverA").has_value());
+}
+
+TEST(RestartTableTest, PropertyTextRoundTrip) {
+  RestartTable table;
+  for (int i = 0; i < 3; ++i) {
+    SwmHintsRecord record;
+    record.geometry = {i, i, 10 + i, 10};
+    record.command = "client" + std::to_string(i);
+    table.Add(record);
+  }
+  RestartTable reparsed = RestartTable::FromPropertyText(table.ToPropertyText());
+  EXPECT_EQ(reparsed.size(), 3u);
+  EXPECT_EQ(reparsed.ToPropertyText(), table.ToPropertyText());
+}
+
+TEST(RestartTableTest, MalformedLinesSkipped) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  RestartTable table = RestartTable::FromPropertyText(
+      "swmhints -geometry 10x10+0+0 -cmd a\n"
+      "garbage line\n"
+      "swmhints -geometry 10x10+1+1 -cmd b\n");
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(RemoteStartupTest, TemplateExpansion) {
+  EXPECT_EQ(swm::ExpandRemoteStartup("rsh %h 'setenv DISPLAY unix:0; %c'", "farhost",
+                                     "xload -geom 80x40"),
+            "rsh farhost 'setenv DISPLAY unix:0; xload -geom 80x40'");
+  EXPECT_EQ(swm::ExpandRemoteStartup("%%h %h", "m", "c"), "%h m");
+  EXPECT_EQ(swm::ExpandRemoteStartup("%x", "m", "c"), "%x");  // Unknown kept.
+}
+
+TEST(PlacesFileTest, GenerateAndParse) {
+  SwmHintsRecord local;
+  local.geometry = {10, 20, 100, 50};
+  local.command = "oclock -geom 100x100";
+  SwmHintsRecord remote;
+  remote.geometry = {30, 40, 80, 24};
+  remote.command = "xload";
+  remote.machine = "farhost";
+  std::string text = swm::GeneratePlacesFile({local, remote}, "rsh %h %c");
+  EXPECT_NE(text.find("#!/bin/sh"), std::string::npos);
+  EXPECT_NE(text.find("oclock -geom 100x100 &"), std::string::npos);
+  EXPECT_NE(text.find("rsh farhost xload &"), std::string::npos);
+  EXPECT_NE(text.find("exec swm"), std::string::npos);
+
+  std::vector<SwmHintsRecord> reparsed = swm::ParsePlacesFile(text);
+  ASSERT_EQ(reparsed.size(), 2u);
+  EXPECT_EQ(reparsed[0], local);
+  EXPECT_EQ(reparsed[1], remote);
+}
+
+// ---- Full WM round trip -----------------------------------------------------------
+
+class SessionTest : public SwmTest {};
+
+TEST_F(SessionTest, PlacesCapturesFullState) {
+  StartWm("swm*virtualDesktop: 800x400\nswm*panner: False\nswm*XClock*sticky: True\n");
+  auto term = Spawn("xterm", {"xterm", "XTerm"}, {0, 0, 40, 12});
+  auto clock = Spawn("xclock", {"xclock", "XClock"}, {0, 0, 20, 20});
+  wm_->MoveFrameTo(Managed(*term), {300, 200});
+  wm_->Iconify(Managed(*clock));
+  wm_->ProcessEvents();
+
+  std::vector<SwmHintsRecord> records = swm::ParsePlacesFile(wm_->GeneratePlaces());
+  ASSERT_EQ(records.size(), 2u);
+  const SwmHintsRecord* term_rec = nullptr;
+  const SwmHintsRecord* clock_rec = nullptr;
+  for (const SwmHintsRecord& record : records) {
+    if (record.command == "xterm") {
+      term_rec = &record;
+    }
+    if (record.command == "xclock") {
+      clock_rec = &record;
+    }
+  }
+  ASSERT_NE(term_rec, nullptr);
+  ASSERT_NE(clock_rec, nullptr);
+  EXPECT_EQ(term_rec->geometry.origin(), Managed(*term)->ClientDesktopPosition());
+  EXPECT_EQ(term_rec->geometry.size(), (xbase::Size{40, 12}));
+  EXPECT_EQ(term_rec->state, xproto::WmState::kNormal);
+  EXPECT_EQ(clock_rec->state, xproto::WmState::kIconic);
+  EXPECT_TRUE(clock_rec->sticky);
+  EXPECT_TRUE(clock_rec->icon_position.has_value());
+}
+
+TEST_F(SessionTest, InternalWindowsExcludedFromPlaces) {
+  StartWm("swm*virtualDesktop: 800x400\nswm*panner: True\n");
+  auto term = Spawn("xterm", {"xterm", "XTerm"});
+  std::vector<SwmHintsRecord> records = swm::ParsePlacesFile(wm_->GeneratePlaces());
+  EXPECT_EQ(records.size(), 1u);  // The panner does not appear.
+}
+
+TEST_F(SessionTest, ClientWithoutCommandSkippedWithWarning) {
+  StartWm();
+  xlib::ClientAppConfig config;
+  config.name = "anon";
+  config.wm_class = {"anon", "Anon"};
+  config.command = {};
+  xlib::ClientApp app(server_.get(), config);
+  app.Map();
+  wm_->ProcessEvents();
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  int errors_before = xbase::LogErrorCount();
+  std::vector<SwmHintsRecord> records = swm::ParsePlacesFile(wm_->GeneratePlaces());
+  EXPECT_GT(xbase::LogErrorCount(), errors_before);
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+  EXPECT_TRUE(records.empty());
+}
+
+TEST_F(SessionTest, FullRestartRoundTrip) {
+  // Run a session, save it, "restart X", replay the places file, restart
+  // swm and check that every client is restored (size, position, icon
+  // position, sticky, iconic state) — the §7 contract.
+  StartWm("swm*virtualDesktop: 800x400\nswm*panner: False\n");
+  auto term = Spawn("xterm", {"xterm", "XTerm"}, {0, 0, 40, 12});
+  auto clock = Spawn("xclock", {"xclock", "XClock"}, {0, 0, 20, 20});
+  wm_->MoveFrameTo(Managed(*term), {321, 123});
+  wm_->SetSticky(wm_->FindClient(clock->window()), true);
+  wm_->Iconify(wm_->FindClient(clock->window()));
+  wm_->ProcessEvents();
+  xbase::Point term_desktop = Managed(*term)->ClientDesktopPosition();
+
+  std::vector<SwmHintsRecord> records = swm::ParsePlacesFile(wm_->GeneratePlaces());
+  ASSERT_EQ(records.size(), 2u);
+
+  // "Restart X": tear down the WM, clients and server; boot a new server.
+  term.reset();
+  clock.reset();
+  wm_.reset();
+  server_ = std::make_unique<xserver::Server>(
+      std::vector<xserver::ScreenConfig>{xserver::ScreenConfig{200, 100, false}});
+
+  // The places file runs: each swmhints line seeds the root property...
+  xlib::Display seeder(server_.get(), "localhost");
+  for (const SwmHintsRecord& record : records) {
+    ASSERT_TRUE(swm::AppendSwmHints(&seeder, 0, record));
+  }
+  // ...then the clients start (same WM_COMMANDs)...
+  xlib::ClientAppConfig term_config;
+  term_config.name = "xterm";
+  term_config.wm_class = {"xterm", "XTerm"};
+  term_config.command = {"xterm"};
+  term_config.geometry = {0, 0, 30, 8};
+  auto new_term = std::make_unique<xlib::ClientApp>(server_.get(), term_config);
+  xlib::ClientAppConfig clock_config;
+  clock_config.name = "xclock";
+  clock_config.wm_class = {"xclock", "XClock"};
+  clock_config.command = {"xclock"};
+  clock_config.geometry = {0, 0, 10, 10};
+  auto new_clock = std::make_unique<xlib::ClientApp>(server_.get(), clock_config);
+  // ...and finally swm starts and reads the restart info.
+  swm::WindowManager::Options options;
+  options.resources = "swm*virtualDesktop: 800x400\nswm*panner: False\n";
+  options.template_name = "openlook";
+  wm_ = std::make_unique<swm::WindowManager>(server_.get(), options);
+  ASSERT_TRUE(wm_->Start());
+  EXPECT_EQ(wm_->restart_table().size(), 2u);
+
+  new_term->Map();
+  new_clock->Map();
+  wm_->ProcessEvents();
+
+  ManagedClient* term_client = wm_->FindClient(new_term->window());
+  ManagedClient* clock_client = wm_->FindClient(new_clock->window());
+  ASSERT_NE(term_client, nullptr);
+  ASSERT_NE(clock_client, nullptr);
+  EXPECT_TRUE(term_client->restored_from_session);
+  // Size and position restored (not the 30x8 the client asked for).
+  EXPECT_EQ(server_->GetGeometry(new_term->window())->size(), (xbase::Size{40, 12}));
+  EXPECT_EQ(term_client->ClientDesktopPosition(), term_desktop);
+  // Sticky + iconic state restored.
+  EXPECT_TRUE(clock_client->sticky);
+  EXPECT_EQ(clock_client->state, xproto::WmState::kIconic);
+  // The restart table is consumed.
+  EXPECT_TRUE(wm_->restart_table().empty());
+  // The root property was cleared at startup.
+  EXPECT_FALSE(seeder.GetStringProperty(seeder.RootWindow(0), "SWM_RESTART_INFO")
+                   .has_value());
+}
+
+TEST_F(SessionTest, RestartMatchesRemoteClientByMachine) {
+  // §7.1: remote clients restart with WM_CLIENT_MACHINE matching.
+  server_ = std::make_unique<xserver::Server>(
+      std::vector<xserver::ScreenConfig>{xserver::ScreenConfig{200, 100, false}});
+  xlib::Display seeder(server_.get(), "localhost");
+  SwmHintsRecord remote;
+  remote.geometry = {60, 30, 25, 10};
+  remote.command = "xload";
+  remote.machine = "serverA";
+  swm::AppendSwmHints(&seeder, 0, remote);
+
+  swm::WindowManager::Options options;
+  options.template_name = "openlook";
+  wm_ = std::make_unique<swm::WindowManager>(server_.get(), options);
+  ASSERT_TRUE(wm_->Start());
+
+  // A same-command client from the wrong machine does not match.
+  xlib::ClientAppConfig wrong;
+  wrong.name = "xload";
+  wrong.wm_class = {"xload", "XLoad"};
+  wrong.command = {"xload"};
+  wrong.machine = "serverB";
+  wrong.geometry = {0, 0, 10, 5};
+  xlib::ClientApp imposter(server_.get(), wrong);
+  imposter.Map();
+  wm_->ProcessEvents();
+  EXPECT_FALSE(wm_->FindClient(imposter.window())->restored_from_session);
+  EXPECT_EQ(wm_->restart_table().size(), 1u);
+
+  // The right machine matches and restores geometry.
+  xlib::ClientAppConfig right = wrong;
+  right.machine = "serverA";
+  xlib::ClientApp real(server_.get(), right);
+  real.Map();
+  wm_->ProcessEvents();
+  ManagedClient* client = wm_->FindClient(real.window());
+  EXPECT_TRUE(client->restored_from_session);
+  EXPECT_EQ(server_->GetGeometry(real.window())->size(), (xbase::Size{25, 10}));
+  EXPECT_EQ(client->ClientDesktopPosition(), (xbase::Point{60, 30}));
+}
+
+TEST_F(SessionTest, RemoteStartupTemplateInPlacesOutput) {
+  StartWm("swm*remoteStartup: rsh %h 'env DISPLAY=unix:0 %c'\n");
+  xlib::ClientAppConfig config;
+  config.name = "xload";
+  config.wm_class = {"xload", "XLoad"};
+  config.command = {"xload"};
+  config.machine = "crunch";
+  xlib::ClientApp app(server_.get(), config);
+  app.Map();
+  wm_->ProcessEvents();
+  std::string places = wm_->GeneratePlaces();
+  EXPECT_NE(places.find("rsh crunch 'env DISPLAY=unix:0 xload' &"), std::string::npos);
+}
+
+TEST_F(SessionTest, FPlacesWritesFile) {
+  StartWm();
+  auto app = Spawn("oclock", {"oclock", "Clock"});
+  std::string path = ::testing::TempDir() + "/swm_places_test.sh";
+  wm_->ExecuteCommandString("f.places(" + path + ")", 0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("swmhints"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swm_test

@@ -1,0 +1,78 @@
+// Shared fixture for swm tests: a small simulated server, a window manager
+// and helpers to spawn simulated clients.
+#ifndef TESTS_SWM_TEST_UTIL_H_
+#define TESTS_SWM_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/swm/panner.h"
+#include "src/swm/wm.h"
+#include "src/xlib/client_app.h"
+#include "src/xserver/server.h"
+
+namespace swm_test {
+
+class SwmTest : public ::testing::Test {
+ protected:
+  // 200x100 screen; tests that want a virtual desktop pass resources.
+  void StartWm(const std::string& resources = "",
+               const std::string& template_name = "openlook",
+               std::vector<xserver::ScreenConfig> screens = {
+                   xserver::ScreenConfig{200, 100, false}}) {
+    server_ = std::make_unique<xserver::Server>(std::move(screens));
+    swm::WindowManager::Options options;
+    options.resources = resources;
+    options.template_name = template_name;
+    wm_ = std::make_unique<swm::WindowManager>(server_.get(), options);
+    ASSERT_TRUE(wm_->Start());
+  }
+
+  // Spawns a client app, maps it and lets the WM manage it.
+  std::unique_ptr<xlib::ClientApp> Spawn(const std::string& name,
+                                         const xproto::WmClass& wm_class,
+                                         const xbase::Rect& geometry = {0, 0, 30, 10},
+                                         uint32_t hint_flags = xproto::kPSize) {
+    xlib::ClientAppConfig config;
+    config.name = name;
+    config.wm_class = wm_class;
+    config.command = {name};
+    config.geometry = geometry;
+    config.size_hint_flags = hint_flags;
+    auto app = std::make_unique<xlib::ClientApp>(server_.get(), config);
+    app->Map();
+    wm_->ProcessEvents();
+    app->ProcessEvents();
+    return app;
+  }
+
+  swm::ManagedClient* Managed(const xlib::ClientApp& app) {
+    return wm_->FindClient(app.window());
+  }
+
+  // Presses and releases a button at a root position, letting the WM react.
+  void Click(const xbase::Point& root_pos, int button = 1, uint32_t modifiers = 0) {
+    server_->SimulateMotion(root_pos);
+    wm_->ProcessEvents();
+    server_->SimulateButton(button, true, modifiers);
+    wm_->ProcessEvents();
+    server_->SimulateButton(button, false, modifiers);
+    wm_->ProcessEvents();
+  }
+
+  // Root position of an oi object's window.
+  xbase::Point ObjectRootPos(const oi::Object* object) {
+    return server_->RootPosition(object->window());
+  }
+
+  std::unique_ptr<xserver::Server> server_;
+  std::unique_ptr<swm::WindowManager> wm_;
+};
+
+}  // namespace swm_test
+
+#endif  // TESTS_SWM_TEST_UTIL_H_

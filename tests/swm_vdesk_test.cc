@@ -1,0 +1,347 @@
+// The Virtual Desktop, sticky windows, panner and ICCCM positioning
+// (paper §6).
+#include "src/xlib/icccm.h"
+#include "src/xproto/hints.h"
+#include "tests/swm_test_util.h"
+
+namespace swm_test {
+namespace {
+
+using swm::ManagedClient;
+using swm::Panner;
+using swm::VirtualDesktop;
+
+constexpr char kVdeskResources[] =
+    "swm*virtualDesktop: 800x400\n"
+    "swm*panner: False\n";
+
+class VdeskTest : public SwmTest {};
+
+TEST_F(VdeskTest, DesktopCreatedWithVrootProperty) {
+  StartWm(kVdeskResources);
+  VirtualDesktop* desk = wm_->vdesk(0);
+  ASSERT_NE(desk, nullptr);
+  EXPECT_EQ(desk->size(), (xbase::Size{800, 400}));
+  EXPECT_EQ(desk->offset(), (xbase::Point{0, 0}));
+  // Clients can discover the virtual root via __SWM_VROOT.
+  EXPECT_EQ(wm_->display().GetWindowIdProperty(desk->window(), xproto::kAtomSwmVroot),
+            desk->window());
+  // The desktop window is a mapped child of the real root.
+  EXPECT_TRUE(server_->IsViewable(desk->window()));
+  EXPECT_EQ(server_->QueryTree(desk->window())->parent, server_->RootWindow(0));
+}
+
+TEST_F(VdeskTest, NoVdeskWithoutResource) {
+  StartWm();
+  EXPECT_EQ(wm_->vdesk(0), nullptr);
+}
+
+TEST_F(VdeskTest, SizeClampedToProtocolLimit) {
+  // "the size of the Virtual Desktop is limited only by the usable area of
+  // an X window, 32767 x 32767 pixels" (§6.1).
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  StartWm("swm*virtualDesktop: 99999x99999\nswm*panner: False\n");
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+  ASSERT_NE(wm_->vdesk(0), nullptr);
+  EXPECT_EQ(wm_->vdesk(0)->size(), (xbase::Size{32767, 32767}));
+}
+
+TEST_F(VdeskTest, PanClampsToEdges) {
+  StartWm(kVdeskResources);
+  VirtualDesktop* desk = wm_->vdesk(0);
+  EXPECT_TRUE(desk->PanTo({100, 50}));
+  EXPECT_EQ(desk->offset(), (xbase::Point{100, 50}));
+  // Beyond the far edge clamps to size - viewport (800-200, 400-100).
+  desk->PanTo({10000, 10000});
+  EXPECT_EQ(desk->offset(), (xbase::Point{600, 300}));
+  desk->PanTo({-50, -50});
+  EXPECT_EQ(desk->offset(), (xbase::Point{0, 0}));
+  EXPECT_FALSE(desk->PanTo({0, 0}));  // No change.
+}
+
+TEST_F(VdeskTest, PanningMovesDesktopWindowNotClients) {
+  StartWm(kVdeskResources);
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  ManagedClient* client = Managed(*app);
+  xbase::Point desktop_pos = client->ClientDesktopPosition();
+  int notify_count_before = app->configure_notify_count();
+
+  wm_->ExecuteCommandString("f.panTo(100, 50)", 0);
+  wm_->ProcessEvents();
+  app->ProcessEvents();
+
+  // The client did not move with respect to its (virtual) root: no
+  // ConfigureNotify, same desktop position (§6.3.1).
+  EXPECT_EQ(client->ClientDesktopPosition(), desktop_pos);
+  EXPECT_EQ(app->configure_notify_count(), notify_count_before);
+  // But its real-root position shifted by the pan.
+  EXPECT_EQ(server_->RootPosition(app->window()),
+            (xbase::Point{desktop_pos.x - 100, desktop_pos.y - 50}));
+}
+
+TEST_F(VdeskTest, SwmRootPropertyOnClients) {
+  StartWm(kVdeskResources);
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  // §6.3.1: swm places a property naming the effective root.
+  EXPECT_EQ(app->display().GetWindowIdProperty(app->window(), xproto::kAtomSwmRoot),
+            wm_->vdesk(0)->window());
+  EXPECT_EQ(app->EffectiveRootForPopups(), wm_->vdesk(0)->window());
+}
+
+TEST_F(VdeskTest, StickyWindowStaysOnGlass) {
+  // §6.2: sticky windows appear stuck to the glass; panning leaves them.
+  StartWm(std::string(kVdeskResources) + "swm*XClock*sticky: True\n");
+  auto clock = Spawn("xclock", {"xclock", "XClock"});
+  auto term = Spawn("xterm", {"xterm", "XTerm"});
+  ManagedClient* sticky = Managed(*clock);
+  ManagedClient* normal = Managed(*term);
+  ASSERT_TRUE(sticky->sticky);
+  ASSERT_FALSE(normal->sticky);
+  // Sticky frames are children of the real root.
+  EXPECT_EQ(server_->QueryTree(sticky->frame->window())->parent, server_->RootWindow(0));
+  EXPECT_EQ(server_->QueryTree(normal->frame->window())->parent,
+            wm_->vdesk(0)->window());
+  // Sticky clients' SWM_ROOT names the real root.
+  EXPECT_EQ(clock->display().GetWindowIdProperty(clock->window(), xproto::kAtomSwmRoot),
+            server_->RootWindow(0));
+
+  xbase::Point sticky_screen = server_->RootPosition(clock->window());
+  xbase::Point normal_screen = server_->RootPosition(term->window());
+  wm_->ExecuteCommandString("f.pan(120, 60)", 0);
+  wm_->ProcessEvents();
+  EXPECT_EQ(server_->RootPosition(clock->window()), sticky_screen);
+  EXPECT_EQ(server_->RootPosition(term->window()),
+            (xbase::Point{normal_screen.x - 120, normal_screen.y - 60}));
+}
+
+TEST_F(VdeskTest, StickyDependentDecoration) {
+  // §6.2: "decorations can be dependent on whether or not the client window
+  // is sticky".
+  StartWm(std::string(kVdeskResources) +
+          "swm*XClock*sticky: True\n"
+          "swm*sticky*decoration: shapeit\n");
+  auto clock = Spawn("xclock", {"xclock", "XClock"});
+  auto term = Spawn("xterm", {"xterm", "XTerm"});
+  EXPECT_EQ(Managed(*clock)->decoration_name, "shapeit");
+  EXPECT_EQ(Managed(*term)->decoration_name, "openLook");
+}
+
+TEST_F(VdeskTest, InteractiveStickToggleReparentsAndKeepsScreenPosition) {
+  StartWm(kVdeskResources);
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  wm_->vdesk(0)->PanTo({50, 20});
+  ManagedClient* client = Managed(*app);
+  xbase::Point screen_before = server_->RootPosition(app->window());
+
+  wm_->SetSticky(client, true);
+  wm_->ProcessEvents();
+  client = wm_->FindClient(app->window());
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->sticky);
+  EXPECT_EQ(server_->QueryTree(client->frame->window())->parent,
+            server_->RootWindow(0));
+  EXPECT_EQ(server_->RootPosition(app->window()), screen_before);
+  EXPECT_EQ(app->display().GetWindowIdProperty(app->window(), xproto::kAtomSwmRoot),
+            server_->RootWindow(0));
+
+  // Pan: the stuck window must not move on screen.
+  wm_->vdesk(0)->PanTo({150, 80});
+  EXPECT_EQ(server_->RootPosition(app->window()), screen_before);
+
+  wm_->SetSticky(client, false);
+  wm_->ProcessEvents();
+  client = wm_->FindClient(app->window());
+  EXPECT_FALSE(client->sticky);
+  EXPECT_EQ(server_->QueryTree(client->frame->window())->parent,
+            wm_->vdesk(0)->window());
+  EXPECT_EQ(server_->RootPosition(app->window()), screen_before);
+  EXPECT_EQ(app->display().GetWindowIdProperty(app->window(), xproto::kAtomSwmRoot),
+            wm_->vdesk(0)->window());
+}
+
+TEST_F(VdeskTest, NailButtonTogglesSticky) {
+  StartWm(kVdeskResources);
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  oi::Object* nail = Managed(*app)->frame->FindDescendant("nail");
+  ASSERT_NE(nail, nullptr);
+  xbase::Point pos = ObjectRootPos(nail);
+  Click({pos.x + 1, pos.y + 1});
+  EXPECT_TRUE(wm_->FindClient(app->window())->sticky);
+}
+
+TEST_F(VdeskTest, UsPositionIsDesktopAbsolute) {
+  // §6.3.2: "If USPosition hints are specified, the window is placed at the
+  // absolute location requested ... even if the coordinates on the desktop
+  // are not currently visible."
+  StartWm(kVdeskResources);
+  wm_->vdesk(0)->PanTo({100, 50});
+  auto app = Spawn("xterm", {"xterm", "XTerm"}, {500, 300, 30, 10},
+                   xproto::kUSPosition | xproto::kUSSize);
+  EXPECT_EQ(Managed(*app)->ClientDesktopPosition(), (xbase::Point{500, 300}));
+}
+
+TEST_F(VdeskTest, PPositionIsViewportRelative) {
+  // §6.3.2: "If PPosition hints are specified, the window coordinates are
+  // assumed to be relative to the current visible portion".  The paper's
+  // example: desktop at 1000,1000; +100+100 -> 1100,1100.
+  StartWm("swm*virtualDesktop: 2000x2000\nswm*panner: False\n");
+  wm_->vdesk(0)->PanTo({1000, 1000});
+  auto app = Spawn("xterm", {"xterm", "XTerm"}, {100, 100, 30, 10},
+                   xproto::kPPosition | xproto::kPSize);
+  EXPECT_EQ(Managed(*app)->ClientDesktopPosition(), (xbase::Point{1100, 1100}));
+  // And a USPosition window at +100+100 lands at 100,100.
+  auto app2 = Spawn("xclock", {"xclock", "XClock"}, {100, 100, 30, 10},
+                    xproto::kUSPosition | xproto::kUSSize);
+  EXPECT_EQ(Managed(*app2)->ClientDesktopPosition(), (xbase::Point{100, 100}));
+}
+
+TEST_F(VdeskTest, OffscreenUsPositionWindowIsNotVisible) {
+  StartWm(kVdeskResources);
+  auto app = Spawn("faraway", {"faraway", "FarAway"}, {600, 300, 30, 10},
+                   xproto::kUSPosition | xproto::kUSSize);
+  ManagedClient* client = Managed(*app);
+  EXPECT_FALSE(wm_->vdesk(0)->IsVisible(client->FrameGeometry()));
+  // Panning there makes it visible.
+  wm_->vdesk(0)->PanTo({500, 250});
+  EXPECT_TRUE(wm_->vdesk(0)->IsVisible(client->FrameGeometry()));
+}
+
+TEST_F(VdeskTest, DesktopResizeReclampsOffset) {
+  StartWm(kVdeskResources);
+  VirtualDesktop* desk = wm_->vdesk(0);
+  desk->PanTo({600, 300});
+  desk->Resize({400, 200});
+  EXPECT_EQ(desk->size(), (xbase::Size{400, 200}));
+  EXPECT_EQ(desk->offset(), (xbase::Point{200, 100}));
+}
+
+// ---- Property-style sweep: panning invariants -------------------------------------
+
+struct PanCase {
+  int x;
+  int y;
+};
+
+class PanInvariantTest : public SwmTest,
+                         public ::testing::WithParamInterface<PanCase> {};
+
+TEST_P(PanInvariantTest, StickyScreenFixedNormalDesktopFixed) {
+  StartWm(std::string(kVdeskResources) + "swm*XClock*sticky: True\n");
+  auto clock = Spawn("xclock", {"xclock", "XClock"});
+  auto term = Spawn("xterm", {"xterm", "XTerm"});
+  xbase::Point sticky_screen = server_->RootPosition(clock->window());
+  xbase::Point normal_desktop = Managed(*term)->ClientDesktopPosition();
+
+  wm_->vdesk(0)->PanTo({GetParam().x, GetParam().y});
+  xbase::Point offset = wm_->vdesk(0)->offset();
+
+  // Invariant 1: sticky windows' screen position never changes.
+  EXPECT_EQ(server_->RootPosition(clock->window()), sticky_screen);
+  // Invariant 2: normal windows' desktop position never changes.
+  EXPECT_EQ(Managed(*term)->ClientDesktopPosition(), normal_desktop);
+  // Invariant 3: screen position == desktop position - offset.
+  EXPECT_EQ(server_->RootPosition(term->window()),
+            (xbase::Point{normal_desktop.x - offset.x, normal_desktop.y - offset.y}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PanInvariantTest,
+                         ::testing::Values(PanCase{0, 0}, PanCase{1, 1},
+                                           PanCase{100, 50}, PanCase{600, 300},
+                                           PanCase{9999, 9999}, PanCase{333, 17}));
+
+// ---- Panner ----------------------------------------------------------------------
+
+class PannerTest : public SwmTest {
+ protected:
+  void StartWithPanner() {
+    StartWm(
+        "swm*virtualDesktop: 800x400\n"
+        "swm*panner: True\n"
+        "swm*pannerScale: 10\n");
+    panner_ = wm_->panner(0);
+    ASSERT_NE(panner_, nullptr);
+    wm_->ProcessEvents();
+  }
+
+  Panner* panner_ = nullptr;
+};
+
+TEST_F(PannerTest, PannerIsManagedAndSticky) {
+  StartWithPanner();
+  // "The panner is reparented so it can be moved, iconified, and resized
+  // just like any other client window" (§6.1) — and it must be sticky so it
+  // does not scroll off the display.
+  ManagedClient* client = wm_->FindClient(panner_->window());
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->sticky);
+  EXPECT_TRUE(client->is_internal);
+  EXPECT_EQ(server_->QueryTree(client->frame->window())->parent,
+            server_->RootWindow(0));
+  xbase::Point screen_pos = server_->RootPosition(panner_->window());
+  wm_->vdesk(0)->PanTo({200, 100});
+  EXPECT_EQ(server_->RootPosition(panner_->window()), screen_pos);
+}
+
+TEST_F(PannerTest, Button1PansDesktop) {
+  StartWithPanner();
+  xbase::Point origin = server_->RootPosition(panner_->window());
+  // Click near the middle of the panner: the viewport centers there.
+  Click({origin.x + 40, origin.y + 20});
+  xbase::Point offset = wm_->vdesk(0)->offset();
+  // Desktop point (400,200) centered: offset = (400-100, 200-50).
+  EXPECT_EQ(offset, (xbase::Point{300, 150}));
+}
+
+TEST_F(PannerTest, Button2MovesMiniatureWindow) {
+  StartWithPanner();
+  auto app = Spawn("xterm", {"xterm", "XTerm"}, {0, 0, 60, 30});
+  ManagedClient* client = Managed(*app);
+  wm_->MoveFrameTo(client, {100, 100});
+  wm_->ProcessEvents();
+
+  xbase::Point origin = server_->RootPosition(panner_->window());
+  // Press on the miniature at desktop(100,100) -> panner cell (10,10).
+  server_->SimulateMotion({origin.x + 10, origin.y + 10});
+  wm_->ProcessEvents();
+  server_->SimulateButton(2, true);
+  wm_->ProcessEvents();
+  EXPECT_TRUE(panner_->dragging_window());
+  // Release at cell (40, 20) -> desktop (400, 200).
+  server_->SimulateMotion({origin.x + 40, origin.y + 20});
+  wm_->ProcessEvents();
+  server_->SimulateButton(2, false);
+  wm_->ProcessEvents();
+  EXPECT_FALSE(panner_->dragging_window());
+  EXPECT_EQ(client->FrameGeometry().origin(), (xbase::Point{400, 200}));
+}
+
+TEST_F(PannerTest, ResizingPannerResizesDesktop) {
+  StartWithPanner();
+  ManagedClient* client = wm_->FindClient(panner_->window());
+  ASSERT_NE(client, nullptr);
+  // Resize the panner client to 100x60 cells => desktop 1000x600.
+  wm_->ResizeClient(client, {100, 60});
+  wm_->ProcessEvents();
+  EXPECT_EQ(wm_->vdesk(0)->size(), (xbase::Size{1000, 600}));
+}
+
+TEST_F(PannerTest, MiniatureReflectsWindows) {
+  StartWithPanner();
+  auto app = Spawn("xterm", {"xterm", "XTerm"}, {0, 0, 60, 30});
+  wm_->MoveFrameTo(Managed(*app), {100, 100});
+  wm_->ProcessEvents();
+  // The panner's draw list contains a box at (10,10) (scale 10).
+  const xserver::WindowRec* rec = server_->FindWindowForTest(panner_->window());
+  ASSERT_NE(rec, nullptr);
+  bool found = false;
+  for (const xserver::DrawOp& op : rec->draw_ops) {
+    if (op.kind == xserver::DrawOp::Kind::kFillRect && op.rect.x == 10 &&
+        op.rect.y == 10) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace swm_test

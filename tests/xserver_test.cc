@@ -1,0 +1,634 @@
+#include "src/xserver/server.h"
+
+#include <gtest/gtest.h>
+
+namespace xserver {
+namespace {
+
+using xproto::Event;
+using xproto::kNone;
+using xproto::WindowId;
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : server_({ScreenConfig{200, 100, false}}) {
+    client_ = server_.Connect("hostA");
+    wm_ = server_.Connect("wmhost");
+  }
+
+  // Drains one client's queue into a vector.
+  std::vector<Event> Drain(xproto::ClientId client) {
+    std::vector<Event> events;
+    while (auto event = server_.NextEvent(client)) {
+      events.push_back(std::move(*event));
+    }
+    return events;
+  }
+
+  template <typename T>
+  std::vector<T> DrainOf(xproto::ClientId client) {
+    std::vector<T> out;
+    for (Event& event : Drain(client)) {
+      if (T* typed = std::get_if<T>(&event)) {
+        out.push_back(*typed);
+      }
+    }
+    return out;
+  }
+
+  Server server_;
+  xproto::ClientId client_ = 0;
+  xproto::ClientId wm_ = 0;
+};
+
+TEST_F(ServerTest, ScreenSetup) {
+  EXPECT_EQ(server_.ScreenCount(), 1);
+  EXPECT_NE(server_.RootWindow(0), kNone);
+  EXPECT_EQ(server_.screen(0).size, (xbase::Size{200, 100}));
+  EXPECT_TRUE(server_.IsViewable(server_.RootWindow(0)));
+}
+
+TEST_F(ServerTest, MultiScreen) {
+  Server multi({ScreenConfig{100, 100, false}, ScreenConfig{50, 50, true}});
+  EXPECT_EQ(multi.ScreenCount(), 2);
+  EXPECT_NE(multi.RootWindow(0), multi.RootWindow(1));
+  EXPECT_TRUE(multi.screen(1).monochrome);
+  EXPECT_EQ(multi.ScreenOfWindow(multi.RootWindow(1)), 1);
+}
+
+TEST_F(ServerTest, CreateDestroyWindow) {
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0),
+                                      {10, 10, 50, 40}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  ASSERT_NE(win, kNone);
+  EXPECT_TRUE(server_.WindowExists(win));
+  EXPECT_EQ(server_.GetGeometry(win), (xbase::Rect{10, 10, 50, 40}));
+  EXPECT_FALSE(server_.IsViewable(win));  // Not mapped yet.
+  EXPECT_TRUE(server_.DestroyWindow(client_, win));
+  EXPECT_FALSE(server_.WindowExists(win));
+}
+
+TEST_F(ServerTest, RootCannotBeDestroyed) {
+  EXPECT_FALSE(server_.DestroyWindow(client_, server_.RootWindow(0)));
+}
+
+TEST_F(ServerTest, DestroyRecursesAndNotifies) {
+  WindowId parent = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 50, 50},
+                                         0, xproto::WindowClass::kInputOutput, false);
+  WindowId child = server_.CreateWindow(client_, parent, {5, 5, 10, 10}, 0,
+                                        xproto::WindowClass::kInputOutput, false);
+  server_.SelectInput(client_, child, xproto::kStructureNotifyMask);
+  server_.DestroyWindow(client_, parent);
+  EXPECT_FALSE(server_.WindowExists(child));
+  auto destroys = DrainOf<xproto::DestroyNotifyEvent>(client_);
+  bool saw_child = false;
+  for (const auto& event : destroys) {
+    if (event.window == child) {
+      saw_child = true;
+    }
+  }
+  EXPECT_TRUE(saw_child);
+}
+
+TEST_F(ServerTest, MapUnmapNotifications) {
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 10, 10}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.SelectInput(client_, win,
+                      xproto::kStructureNotifyMask | xproto::kExposureMask);
+  server_.MapWindow(client_, win);
+  EXPECT_TRUE(server_.IsViewable(win));
+  bool saw_map = false;
+  bool saw_expose = false;
+  for (Event& event : Drain(client_)) {
+    if (std::get_if<xproto::MapNotifyEvent>(&event) != nullptr) {
+      saw_map = true;
+    }
+    if (std::get_if<xproto::ExposeEvent>(&event) != nullptr) {
+      saw_expose = true;
+    }
+  }
+  EXPECT_TRUE(saw_map);
+  EXPECT_TRUE(saw_expose);
+
+  server_.UnmapWindow(client_, win);
+  EXPECT_FALSE(server_.IsViewable(win));
+  EXPECT_FALSE(DrainOf<xproto::UnmapNotifyEvent>(client_).empty());
+}
+
+TEST_F(ServerTest, ViewabilityRequiresAncestorsMapped) {
+  WindowId parent = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 50, 50},
+                                         0, xproto::WindowClass::kInputOutput, false);
+  WindowId child = server_.CreateWindow(client_, parent, {0, 0, 10, 10}, 0,
+                                        xproto::WindowClass::kInputOutput, false);
+  server_.MapWindow(client_, child);
+  EXPECT_FALSE(server_.IsViewable(child));
+  EXPECT_EQ(server_.GetWindowAttributes(child)->map_state, xproto::MapState::kUnviewable);
+  server_.MapWindow(client_, parent);
+  EXPECT_TRUE(server_.IsViewable(child));
+}
+
+TEST_F(ServerTest, SubstructureRedirectRoutesMapRequest) {
+  ASSERT_TRUE(
+      server_.SelectInput(wm_, server_.RootWindow(0), xproto::kSubstructureRedirectMask));
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 10, 10}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.MapWindow(client_, win);
+  // Not mapped: redirected to the WM.
+  EXPECT_FALSE(server_.IsViewable(win));
+  auto requests = DrainOf<xproto::MapRequestEvent>(wm_);
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].window, win);
+  EXPECT_EQ(requests[0].parent, server_.RootWindow(0));
+  // The WM itself mapping the window succeeds.
+  server_.MapWindow(wm_, win);
+  EXPECT_TRUE(server_.IsViewable(win));
+}
+
+TEST_F(ServerTest, OverrideRedirectBypassesWm) {
+  server_.SelectInput(wm_, server_.RootWindow(0), xproto::kSubstructureRedirectMask);
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 10, 10}, 0,
+                                      xproto::WindowClass::kInputOutput, true);
+  server_.MapWindow(client_, win);
+  EXPECT_TRUE(server_.IsViewable(win));
+  EXPECT_TRUE(DrainOf<xproto::MapRequestEvent>(wm_).empty());
+}
+
+TEST_F(ServerTest, SecondRedirectSelectionFails) {
+  EXPECT_TRUE(
+      server_.SelectInput(wm_, server_.RootWindow(0), xproto::kSubstructureRedirectMask));
+  EXPECT_FALSE(server_.SelectInput(client_, server_.RootWindow(0),
+                                   xproto::kSubstructureRedirectMask));
+  // Same client may re-select.
+  EXPECT_TRUE(
+      server_.SelectInput(wm_, server_.RootWindow(0),
+                          xproto::kSubstructureRedirectMask | xproto::kButtonPressMask));
+}
+
+TEST_F(ServerTest, ConfigureRequestRedirected) {
+  server_.SelectInput(wm_, server_.RootWindow(0), xproto::kSubstructureRedirectMask);
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 10, 10}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.MoveResizeWindow(client_, win, {5, 6, 70, 80});
+  EXPECT_EQ(server_.GetGeometry(win), (xbase::Rect{0, 0, 10, 10}));  // Unchanged.
+  auto requests = DrainOf<xproto::ConfigureRequestEvent>(wm_);
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].geometry, (xbase::Rect{5, 6, 70, 80}));
+  EXPECT_EQ(requests[0].value_mask & (xproto::kConfigWidth | xproto::kConfigHeight),
+            xproto::kConfigWidth | xproto::kConfigHeight);
+}
+
+TEST_F(ServerTest, ConfigureMovesResizesNotifies) {
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 10, 10}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.SelectInput(client_, win, xproto::kStructureNotifyMask);
+  server_.MoveResizeWindow(client_, win, {30, 40, 50, 60});
+  EXPECT_EQ(server_.GetGeometry(win), (xbase::Rect{30, 40, 50, 60}));
+  auto notifies = DrainOf<xproto::ConfigureNotifyEvent>(client_);
+  ASSERT_FALSE(notifies.empty());
+  EXPECT_EQ(notifies.back().geometry, (xbase::Rect{30, 40, 50, 60}));
+  EXPECT_FALSE(notifies.back().synthetic);
+}
+
+TEST_F(ServerTest, StackingOrderRaiseLower) {
+  WindowId root = server_.RootWindow(0);
+  WindowId a = server_.CreateWindow(client_, root, {0, 0, 10, 10}, 0,
+                                    xproto::WindowClass::kInputOutput, false);
+  WindowId b = server_.CreateWindow(client_, root, {0, 0, 10, 10}, 0,
+                                    xproto::WindowClass::kInputOutput, false);
+  WindowId c = server_.CreateWindow(client_, root, {0, 0, 10, 10}, 0,
+                                    xproto::WindowClass::kInputOutput, false);
+  auto order = [&]() { return server_.QueryTree(root)->children; };
+  EXPECT_EQ(order(), (std::vector<WindowId>{a, b, c}));
+  server_.RaiseWindow(client_, a);
+  EXPECT_EQ(order(), (std::vector<WindowId>{b, c, a}));
+  server_.LowerWindow(client_, c);
+  EXPECT_EQ(order(), (std::vector<WindowId>{c, b, a}));
+  // Stack above a specific sibling.
+  ConfigureValues values;
+  values.sibling = c;
+  values.stack_mode = xproto::StackMode::kAbove;
+  server_.ConfigureWindow(client_, a, xproto::kConfigSibling | xproto::kConfigStackMode,
+                          values);
+  EXPECT_EQ(order(), (std::vector<WindowId>{c, a, b}));
+}
+
+TEST_F(ServerTest, ReparentPreservesSubtreeAndNotifies) {
+  WindowId root = server_.RootWindow(0);
+  WindowId new_parent = server_.CreateWindow(client_, root, {50, 50, 100, 50}, 0,
+                                             xproto::WindowClass::kInputOutput, false);
+  WindowId win = server_.CreateWindow(client_, root, {10, 10, 20, 20}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  WindowId grandchild = server_.CreateWindow(client_, win, {1, 1, 5, 5}, 0,
+                                             xproto::WindowClass::kInputOutput, false);
+  server_.SelectInput(client_, win, xproto::kStructureNotifyMask);
+  server_.MapWindow(client_, new_parent);
+  server_.MapWindow(client_, win);
+  Drain(client_);
+
+  EXPECT_TRUE(server_.ReparentWindow(client_, win, new_parent, {3, 4}));
+  EXPECT_EQ(server_.QueryTree(win)->parent, new_parent);
+  EXPECT_EQ(server_.GetGeometry(win)->origin(), (xbase::Point{3, 4}));
+  EXPECT_EQ(server_.QueryTree(grandchild)->parent, win);
+  // Still mapped after reparent (unmap/remap round trip).
+  EXPECT_TRUE(server_.IsViewable(win));
+
+  bool saw_reparent = false;
+  bool saw_unmap = false;
+  bool saw_map = false;
+  for (Event& event : Drain(client_)) {
+    if (auto* reparent = std::get_if<xproto::ReparentNotifyEvent>(&event)) {
+      saw_reparent = true;
+      EXPECT_EQ(reparent->parent, new_parent);
+    }
+    saw_unmap |= std::get_if<xproto::UnmapNotifyEvent>(&event) != nullptr;
+    saw_map |= std::get_if<xproto::MapNotifyEvent>(&event) != nullptr;
+  }
+  EXPECT_TRUE(saw_reparent);
+  EXPECT_TRUE(saw_unmap);
+  EXPECT_TRUE(saw_map);
+}
+
+TEST_F(ServerTest, ReparentRejectsCycles) {
+  WindowId root = server_.RootWindow(0);
+  WindowId a = server_.CreateWindow(client_, root, {0, 0, 10, 10}, 0,
+                                    xproto::WindowClass::kInputOutput, false);
+  WindowId b = server_.CreateWindow(client_, a, {0, 0, 5, 5}, 0,
+                                    xproto::WindowClass::kInputOutput, false);
+  EXPECT_FALSE(server_.ReparentWindow(client_, a, b, {0, 0}));
+  EXPECT_FALSE(server_.ReparentWindow(client_, a, a, {0, 0}));
+}
+
+TEST_F(ServerTest, TranslateCoordinates) {
+  WindowId root = server_.RootWindow(0);
+  WindowId a = server_.CreateWindow(client_, root, {10, 20, 50, 50}, 0,
+                                    xproto::WindowClass::kInputOutput, false);
+  WindowId b = server_.CreateWindow(client_, a, {5, 5, 20, 20}, 0,
+                                    xproto::WindowClass::kInputOutput, false);
+  EXPECT_EQ(server_.TranslateCoordinates(b, root, {0, 0}), (xbase::Point{15, 25}));
+  EXPECT_EQ(server_.TranslateCoordinates(root, b, {15, 25}), (xbase::Point{0, 0}));
+  EXPECT_EQ(server_.RootPosition(b), (xbase::Point{15, 25}));
+}
+
+TEST_F(ServerTest, PropertiesRoundTripAndNotify) {
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 10, 10}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.SelectInput(wm_, win, xproto::kPropertyChangeMask);
+  xproto::AtomId prop = server_.InternAtom("WM_NAME");
+  xproto::AtomId type = server_.InternAtom("STRING");
+  EXPECT_EQ(server_.InternAtom("WM_NAME"), prop);  // Idempotent.
+  EXPECT_EQ(server_.GetAtomName(prop), "WM_NAME");
+
+  std::vector<uint8_t> data{'h', 'i'};
+  EXPECT_TRUE(server_.ChangeProperty(client_, win, prop, type, 8, PropMode::kReplace, data));
+  auto rec = server_.GetProperty(win, prop);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->data, data);
+  EXPECT_EQ(rec->format, 8);
+
+  // Append mode grows the value; type mismatch fails.
+  EXPECT_TRUE(server_.ChangeProperty(client_, win, prop, type, 8, PropMode::kAppend,
+                                     {'!', '!'}));
+  EXPECT_EQ(server_.GetProperty(win, prop)->data.size(), 4u);
+  EXPECT_FALSE(server_.ChangeProperty(client_, win, prop, server_.InternAtom("CARDINAL"),
+                                      32, PropMode::kAppend, {0, 0, 0, 0}));
+
+  auto notifies = DrainOf<xproto::PropertyNotifyEvent>(wm_);
+  ASSERT_EQ(notifies.size(), 2u);
+  EXPECT_EQ(notifies[0].atom, prop);
+  EXPECT_EQ(notifies[0].state, xproto::PropertyState::kNewValue);
+
+  EXPECT_TRUE(server_.DeleteProperty(client_, win, prop));
+  EXPECT_FALSE(server_.GetProperty(win, prop).has_value());
+  notifies = DrainOf<xproto::PropertyNotifyEvent>(wm_);
+  ASSERT_EQ(notifies.size(), 1u);
+  EXPECT_EQ(notifies[0].state, xproto::PropertyState::kDeleted);
+  EXPECT_FALSE(server_.DeleteProperty(client_, win, prop));  // Already gone.
+}
+
+TEST_F(ServerTest, SaveSetReparentsOnDisconnect) {
+  // The WM reparents the client's window into a frame and adds it to its
+  // save set; when the WM dies, the window must return to the root and be
+  // remapped — this is what lets a WM crash without losing windows.
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {7, 8, 10, 10}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.MapWindow(client_, win);
+  WindowId frame = server_.CreateWindow(wm_, server_.RootWindow(0), {20, 20, 14, 14}, 0,
+                                        xproto::WindowClass::kInputOutput, false);
+  server_.MapWindow(wm_, frame);
+  server_.ReparentWindow(wm_, win, frame, {2, 2});
+  server_.ChangeSaveSet(wm_, win, true);
+  ASSERT_EQ(server_.QueryTree(win)->parent, frame);
+
+  server_.Disconnect(wm_);
+  EXPECT_TRUE(server_.WindowExists(win));           // Client window survives.
+  EXPECT_FALSE(server_.WindowExists(frame));        // WM's own window is gone.
+  EXPECT_EQ(server_.QueryTree(win)->parent, server_.RootWindow(0));
+  EXPECT_TRUE(server_.IsViewable(win));
+  // Position preserved at its old root coordinates.
+  EXPECT_EQ(server_.GetGeometry(win)->origin(), (xbase::Point{22, 22}));
+}
+
+TEST_F(ServerTest, DisconnectDestroysOwnedWindows) {
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 10, 10}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.Disconnect(client_);
+  EXPECT_FALSE(server_.WindowExists(win));
+  EXPECT_FALSE(server_.HasClient(client_));
+}
+
+TEST_F(ServerTest, SendEventWithMaskZeroGoesToOwner) {
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 10, 10}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  xproto::ClientMessageEvent message;
+  message.window = win;
+  message.message_type = server_.InternAtom("TEST");
+  EXPECT_TRUE(server_.SendEvent(wm_, win, 0, Event{message}));
+  EXPECT_EQ(server_.PendingEvents(client_), 1u);
+  EXPECT_EQ(server_.PendingEvents(wm_), 0u);
+}
+
+TEST_F(ServerTest, ClampToProtocolLimit) {
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 10, 10}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.ResizeWindow(client_, win, {100000, 5});
+  EXPECT_EQ(server_.GetGeometry(win)->width, xproto::kMaxCoordinate);
+}
+
+// ---- Pointer, buttons, grabs ---------------------------------------------------
+
+class PointerTest : public ServerTest {};
+
+TEST_F(PointerTest, EnterLeaveOnMotion) {
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {10, 10, 20, 20},
+                                      0, xproto::WindowClass::kInputOutput, false);
+  server_.SelectInput(client_, win,
+                      xproto::kEnterWindowMask | xproto::kLeaveWindowMask);
+  server_.MapWindow(client_, win);
+  Drain(client_);
+
+  server_.SimulateMotion({15, 15});
+  auto crossings = DrainOf<xproto::CrossingEvent>(client_);
+  ASSERT_EQ(crossings.size(), 1u);
+  EXPECT_TRUE(crossings[0].enter);
+  EXPECT_EQ(crossings[0].pos, (xbase::Point{5, 5}));
+
+  server_.SimulateMotion({50, 50});
+  crossings = DrainOf<xproto::CrossingEvent>(client_);
+  ASSERT_EQ(crossings.size(), 1u);
+  EXPECT_FALSE(crossings[0].enter);
+}
+
+TEST_F(PointerTest, ButtonPropagatesToFirstSelectingAncestor) {
+  WindowId outer = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 100, 100},
+                                        0, xproto::WindowClass::kInputOutput, false);
+  WindowId inner = server_.CreateWindow(client_, outer, {10, 10, 20, 20}, 0,
+                                        xproto::WindowClass::kInputOutput, false);
+  server_.SelectInput(client_, outer, xproto::kButtonPressMask);
+  server_.MapWindow(client_, outer);
+  server_.MapWindow(client_, inner);
+  server_.SimulateMotion({15, 15});  // Inside inner.
+  Drain(client_);
+
+  server_.SimulateButton(1, true);
+  auto buttons = DrainOf<xproto::ButtonEvent>(client_);
+  ASSERT_EQ(buttons.size(), 1u);
+  EXPECT_EQ(buttons[0].window, outer);    // Propagated up.
+  EXPECT_EQ(buttons[0].subwindow, inner);
+  EXPECT_EQ(buttons[0].pos, (xbase::Point{15, 15}));
+  server_.SimulateButton(1, false);
+}
+
+TEST_F(PointerTest, AutomaticGrabDeliversMotionAndRelease) {
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 50, 50}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.SelectInput(client_, win,
+                      xproto::kButtonPressMask | xproto::kButtonReleaseMask);
+  server_.MapWindow(client_, win);
+  server_.SimulateMotion({5, 5});
+  Drain(client_);
+
+  server_.SimulateButton(1, true);
+  // Move outside the window: the grab still routes events to it.
+  server_.SimulateMotion({150, 90});
+  server_.SimulateButton(1, false);
+
+  auto events = Drain(client_);
+  int presses = 0;
+  int motions = 0;
+  int releases = 0;
+  for (Event& event : events) {
+    if (auto* button = std::get_if<xproto::ButtonEvent>(&event)) {
+      (button->press ? presses : releases) += 1;
+      EXPECT_EQ(button->window, win);
+    }
+    if (auto* motion = std::get_if<xproto::MotionEvent>(&event)) {
+      ++motions;
+      EXPECT_EQ(motion->window, win);
+      EXPECT_EQ(motion->pos, (xbase::Point{150, 90}));
+    }
+  }
+  EXPECT_EQ(presses, 1);
+  EXPECT_EQ(motions, 1);
+  EXPECT_EQ(releases, 1);
+}
+
+TEST_F(PointerTest, PassiveGrabInterceptsDescendantClicks) {
+  WindowId frame = server_.CreateWindow(wm_, server_.RootWindow(0), {0, 0, 60, 60}, 0,
+                                        xproto::WindowClass::kInputOutput, false);
+  WindowId inner = server_.CreateWindow(client_, frame, {5, 5, 40, 40}, 0,
+                                        xproto::WindowClass::kInputOutput, false);
+  server_.SelectInput(client_, inner, xproto::kButtonPressMask);
+  server_.MapWindow(wm_, frame);
+  server_.MapWindow(client_, inner);
+  ASSERT_TRUE(server_.GrabButton(wm_, frame, 1, 0, xproto::kButtonPressMask));
+  server_.SimulateMotion({10, 10});
+  Drain(client_);
+  Drain(wm_);
+
+  server_.SimulateButton(1, true, 0);
+  // The grab fires for the WM; the inner window does not see the press.
+  auto wm_buttons = DrainOf<xproto::ButtonEvent>(wm_);
+  ASSERT_EQ(wm_buttons.size(), 1u);
+  EXPECT_EQ(wm_buttons[0].window, frame);
+  EXPECT_EQ(wm_buttons[0].subwindow, inner);
+  EXPECT_TRUE(DrainOf<xproto::ButtonEvent>(client_).empty());
+  server_.SimulateButton(1, false, 0);
+  // The release is also routed to the grabbing client; drain it.
+  EXPECT_EQ(DrainOf<xproto::ButtonEvent>(wm_).size(), 1u);
+
+  // Different modifiers bypass the grab.
+  server_.SimulateButton(1, true, static_cast<uint32_t>(xproto::ModifierMask::kShift));
+  EXPECT_TRUE(DrainOf<xproto::ButtonEvent>(wm_).empty());
+  EXPECT_EQ(DrainOf<xproto::ButtonEvent>(client_).size(), 1u);
+  server_.SimulateButton(1, false, static_cast<uint32_t>(xproto::ModifierMask::kShift));
+
+  EXPECT_TRUE(server_.UngrabButton(wm_, frame, 1, 0));
+  EXPECT_FALSE(server_.UngrabButton(wm_, frame, 1, 0));
+}
+
+TEST_F(PointerTest, KeyDeliveredToWindowUnderPointer) {
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 50, 50}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.SelectInput(client_, win, xproto::kKeyPressMask);
+  server_.MapWindow(client_, win);
+  server_.SimulateMotion({10, 10});
+  Drain(client_);
+  server_.SimulateKey(42, true, 0);
+  auto keys = DrainOf<xproto::KeyEvent>(client_);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].keysym, 42u);
+  EXPECT_EQ(keys[0].window, win);
+}
+
+TEST_F(PointerTest, InputFollowsShape) {
+  // A shaped window only receives pointer events within its shape.
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 20, 20}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.SelectInput(client_, win, xproto::kButtonPressMask);
+  server_.MapWindow(client_, win);
+  server_.ShapeSetRegion(client_, win, xbase::Region(xbase::Rect{0, 0, 10, 10}));
+  Drain(client_);
+
+  server_.SimulateMotion({5, 5});  // Inside the shape.
+  server_.SimulateButton(1, true);
+  server_.SimulateButton(1, false);
+  EXPECT_EQ(DrainOf<xproto::ButtonEvent>(client_).size(), 2u);
+
+  server_.SimulateMotion({15, 15});  // Inside bounds, outside shape.
+  server_.SimulateButton(1, true);
+  server_.SimulateButton(1, false);
+  EXPECT_TRUE(DrainOf<xproto::ButtonEvent>(client_).empty());
+}
+
+// ---- Input focus ---------------------------------------------------------------
+
+TEST_F(ServerTest, InputFocusLifecycle) {
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 20, 20}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.SelectInput(client_, win,
+                      xproto::kFocusChangeMask | xproto::kKeyPressMask);
+  // Unviewable windows cannot take focus.
+  EXPECT_FALSE(server_.SetInputFocus(client_, win));
+  server_.MapWindow(client_, win);
+  Drain(client_);
+
+  EXPECT_TRUE(server_.SetInputFocus(client_, win));
+  EXPECT_EQ(server_.GetInputFocus(), win);
+  auto focus_events = DrainOf<xproto::FocusEvent>(client_);
+  ASSERT_EQ(focus_events.size(), 1u);
+  EXPECT_TRUE(focus_events[0].in);
+
+  // Keys now go to the focus window even with the pointer elsewhere.
+  server_.SimulateMotion({150, 90});
+  Drain(client_);
+  server_.SimulateKey(7, true);
+  auto keys = DrainOf<xproto::KeyEvent>(client_);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].window, win);
+
+  // Reverting to pointer-root sends FocusOut.
+  EXPECT_TRUE(server_.SetInputFocus(client_, xproto::kNone));
+  focus_events = DrainOf<xproto::FocusEvent>(client_);
+  ASSERT_EQ(focus_events.size(), 1u);
+  EXPECT_FALSE(focus_events[0].in);
+
+  // Destroying a focused window reverts focus.
+  server_.MapWindow(client_, win);
+  server_.SetInputFocus(client_, win);
+  server_.DestroyWindow(client_, win);
+  EXPECT_EQ(server_.GetInputFocus(), xproto::kNone);
+}
+
+TEST_F(ServerTest, FocusOnBogusWindowRejected) {
+  EXPECT_FALSE(server_.SetInputFocus(client_, 424242));
+  EXPECT_EQ(server_.GetInputFocus(), xproto::kNone);
+}
+
+// ---- SHAPE ------------------------------------------------------------------------
+
+TEST_F(ServerTest, ShapeSetQueryClearNotify) {
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 16, 16}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.ShapeSelect(wm_, win, true);
+  EXPECT_FALSE(server_.IsShaped(win));
+
+  server_.ShapeSetMask(client_, win, xbase::CircleMask(16));
+  EXPECT_TRUE(server_.IsShaped(win));
+  auto shape = server_.GetShape(win);
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_EQ(shape->Area(), xbase::CircleMask(16).PopCount());
+
+  auto notifies = DrainOf<xproto::ShapeNotifyEvent>(wm_);
+  ASSERT_EQ(notifies.size(), 1u);
+  EXPECT_TRUE(notifies[0].shaped);
+
+  server_.ShapeClear(client_, win);
+  EXPECT_FALSE(server_.IsShaped(win));
+  notifies = DrainOf<xproto::ShapeNotifyEvent>(wm_);
+  ASSERT_EQ(notifies.size(), 1u);
+  EXPECT_FALSE(notifies[0].shaped);
+}
+
+// ---- Rendering ------------------------------------------------------------------
+
+TEST_F(ServerTest, RenderRespectsStackingAndClipping) {
+  WindowId root = server_.RootWindow(0);
+  WindowId below = server_.CreateWindow(client_, root, {0, 0, 20, 20}, 0,
+                                        xproto::WindowClass::kInputOutput, false);
+  WindowId above = server_.CreateWindow(client_, root, {10, 10, 20, 20}, 0,
+                                        xproto::WindowClass::kInputOutput, false);
+  server_.SetWindowBackground(client_, below, 'b');
+  server_.SetWindowBackground(client_, above, 'a');
+  server_.MapWindow(client_, below);
+  server_.MapWindow(client_, above);
+  xbase::Canvas canvas = server_.RenderScreen(0);
+  EXPECT_EQ(canvas.At(5, 5), 'b');
+  EXPECT_EQ(canvas.At(15, 15), 'a');  // Above wins in the overlap.
+  EXPECT_EQ(canvas.At(50, 50), '.');  // Root background elsewhere.
+
+  server_.RaiseWindow(client_, below);
+  canvas = server_.RenderScreen(0);
+  EXPECT_EQ(canvas.At(15, 15), 'b');
+}
+
+TEST_F(ServerTest, RenderClipsChildrenToParent) {
+  WindowId parent = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 20, 20},
+                                         0, xproto::WindowClass::kInputOutput, false);
+  WindowId child = server_.CreateWindow(client_, parent, {15, 15, 20, 20}, 0,
+                                        xproto::WindowClass::kInputOutput, false);
+  server_.SetWindowBackground(client_, parent, 'p');
+  server_.SetWindowBackground(client_, child, 'c');
+  server_.MapWindow(client_, parent);
+  server_.MapWindow(client_, child);
+  xbase::Canvas canvas = server_.RenderScreen(0);
+  EXPECT_EQ(canvas.At(16, 16), 'c');
+  EXPECT_EQ(canvas.At(25, 25), '.');  // Child clipped at parent boundary.
+}
+
+TEST_F(ServerTest, RenderHonorsShape) {
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {0, 0, 16, 16}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.SetWindowBackground(client_, win, 'w');
+  server_.MapWindow(client_, win);
+  server_.ShapeSetRegion(client_, win, xbase::Region(xbase::Rect{0, 0, 8, 8}));
+  xbase::Canvas canvas = server_.RenderScreen(0);
+  EXPECT_EQ(canvas.At(4, 4), 'w');
+  EXPECT_EQ(canvas.At(12, 12), '.');  // Outside the shape shows the root.
+}
+
+TEST_F(ServerTest, RenderDrawOps) {
+  WindowId win = server_.CreateWindow(client_, server_.RootWindow(0), {2, 2, 20, 5}, 0,
+                                      xproto::WindowClass::kInputOutput, false);
+  server_.MapWindow(client_, win);
+  DrawOp text;
+  text.kind = DrawOp::Kind::kText;
+  text.rect = {1, 1, 0, 0};
+  text.text = "hello";
+  server_.Draw(client_, win, text);
+  xbase::Canvas canvas = server_.RenderScreen(0);
+  EXPECT_EQ(canvas.At(3, 3), 'h');
+  EXPECT_EQ(canvas.At(7, 3), 'o');
+}
+
+}  // namespace
+}  // namespace xserver

@@ -1,0 +1,128 @@
+// Fuzz-style coverage for the bindings parser: random well-formed bindings
+// must round-trip exactly; random byte noise must never crash and must be
+// counted as errors, with well-formed lines in the same block surviving.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/base/logging.h"
+#include "src/xtb/bindings.h"
+
+namespace xtb {
+namespace {
+
+Binding RandomBinding(std::mt19937* rng) {
+  std::uniform_int_distribution<int> kind_dist(0, 5);
+  std::uniform_int_distribution<int> button_dist(1, 5);
+  std::uniform_int_distribution<int> mods_dist(0, 7);
+  std::uniform_int_distribution<int> fn_count(1, 4);
+  std::uniform_int_distribution<int> arg_count(0, 3);
+  std::uniform_int_distribution<int> name_pick(0, 5);
+  static const char* kFunctions[] = {"f.raise", "f.lower",        "f.iconify",
+                                     "f.zoom",  "f.warpVertical", "f.panTo"};
+  static const char* kKeys[] = {"Up", "Down", "F1", "a", "space", "Return"};
+  static const char* kArgs[] = {"-50", "100", "multiple", "#$", "#0x1a2b", "XTerm"};
+
+  Binding binding;
+  int kind = kind_dist(*rng);
+  int mods = mods_dist(*rng);
+  binding.event.modifiers =
+      (mods & 1 ? static_cast<uint32_t>(xproto::ModifierMask::kShift) : 0) |
+      (mods & 2 ? static_cast<uint32_t>(xproto::ModifierMask::kControl) : 0) |
+      (mods & 4 ? static_cast<uint32_t>(xproto::ModifierMask::kMod1) : 0);
+  switch (kind) {
+    case 0:
+      binding.event.kind = EventKind::kButtonPress;
+      binding.event.button = button_dist(*rng);
+      break;
+    case 1:
+      binding.event.kind = EventKind::kButtonRelease;
+      binding.event.button = button_dist(*rng);
+      break;
+    case 2:
+      binding.event.kind = EventKind::kKeyPress;
+      binding.event.keysym = InternKeySym(kKeys[name_pick(*rng)]);
+      break;
+    case 3:
+      binding.event.kind = EventKind::kEnter;
+      break;
+    case 4:
+      binding.event.kind = EventKind::kLeave;
+      break;
+    default:
+      binding.event.kind = EventKind::kMotion;
+      break;
+  }
+  int functions = fn_count(*rng);
+  for (int i = 0; i < functions; ++i) {
+    FunctionCall fn;
+    fn.name = kFunctions[name_pick(*rng)];
+    int args = arg_count(*rng);
+    for (int a = 0; a < args; ++a) {
+      fn.args.push_back(kArgs[name_pick(*rng)]);
+    }
+    binding.functions.push_back(std::move(fn));
+  }
+  return binding;
+}
+
+class BindingFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BindingFuzzTest, RandomBindingsRoundTrip) {
+  std::mt19937 rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    std::vector<Binding> bindings;
+    std::uniform_int_distribution<int> count(1, 6);
+    int n = count(rng);
+    for (int i = 0; i < n; ++i) {
+      bindings.push_back(RandomBinding(&rng));
+    }
+    std::string text = FormatBindings(bindings);
+    ParseResult reparsed = ParseBindings(text);
+    EXPECT_EQ(reparsed.errors, 0) << text;
+    ASSERT_EQ(reparsed.bindings.size(), bindings.size()) << text;
+    EXPECT_EQ(reparsed.bindings, bindings) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BindingFuzzTest, ::testing::Range(1, 11));
+
+TEST(BindingNoiseTest, RandomBytesNeverCrash) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  std::mt19937 rng(12345);
+  std::uniform_int_distribution<int> length(0, 120);
+  std::uniform_int_distribution<int> byte(32, 126);
+  for (int round = 0; round < 500; ++round) {
+    std::string noise;
+    int n = length(rng);
+    for (int i = 0; i < n; ++i) {
+      noise.push_back(static_cast<char>(byte(rng)));
+    }
+    ParseResult result = ParseBindings(noise);
+    // Whatever parsed must re-parse identically (idempotence on survivors).
+    std::string formatted = FormatBindings(result.bindings);
+    EXPECT_EQ(ParseBindings(formatted).bindings, result.bindings);
+  }
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+}
+
+TEST(BindingNoiseTest, NoiseAmongGoodLines) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  std::mt19937 rng(999);
+  std::uniform_int_distribution<int> byte(33, 126);
+  for (int round = 0; round < 50; ++round) {
+    std::string noise;
+    for (int i = 0; i < 20; ++i) {
+      noise.push_back(static_cast<char>(byte(rng)));
+    }
+    std::string text = "<Btn1> : f.raise\n" + noise + "\n<Btn2> : f.lower\n";
+    ParseResult result = ParseBindings(text);
+    EXPECT_GE(result.bindings.size(), 2u);
+    EXPECT_EQ(result.bindings.front().functions[0].name, "f.raise");
+    EXPECT_EQ(result.bindings.back().functions[0].name, "f.lower");
+  }
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+}
+
+}  // namespace
+}  // namespace xtb

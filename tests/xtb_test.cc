@@ -1,0 +1,162 @@
+#include "src/xtb/bindings.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/logging.h"
+
+namespace xtb {
+namespace {
+
+TEST(KeySymTest, InternIsStable) {
+  xproto::KeySym up = InternKeySym("Up");
+  EXPECT_EQ(InternKeySym("Up"), up);
+  EXPECT_NE(InternKeySym("Down"), up);
+  EXPECT_EQ(KeySymName(up), "Up");
+  EXPECT_EQ(KeySymName(0), "");
+}
+
+TEST(ParseBindingLineTest, SimpleButton) {
+  auto binding = ParseBindingLine("<Btn1> : f.raise");
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->event.kind, EventKind::kButtonPress);
+  EXPECT_EQ(binding->event.button, 1);
+  EXPECT_EQ(binding->event.modifiers, 0u);
+  ASSERT_EQ(binding->functions.size(), 1u);
+  EXPECT_EQ(binding->functions[0].name, "f.raise");
+  EXPECT_TRUE(binding->functions[0].args.empty());
+}
+
+TEST(ParseBindingLineTest, MultipleFunctionsPerBinding) {
+  // Paper: "<Btn2> : f.save f.zoom".
+  auto binding = ParseBindingLine("<Btn2> : f.save f.zoom");
+  ASSERT_TRUE(binding.has_value());
+  ASSERT_EQ(binding->functions.size(), 2u);
+  EXPECT_EQ(binding->functions[0].name, "f.save");
+  EXPECT_EQ(binding->functions[1].name, "f.zoom");
+}
+
+TEST(ParseBindingLineTest, KeyWithDetailAndArg) {
+  // Paper: "<Key>Up : f.warpVertical(-50)".
+  auto binding = ParseBindingLine("<Key>Up : f.warpVertical(-50)");
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->event.kind, EventKind::kKeyPress);
+  EXPECT_EQ(binding->event.keysym, InternKeySym("Up"));
+  ASSERT_EQ(binding->functions.size(), 1u);
+  EXPECT_EQ(binding->functions[0].name, "f.warpVertical");
+  ASSERT_EQ(binding->functions[0].args.size(), 1u);
+  EXPECT_EQ(binding->functions[0].args[0], "-50");
+}
+
+TEST(ParseBindingLineTest, Modifiers) {
+  auto binding = ParseBindingLine("Shift Ctrl<Btn3> : f.lower");
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->event.modifiers,
+            static_cast<uint32_t>(xproto::ModifierMask::kShift) |
+                static_cast<uint32_t>(xproto::ModifierMask::kControl));
+  auto meta = ParseBindingLine("Meta<Btn1> : f.raise");
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->event.modifiers, static_cast<uint32_t>(xproto::ModifierMask::kMod1));
+}
+
+TEST(ParseBindingLineTest, ButtonReleaseAndDown) {
+  auto up = ParseBindingLine("<Btn1Up> : f.raise");
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(up->event.kind, EventKind::kButtonRelease);
+  auto down = ParseBindingLine("<Btn2Down> : f.move");
+  ASSERT_TRUE(down.has_value());
+  EXPECT_EQ(down->event.kind, EventKind::kButtonPress);
+  EXPECT_EQ(down->event.button, 2);
+}
+
+TEST(ParseBindingLineTest, EnterLeaveMotion) {
+  EXPECT_EQ(ParseBindingLine("<Enter> : f.raise")->event.kind, EventKind::kEnter);
+  EXPECT_EQ(ParseBindingLine("<Leave> : f.lower")->event.kind, EventKind::kLeave);
+  EXPECT_EQ(ParseBindingLine("<Motion> : f.nop")->event.kind, EventKind::kMotion);
+}
+
+TEST(ParseBindingLineTest, InvocationModeArguments) {
+  // All five invocation modes of §4.4.1 parse as arguments.
+  const char* cases[] = {"f.iconify", "f.iconify(multiple)", "f.iconify(blob)",
+                         "f.iconify(#$)", "f.iconify(#0x1234)"};
+  for (const char* text : cases) {
+    auto binding = ParseBindingLine(std::string("<Btn1> : ") + text);
+    ASSERT_TRUE(binding.has_value()) << text;
+    EXPECT_EQ(binding->functions[0].ToString(), text);
+  }
+}
+
+TEST(ParseBindingLineTest, MultipleArgs) {
+  auto binding = ParseBindingLine("<Btn1> : f.panTo(100, 200)");
+  ASSERT_TRUE(binding.has_value());
+  ASSERT_EQ(binding->functions[0].args.size(), 2u);
+  EXPECT_EQ(binding->functions[0].args[0], "100");
+  EXPECT_EQ(binding->functions[0].args[1], "200");
+}
+
+TEST(ParseBindingLineTest, Malformed) {
+  EXPECT_FALSE(ParseBindingLine("no colon here").has_value());
+  EXPECT_FALSE(ParseBindingLine("<Btn9> : f.raise").has_value());
+  EXPECT_FALSE(ParseBindingLine("<Btn1> : raise").has_value());       // Missing f. prefix.
+  EXPECT_FALSE(ParseBindingLine("<Btn1> : f.raise(unclosed").has_value());
+  EXPECT_FALSE(ParseBindingLine("<Key> : f.raise").has_value());      // Key needs detail.
+  EXPECT_FALSE(ParseBindingLine("Bogus<Btn1> : f.raise").has_value());
+  EXPECT_FALSE(ParseBindingLine("<Btn1>stuff : f.raise").has_value());
+  EXPECT_FALSE(ParseBindingLine("<Btn1> :").has_value());             // No functions.
+}
+
+TEST(ParseBindingsTest, PaperExampleBlock) {
+  ParseResult result = ParseBindings(
+      "<Btn1> : f.raise\n"
+      "<Btn2> : f.save f.zoom\n"
+      "<Key>Up : f.warpVertical(-50)\n");
+  EXPECT_EQ(result.errors, 0);
+  ASSERT_EQ(result.bindings.size(), 3u);
+  EXPECT_EQ(result.bindings[2].functions[0].args[0], "-50");
+}
+
+TEST(ParseBindingsTest, SkipsBadLinesKeepsGood) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  ParseResult result = ParseBindings(
+      "<Btn1> : f.raise\n"
+      "garbage\n"
+      "<Btn2> : f.lower\n");
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+  EXPECT_EQ(result.errors, 1);
+  EXPECT_EQ(result.bindings.size(), 2u);
+}
+
+TEST(ParseFunctionListTest, StandaloneFunctionList) {
+  auto functions = ParseFunctionList("f.save f.zoom f.warpVertical(-50)");
+  ASSERT_TRUE(functions.has_value());
+  EXPECT_EQ(functions->size(), 3u);
+  EXPECT_FALSE(ParseFunctionList("").has_value());
+  EXPECT_FALSE(ParseFunctionList("notafunction").has_value());
+}
+
+class BindingRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BindingRoundTrip, FormatParsesBack) {
+  auto binding = ParseBindingLine(GetParam());
+  ASSERT_TRUE(binding.has_value());
+  auto reparsed = ParseBindingLine(binding->ToString());
+  ASSERT_TRUE(reparsed.has_value()) << binding->ToString();
+  EXPECT_EQ(*reparsed, *binding);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BindingRoundTrip,
+    ::testing::Values("<Btn1> : f.raise", "<Btn2> : f.save f.zoom",
+                      "<Key>Up : f.warpVertical(-50)", "Shift<Btn3> : f.iconify(#$)",
+                      "Ctrl Meta<Btn2Up> : f.menu(windowMenu)",
+                      "<Enter> : f.setButtonLabel(hot)",
+                      "<Btn5> : f.iconify(#0x1234) f.lower"));
+
+TEST(FormatBindingsTest, MultiLine) {
+  ParseResult result = ParseBindings("<Btn1> : f.raise\n<Btn2> : f.lower\n");
+  std::string formatted = FormatBindings(result.bindings);
+  ParseResult reparsed = ParseBindings(formatted);
+  EXPECT_EQ(reparsed.bindings, result.bindings);
+}
+
+}  // namespace
+}  // namespace xtb
