@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eval_resource_db.dir/bench_eval_resource_db.cc.o"
+  "CMakeFiles/bench_eval_resource_db.dir/bench_eval_resource_db.cc.o.d"
+  "bench_eval_resource_db"
+  "bench_eval_resource_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eval_resource_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

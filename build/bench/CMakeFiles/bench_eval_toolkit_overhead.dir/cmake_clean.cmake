@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eval_toolkit_overhead.dir/bench_eval_toolkit_overhead.cc.o"
+  "CMakeFiles/bench_eval_toolkit_overhead.dir/bench_eval_toolkit_overhead.cc.o.d"
+  "bench_eval_toolkit_overhead"
+  "bench_eval_toolkit_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eval_toolkit_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_decoration.dir/bench_fig1_decoration.cc.o"
+  "CMakeFiles/bench_fig1_decoration.dir/bench_fig1_decoration.cc.o.d"
+  "bench_fig1_decoration"
+  "bench_fig1_decoration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_decoration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

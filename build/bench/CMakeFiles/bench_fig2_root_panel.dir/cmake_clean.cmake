@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_root_panel.dir/bench_fig2_root_panel.cc.o"
+  "CMakeFiles/bench_fig2_root_panel.dir/bench_fig2_root_panel.cc.o.d"
+  "bench_fig2_root_panel"
+  "bench_fig2_root_panel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_root_panel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

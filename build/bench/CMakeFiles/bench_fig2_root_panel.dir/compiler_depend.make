@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig2_root_panel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_panner.dir/bench_fig3_panner.cc.o"
+  "CMakeFiles/bench_fig3_panner.dir/bench_fig3_panner.cc.o.d"
+  "bench_fig3_panner"
+  "bench_fig3_panner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_panner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

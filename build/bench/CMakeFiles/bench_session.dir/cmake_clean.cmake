@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_session.dir/bench_session.cc.o"
+  "CMakeFiles/bench_session.dir/bench_session.cc.o.d"
+  "bench_session"
+  "bench_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shape.dir/bench_shape.cc.o"
+  "CMakeFiles/bench_shape.dir/bench_shape.cc.o.d"
+  "bench_shape"
+  "bench_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vdesk_pan.dir/bench_vdesk_pan.cc.o"
+  "CMakeFiles/bench_vdesk_pan.dir/bench_vdesk_pan.cc.o.d"
+  "bench_vdesk_pan"
+  "bench_vdesk_pan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vdesk_pan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/look_and_feel.dir/look_and_feel.cpp.o"
+  "CMakeFiles/look_and_feel.dir/look_and_feel.cpp.o.d"
+  "look_and_feel"
+  "look_and_feel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/look_and_feel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for look_and_feel.
+# This may be replaced when dependencies are built.

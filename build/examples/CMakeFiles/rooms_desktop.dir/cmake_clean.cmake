@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rooms_desktop.dir/rooms_desktop.cpp.o"
+  "CMakeFiles/rooms_desktop.dir/rooms_desktop.cpp.o.d"
+  "rooms_desktop"
+  "rooms_desktop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rooms_desktop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

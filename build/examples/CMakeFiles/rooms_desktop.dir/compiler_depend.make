@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rooms_desktop.
+# This may be replaced when dependencies are built.

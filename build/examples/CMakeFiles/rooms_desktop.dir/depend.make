@@ -1,0 +1,2 @@
+# Empty dependencies file for rooms_desktop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_replay.dir/session_replay.cpp.o"
+  "CMakeFiles/session_replay.dir/session_replay.cpp.o.d"
+  "session_replay"
+  "session_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

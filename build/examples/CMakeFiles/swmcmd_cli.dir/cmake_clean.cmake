@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swmcmd_cli.dir/swmcmd_cli.cpp.o"
+  "CMakeFiles/swmcmd_cli.dir/swmcmd_cli.cpp.o.d"
+  "swmcmd_cli"
+  "swmcmd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swmcmd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

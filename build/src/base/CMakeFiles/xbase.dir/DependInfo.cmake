@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/bitmap.cc" "src/base/CMakeFiles/xbase.dir/bitmap.cc.o" "gcc" "src/base/CMakeFiles/xbase.dir/bitmap.cc.o.d"
+  "/root/repo/src/base/canvas.cc" "src/base/CMakeFiles/xbase.dir/canvas.cc.o" "gcc" "src/base/CMakeFiles/xbase.dir/canvas.cc.o.d"
+  "/root/repo/src/base/geometry.cc" "src/base/CMakeFiles/xbase.dir/geometry.cc.o" "gcc" "src/base/CMakeFiles/xbase.dir/geometry.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/base/CMakeFiles/xbase.dir/logging.cc.o" "gcc" "src/base/CMakeFiles/xbase.dir/logging.cc.o.d"
+  "/root/repo/src/base/region.cc" "src/base/CMakeFiles/xbase.dir/region.cc.o" "gcc" "src/base/CMakeFiles/xbase.dir/region.cc.o.d"
+  "/root/repo/src/base/strings.cc" "src/base/CMakeFiles/xbase.dir/strings.cc.o" "gcc" "src/base/CMakeFiles/xbase.dir/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbase.dir/bitmap.cc.o"
+  "CMakeFiles/xbase.dir/bitmap.cc.o.d"
+  "CMakeFiles/xbase.dir/canvas.cc.o"
+  "CMakeFiles/xbase.dir/canvas.cc.o.d"
+  "CMakeFiles/xbase.dir/geometry.cc.o"
+  "CMakeFiles/xbase.dir/geometry.cc.o.d"
+  "CMakeFiles/xbase.dir/logging.cc.o"
+  "CMakeFiles/xbase.dir/logging.cc.o.d"
+  "CMakeFiles/xbase.dir/region.cc.o"
+  "CMakeFiles/xbase.dir/region.cc.o.d"
+  "CMakeFiles/xbase.dir/strings.cc.o"
+  "CMakeFiles/xbase.dir/strings.cc.o.d"
+  "libxbase.a"
+  "libxbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oi/menu.cc" "src/oi/CMakeFiles/oi.dir/menu.cc.o" "gcc" "src/oi/CMakeFiles/oi.dir/menu.cc.o.d"
+  "/root/repo/src/oi/object.cc" "src/oi/CMakeFiles/oi.dir/object.cc.o" "gcc" "src/oi/CMakeFiles/oi.dir/object.cc.o.d"
+  "/root/repo/src/oi/panel.cc" "src/oi/CMakeFiles/oi.dir/panel.cc.o" "gcc" "src/oi/CMakeFiles/oi.dir/panel.cc.o.d"
+  "/root/repo/src/oi/panel_def.cc" "src/oi/CMakeFiles/oi.dir/panel_def.cc.o" "gcc" "src/oi/CMakeFiles/oi.dir/panel_def.cc.o.d"
+  "/root/repo/src/oi/toolkit.cc" "src/oi/CMakeFiles/oi.dir/toolkit.cc.o" "gcc" "src/oi/CMakeFiles/oi.dir/toolkit.cc.o.d"
+  "/root/repo/src/oi/widgets.cc" "src/oi/CMakeFiles/oi.dir/widgets.cc.o" "gcc" "src/oi/CMakeFiles/oi.dir/widgets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xlib/CMakeFiles/xlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/xrdb/CMakeFiles/xrdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/xtb/CMakeFiles/xtb.dir/DependInfo.cmake"
+  "/root/repo/build/src/xproto/CMakeFiles/xproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/xserver/CMakeFiles/xserver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

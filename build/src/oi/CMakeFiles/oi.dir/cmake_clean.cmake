@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oi.dir/menu.cc.o"
+  "CMakeFiles/oi.dir/menu.cc.o.d"
+  "CMakeFiles/oi.dir/object.cc.o"
+  "CMakeFiles/oi.dir/object.cc.o.d"
+  "CMakeFiles/oi.dir/panel.cc.o"
+  "CMakeFiles/oi.dir/panel.cc.o.d"
+  "CMakeFiles/oi.dir/panel_def.cc.o"
+  "CMakeFiles/oi.dir/panel_def.cc.o.d"
+  "CMakeFiles/oi.dir/toolkit.cc.o"
+  "CMakeFiles/oi.dir/toolkit.cc.o.d"
+  "CMakeFiles/oi.dir/widgets.cc.o"
+  "CMakeFiles/oi.dir/widgets.cc.o.d"
+  "liboi.a"
+  "liboi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

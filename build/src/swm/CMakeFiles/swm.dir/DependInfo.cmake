@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swm/panner.cc" "src/swm/CMakeFiles/swm.dir/panner.cc.o" "gcc" "src/swm/CMakeFiles/swm.dir/panner.cc.o.d"
+  "/root/repo/src/swm/scrollbars.cc" "src/swm/CMakeFiles/swm.dir/scrollbars.cc.o" "gcc" "src/swm/CMakeFiles/swm.dir/scrollbars.cc.o.d"
+  "/root/repo/src/swm/session.cc" "src/swm/CMakeFiles/swm.dir/session.cc.o" "gcc" "src/swm/CMakeFiles/swm.dir/session.cc.o.d"
+  "/root/repo/src/swm/swmcmd.cc" "src/swm/CMakeFiles/swm.dir/swmcmd.cc.o" "gcc" "src/swm/CMakeFiles/swm.dir/swmcmd.cc.o.d"
+  "/root/repo/src/swm/templates.cc" "src/swm/CMakeFiles/swm.dir/templates.cc.o" "gcc" "src/swm/CMakeFiles/swm.dir/templates.cc.o.d"
+  "/root/repo/src/swm/vdesk.cc" "src/swm/CMakeFiles/swm.dir/vdesk.cc.o" "gcc" "src/swm/CMakeFiles/swm.dir/vdesk.cc.o.d"
+  "/root/repo/src/swm/wm.cc" "src/swm/CMakeFiles/swm.dir/wm.cc.o" "gcc" "src/swm/CMakeFiles/swm.dir/wm.cc.o.d"
+  "/root/repo/src/swm/wm_events.cc" "src/swm/CMakeFiles/swm.dir/wm_events.cc.o" "gcc" "src/swm/CMakeFiles/swm.dir/wm_events.cc.o.d"
+  "/root/repo/src/swm/wm_functions.cc" "src/swm/CMakeFiles/swm.dir/wm_functions.cc.o" "gcc" "src/swm/CMakeFiles/swm.dir/wm_functions.cc.o.d"
+  "/root/repo/src/swm/wm_icons.cc" "src/swm/CMakeFiles/swm.dir/wm_icons.cc.o" "gcc" "src/swm/CMakeFiles/swm.dir/wm_icons.cc.o.d"
+  "/root/repo/src/swm/wm_manage.cc" "src/swm/CMakeFiles/swm.dir/wm_manage.cc.o" "gcc" "src/swm/CMakeFiles/swm.dir/wm_manage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/oi/CMakeFiles/oi.dir/DependInfo.cmake"
+  "/root/repo/build/src/xlib/CMakeFiles/xlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/xrdb/CMakeFiles/xrdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/xtb/CMakeFiles/xtb.dir/DependInfo.cmake"
+  "/root/repo/build/src/xserver/CMakeFiles/xserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/xproto/CMakeFiles/xproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

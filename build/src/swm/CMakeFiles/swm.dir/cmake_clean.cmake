@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swm.dir/panner.cc.o"
+  "CMakeFiles/swm.dir/panner.cc.o.d"
+  "CMakeFiles/swm.dir/scrollbars.cc.o"
+  "CMakeFiles/swm.dir/scrollbars.cc.o.d"
+  "CMakeFiles/swm.dir/session.cc.o"
+  "CMakeFiles/swm.dir/session.cc.o.d"
+  "CMakeFiles/swm.dir/swmcmd.cc.o"
+  "CMakeFiles/swm.dir/swmcmd.cc.o.d"
+  "CMakeFiles/swm.dir/templates.cc.o"
+  "CMakeFiles/swm.dir/templates.cc.o.d"
+  "CMakeFiles/swm.dir/vdesk.cc.o"
+  "CMakeFiles/swm.dir/vdesk.cc.o.d"
+  "CMakeFiles/swm.dir/wm.cc.o"
+  "CMakeFiles/swm.dir/wm.cc.o.d"
+  "CMakeFiles/swm.dir/wm_events.cc.o"
+  "CMakeFiles/swm.dir/wm_events.cc.o.d"
+  "CMakeFiles/swm.dir/wm_functions.cc.o"
+  "CMakeFiles/swm.dir/wm_functions.cc.o.d"
+  "CMakeFiles/swm.dir/wm_icons.cc.o"
+  "CMakeFiles/swm.dir/wm_icons.cc.o.d"
+  "CMakeFiles/swm.dir/wm_manage.cc.o"
+  "CMakeFiles/swm.dir/wm_manage.cc.o.d"
+  "libswm.a"
+  "libswm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/twm/twm.cc" "src/twm/CMakeFiles/twm.dir/twm.cc.o" "gcc" "src/twm/CMakeFiles/twm.dir/twm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xlib/CMakeFiles/xlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/xserver/CMakeFiles/xserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/xproto/CMakeFiles/xproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

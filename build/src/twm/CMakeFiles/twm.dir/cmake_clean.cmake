@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twm.dir/twm.cc.o"
+  "CMakeFiles/twm.dir/twm.cc.o.d"
+  "libtwm.a"
+  "libtwm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xlib/client_app.cc" "src/xlib/CMakeFiles/xlib.dir/client_app.cc.o" "gcc" "src/xlib/CMakeFiles/xlib.dir/client_app.cc.o.d"
+  "/root/repo/src/xlib/display.cc" "src/xlib/CMakeFiles/xlib.dir/display.cc.o" "gcc" "src/xlib/CMakeFiles/xlib.dir/display.cc.o.d"
+  "/root/repo/src/xlib/icccm.cc" "src/xlib/CMakeFiles/xlib.dir/icccm.cc.o" "gcc" "src/xlib/CMakeFiles/xlib.dir/icccm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xserver/CMakeFiles/xserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/xproto/CMakeFiles/xproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

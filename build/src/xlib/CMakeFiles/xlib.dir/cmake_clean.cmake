@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlib.dir/client_app.cc.o"
+  "CMakeFiles/xlib.dir/client_app.cc.o.d"
+  "CMakeFiles/xlib.dir/display.cc.o"
+  "CMakeFiles/xlib.dir/display.cc.o.d"
+  "CMakeFiles/xlib.dir/icccm.cc.o"
+  "CMakeFiles/xlib.dir/icccm.cc.o.d"
+  "libxlib.a"
+  "libxlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xproto.dir/events.cc.o"
+  "CMakeFiles/xproto.dir/events.cc.o.d"
+  "CMakeFiles/xproto.dir/hints.cc.o"
+  "CMakeFiles/xproto.dir/hints.cc.o.d"
+  "libxproto.a"
+  "libxproto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrdb.dir/database.cc.o"
+  "CMakeFiles/xrdb.dir/database.cc.o.d"
+  "libxrdb.a"
+  "libxrdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

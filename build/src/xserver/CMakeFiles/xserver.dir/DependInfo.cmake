@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xserver/pointer.cc" "src/xserver/CMakeFiles/xserver.dir/pointer.cc.o" "gcc" "src/xserver/CMakeFiles/xserver.dir/pointer.cc.o.d"
+  "/root/repo/src/xserver/render.cc" "src/xserver/CMakeFiles/xserver.dir/render.cc.o" "gcc" "src/xserver/CMakeFiles/xserver.dir/render.cc.o.d"
+  "/root/repo/src/xserver/server.cc" "src/xserver/CMakeFiles/xserver.dir/server.cc.o" "gcc" "src/xserver/CMakeFiles/xserver.dir/server.cc.o.d"
+  "/root/repo/src/xserver/shape.cc" "src/xserver/CMakeFiles/xserver.dir/shape.cc.o" "gcc" "src/xserver/CMakeFiles/xserver.dir/shape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xproto/CMakeFiles/xproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xserver.dir/pointer.cc.o"
+  "CMakeFiles/xserver.dir/pointer.cc.o.d"
+  "CMakeFiles/xserver.dir/render.cc.o"
+  "CMakeFiles/xserver.dir/render.cc.o.d"
+  "CMakeFiles/xserver.dir/server.cc.o"
+  "CMakeFiles/xserver.dir/server.cc.o.d"
+  "CMakeFiles/xserver.dir/shape.cc.o"
+  "CMakeFiles/xserver.dir/shape.cc.o.d"
+  "libxserver.a"
+  "libxserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtb.dir/bindings.cc.o"
+  "CMakeFiles/xtb.dir/bindings.cc.o.d"
+  "libxtb.a"
+  "libxtb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

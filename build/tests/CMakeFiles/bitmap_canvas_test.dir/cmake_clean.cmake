@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmap_canvas_test.dir/bitmap_canvas_test.cc.o"
+  "CMakeFiles/bitmap_canvas_test.dir/bitmap_canvas_test.cc.o.d"
+  "bitmap_canvas_test"
+  "bitmap_canvas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmap_canvas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

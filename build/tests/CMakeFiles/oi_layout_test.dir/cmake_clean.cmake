@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oi_layout_test.dir/oi_layout_test.cc.o"
+  "CMakeFiles/oi_layout_test.dir/oi_layout_test.cc.o.d"
+  "oi_layout_test"
+  "oi_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oi_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oi_test.dir/oi_test.cc.o"
+  "CMakeFiles/oi_test.dir/oi_test.cc.o.d"
+  "oi_test"
+  "oi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_walkthrough_test.dir/paper_walkthrough_test.cc.o"
+  "CMakeFiles/paper_walkthrough_test.dir/paper_walkthrough_test.cc.o.d"
+  "paper_walkthrough_test"
+  "paper_walkthrough_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_walkthrough_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/swm_extensions_test.cc" "tests/CMakeFiles/swm_extensions_test.dir/swm_extensions_test.cc.o" "gcc" "tests/CMakeFiles/swm_extensions_test.dir/swm_extensions_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swm/CMakeFiles/swm.dir/DependInfo.cmake"
+  "/root/repo/build/src/twm/CMakeFiles/twm.dir/DependInfo.cmake"
+  "/root/repo/build/src/oi/CMakeFiles/oi.dir/DependInfo.cmake"
+  "/root/repo/build/src/xrdb/CMakeFiles/xrdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/xtb/CMakeFiles/xtb.dir/DependInfo.cmake"
+  "/root/repo/build/src/xlib/CMakeFiles/xlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/xserver/CMakeFiles/xserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/xproto/CMakeFiles/xproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swm_extensions_test.dir/swm_extensions_test.cc.o"
+  "CMakeFiles/swm_extensions_test.dir/swm_extensions_test.cc.o.d"
+  "swm_extensions_test"
+  "swm_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swm_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

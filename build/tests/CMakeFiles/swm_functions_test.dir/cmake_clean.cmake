@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swm_functions_test.dir/swm_functions_test.cc.o"
+  "CMakeFiles/swm_functions_test.dir/swm_functions_test.cc.o.d"
+  "swm_functions_test"
+  "swm_functions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swm_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swm_icons_test.dir/swm_icons_test.cc.o"
+  "CMakeFiles/swm_icons_test.dir/swm_icons_test.cc.o.d"
+  "swm_icons_test"
+  "swm_icons_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swm_icons_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

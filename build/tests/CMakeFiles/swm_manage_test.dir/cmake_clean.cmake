@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swm_manage_test.dir/swm_manage_test.cc.o"
+  "CMakeFiles/swm_manage_test.dir/swm_manage_test.cc.o.d"
+  "swm_manage_test"
+  "swm_manage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swm_manage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swm_multiscreen_test.dir/swm_multiscreen_test.cc.o"
+  "CMakeFiles/swm_multiscreen_test.dir/swm_multiscreen_test.cc.o.d"
+  "swm_multiscreen_test"
+  "swm_multiscreen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swm_multiscreen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

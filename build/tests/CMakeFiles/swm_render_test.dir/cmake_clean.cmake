@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swm_render_test.dir/swm_render_test.cc.o"
+  "CMakeFiles/swm_render_test.dir/swm_render_test.cc.o.d"
+  "swm_render_test"
+  "swm_render_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swm_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swm_session_test.dir/swm_session_test.cc.o"
+  "CMakeFiles/swm_session_test.dir/swm_session_test.cc.o.d"
+  "swm_session_test"
+  "swm_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swm_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

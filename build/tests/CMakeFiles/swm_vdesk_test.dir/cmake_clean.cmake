@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swm_vdesk_test.dir/swm_vdesk_test.cc.o"
+  "CMakeFiles/swm_vdesk_test.dir/swm_vdesk_test.cc.o.d"
+  "swm_vdesk_test"
+  "swm_vdesk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swm_vdesk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

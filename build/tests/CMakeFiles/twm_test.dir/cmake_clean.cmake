@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twm_test.dir/twm_test.cc.o"
+  "CMakeFiles/twm_test.dir/twm_test.cc.o.d"
+  "twm_test"
+  "twm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlib_test.dir/xlib_test.cc.o"
+  "CMakeFiles/xlib_test.dir/xlib_test.cc.o.d"
+  "xlib_test"
+  "xlib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

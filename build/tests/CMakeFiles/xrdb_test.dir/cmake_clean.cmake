@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrdb_test.dir/xrdb_test.cc.o"
+  "CMakeFiles/xrdb_test.dir/xrdb_test.cc.o.d"
+  "xrdb_test"
+  "xrdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xserver_test.dir/xserver_test.cc.o"
+  "CMakeFiles/xserver_test.dir/xserver_test.cc.o.d"
+  "xserver_test"
+  "xserver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

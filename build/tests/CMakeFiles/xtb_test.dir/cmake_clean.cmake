@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtb_test.dir/xtb_test.cc.o"
+  "CMakeFiles/xtb_test.dir/xtb_test.cc.o.d"
+  "xtb_test"
+  "xtb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
