@@ -138,6 +138,62 @@ void BM_ObjectAttributeQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_ObjectAttributeQuery);
 
+// Same query with the toolkit's attribute/path caches dropped every
+// iteration: the price of the first query after a database mutation
+// (interned-path rebuild + trie walk, no memoized value).
+void BM_ObjectAttributeQueryCold(benchmark::State& state) {
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), "swm*panner: False\n");
+  xlib::ClientApp app(server.get(), bench_util::ClientConfig(0));
+  app.Map();
+  wm->ProcessEvents();
+  swm::ManagedClient* client = wm->FindClient(app.window());
+  oi::Object* name = client->name_object;
+  const oi::Toolkit& toolkit = wm->toolkit(0);
+  for (auto _ : state) {
+    toolkit.InvalidateQueryCaches();
+    auto value = name->Attribute("bindings");
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObjectAttributeQueryCold);
+
+// A decoration attribute storm: every frame object of every managed client
+// re-queried for the attributes decoration construction reads.  This is
+// what f.restart or a template reload costs per redecoration pass; the
+// cache-hit counters show how much of the storm the memoized layer absorbs.
+void BM_DecorationAttributeStorm(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get(), "swm*panner: False\n");
+  auto apps = bench_util::SpawnClients(server.get(), clients,
+                                       [&wm]() { wm->ProcessEvents(); });
+  const oi::Toolkit& toolkit = wm->toolkit(0);
+  static const char* kAttributes[] = {"bindings", "decoration", "font",
+                                      "foreground", "background"};
+  toolkit.ResetQueryStats();
+  for (auto _ : state) {
+    for (swm::ManagedClient* client : wm->Clients()) {
+      for (const char* attribute : kAttributes) {
+        auto frame_value = client->frame->Attribute(attribute);
+        benchmark::DoNotOptimize(frame_value);
+        if (client->name_object != nullptr) {
+          auto name_value = client->name_object->Attribute(attribute);
+          benchmark::DoNotOptimize(name_value);
+        }
+      }
+    }
+  }
+  const oi::Toolkit::QueryStats& stats = toolkit.query_stats();
+  state.SetItemsProcessed(static_cast<int64_t>(stats.queries));
+  state.counters["cache_hit_rate"] =
+      stats.queries == 0 ? 0.0
+                         : static_cast<double>(stats.cache_hits) /
+                               static_cast<double>(stats.queries);
+}
+BENCHMARK(BM_DecorationAttributeStorm)->Arg(4)->Arg(16);
+
 }  // namespace
 
 BENCHMARK_MAIN();

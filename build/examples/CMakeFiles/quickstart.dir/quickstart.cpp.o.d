@@ -213,7 +213,9 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/oi/menu.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/base/interner.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/oi/menu.h \
  /root/repo/src/oi/widgets.h /root/repo/src/base/bitmap.h \
  /root/repo/src/base/region.h /root/repo/src/base/geometry.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
@@ -227,6 +229,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/base/canvas.h \
  /root/repo/src/xserver/window.h /root/repo/src/xrdb/database.h \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/swm/session.h /root/repo/src/swm/vdesk.h \
  /root/repo/src/xproto/hints.h /root/repo/src/xlib/client_app.h \
  /root/repo/src/xlib/icccm.h

@@ -223,10 +223,12 @@ examples/CMakeFiles/swmcmd_cli.dir/swmcmd_cli.cpp.o: \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/oi/menu.h \
- /root/repo/src/oi/widgets.h /root/repo/src/oi/object.h \
- /root/repo/src/oi/panel_def.h /root/repo/src/xtb/bindings.h \
- /root/repo/src/oi/panel.h /root/repo/src/xrdb/database.h \
- /root/repo/src/swm/session.h /root/repo/src/swm/vdesk.h \
- /root/repo/src/xproto/hints.h /root/repo/src/xlib/client_app.h \
- /root/repo/src/xlib/icccm.h
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/base/interner.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/oi/menu.h /root/repo/src/oi/widgets.h \
+ /root/repo/src/oi/object.h /root/repo/src/oi/panel_def.h \
+ /root/repo/src/xtb/bindings.h /root/repo/src/oi/panel.h \
+ /root/repo/src/xrdb/database.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/swm/session.h \
+ /root/repo/src/swm/vdesk.h /root/repo/src/xproto/hints.h \
+ /root/repo/src/xlib/client_app.h /root/repo/src/xlib/icccm.h

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/base/bitmap.cc" "src/base/CMakeFiles/xbase.dir/bitmap.cc.o" "gcc" "src/base/CMakeFiles/xbase.dir/bitmap.cc.o.d"
   "/root/repo/src/base/canvas.cc" "src/base/CMakeFiles/xbase.dir/canvas.cc.o" "gcc" "src/base/CMakeFiles/xbase.dir/canvas.cc.o.d"
   "/root/repo/src/base/geometry.cc" "src/base/CMakeFiles/xbase.dir/geometry.cc.o" "gcc" "src/base/CMakeFiles/xbase.dir/geometry.cc.o.d"
+  "/root/repo/src/base/interner.cc" "src/base/CMakeFiles/xbase.dir/interner.cc.o" "gcc" "src/base/CMakeFiles/xbase.dir/interner.cc.o.d"
   "/root/repo/src/base/logging.cc" "src/base/CMakeFiles/xbase.dir/logging.cc.o" "gcc" "src/base/CMakeFiles/xbase.dir/logging.cc.o.d"
   "/root/repo/src/base/region.cc" "src/base/CMakeFiles/xbase.dir/region.cc.o" "gcc" "src/base/CMakeFiles/xbase.dir/region.cc.o.d"
   "/root/repo/src/base/strings.cc" "src/base/CMakeFiles/xbase.dir/strings.cc.o" "gcc" "src/base/CMakeFiles/xbase.dir/strings.cc.o.d"

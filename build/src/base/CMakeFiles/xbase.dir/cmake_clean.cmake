@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/xbase.dir/canvas.cc.o.d"
   "CMakeFiles/xbase.dir/geometry.cc.o"
   "CMakeFiles/xbase.dir/geometry.cc.o.d"
+  "CMakeFiles/xbase.dir/interner.cc.o"
+  "CMakeFiles/xbase.dir/interner.cc.o.d"
   "CMakeFiles/xbase.dir/logging.cc.o"
   "CMakeFiles/xbase.dir/logging.cc.o.d"
   "CMakeFiles/xbase.dir/region.cc.o"

@@ -222,10 +222,12 @@ src/oi/CMakeFiles/oi.dir/panel.cc.o: /root/repo/src/oi/panel.cc \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/oi/menu.h \
- /root/repo/src/oi/widgets.h /root/repo/src/base/bitmap.h \
- /root/repo/src/base/region.h /root/repo/src/xlib/display.h \
- /root/repo/src/xserver/server.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/base/canvas.h /root/repo/src/xserver/window.h \
- /root/repo/src/xrdb/database.h
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/base/interner.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/oi/menu.h /root/repo/src/oi/widgets.h \
+ /root/repo/src/base/bitmap.h /root/repo/src/base/region.h \
+ /root/repo/src/xlib/display.h /root/repo/src/xserver/server.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/base/canvas.h \
+ /root/repo/src/xserver/window.h /root/repo/src/xrdb/database.h \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef

@@ -210,10 +210,11 @@ src/oi/CMakeFiles/oi.dir/toolkit.cc.o: /root/repo/src/oi/toolkit.cc \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
- /root/repo/src/oi/menu.h /root/repo/src/oi/widgets.h \
- /root/repo/src/base/bitmap.h /root/repo/src/base/region.h \
- /root/repo/src/base/geometry.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/base/interner.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/oi/menu.h \
+ /root/repo/src/oi/widgets.h /root/repo/src/base/bitmap.h \
+ /root/repo/src/base/region.h /root/repo/src/base/geometry.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/oi/object.h /root/repo/src/oi/panel_def.h \
@@ -224,6 +225,7 @@ src/oi/CMakeFiles/oi.dir/toolkit.cc.o: /root/repo/src/oi/toolkit.cc \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/base/canvas.h \
  /root/repo/src/xserver/window.h /root/repo/src/xrdb/database.h \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/base/logging.h /usr/include/c++/12/iostream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc

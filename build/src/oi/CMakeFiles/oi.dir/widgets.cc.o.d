@@ -220,9 +220,11 @@ src/oi/CMakeFiles/oi.dir/widgets.cc.o: /root/repo/src/oi/widgets.cc \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/oi/menu.h \
- /root/repo/src/oi/panel.h /root/repo/src/xlib/display.h \
- /root/repo/src/xserver/server.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/base/canvas.h /root/repo/src/xserver/window.h \
- /root/repo/src/xrdb/database.h
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/base/interner.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/oi/menu.h /root/repo/src/oi/panel.h \
+ /root/repo/src/xlib/display.h /root/repo/src/xserver/server.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/base/canvas.h \
+ /root/repo/src/xserver/window.h /root/repo/src/xrdb/database.h \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef

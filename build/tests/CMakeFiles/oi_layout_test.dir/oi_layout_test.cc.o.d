@@ -294,6 +294,7 @@ tests/CMakeFiles/oi_layout_test.dir/oi_layout_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/base/logging.h /root/repo/src/oi/toolkit.h \
+ /root/repo/src/base/interner.h /usr/include/c++/12/cstring \
  /root/repo/src/oi/menu.h /root/repo/src/oi/widgets.h \
  /root/repo/src/base/bitmap.h /root/repo/src/base/region.h \
  /root/repo/src/base/geometry.h /usr/include/c++/12/algorithm \
@@ -306,4 +307,5 @@ tests/CMakeFiles/oi_layout_test.dir/oi_layout_test.cc.o: \
  /root/repo/src/xlib/display.h /root/repo/src/xserver/server.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/base/canvas.h \
- /root/repo/src/xserver/window.h /root/repo/src/xrdb/database.h
+ /root/repo/src/xserver/window.h /root/repo/src/xrdb/database.h \
+ /usr/include/c++/12/span

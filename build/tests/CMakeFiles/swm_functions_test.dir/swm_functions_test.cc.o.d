@@ -305,8 +305,10 @@ tests/CMakeFiles/swm_functions_test.dir/swm_functions_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/base/logging.h /root/repo/src/swm/panner.h \
  /root/repo/src/xlib/client_app.h /root/repo/src/swm/wm.h \
- /root/repo/src/oi/toolkit.h /root/repo/src/oi/menu.h \
+ /root/repo/src/oi/toolkit.h /root/repo/src/base/interner.h \
+ /usr/include/c++/12/cstring /root/repo/src/oi/menu.h \
  /root/repo/src/oi/widgets.h /root/repo/src/oi/object.h \
  /root/repo/src/oi/panel_def.h /root/repo/src/xtb/bindings.h \
  /root/repo/src/oi/panel.h /root/repo/src/xrdb/database.h \
- /root/repo/src/swm/session.h /root/repo/src/swm/vdesk.h
+ /usr/include/c++/12/span /root/repo/src/swm/session.h \
+ /root/repo/src/swm/vdesk.h

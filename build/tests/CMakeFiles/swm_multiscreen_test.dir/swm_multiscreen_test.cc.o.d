@@ -306,8 +306,10 @@ tests/CMakeFiles/swm_multiscreen_test.dir/swm_multiscreen_test.cc.o: \
  /root/repo/src/base/bitmap.h /root/repo/src/base/region.h \
  /root/repo/src/xserver/window.h /root/repo/src/xlib/icccm.h \
  /root/repo/src/xproto/hints.h /root/repo/src/swm/wm.h \
- /root/repo/src/oi/toolkit.h /root/repo/src/oi/menu.h \
+ /root/repo/src/oi/toolkit.h /root/repo/src/base/interner.h \
+ /usr/include/c++/12/cstring /root/repo/src/oi/menu.h \
  /root/repo/src/oi/widgets.h /root/repo/src/oi/object.h \
  /root/repo/src/oi/panel_def.h /root/repo/src/xtb/bindings.h \
  /root/repo/src/oi/panel.h /root/repo/src/xrdb/database.h \
- /root/repo/src/swm/session.h /root/repo/src/swm/vdesk.h
+ /usr/include/c++/12/span /root/repo/src/swm/session.h \
+ /root/repo/src/swm/vdesk.h

@@ -319,5 +319,6 @@ tests/CMakeFiles/xrdb_property_test.dir/xrdb_property_test.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/span \
+ /root/repo/src/base/interner.h /usr/include/c++/12/cstring \
  /root/repo/src/xrdb/database.h

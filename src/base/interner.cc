@@ -1,0 +1,92 @@
+#include "src/base/interner.h"
+
+#include <cstring>
+
+namespace xbase {
+
+namespace {
+constexpr size_t kInitialCapacity = 256;  // Must be a power of two.
+constexpr uint64_t kMix = 0x9E3779B97F4A7C15ull;  // 2^64 / phi.
+}  // namespace
+
+SymbolInterner::SymbolInterner()
+    : slots_(kInitialCapacity), mask_(kInitialCapacity - 1) {}
+
+uint64_t SymbolInterner::HashOf(std::string_view text, uint64_t word0) {
+  // Word-at-a-time multiply-xorshift.  Resource components are mostly
+  // under 8 bytes, so this is one multiply where a byte-loop hash would
+  // chain a multiply per character — and the hash sits on the critical
+  // path of every query-boundary interning.  `word0` is the caller's
+  // already-loaded FirstWord(text).
+  uint64_t h = kMix ^ text.size();
+  h = (h ^ word0) * kMix;
+  h ^= h >> 32;
+  if (text.size() > 8) {
+    const char* p = text.data() + 8;
+    size_t n = text.size() - 8;
+    uint64_t word;
+    while (n >= 8) {
+      std::memcpy(&word, p, 8);
+      h = (h ^ word) * kMix;
+      h ^= h >> 32;
+      p += 8;
+      n -= 8;
+    }
+    if (n > 0) {
+      word = 0;
+      std::memcpy(&word, p, n);
+      h = (h ^ word) * kMix;
+      h ^= h >> 32;
+    }
+  }
+  return h | 1;  // Cannot collide with the empty-slot hash pattern of 0.
+}
+
+Symbol SymbolInterner::Intern(std::string_view text) {
+  uint64_t word0 = FirstWord(text);
+  uint64_t hash = HashOf(text, word0);
+  for (size_t i = hash & mask_;; i = (i + 1) & mask_) {
+    Slot& slot = slots_[i];
+    if (slot.symbol == kNoSymbol) {
+      if (names_.size() * 4 >= slots_.size() * 3) {  // 75% load factor.
+        Grow();
+        return Intern(text);  // Re-probe against the regrown table.
+      }
+      slot.hash = hash;
+      slot.word0 = word0;
+      slot.size = static_cast<uint32_t>(text.size());
+      slot.symbol = static_cast<Symbol>(names_.size());
+      names_.emplace_back(text);
+      return slot.symbol;
+    }
+    if (slot.hash == hash && slot.size == text.size() && slot.word0 == word0 &&
+        (text.size() <= 8 ||
+         std::memcmp(names_[slot.symbol].data() + 8, text.data() + 8,
+                     text.size() - 8) == 0)) {
+      return slot.symbol;
+    }
+  }
+}
+
+void SymbolInterner::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.symbol == kNoSymbol) {
+      continue;
+    }
+    size_t i = slot.hash & mask_;
+    while (slots_[i].symbol != kNoSymbol) {
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = slot;
+  }
+}
+
+SymbolInterner& SymbolInterner::Global() {
+  static SymbolInterner interner;
+  return interner;
+}
+
+}  // namespace xbase

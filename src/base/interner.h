@@ -1,0 +1,104 @@
+// Symbol interning (the Xrm "quark" idea): maps strings to dense uint32
+// ids so hot paths compare and hash integers instead of strings.  The
+// resource database keys its trie on symbols and the OI toolkit caches
+// interned query paths, so a whole attribute lookup allocates nothing.
+#ifndef SRC_BASE_INTERNER_H_
+#define SRC_BASE_INTERNER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xbase {
+
+using Symbol = uint32_t;
+
+// Never returned by Intern(); Find() uses it for "not interned".  A query
+// component that was never interned cannot equal any stored component.
+inline constexpr Symbol kNoSymbol = 0xFFFFFFFFu;
+
+// An append-only string table with open-addressing lookup.  Symbols are
+// dense, starting at 0, and never invalidated.  Not thread-safe (the
+// simulation is single-threaded, like a real X client).
+class SymbolInterner {
+ public:
+  SymbolInterner();
+
+  // Returns the symbol for `text`, creating one if needed.
+  Symbol Intern(std::string_view text);
+
+  // Returns the existing symbol for `text`, or kNoSymbol.  Never grows the
+  // table — use for query-side components that may be arbitrary strings.
+  // Inline: it sits on the critical path of every string-keyed resource
+  // query.  Components of 8 bytes or fewer verify with two register
+  // compares (slot caches size + first word) — no string-table load.
+  Symbol Find(std::string_view text) const {
+    uint64_t word0 = FirstWord(text);
+    uint64_t hash = HashOf(text, word0);
+    for (size_t i = hash & mask_;; i = (i + 1) & mask_) {
+      const Slot& slot = slots_[i];
+      if (slot.symbol == kNoSymbol) {
+        return kNoSymbol;
+      }
+      if (slot.hash == hash && slot.size == text.size() && slot.word0 == word0 &&
+          (text.size() <= 8 ||
+           std::memcmp(names_[slot.symbol].data() + 8, text.data() + 8,
+                       text.size() - 8) == 0)) {
+        return slot.symbol;
+      }
+    }
+  }
+
+  // The interned text.  The reference is invalidated by the next Intern().
+  const std::string& NameOf(Symbol symbol) const { return names_[symbol]; }
+
+  size_t size() const { return names_.size(); }
+
+  // The process-wide interner all resource databases and toolkits share;
+  // sharing is what makes symbols comparable across instances.
+  static SymbolInterner& Global();
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    uint64_t word0 = 0;         // First <=8 bytes, zero-padded.
+    Symbol symbol = kNoSymbol;  // kNoSymbol marks an empty slot.
+    uint32_t size = 0;          // Byte length of the interned text.
+  };
+
+  // The text's first <=8 bytes packed into a word with fixed-size
+  // (possibly overlapping) loads — no variable-length copy.  For a given
+  // size the packing is injective, so (size, word0) fully identifies a
+  // short component; it only needs to be deterministic, and Intern and
+  // Find share it.
+  static uint64_t FirstWord(std::string_view text) {
+    const char* p = text.data();
+    const size_t n = text.size() < 8 ? text.size() : 8;
+    if (n >= 4) {
+      uint32_t lo;
+      uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + n - 4, 4);
+      return lo | static_cast<uint64_t>(hi) << (8 * (n - 4));
+    }
+    if (n == 0) {
+      return 0;
+    }
+    return static_cast<uint8_t>(p[0]) |
+           static_cast<uint64_t>(static_cast<uint8_t>(p[n >> 1])) << (8 * (n >> 1)) |
+           static_cast<uint64_t>(static_cast<uint8_t>(p[n - 1])) << (8 * (n - 1));
+  }
+
+  static uint64_t HashOf(std::string_view text, uint64_t word0);
+  void Grow();
+
+  std::vector<Slot> slots_;  // Power-of-two open-addressing table.
+  std::vector<std::string> names_;
+  size_t mask_ = 0;
+};
+
+}  // namespace xbase
+
+#endif  // SRC_BASE_INTERNER_H_

@@ -21,8 +21,7 @@ std::string Capitalized(const std::string& s) {
 
 Toolkit::Toolkit(xlib::Display* display, const xrdb::ResourceDatabase* resources, int screen)
     : display_(display), resources_(resources), screen_(screen) {
-  prefix_names_ = {"swm"};
-  prefix_classes_ = {"Swm"};
+  SetResourcePrefix({"swm"}, {"Swm"});
 }
 
 Toolkit::~Toolkit() = default;
@@ -32,6 +31,22 @@ void Toolkit::SetResourcePrefix(std::vector<std::string> names,
   XB_CHECK_EQ(names.size(), classes.size());
   prefix_names_ = std::move(names);
   prefix_classes_ = std::move(classes);
+  xbase::SymbolInterner& interner = xbase::SymbolInterner::Global();
+  prefix_name_symbols_.clear();
+  prefix_class_symbols_.clear();
+  for (const std::string& name : prefix_names_) {
+    prefix_name_symbols_.push_back(interner.Intern(name));
+  }
+  for (const std::string& clazz : prefix_classes_) {
+    prefix_class_symbols_.push_back(interner.Intern(clazz));
+  }
+  InvalidateQueryCaches();
+}
+
+void Toolkit::InvalidateQueryCaches() const {
+  path_cache_.clear();
+  attribute_cache_.clear();
+  seen_generation_ = resources_ != nullptr ? resources_->generation() : 0;
 }
 
 std::unique_ptr<Panel> Toolkit::CreatePanel(Panel* parent, xproto::WindowId parent_window,
@@ -59,6 +74,11 @@ void Toolkit::Register(Object* object) { registry_[object->window()] = object; }
 void Toolkit::Unregister(Object* object) {
   registry_.erase(object->window());
   tree_prefixes_.erase(object);
+  // Drop the object's cache entries: a later object may reuse the address.
+  path_cache_.erase(object);
+  attribute_cache_.erase(
+      attribute_cache_.lower_bound(std::make_pair(object, xbase::Symbol{0})),
+      attribute_cache_.upper_bound(std::make_pair(object, xbase::kNoSymbol)));
 }
 
 Object* Toolkit::FindObject(xproto::WindowId window) const {
@@ -78,6 +98,9 @@ void Toolkit::SetTreePrefix(const Object* tree_root, std::vector<std::string> na
                             std::vector<std::string> classes) {
   XB_CHECK_EQ(names.size(), classes.size());
   tree_prefixes_[tree_root] = {std::move(names), std::move(classes)};
+  // The whole tree's query paths changed; prefix changes are rare (one per
+  // decoration build / stickiness toggle), so a full drop keeps this simple.
+  InvalidateQueryCaches();
 }
 
 const std::pair<std::vector<std::string>, std::vector<std::string>>* Toolkit::TreePrefix(
@@ -86,20 +109,70 @@ const std::pair<std::vector<std::string>, std::vector<std::string>>* Toolkit::Tr
   return it == tree_prefixes_.end() ? nullptr : &it->second;
 }
 
-std::optional<std::string> Toolkit::QueryAttribute(const Object& object,
-                                                   const std::string& attribute) const {
-  std::vector<std::string> names = prefix_names_;
-  std::vector<std::string> classes = prefix_classes_;
+const Toolkit::InternedPath& Toolkit::PathFor(const Object& object) const {
+  auto it = path_cache_.find(&object);
+  if (it != path_cache_.end()) {
+    return it->second;
+  }
+  xbase::SymbolInterner& interner = xbase::SymbolInterner::Global();
+  InternedPath path;
+  path.names = prefix_name_symbols_;
+  path.classes = prefix_class_symbols_;
   const auto* tree_prefix = TreePrefix(TreeRootOf(object));
   if (tree_prefix != nullptr) {
-    names.insert(names.end(), tree_prefix->first.begin(), tree_prefix->first.end());
-    classes.insert(classes.end(), tree_prefix->second.begin(), tree_prefix->second.end());
+    for (const std::string& name : tree_prefix->first) {
+      path.names.push_back(interner.Intern(name));
+    }
+    for (const std::string& clazz : tree_prefix->second) {
+      path.classes.push_back(interner.Intern(clazz));
+    }
   }
-  names.insert(names.end(), object.path_names().begin(), object.path_names().end());
-  classes.insert(classes.end(), object.path_classes().begin(), object.path_classes().end());
-  names.push_back(attribute);
-  classes.push_back(Capitalized(attribute));
-  return resources_->Get(names, classes);
+  for (const std::string& name : object.path_names()) {
+    path.names.push_back(interner.Intern(name));
+  }
+  for (const std::string& clazz : object.path_classes()) {
+    path.classes.push_back(interner.Intern(clazz));
+  }
+  return path_cache_.emplace(&object, std::move(path)).first->second;
+}
+
+xbase::Symbol Toolkit::CapitalizedSymbol(xbase::Symbol attribute) const {
+  auto it = capitalized_.find(attribute);
+  if (it != capitalized_.end()) {
+    return it->second;
+  }
+  xbase::SymbolInterner& interner = xbase::SymbolInterner::Global();
+  xbase::Symbol result = interner.Intern(Capitalized(interner.NameOf(attribute)));
+  capitalized_.emplace(attribute, result);
+  return result;
+}
+
+std::optional<std::string> Toolkit::QueryAttribute(const Object& object,
+                                                   const std::string& attribute) const {
+  ++query_stats_.queries;
+  // Any database mutation moved the generation; stale memo entries go.
+  // (Interned paths only depend on prefixes, which invalidate eagerly.)
+  if (resources_->generation() != seen_generation_) {
+    attribute_cache_.clear();
+    seen_generation_ = resources_->generation();
+  }
+  xbase::Symbol attr = xbase::SymbolInterner::Global().Intern(attribute);
+  const auto key = std::make_pair(&object, attr);
+  if (auto it = attribute_cache_.find(key); it != attribute_cache_.end()) {
+    ++query_stats_.cache_hits;
+    return it->second;
+  }
+  const InternedPath& path = PathFor(object);
+  scratch_names_.assign(path.names.begin(), path.names.end());
+  scratch_classes_.assign(path.classes.begin(), path.classes.end());
+  scratch_names_.push_back(attr);
+  scratch_classes_.push_back(CapitalizedSymbol(attr));
+  ++query_stats_.trie_lookups;
+  std::optional<std::string> value =
+      resources_->Get(std::span<const xbase::Symbol>(scratch_names_),
+                      std::span<const xbase::Symbol>(scratch_classes_));
+  attribute_cache_.emplace(key, value);
+  return value;
 }
 
 std::unique_ptr<Panel> Toolkit::BuildPanelTree(const std::string& panel_name,

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/interner.h"
 #include "src/oi/menu.h"
 #include "src/oi/panel.h"
 #include "src/oi/panel_def.h"
@@ -47,7 +48,10 @@ class Toolkit {
 
   xlib::Display& display() { return *display_; }
   const xrdb::ResourceDatabase& resources() const { return *resources_; }
-  void SetResources(const xrdb::ResourceDatabase* resources) { resources_ = resources; }
+  void SetResources(const xrdb::ResourceDatabase* resources) {
+    resources_ = resources;
+    InvalidateQueryCaches();
+  }
   int screen() const { return screen_; }
 
   void SetResourcePrefix(std::vector<std::string> names, std::vector<std::string> classes);
@@ -97,26 +101,70 @@ class Toolkit {
 
   // Full attribute query for an object (toolkit prefix + tree prefix +
   // object path + attribute).
+  //
+  // Fast path: the object's full interned query path (session prefix + tree
+  // prefix + object path) is computed once and reused, and results —
+  // including misses — are memoized per (object, attribute).  The memo is
+  // dropped automatically when the database generation() moves, and
+  // explicitly when a prefix changes, so repeated reads (decoration
+  // construction, LoadBindings, ApplyStandardAttributes) cost one map probe
+  // instead of a trie walk.
   std::optional<std::string> QueryAttribute(const Object& object,
                                             const std::string& attribute) const;
+
+  // Drops the memoized attribute values and interned paths.  Called
+  // internally on prefix/database changes; exposed for cold-path
+  // measurements and for callers that mutate the database behind a
+  // const pointer without going through ResourceDatabase (none today).
+  void InvalidateQueryCaches() const;
+
+  // Query-path instrumentation (benchmarks, tests).
+  struct QueryStats {
+    uint64_t queries = 0;      // QueryAttribute calls.
+    uint64_t cache_hits = 0;   // Served from the attribute memo.
+    uint64_t trie_lookups = 0; // Fell through to a database walk.
+  };
+  const QueryStats& query_stats() const { return query_stats_; }
+  void ResetQueryStats() const { query_stats_ = {}; }
 
   // Registry maintenance (called from Object's ctor/dtor).
   void Register(Object* object);
   void Unregister(Object* object);
 
  private:
+  struct InternedPath {
+    std::vector<xbase::Symbol> names;
+    std::vector<xbase::Symbol> classes;
+  };
+
   Object* TreeRootOf(const Object& object) const;
+  // The object's cached full interned path, minus the attribute component.
+  const InternedPath& PathFor(const Object& object) const;
+  // Interned capitalized form of an attribute symbol ("bindings"→"Bindings").
+  xbase::Symbol CapitalizedSymbol(xbase::Symbol attribute) const;
 
   xlib::Display* display_;
   const xrdb::ResourceDatabase* resources_;
   int screen_;
   std::vector<std::string> prefix_names_;
   std::vector<std::string> prefix_classes_;
+  std::vector<xbase::Symbol> prefix_name_symbols_;
+  std::vector<xbase::Symbol> prefix_class_symbols_;
   std::map<xproto::WindowId, Object*> registry_;
   std::map<const Object*, std::pair<std::vector<std::string>, std::vector<std::string>>>
       tree_prefixes_;
   ActionHandler action_handler_;
   std::vector<std::string> build_stack_;  // Cycle detection during BuildPanelTree.
+
+  // ---- Query fast-path state (logically const: pure memoization) -------------
+  mutable uint64_t seen_generation_ = 0;
+  mutable std::map<const Object*, InternedPath> path_cache_;
+  mutable std::map<std::pair<const Object*, xbase::Symbol>, std::optional<std::string>>
+      attribute_cache_;
+  mutable std::map<xbase::Symbol, xbase::Symbol> capitalized_;
+  mutable std::vector<xbase::Symbol> scratch_names_;
+  mutable std::vector<xbase::Symbol> scratch_classes_;
+  mutable QueryStats query_stats_;
 };
 
 }  // namespace oi

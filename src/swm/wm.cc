@@ -529,6 +529,40 @@ void WindowManager::Zoom(ManagedClient* client) {
   ResizeClient(client, {view.width - decoration.width, view.height - decoration.height});
 }
 
+void WindowManager::ReloadResources() {
+  // Start from scratch so removed user entries really disappear; the
+  // toolkits keep pointing at db_ (same object, moved-into), and the
+  // generation bump from the reload's Puts invalidates their caches.
+  db_ = xrdb::ResourceDatabase();
+  LoadResources();
+  for (const auto& [window, client] : clients_) {
+    if (client->frame != nullptr) {
+      client->frame->RefreshAttributes();
+      client->frame->Render();
+    }
+    if (client->icon != nullptr) {
+      client->icon->RefreshAttributes();
+    }
+  }
+  for (ScreenState& state : screens_) {
+    for (const auto& tree : state.root_panel_trees) {
+      tree->RefreshAttributes();
+      tree->Render();
+    }
+    for (const auto& icon : state.root_icons) {
+      icon->RefreshAttributes();
+    }
+    // Menus memoize their item list at first popup; drop them so the next
+    // f.menu rebuilds from the reloaded database.
+    for (auto& [name, menu] : state.menus) {
+      if (menu->popped_up()) {
+        menu->Popdown();
+      }
+    }
+    state.menus.clear();
+  }
+}
+
 void WindowManager::RefreshAll() {
   for (const auto& [window, client] : clients_) {
     if (client->frame != nullptr) {

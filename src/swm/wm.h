@@ -170,6 +170,10 @@ class WindowManager {
   // toplevels (so they get reparented and managed like normal clients).
   xlib::Display& display_aux() { return aux_display_; }
   const xrdb::ResourceDatabase& resources() const { return db_; }
+  // Runtime mutation hook (swmcmd experiments, tests).  Every Put bumps the
+  // database generation, which invalidates the toolkits' attribute caches —
+  // see docs/RESOURCES.md "Lookup precedence, interning, and caching".
+  xrdb::ResourceDatabase& mutable_resources() { return db_; }
   oi::Toolkit& toolkit(int screen);
   VirtualDesktop* vdesk(int screen);
   Panner* panner(int screen);
@@ -234,6 +238,14 @@ class WindowManager {
 
   // Re-renders every frame/icon and the panner (f.refresh).
   void RefreshAll();
+
+  // Rebuilds the resource database from the template + user resources (the
+  // in-place half of f.restart) and re-reads attributes of every live
+  // decoration, icon and root panel.  Runtime Puts into
+  // mutable_resources() do not survive this.  Not safe from inside a
+  // binding callback (it replaces the bindings being dispatched); the
+  // event loop defers it until the queue settles.
+  void ReloadResources();
 
   // Resource helpers (public: the panner and icon holders use them).
   std::optional<std::string> ScreenResource(int screen, const std::string& resource) const;
@@ -349,6 +361,7 @@ class WindowManager {
   std::string last_places_;
   bool quit_requested_ = false;
   bool restart_requested_ = false;
+  bool resource_reload_pending_ = false;  // f.restart defers to ProcessEvents.
   bool started_ = false;
 };
 

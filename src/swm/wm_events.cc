@@ -19,6 +19,14 @@ void WindowManager::ProcessEvents() {
       HandleEvent(*event);
       progressed = true;
     }
+    // f.restart's resource reload runs only once no binding dispatch is on
+    // the stack (it replaces every object's bindings), and its renders may
+    // cascade new events — hence inside the settle loop.
+    if (resource_reload_pending_) {
+      resource_reload_pending_ = false;
+      ReloadResources();
+      progressed = true;
+    }
   }
 }
 

@@ -339,6 +339,10 @@ void WindowManager::ExecuteFunction(const xtb::FunctionCall& function,
   }
   if (name == "f.restart") {
     restart_requested_ = true;
+    // The in-place half of a restart: re-read the template and user
+    // resources.  Deferred to ProcessEvents — doing it here would replace
+    // the bindings list the dispatcher is iterating.
+    resource_reload_pending_ = true;
     return;
   }
   if (name == "f.setButtonLabel" || name == "f.setbuttonlabel") {

@@ -1,5 +1,6 @@
 #include "src/xrdb/database.h"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <sstream>
@@ -8,6 +9,26 @@
 #include "src/base/strings.h"
 
 namespace xrdb {
+
+namespace {
+
+// Edge keys pack the binding into the low bit so one integer compare covers
+// the whole (loose, symbol) component identity.
+uint64_t EdgeKey(bool loose, xbase::Symbol symbol) {
+  return (static_cast<uint64_t>(symbol) << 1) | (loose ? 1u : 0u);
+}
+
+bool EdgeKeyLoose(uint64_t key) { return (key & 1) != 0; }
+
+xbase::Symbol EdgeKeySymbol(uint64_t key) {
+  return static_cast<xbase::Symbol>(key >> 1);
+}
+
+// Process-global, monotonic: no two mutations anywhere ever produce the
+// same generation value (see generation() in the header).
+uint64_t g_generation_counter = 0;
+
+}  // namespace
 
 std::vector<ResourceComponent> ParseResourceName(const std::string& text) {
   std::vector<ResourceComponent> components;
@@ -58,16 +79,40 @@ std::string FormatResourceName(const std::vector<ResourceComponent>& components)
 }
 
 struct ResourceDatabase::Node {
-  // Children keyed by (binding, component-name).
-  std::map<ResourceComponent, std::unique_ptr<Node>> children;
+  // Children as two parallel sorted arrays: the binary search touches only
+  // the dense key array (8 bytes per edge, not key + pointer), which halves
+  // the cache lines a probe of a high-fanout node pulls in.
+  std::vector<uint64_t> keys;  // Sorted EdgeKey(loose, symbol) values.
+  std::vector<std::unique_ptr<Node>> children;  // children[i] under keys[i].
   std::optional<std::string> value;
-  bool has_loose_child = false;  // Cached: any loose-bound descendant edge here.
+  bool has_loose_child = false;  // Cached: any loose-bound edge here.
+
+  const Node* Find(uint64_t key) const {
+    auto it = std::lower_bound(keys.begin(), keys.end(), key);
+    return (it != keys.end() && *it == key) ? children[it - keys.begin()].get()
+                                            : nullptr;
+  }
+
+  Node* FindOrAdd(uint64_t key) {
+    auto it = std::lower_bound(keys.begin(), keys.end(), key);
+    size_t index = it - keys.begin();
+    if (it != keys.end() && *it == key) {
+      return children[index].get();
+    }
+    keys.insert(it, key);
+    children.insert(children.begin() + index, std::make_unique<Node>());
+    return children[index].get();
+  }
 };
 
-ResourceDatabase::ResourceDatabase() : root_(std::make_unique<Node>()) {}
+ResourceDatabase::ResourceDatabase()
+    : root_(std::make_unique<Node>()),
+      question_(xbase::SymbolInterner::Global().Intern("?")) {}
 ResourceDatabase::~ResourceDatabase() = default;
 ResourceDatabase::ResourceDatabase(ResourceDatabase&&) noexcept = default;
 ResourceDatabase& ResourceDatabase::operator=(ResourceDatabase&&) noexcept = default;
+
+void ResourceDatabase::Touch() { generation_ = ++g_generation_counter; }
 
 bool ResourceDatabase::Put(const std::string& specifier, const std::string& value) {
   std::vector<ResourceComponent> components = ParseResourceName(specifier);
@@ -75,65 +120,141 @@ bool ResourceDatabase::Put(const std::string& specifier, const std::string& valu
     XB_LOG(Warning) << "xrdb: malformed resource specifier '" << specifier << "'";
     return false;
   }
+  xbase::SymbolInterner& interner = xbase::SymbolInterner::Global();
   Node* node = root_.get();
   for (const ResourceComponent& component : components) {
     if (component.loose) {
       node->has_loose_child = true;
     }
-    std::unique_ptr<Node>& child = node->children[component];
-    if (child == nullptr) {
-      child = std::make_unique<Node>();
-    }
-    node = child.get();
+    node = node->FindOrAdd(EdgeKey(component.loose, interner.Intern(component.name)));
   }
   if (!node->value.has_value()) {
     ++entry_count_;
   }
   node->value = value;
+  Touch();
   return true;
 }
 
-std::optional<std::string> ResourceDatabase::Match(const Node& node,
-                                                   const std::vector<std::string>& names,
-                                                   const std::vector<std::string>& classes,
+namespace {
+
+// Eager query: components already interned (the toolkit fast path).
+struct SymbolQuery {
+  std::span<const xbase::Symbol> names;
+  std::span<const xbase::Symbol> classes;
+
+  size_t size() const { return names.size(); }
+  xbase::Symbol name(size_t level) const { return names[level]; }
+  xbase::Symbol clazz(size_t level) const { return classes[level]; }
+};
+
+// String query: components are interner-Find'ed on first use and memoized
+// in a caller-provided buffer.  Class symbols are rarely needed (only when
+// the name probes of that level fail), so laziness halves the interning
+// work for fully specific lookups.
+struct LazyStringQuery {
+  static constexpr xbase::Symbol kUnresolved = 0xFFFFFFFEu;
+
+  const std::vector<std::string>* name_strings;
+  const std::vector<std::string>* class_strings;
+  xbase::Symbol* name_symbols;   // size() entries, preset to kUnresolved.
+  xbase::Symbol* class_symbols;  // size() entries, preset to kUnresolved.
+
+  size_t size() const { return name_strings->size(); }
+  xbase::Symbol name(size_t level) const {
+    if (name_symbols[level] == kUnresolved) {
+      name_symbols[level] = xbase::SymbolInterner::Global().Find((*name_strings)[level]);
+    }
+    return name_symbols[level];
+  }
+  xbase::Symbol clazz(size_t level) const {
+    if (class_symbols[level] == kUnresolved) {
+      class_symbols[level] =
+          xbase::SymbolInterner::Global().Find((*class_strings)[level]);
+    }
+    return class_symbols[level];
+  }
+};
+
+}  // namespace
+
+template <typename QueryT>
+const std::optional<std::string>* ResourceDatabase::TightNameHit(const QueryT& query) const {
+  const Node* node = root_.get();
+  const size_t depth = query.size();
+  for (size_t level = 0; level < depth; ++level) {
+    xbase::Symbol symbol = query.name(level);
+    if (symbol == xbase::kNoSymbol) {
+      return nullptr;
+    }
+    node = node->Find(EdgeKey(/*loose=*/false, symbol));
+    if (node == nullptr) {
+      return nullptr;
+    }
+  }
+  return node->value.has_value() ? &node->value : nullptr;
+}
+
+template <typename QueryT>
+std::optional<std::string> ResourceDatabase::Match(const Node& node, const QueryT& query,
                                                    size_t level, bool loose_only) const {
-  if (level == names.size()) {
+  if (level == query.size()) {
     return node.value;
   }
   // Candidates in precedence order (see header).  After a skip, only
   // loose-bound edges are eligible, because a tight binding means
-  // "immediately follows".
-  const std::string& name = names[level];
-  const std::string& clazz = classes[level];
-  struct Candidate {
-    bool loose;
-    const std::string* text;
-  };
-  const std::string question = "?";
-  const Candidate candidates[] = {
-      {false, &name},   {true, &name},   {false, &clazz},
-      {true, &clazz},   {false, &question}, {true, &question},
-  };
-  for (const Candidate& candidate : candidates) {
-    if (loose_only && !candidate.loose) {
-      continue;
+  // "immediately follows".  Candidates are generated lazily — a successful
+  // first probe (the common fully-specific case) pays for one edge lookup
+  // only — and duplicate keys (name == class, or either is "?") are
+  // dropped so the same subtree is never searched twice.
+  uint64_t tried[6];
+  int tried_count = 0;
+  std::optional<std::string> result;
+  auto probe = [&](bool loose, xbase::Symbol symbol) -> bool {
+    if (symbol == xbase::kNoSymbol) {
+      return false;  // A never-interned query component matches nothing.
     }
-    auto it = node.children.find(ResourceComponent{candidate.loose, *candidate.text});
-    if (it != node.children.end()) {
-      std::optional<std::string> result =
-          Match(*it->second, names, classes, level + 1, /*loose_only=*/false);
-      if (result.has_value()) {
-        return result;
+    if (loose_only && !loose) {
+      return false;
+    }
+    uint64_t key = EdgeKey(loose, symbol);
+    for (int i = 0; i < tried_count; ++i) {
+      if (tried[i] == key) {
+        return false;  // Same (binding, component): subtree already searched.
       }
     }
+    tried[tried_count++] = key;
+    const Node* child = node.Find(key);
+    if (child == nullptr) {
+      return false;
+    }
+    result = Match(*child, query, level + 1, /*loose_only=*/false);
+    return result.has_value();
+  };
+  if (probe(false, query.name(level)) || probe(true, query.name(level)) ||
+      probe(false, query.clazz(level)) || probe(true, query.clazz(level)) ||
+      probe(false, question_) || probe(true, question_)) {
+    return result;
   }
   // Lowest precedence: skip this component (requires a loose edge below).
   // The final component can never be skipped: an entry must match the
   // resource name itself, not just a prefix.
-  if (node.has_loose_child && level + 1 < names.size()) {
-    return Match(node, names, classes, level + 1, /*loose_only=*/true);
+  if (node.has_loose_child && level + 1 < query.size()) {
+    return Match(node, query, level + 1, /*loose_only=*/true);
   }
   return std::nullopt;
+}
+
+std::optional<std::string> ResourceDatabase::Get(
+    std::span<const xbase::Symbol> names, std::span<const xbase::Symbol> classes) const {
+  if (names.empty() || names.size() != classes.size()) {
+    return std::nullopt;
+  }
+  SymbolQuery query{names, classes};
+  if (const std::optional<std::string>* hit = TightNameHit(query)) {
+    return *hit;
+  }
+  return Match(*root_, query, 0, /*loose_only=*/false);
 }
 
 std::optional<std::string> ResourceDatabase::Get(const std::vector<std::string>& names,
@@ -141,7 +262,29 @@ std::optional<std::string> ResourceDatabase::Get(const std::vector<std::string>&
   if (names.empty() || names.size() != classes.size()) {
     return std::nullopt;
   }
-  return Match(*root_, names, classes, 0, /*loose_only=*/false);
+  // Interning happens lazily during the walk (see LazyStringQuery), into a
+  // stack buffer for realistic depths.  Find() (not Intern()) keeps
+  // arbitrary query strings from growing the global table.
+  constexpr size_t kInlineDepth = 16;
+  xbase::Symbol inline_buf[2 * kInlineDepth];
+  std::vector<xbase::Symbol> heap_buf;
+  xbase::Symbol* name_syms;
+  if (names.size() <= kInlineDepth) {
+    name_syms = inline_buf;
+  } else {
+    heap_buf.resize(2 * names.size());
+    name_syms = heap_buf.data();
+  }
+  xbase::Symbol* class_syms = name_syms + names.size();
+  for (size_t i = 0; i < names.size(); ++i) {
+    name_syms[i] = LazyStringQuery::kUnresolved;
+    class_syms[i] = LazyStringQuery::kUnresolved;
+  }
+  LazyStringQuery query{&names, &classes, name_syms, class_syms};
+  if (const std::optional<std::string>* hit = TightNameHit(query)) {
+    return *hit;  // Name symbols it resolved stay memoized for Match below.
+  }
+  return Match(*root_, query, 0, /*loose_only=*/false);
 }
 
 std::optional<std::string> ResourceDatabase::Get(const std::string& dotted_names,
@@ -220,42 +363,79 @@ int ResourceDatabase::LoadFromFile(const std::string& path) {
   return LoadFromString(contents.str());
 }
 
-void ResourceDatabase::Merge(const ResourceDatabase& other) {
-  for (const auto& [specifier, value] : other.Enumerate()) {
-    Put(specifier, value);
+void ResourceDatabase::MergeNode(Node* dst, const Node& src) {
+  if (src.value.has_value()) {
+    if (!dst->value.has_value()) {
+      ++entry_count_;
+    }
+    dst->value = src.value;
   }
+  for (size_t i = 0; i < src.keys.size(); ++i) {
+    if (EdgeKeyLoose(src.keys[i])) {
+      dst->has_loose_child = true;
+    }
+    MergeNode(dst->FindOrAdd(src.keys[i]), *src.children[i]);
+  }
+}
+
+void ResourceDatabase::Merge(const ResourceDatabase& other) {
+  // Structural copy of the source trie: both tries share the global symbol
+  // table, so edges transfer by key without a FormatResourceName →
+  // ParseResourceName round trip per entry.
+  MergeNode(root_.get(), *other.root_);
+  Touch();
 }
 
 std::vector<std::pair<std::string, std::string>> ResourceDatabase::Enumerate() const {
   std::vector<std::pair<std::string, std::string>> out;
   std::vector<ResourceComponent> prefix;
-  // Iterative DFS using an explicit walker to keep Node private.
+  const xbase::SymbolInterner& interner = xbase::SymbolInterner::Global();
+  // Iterative DFS using an explicit walker to keep Node private.  Children
+  // are visited in (binding, component-name) order — symbol ids reflect
+  // interning order, not lexicographic order, so each level re-sorts.
   struct Frame {
     const Node* node;
-    std::map<ResourceComponent, std::unique_ptr<Node>>::const_iterator it;
+    std::vector<size_t> order;  // Indices into node->keys/children.
+    size_t next = 0;
   };
-  std::vector<Frame> stack;
+  auto sorted_edges = [&interner](const Node& node) {
+    std::vector<size_t> order(node.keys.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [&interner, &node](size_t a, size_t b) {
+      bool a_loose = EdgeKeyLoose(node.keys[a]);
+      bool b_loose = EdgeKeyLoose(node.keys[b]);
+      if (a_loose != b_loose) {
+        return !a_loose;
+      }
+      return interner.NameOf(EdgeKeySymbol(node.keys[a])) <
+             interner.NameOf(EdgeKeySymbol(node.keys[b]));
+    });
+    return order;
+  };
   if (root_->value.has_value()) {
     out.emplace_back("", *root_->value);
   }
-  stack.push_back({root_.get(), root_->children.begin()});
+  std::vector<Frame> stack;
+  stack.push_back({root_.get(), sorted_edges(*root_), 0});
   while (!stack.empty()) {
     Frame& frame = stack.back();
-    if (frame.it == frame.node->children.end()) {
+    if (frame.next == frame.order.size()) {
       if (!prefix.empty()) {
         prefix.pop_back();
       }
       stack.pop_back();
       continue;
     }
-    const ResourceComponent& component = frame.it->first;
-    const Node* child = frame.it->second.get();
-    ++frame.it;
-    prefix.push_back(component);
+    size_t index = frame.order[frame.next++];
+    uint64_t key = frame.node->keys[index];
+    prefix.push_back({EdgeKeyLoose(key), interner.NameOf(EdgeKeySymbol(key))});
+    const Node* child = frame.node->children[index].get();
     if (child->value.has_value()) {
       out.emplace_back(FormatResourceName(prefix), *child->value);
     }
-    stack.push_back({child, child->children.begin()});
+    stack.push_back({child, sorted_edges(*child), 0});
   }
   return out;
 }

@@ -13,14 +13,22 @@
 //   3. A tight binding outranks a loose binding.
 //
 // Rules apply per component, left to right, rule 1 strongest.
+//
+// Internally the trie is keyed on interned symbols (xbase::SymbolInterner),
+// so a Match probe is an integer binary search with zero allocations; the
+// string API interns at the boundary.  A monotonic generation() counter is
+// bumped by every mutation so callers (the OI toolkit) can memoize query
+// results and invalidate them when the database changes.
 #ifndef SRC_XRDB_DATABASE_H_
 #define SRC_XRDB_DATABASE_H_
 
-#include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
+
+#include "src/base/interner.h"
 
 namespace xrdb {
 
@@ -58,6 +66,11 @@ class ResourceDatabase {
   std::optional<std::string> Get(const std::vector<std::string>& names,
                                  const std::vector<std::string>& classes) const;
 
+  // Allocation-free variant for callers that keep interned query paths
+  // (symbols from xbase::SymbolInterner::Global()).
+  std::optional<std::string> Get(std::span<const xbase::Symbol> names,
+                                 std::span<const xbase::Symbol> classes) const;
+
   // Convenience for "name.name.name" / "Class.Class.Class" dotted strings.
   std::optional<std::string> Get(const std::string& dotted_names,
                                  const std::string& dotted_classes) const;
@@ -69,7 +82,8 @@ class ResourceDatabase {
   int LoadFromString(const std::string& text);
   int LoadFromFile(const std::string& path);
 
-  // Merges another database over this one (other's entries win).
+  // Merges another database over this one (other's entries win).  Walks the
+  // source trie directly; no entry is re-parsed.
   void Merge(const ResourceDatabase& other);
 
   // All entries as (specifier, value) pairs, in deterministic order.
@@ -79,15 +93,34 @@ class ResourceDatabase {
   size_t size() const { return entry_count_; }
   bool empty() const { return entry_count_ == 0; }
 
+  // Changes with every successful Put/Merge/Load.  Drawn from a counter
+  // global to the process, so two databases never share a non-zero
+  // generation — a cache keyed on it stays correct across SetResources
+  // swaps and whole-database reloads.
+  uint64_t generation() const { return generation_; }
+
  private:
   struct Node;
 
-  std::optional<std::string> Match(const Node& node, const std::vector<std::string>& names,
-                                   const std::vector<std::string>& classes, size_t level,
+  // Templated on the query representation: eager symbol spans (the toolkit
+  // fast path) or lazily-interned strings (the class symbol of a level is
+  // only resolved if its name probes fail — a fully specific hit interns
+  // half as much).
+  template <typename QueryT>
+  std::optional<std::string> Match(const Node& node, const QueryT& query, size_t level,
                                    bool loose_only) const;
+  // Iterative walk of the all-tight-name path.  That path is the first leaf
+  // the Match DFS would explore, so when it ends on a value the value is the
+  // overall highest-precedence match and the backtracking search is skipped.
+  template <typename QueryT>
+  const std::optional<std::string>* TightNameHit(const QueryT& query) const;
+  void MergeNode(Node* dst, const Node& src);
+  void Touch();  // Bumps generation_ from the global counter.
 
   std::unique_ptr<Node> root_;
   size_t entry_count_ = 0;
+  uint64_t generation_ = 0;
+  xbase::Symbol question_;  // Interned "?".
 };
 
 }  // namespace xrdb

@@ -342,6 +342,72 @@ TEST_F(ToolkitTest, ObjectDestructionUnregisters) {
   EXPECT_FALSE(server_.WindowExists(window));
 }
 
+TEST_F(ToolkitTest, AttributeCacheInvalidatedByRuntimePut) {
+  // The memoized attribute layer must never serve a value older than the
+  // database: a Put bumps the generation and the next query re-walks.
+  db_.Put("swm*button.live.label", "before");
+  auto button = toolkit_->CreateButton(nullptr, dpy_.RootWindow(0), "live");
+  EXPECT_EQ(button->Attribute("label"), "before");
+  EXPECT_EQ(button->Attribute("label"), "before");  // Cached probe.
+  db_.Put("swm*button.live.label", "after");
+  EXPECT_EQ(button->Attribute("label"), "after");
+}
+
+TEST_F(ToolkitTest, NegativeCacheInvalidatedByRuntimePut) {
+  // Misses are memoized too; a Put that makes a previously-absent
+  // attribute appear must be visible immediately.
+  auto button = toolkit_->CreateButton(nullptr, dpy_.RootWindow(0), "late");
+  EXPECT_FALSE(button->Attribute("tooltip").has_value());
+  EXPECT_FALSE(button->Attribute("tooltip").has_value());  // Cached miss.
+  db_.Put("swm*button.late.tooltip", "appeared");
+  EXPECT_EQ(button->Attribute("tooltip"), "appeared");
+}
+
+TEST_F(ToolkitTest, AttributeCacheInvalidatedBySetTreePrefix) {
+  // Installing a tree prefix changes every cached path under that root, so
+  // stale pre-prefix answers must not survive.
+  db_.Put("swm*button.name.label", "generic");
+  db_.Put("swm*XTerm*button.name.label", "terminal");
+  db_.Put("swm*panel.deco", "button name +C+0");
+  auto tree = toolkit_->BuildPanelTree(
+      "deco", dpy_.RootWindow(0),
+      [this](const std::string& name) { return Definition(name); });
+  Object* name = tree->FindDescendant("name");
+  EXPECT_EQ(name->Attribute("label"), "generic");
+  toolkit_->SetTreePrefix(tree.get(), {"XTerm", "xterm"}, {"XTerm", "xterm"});
+  EXPECT_EQ(name->Attribute("label"), "terminal");
+}
+
+TEST_F(ToolkitTest, AttributeCacheInvalidatedBySetResources) {
+  // Pointing the toolkit at a different database drops everything cached
+  // from the old one, even though the object paths are unchanged.
+  db_.Put("swm*button.swap.label", "old-db");
+  auto button = toolkit_->CreateButton(nullptr, dpy_.RootWindow(0), "swap");
+  EXPECT_EQ(button->Attribute("label"), "old-db");
+  xrdb::ResourceDatabase other;
+  other.Put("swm*button.swap.label", "new-db");
+  toolkit_->SetResources(&other);
+  EXPECT_EQ(button->Attribute("label"), "new-db");
+  toolkit_->SetResources(&db_);
+  EXPECT_EQ(button->Attribute("label"), "old-db");
+}
+
+TEST_F(ToolkitTest, QueryStatsCountCacheHits) {
+  db_.Put("swm*button.stat.label", "x");
+  auto button = toolkit_->CreateButton(nullptr, dpy_.RootWindow(0), "stat");
+  // Construction itself queried "label"; start from a cold cache so the
+  // hit/lookup split below is deterministic.
+  toolkit_->InvalidateQueryCaches();
+  toolkit_->ResetQueryStats();
+  button->Attribute("label");
+  button->Attribute("label");
+  button->Attribute("label");
+  const Toolkit::QueryStats& stats = toolkit_->query_stats();
+  EXPECT_EQ(stats.queries, 3u);
+  EXPECT_EQ(stats.trie_lookups, 1u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+}
+
 TEST_F(ToolkitTest, ExposeTriggersRender) {
   auto button = toolkit_->CreateButton(nullptr, dpy_.RootWindow(0), "exp");
   button->SetGeometry({0, 0, 10, 3});

@@ -282,6 +282,41 @@ TEST_F(FunctionsTest, QuitRestartFlagsAndExec) {
   EXPECT_TRUE(wm_->quit_requested());
 }
 
+TEST_F(FunctionsTest, RuntimePutIsLiveAndRestartRevertsIt) {
+  StartWm("swm*button.name.myMarker: from-user\n");
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  oi::Object* name = Managed(*app)->name_object;
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->Attribute("myMarker"), "from-user");
+  // A runtime Put (the swmcmd configuration channel) is visible on the
+  // very next query: the toolkit's attribute cache keys on the database
+  // generation, which the Put bumps.
+  wm_->mutable_resources().Put("swm*button.name.myMarker", "runtime");
+  EXPECT_EQ(name->Attribute("myMarker"), "runtime");
+  // f.restart rebuilds the database from template + user resources once
+  // dispatch settles; runtime Puts do not survive the reload.
+  Execute("f.restart");
+  oi::Object* reloaded = Managed(*app)->name_object;
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(reloaded->Attribute("myMarker"), "from-user");
+}
+
+TEST_F(FunctionsTest, RestartReloadRedecoratesFromTemplate) {
+  // A template attribute overridden at runtime (the f.setButtonLabel
+  // route writes resources too) snaps back after the f.restart reload,
+  // and the frame re-renders from the fresh values.
+  StartWm();
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  oi::Object* name = Managed(*app)->name_object;
+  ASSERT_NE(name, nullptr);
+  std::optional<std::string> original = name->Attribute("bindings");
+  wm_->mutable_resources().Put("swm*button.name.bindings", "<Btn3> : f.lower");
+  std::optional<std::string> overridden = name->Attribute("bindings");
+  EXPECT_EQ(overridden, "<Btn3> : f.lower");
+  Execute("f.restart");
+  EXPECT_EQ(Managed(*app)->name_object->Attribute("bindings"), original);
+}
+
 TEST_F(FunctionsTest, MenuPopupAndItemExecution) {
   StartWm();
   auto app = Spawn("xterm", {"xterm", "XTerm"});

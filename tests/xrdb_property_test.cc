@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <span>
 
+#include "src/base/interner.h"
 #include "src/xrdb/database.h"
 
 namespace xrdb {
@@ -154,10 +156,87 @@ TEST_P(XrdbDifferentialTest, MatchesBruteForceReference) {
     ASSERT_EQ(trie_result, reference)
         << "round " << round << "\ndb:\n"
         << db.Serialize() << "query names: " << names.size() << " deep";
+
+    // The pre-interned symbol overload (the toolkit fast path) must agree
+    // with the string overload on the same query.
+    xbase::SymbolInterner& interner = xbase::SymbolInterner::Global();
+    std::vector<xbase::Symbol> name_symbols;
+    std::vector<xbase::Symbol> class_symbols;
+    for (int d = 0; d < depth; ++d) {
+      name_symbols.push_back(interner.Intern(names[d]));
+      class_symbols.push_back(interner.Intern(classes[d]));
+    }
+    std::optional<std::string> symbol_result =
+        db.Get(std::span<const xbase::Symbol>(name_symbols),
+               std::span<const xbase::Symbol>(class_symbols));
+    ASSERT_EQ(symbol_result, trie_result) << "round " << round << "\ndb:\n"
+                                          << db.Serialize();
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, XrdbDifferentialTest, ::testing::Range(1, 21));
+
+// Collision-heavy variant: query name and class frequently coincide (and
+// may equal "?"), so the candidate deduplication in Match is constantly
+// exercised — a wrongly dropped probe or a double-searched subtree with a
+// precedence bug diverges from the reference immediately.  Queries run
+// deeper (up to 6) to cover skip-chains through loose bindings.
+class XrdbCollisionDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XrdbCollisionDifferentialTest, DedupedMatcherTracksReference) {
+  std::mt19937 rng(GetParam() * 7919);
+  std::uniform_int_distribution<int> entry_count(1, 10);
+  std::uniform_int_distribution<int> component_count(1, 5);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  for (int round = 0; round < 30; ++round) {
+    ResourceDatabase db;
+    std::vector<std::pair<std::string, std::string>> entries;
+    int n = entry_count(rng);
+    for (int i = 0; i < n; ++i) {
+      std::string specifier;
+      int m = component_count(rng);
+      for (int c = 0; c < m; ++c) {
+        specifier += (c == 0 ? (coin(rng) ? "*" : "") : (coin(rng) ? "*" : "."));
+        specifier += RandomComponent(&rng);
+      }
+      std::string value = "v" + std::to_string(i);
+      if (db.Put(specifier, value)) {
+        std::string canonical = FormatResourceName(ParseResourceName(specifier));
+        bool replaced = false;
+        for (auto& entry : entries) {
+          if (FormatResourceName(ParseResourceName(entry.first)) == canonical) {
+            entry.second = value;
+            replaced = true;
+          }
+        }
+        if (!replaced) {
+          entries.emplace_back(specifier, value);
+        }
+      }
+    }
+    // Query components drawn from the entry alphabet so name == class (and
+    // name == "?") happens often; half the levels are forced identical.
+    static const char* kQueryPool[] = {"a", "b", "A", "B", "?"};
+    std::uniform_int_distribution<int> pool_pick(0, 4);
+    std::uniform_int_distribution<int> depth_dist(1, 6);
+    int depth = depth_dist(rng);
+    std::vector<std::string> names;
+    std::vector<std::string> classes;
+    for (int d = 0; d < depth; ++d) {
+      names.push_back(kQueryPool[pool_pick(rng)]);
+      classes.push_back(coin(rng) ? names.back() : kQueryPool[pool_pick(rng)]);
+    }
+
+    std::optional<std::string> trie_result = db.Get(names, classes);
+    std::optional<std::string> reference = ReferenceGet(entries, names, classes);
+    ASSERT_EQ(trie_result, reference)
+        << "round " << round << "\ndb:\n"
+        << db.Serialize() << "query depth: " << depth;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XrdbCollisionDifferentialTest, ::testing::Range(1, 16));
 
 }  // namespace
 }  // namespace xrdb

@@ -245,5 +245,96 @@ TEST(XrdbLoadTest, EnumerateListsEverything) {
   EXPECT_EQ(entries[1].first, "b*y");
 }
 
+TEST(XrdbLoadTest, MergeCopiesDeepTriesStructurally) {
+  ResourceDatabase base;
+  base.Put("swm.a.b.c.d", "deep-base");
+  ResourceDatabase overlay;
+  overlay.Put("swm.a.b.c.d", "deep-overlay");
+  overlay.Put("swm*a.b*e", "mixed-bindings");
+  overlay.Put("other.x", "fresh-subtree");
+  base.Merge(overlay);
+  EXPECT_EQ(base.size(), 3u);  // Replaced entries are not double-counted.
+  EXPECT_EQ(base.Get("swm.a.b.c.d", "S.A.B.C.D"), "deep-overlay");
+  // The loose bindings survive the structural copy: the skip search still
+  // works through the merged-in subtree.
+  EXPECT_EQ(base.Get("swm.q.a.b.r.e", "S.Q.A.B.R.E"), "mixed-bindings");
+  EXPECT_EQ(base.Get("other.x", "Other.X"), "fresh-subtree");
+  // Merge must leave the source untouched.
+  EXPECT_EQ(overlay.size(), 3u);
+  EXPECT_EQ(overlay.Get("swm.a.b.c.d", "S.A.B.C.D"), "deep-overlay");
+}
+
+TEST(XrdbGenerationTest, PutMergeAndLoadBumpGeneration) {
+  ResourceDatabase db;
+  uint64_t g0 = db.generation();
+  ASSERT_TRUE(db.Put("swm*a", "1"));
+  uint64_t g1 = db.generation();
+  EXPECT_NE(g1, g0);
+  // A failed Put does not touch the database and keeps the generation.
+  EXPECT_FALSE(db.Put(".bad..specifier", "x"));
+  EXPECT_EQ(db.generation(), g1);
+  // Replacing an existing entry still changes the observable contents.
+  ASSERT_TRUE(db.Put("swm*a", "2"));
+  uint64_t g2 = db.generation();
+  EXPECT_NE(g2, g1);
+  ResourceDatabase other;
+  other.Put("swm*b", "3");
+  db.Merge(other);
+  EXPECT_NE(db.generation(), g2);
+  uint64_t g3 = db.generation();
+  db.LoadFromString("swm*c: 4\n");
+  EXPECT_NE(db.generation(), g3);
+}
+
+TEST(XrdbGenerationTest, DistinctDatabasesNeverShareGenerations) {
+  // Generations come from a process-global counter, so a cache keyed on
+  // one database's generation can never be confused by another database
+  // (or by this database after a destroy-and-rebuild reload).
+  ResourceDatabase a;
+  ResourceDatabase b;
+  a.Put("swm*x", "1");
+  b.Put("swm*x", "1");
+  EXPECT_NE(a.generation(), b.generation());
+  uint64_t before_reload = a.generation();
+  a = ResourceDatabase();
+  a.Put("swm*x", "1");
+  EXPECT_NE(a.generation(), before_reload);
+}
+
+TEST_F(XrmMatchTest, NameEqualToClassQueriesOnce) {
+  // When a query level's name equals its class (common for instance-less
+  // apps), the duplicate candidate is dropped, not re-searched; precedence
+  // must be unaffected.
+  db_.Put("swm.Target.decoration", "tight-hit");
+  db_.Put("swm*Target*decoration", "loose-hit");
+  EXPECT_EQ(db_.Get(std::vector<std::string>{"swm", "Target", "decoration"},
+                    std::vector<std::string>{"Swm", "Target", "Decoration"}),
+            "tight-hit");
+  EXPECT_EQ(db_.Get(std::vector<std::string>{"swm", "x", "Target", "decoration"},
+                    std::vector<std::string>{"Swm", "X", "Target", "Decoration"}),
+            "loose-hit");
+}
+
+TEST_F(XrmMatchTest, QuestionQueryComponentDedupes) {
+  // A literal "?" query component coincides with the wildcard probe; the
+  // matcher should survive that and keep name-precedence over "?".
+  db_.Put("swm.?.decoration", "wild");
+  EXPECT_EQ(db_.Get(std::vector<std::string>{"swm", "?", "decoration"},
+                    std::vector<std::string>{"Swm", "Q", "Decoration"}), "wild");
+  EXPECT_EQ(db_.Get(std::vector<std::string>{"swm", "other", "decoration"}, std::vector<std::string>{"Swm", "Other", "Decoration"}),
+            "wild");
+}
+
+TEST_F(XrmMatchTest, NeverInternedComponentsMissCleanly) {
+  // Query components no entry has ever mentioned take the symbol-miss path
+  // (kNoSymbol) at every level, including loose fallback through them.
+  db_.Put("swm*decoration", "fallback");
+  EXPECT_EQ(db_.Get(std::vector<std::string>{"swm", "zzz-unseen", "decoration"},
+                    std::vector<std::string>{"Swm", "Zzz-Unseen", "Decoration"}),
+            "fallback");
+  EXPECT_FALSE(db_.Get(std::vector<std::string>{"totally", "unknown"},
+                       std::vector<std::string>{"Totally", "Unknown"}).has_value());
+}
+
 }  // namespace
 }  // namespace xrdb

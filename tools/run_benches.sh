@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Builds the benchmark suite in Release and records the resource-query
+# benchmarks to BENCH_<n>.json as {"BenchmarkName": ns_per_op}.  Medians
+# of several repetitions are recorded: the harness machines are noisy and
+# single runs swing by 2x.
+#
+# Usage: tools/run_benches.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_2.json}"
+BUILD_DIR=build
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_eval_resource_db >/dev/null
+
+# Let the machine settle after the build before timing anything.
+sleep 5
+
+"$BUILD_DIR"/bench/bench_eval_resource_db \
+    --benchmark_min_time=0.3 \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json >"$OUT.raw"
+
+python3 - "$OUT.raw" "$OUT" <<'EOF'
+import json, sys
+raw = json.load(open(sys.argv[1]))
+out = {}
+for bench in raw["benchmarks"]:
+    name = bench["name"]
+    if not name.endswith("_median"):
+        continue
+    out[name.removesuffix("_median")] = round(bench["real_time"], 2)
+json.dump(out, open(sys.argv[2], "w"), indent=2, sort_keys=True)
+open(sys.argv[2], "a").write("\n")
+EOF
+rm -f "$OUT.raw"
+echo "wrote $OUT"
