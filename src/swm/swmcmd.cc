@@ -5,8 +5,11 @@
 namespace swm {
 
 bool SendSwmCommand(xlib::Display* display, int screen, const std::string& command) {
-  return display->SetStringProperty(display->RootWindow(screen), xproto::kAtomSwmCommand,
-                                    command);
+  // Append, don't replace: two swmcmds racing between the WM's reads would
+  // otherwise lose the first command.  The WM splits on the newline and
+  // drains every queued command in one read.
+  return display->AppendStringProperty(display->RootWindow(screen),
+                                       xproto::kAtomSwmCommand, command + "\n");
 }
 
 }  // namespace swm

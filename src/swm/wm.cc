@@ -54,7 +54,57 @@ WindowManager::WindowManager(xserver::Server* server, Options options)
       display_(server, "localhost"),
       aux_display_(server, "localhost"),
       options_(std::move(options)) {
+  display_.SetErrorHandler([this](const xproto::XError& error) { OnXError(error); });
+  aux_display_.SetErrorHandler([this](const xproto::XError& error) { OnXError(error); });
   LoadResources();
+}
+
+void WindowManager::OnXError(const xproto::XError& error) {
+  ++x_errors_;
+  XB_LOG(Warning) << "swm: " << xproto::ErrorText(error);
+  // The handler runs synchronously inside the failed request, so it must not
+  // mutate management state; it records the window for HealSuspects, which
+  // the event loop runs once the stack has unwound.
+  if ((error.code == xproto::ErrorCode::kBadWindow ||
+       error.code == xproto::ErrorCode::kBadMatch) &&
+      error.resource_id != xproto::kNone) {
+    suspect_windows_.push_back(error.resource_id);
+  }
+}
+
+void WindowManager::HealSuspects() {
+  std::vector<xproto::WindowId> suspects;
+  suspects.swap(suspect_windows_);
+  bool any_dead = false;
+  for (xproto::WindowId window : suspects) {
+    if (server_->WindowExists(window)) {
+      continue;  // Transient error (BadMatch on a live window, say).
+    }
+    any_dead = true;
+    if (clients_.count(window) != 0) {
+      XB_LOG(Warning) << "swm: healing — window " << window
+                      << " died without DestroyNotify; unmanaging";
+      UnmanageWindow(window, /*reparent_back=*/false);
+      ++healed_count_;
+    }
+  }
+  if (!any_dead) {
+    return;
+  }
+  // The error may have named a frame slot or icon window rather than the
+  // client window itself: sweep every managed client for liveness.
+  std::vector<xproto::WindowId> dead;
+  for (const auto& [window, client] : clients_) {
+    if (!server_->WindowExists(window)) {
+      dead.push_back(window);
+    }
+  }
+  for (xproto::WindowId window : dead) {
+    XB_LOG(Warning) << "swm: healing — managed window " << window
+                    << " found dead during sweep; unmanaging";
+    UnmanageWindow(window, /*reparent_back=*/false);
+    ++healed_count_;
+  }
 }
 
 WindowManager::~WindowManager() {

@@ -147,6 +147,11 @@ class WindowManager {
     // "openlook", "motif"); the resource `swm*template` in `resources`
     // overrides this choice.
     std::string template_name = "default";
+    // Self-healing (docs/ROBUSTNESS.md): an error/exception barrier around
+    // event dispatch, mid-manage rollback, and the suspect-window sweep
+    // that unmanages clients whose windows died without a DestroyNotify.
+    // Disable only to demonstrate the failure modes it prevents.
+    bool self_heal = true;
   };
 
   WindowManager(xserver::Server* server, Options options);
@@ -197,6 +202,13 @@ class WindowManager {
   std::vector<ManagedClient*> Clients();
   std::vector<IconHolder*> icon_holders(int screen);
   const std::vector<std::string>& executed_commands() const { return executed_commands_; }
+  // ---- Robustness counters (docs/ROBUSTNESS.md) ----------------------------
+  // X errors raised against either of swm's connections.
+  uint64_t x_error_count() const { return x_errors_; }
+  // Clients unmanaged because their window died without a DestroyNotify.
+  uint64_t healed_count() const { return healed_count_; }
+  // Exceptions caught by the event-dispatch barrier.
+  uint64_t dispatch_error_count() const { return dispatch_errors_; }
   bool quit_requested() const { return quit_requested_; }
   bool restart_requested() const { return restart_requested_; }
   bool awaiting_target() const { return pending_.active; }
@@ -314,6 +326,14 @@ class WindowManager {
   void PlaceIcon(ManagedClient* client);
   IconHolder* HolderFor(const ManagedClient& client);
 
+  // ---- Self-healing (docs/ROBUSTNESS.md) -----------------------------------
+  // Error handler for both connections.  Runs synchronously mid-request, so
+  // it only records: windows named by BadWindow/BadMatch become suspects.
+  void OnXError(const xproto::XError& error);
+  // Verifies each suspect's liveness and unmanages clients whose windows are
+  // gone — the cleanup DestroyNotify would have triggered, had it arrived.
+  void HealSuspects();
+
   // ---- Event handling ----------------------------------------------------------------
   void HandleEvent(const xproto::Event& event);
   void HandleMapRequest(const xproto::MapRequestEvent& event);
@@ -363,6 +383,15 @@ class WindowManager {
   bool restart_requested_ = false;
   bool resource_reload_pending_ = false;  // f.restart defers to ProcessEvents.
   bool started_ = false;
+
+  // Self-healing state.
+  std::vector<xproto::WindowId> suspect_windows_;
+  uint64_t x_errors_ = 0;
+  uint64_t healed_count_ = 0;
+  uint64_t dispatch_errors_ = 0;
+  // swmcmd flood control: commands still allowed in this ProcessEvents call.
+  int swmcmd_budget_ = 0;
+  bool swmcmd_budget_warned_ = false;
 };
 
 }  // namespace swm

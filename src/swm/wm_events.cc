@@ -9,14 +9,46 @@
 
 namespace swm {
 
+namespace {
+
+// swmcmd flood control: anyone can append to the root property, so one
+// ProcessEvents call executes at most this many commands (the rest are
+// dropped with a warning) and reads at most this many bytes of payload.
+constexpr int kMaxSwmCommandsPerDrain = 64;
+constexpr size_t kMaxSwmCommandBytes = 4096;
+
+}  // namespace
+
 void WindowManager::ProcessEvents() {
+  swmcmd_budget_ = kMaxSwmCommandsPerDrain;
+  swmcmd_budget_warned_ = false;
   // Events can cascade (managing a window produces more events for us), so
   // loop until the queue settles.
   bool progressed = true;
   while (progressed) {
     progressed = false;
     while (std::optional<xproto::Event> event = display_.NextEvent()) {
-      HandleEvent(*event);
+      if (options_.self_heal) {
+        // The barrier: one failed dispatch must not take down the WM (or
+        // leave the remaining queue unprocessed).  X errors don't throw —
+        // they go through OnXError — so this catches toolkit/dispatch bugs.
+        try {
+          HandleEvent(*event);
+        } catch (const std::exception& e) {
+          ++dispatch_errors_;
+          XB_LOG(Error) << "swm: event dispatch failed (" << e.what()
+                        << "); dropping event and continuing";
+        } catch (...) {
+          ++dispatch_errors_;
+          XB_LOG(Error) << "swm: event dispatch failed; dropping event and continuing";
+        }
+      } else {
+        HandleEvent(*event);
+      }
+      progressed = true;
+    }
+    if (options_.self_heal && !suspect_windows_.empty()) {
+      HealSuspects();
       progressed = true;
     }
     // f.restart's resource reload runs only once no binding dispatch is on
@@ -207,6 +239,8 @@ void WindowManager::HandleDestroyNotify(const xproto::DestroyNotifyEvent& event)
 
 void WindowManager::HandlePropertyNotify(const xproto::PropertyNotifyEvent& event) {
   // swmcmd channel (paper §4.5): commands arrive as a root-window property.
+  // Senders append (newline-separated) so concurrent swmcmds don't clobber
+  // each other; one read drains every queued command before the delete.
   for (int screen = 0; screen < display_.ScreenCount(); ++screen) {
     if (event.window == display_.RootWindow(screen)) {
       if (event.atom == display_.InternAtom(xproto::kAtomSwmCommand) &&
@@ -216,7 +250,29 @@ void WindowManager::HandlePropertyNotify(const xproto::PropertyNotifyEvent& even
         display_.DeleteProperty(event.window,
                                 display_.InternAtom(xproto::kAtomSwmCommand));
         if (text.has_value()) {
-          ExecuteCommandString(*text, screen);
+          std::string payload = *text;
+          if (payload.size() > kMaxSwmCommandBytes) {
+            XB_LOG(Warning) << "swm: SWM_COMMAND payload of " << payload.size()
+                            << " bytes exceeds cap; truncating to "
+                            << kMaxSwmCommandBytes;
+            payload.resize(kMaxSwmCommandBytes);
+          }
+          for (const std::string& line : xbase::Split(payload, '\n')) {
+            std::string command = xbase::TrimWhitespace(line);
+            if (command.empty()) {
+              continue;
+            }
+            if (swmcmd_budget_ <= 0) {
+              if (!swmcmd_budget_warned_) {
+                swmcmd_budget_warned_ = true;
+                XB_LOG(Warning) << "swm: swmcmd rate limit reached; "
+                                   "dropping remaining commands";
+              }
+              break;
+            }
+            --swmcmd_budget_;
+            ExecuteCommandString(command, screen);
+          }
         }
       }
       return;

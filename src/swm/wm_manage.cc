@@ -235,6 +235,24 @@ ManagedClient* WindowManager::ManageWindow(xproto::WindowId window, int screen) 
   client->decoration_name = ChooseDecoration(*client);
   client->frame = BuildFrame(client);
 
+  // Register before touching the window again: the client may destroy it at
+  // any point from here on (it owns it), and an early registration makes the
+  // rollback uniform — UnmanageWindow tears down whatever exists so far.
+  tree_owner_[client->frame.get()] = window;
+  clients_[window] = std::move(owned);
+  auto died_mid_manage = [&]() {
+    if (!options_.self_heal || server_->WindowExists(window)) {
+      return false;
+    }
+    XB_LOG(Warning) << "swm: window " << window
+                    << " destroyed mid-manage; rolling back";
+    UnmanageWindow(window, /*reparent_back=*/false);
+    return true;
+  };
+  if (died_mid_manage()) {
+    return nullptr;
+  }
+
   // Client size: session geometry wins, then the current window size, both
   // run through WM_NORMAL_HINTS constraints.
   xbase::Size client_size = session.has_value() ? session->geometry.size()
@@ -245,6 +263,9 @@ ManagedClient* WindowManager::ManageWindow(xproto::WindowId window, int screen) 
     ++client->ignore_unmaps;  // Reparent of a mapped window unmaps it once.
   }
   display_.ResizeWindow(window, client_size);
+  if (died_mid_manage()) {
+    return nullptr;
+  }
   client->client_panel->SetSizeOverride(client_size);
   client->frame->DoLayout();
   PositionResizeCorners(client);
@@ -275,6 +296,11 @@ ManagedClient* WindowManager::ManageWindow(xproto::WindowId window, int screen) 
                                    xproto::kStructureNotifyMask |
                                    xproto::kPropertyChangeMask);
   display_.ShapeSelect(window, true);
+  // The gap just crossed (reparent → SelectInput) is the one where a client
+  // destroy produces no DestroyNotify for swm — check explicitly.
+  if (died_mid_manage()) {
+    return nullptr;
+  }
   // Hold SubstructureRedirect on the client's new parent, so its own
   // configure/map requests keep coming to swm now that it is off the root.
   uint32_t panel_mask =
@@ -282,9 +308,6 @@ ManagedClient* WindowManager::ManageWindow(xproto::WindowId window, int screen) 
   display_.SelectInput(client->client_panel->window(),
                        panel_mask | xproto::kSubstructureRedirectMask |
                            xproto::kSubstructureNotifyMask);
-
-  tree_owner_[client->frame.get()] = window;
-  clients_[window] = std::move(owned);
 
   // Shaped clients shape their decoration (§5).
   client->frame->ApplyShape();
@@ -300,6 +323,9 @@ ManagedClient* WindowManager::ManageWindow(xproto::WindowId window, int screen) 
   }
 
   UpdateSwmRootProperty(client);
+  if (died_mid_manage()) {
+    return nullptr;
+  }
 
   // Initial state: session, then WM_HINTS initial_state.
   xproto::WmState initial = xproto::WmState::kNormal;
@@ -321,6 +347,9 @@ ManagedClient* WindowManager::ManageWindow(xproto::WindowId window, int screen) 
     xlib::SetWmState(&display_, window, xproto::WmState::kNormal, xproto::kNone);
   }
   SendSyntheticConfigure(client);
+  if (died_mid_manage()) {
+    return nullptr;
+  }
   if (Panner* p = panner(screen)) {
     p->Update();
   }

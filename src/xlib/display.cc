@@ -1,5 +1,7 @@
 #include "src/xlib/display.h"
 
+#include "src/base/logging.h"
+
 namespace xlib {
 
 using xproto::AtomId;
@@ -8,6 +10,20 @@ using xproto::WindowId;
 Display::Display(xserver::Server* server, std::string client_machine)
     : server_(server), machine_(std::move(client_machine)) {
   client_ = server_->Connect(machine_);
+  server_->SetErrorCallback(client_, [this](const xproto::XError& error) {
+    last_error_ = error;
+    if (error_handler_) {
+      error_handler_(error);
+    } else {
+      XB_LOG(Warning) << "X error: " << xproto::ErrorText(error);
+    }
+  });
+}
+
+Display::XErrorHandler Display::SetErrorHandler(XErrorHandler handler) {
+  XErrorHandler previous = std::move(error_handler_);
+  error_handler_ = std::move(handler);
+  return previous;
 }
 
 Display::~Display() {

@@ -8,10 +8,12 @@
 #ifndef SRC_XLIB_DISPLAY_H_
 #define SRC_XLIB_DISPLAY_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/xproto/error.h"
 #include "src/xproto/events.h"
 #include "src/xproto/types.h"
 #include "src/xserver/server.h"
@@ -33,6 +35,19 @@ class Display {
   const xserver::Server& server() const { return *server_; }
   xproto::ClientId client_id() const { return client_; }
   const std::string& client_machine() const { return machine_; }
+
+  // ---- Error handling ------------------------------------------------------
+  // XSetErrorHandler-style: the handler runs synchronously when the server
+  // raises an error against this connection.  Returns the previous handler;
+  // pass nullptr to restore the default (which logs a warning).
+  using XErrorHandler = std::function<void(const xproto::XError&)>;
+  XErrorHandler SetErrorHandler(XErrorHandler handler);
+  // Errors raised against this connection so far.
+  uint64_t ErrorCount() const { return server_->ErrorCount(client_); }
+  // Per-connection request sequence number — requests issued so far.
+  uint64_t RequestCount() const { return server_->SequenceNumber(client_); }
+  // The most recent error, if any.
+  const std::optional<xproto::XError>& LastError() const { return last_error_; }
 
   // ---- Screens -----------------------------------------------------------
   int ScreenCount() const { return server_->ScreenCount(); }
@@ -141,6 +156,8 @@ class Display {
   xserver::Server* server_;
   xproto::ClientId client_;
   std::string machine_;
+  XErrorHandler error_handler_;
+  std::optional<xproto::XError> last_error_;
 };
 
 }  // namespace xlib

@@ -1,0 +1,103 @@
+// Seeded fault-injection harness for the in-process X server.
+//
+// A FaultPlan is installed on a Server and deterministically — every decision
+// derives from a uint64 seed via a SplitMix64 stream — injects the failure
+// modes a window manager must survive in the wild: a request that fails out
+// of the blue, a client window destroyed in the race between its MapRequest
+// and the WM's reparent, garbage or oversized property payloads, and event
+// delivery that duplicates or reorders.  Same seed, same faults: a failing
+// chaos run reproduces exactly.
+#ifndef SRC_XSERVER_FAULTS_H_
+#define SRC_XSERVER_FAULTS_H_
+
+#include <cstdint>
+
+#include "src/xproto/error.h"
+
+namespace xserver {
+
+// What a fault plan may do.  Per-mille rates make faults frequency-tunable
+// while staying deterministic (each decision consumes one PRNG draw).
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  // Fail exactly the Nth request processed by the server (1-based, counted
+  // from plan installation) with `fail_code`.  0 disables.
+  uint64_t fail_request_n = 0;
+  xproto::ErrorCode fail_code = xproto::ErrorCode::kBadImplementation;
+
+  // Destroy a window in the MapRequest → reparent race: when a MapRequest is
+  // redirected to a window manager, roll; on a hit the window is destroyed
+  // 1–6 requests later (the spread lands the death before, between, and
+  // after the WM's manage-path requests across seeds).
+  int destroy_on_map_permille = 0;
+
+  // Destroy a window immediately after another client (the WM) reparents it
+  // away from the root — the narrowest race: after the reparent but before
+  // the WM selects StructureNotify, so no DestroyNotify reaches the WM.
+  int destroy_on_reparent_permille = 0;
+
+  // Destroy a window immediately after another client configures it
+  // (move/resize-in-progress death).
+  int destroy_on_configure_permille = 0;
+
+  // Replace a GetProperty reply with `corrupt_property_bytes` of garbage.
+  int corrupt_property_permille = 0;
+  uint32_t corrupt_property_bytes = 4096;
+
+  // Deliver an event twice.
+  int duplicate_event_permille = 0;
+
+  // Hold an event back so it arrives after the next event for the same
+  // client (adjacent reordering); never dropped.
+  int delay_event_permille = 0;
+};
+
+// Exposed by Server::fault_counters() so tests can assert the harness
+// actually exercised something.
+struct FaultCounters {
+  uint64_t failed_requests = 0;
+  uint64_t destroyed_windows = 0;
+  uint64_t corrupted_properties = 0;
+  uint64_t duplicated_events = 0;
+  uint64_t delayed_events = 0;
+
+  uint64_t Total() const {
+    return failed_requests + destroyed_windows + corrupted_properties + duplicated_events +
+           delayed_events;
+  }
+};
+
+// SplitMix64: tiny, well-distributed, and fully determined by the seed.
+class FaultRng {
+ public:
+  explicit FaultRng(uint64_t seed = 1) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // One draw; true with probability permille/1000.
+  bool Roll(int permille) {
+    if (permille <= 0) {
+      return false;
+    }
+    return Next() % 1000 < static_cast<uint64_t>(permille);
+  }
+
+  // Uniform in [lo, hi], inclusive.
+  int Range(int lo, int hi) {
+    return lo + static_cast<int>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xserver
+
+#endif  // SRC_XSERVER_FAULTS_H_

@@ -134,14 +134,18 @@ void Server::SimulateMotion(const xbase::Point& root_pos) {
 
 bool Server::GrabButton(ClientId client, WindowId window, int button, uint32_t modifiers,
                         uint32_t event_mask) {
+  RequestGuard req(this, client, xproto::RequestCode::kGrabButton);
+  if (!req.ok()) {
+    return false;
+  }
   WindowRec* win = Find(window);
   if (win == nullptr || !HasClient(client)) {
-    return false;
+    return RaiseError(client, xproto::ErrorCode::kBadWindow, window);
   }
   // A conflicting grab (same button+modifiers by another client) fails.
   for (const PassiveGrab& grab : win->passive_grabs) {
     if (grab.button == button && grab.modifiers == modifiers && grab.client != client) {
-      return false;
+      return RaiseError(client, xproto::ErrorCode::kBadAccess, window);
     }
   }
   win->passive_grabs.push_back(PassiveGrab{client, button, modifiers, event_mask});
@@ -149,9 +153,13 @@ bool Server::GrabButton(ClientId client, WindowId window, int button, uint32_t m
 }
 
 bool Server::UngrabButton(ClientId client, WindowId window, int button, uint32_t modifiers) {
+  RequestGuard req(this, client, xproto::RequestCode::kUngrabButton);
+  if (!req.ok()) {
+    return false;
+  }
   WindowRec* win = Find(window);
   if (win == nullptr) {
-    return false;
+    return RaiseError(client, xproto::ErrorCode::kBadWindow, window);
   }
   size_t before = win->passive_grabs.size();
   std::erase_if(win->passive_grabs, [&](const PassiveGrab& g) {
@@ -262,9 +270,17 @@ void Server::SimulateButton(int button, bool press, uint32_t modifiers) {
 }
 
 bool Server::SetInputFocus(ClientId client, WindowId window) {
-  (void)client;
-  if (window != xproto::kNone && (Find(window) == nullptr || !IsViewable(window))) {
+  RequestGuard req(this, client, xproto::RequestCode::kSetInputFocus);
+  if (!req.ok()) {
     return false;
+  }
+  if (window != xproto::kNone) {
+    if (Find(window) == nullptr) {
+      return RaiseError(client, xproto::ErrorCode::kBadWindow, window);
+    }
+    if (!IsViewable(window)) {
+      return RaiseError(client, xproto::ErrorCode::kBadMatch, window);
+    }
   }
   if (window == focus_window_) {
     return true;

@@ -8,9 +8,11 @@ namespace xserver {
 
 using xproto::AtomId;
 using xproto::ClientId;
+using xproto::ErrorCode;
 using xproto::Event;
 using xproto::EventMask;
 using xproto::kNone;
+using xproto::RequestCode;
 using xproto::WindowId;
 
 Server::Server(std::vector<ScreenConfig> screens) {
@@ -151,13 +153,155 @@ ClientId Server::RedirectHolder(const WindowRec& win) const {
   return 0;
 }
 
+// ---- Error channel ----------------------------------------------------------
+
+void Server::SetErrorCallback(ClientId client, ErrorCallback callback) {
+  ClientRec* rec = FindClient(client);
+  if (rec != nullptr) {
+    rec->on_error = std::move(callback);
+  }
+}
+
+uint64_t Server::SequenceNumber(ClientId client) const {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? 0 : it->second.sequence;
+}
+
+uint64_t Server::ErrorCount(ClientId client) const {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? 0 : it->second.errors;
+}
+
+bool Server::RaiseError(ClientId client, xproto::ErrorCode code, uint32_t resource_id) {
+  ClientRec* rec = FindClient(client);
+  if (rec == nullptr) {
+    return false;  // Connection already gone; nobody to notify.
+  }
+  xproto::XError error;
+  error.code = code;
+  error.request = current_request_;
+  error.resource_id = resource_id;
+  error.sequence = rec->sequence;
+  ++rec->errors;
+  if (rec->on_error) {
+    // Synchronous, like an Xlib error handler invoked from _XReply.  The
+    // handler may issue further (nested) requests.
+    rec->on_error(error);
+  }
+  return false;
+}
+
+Server::RequestGuard::RequestGuard(Server* server, ClientId client,
+                                   xproto::RequestCode code)
+    : server_(server), ok_(true) {
+  if (server_->request_depth_++ > 0) {
+    return;  // Nested internal request: not a new wire request.
+  }
+  server_->current_request_ = code;
+  server_->current_client_ = client;
+  ++server_->total_requests_;
+  if (ClientRec* rec = server_->FindClient(client)) {
+    ++rec->sequence;
+  }
+  if (!server_->fault_plan_active_ || server_->in_fault_) {
+    return;
+  }
+  ++server_->faultable_requests_;
+  // A doomed window (armed at MapRequest time) dies just before this
+  // request executes — the client destroyed it while the WM was working.
+  if (server_->doomed_window_ != kNone && --server_->doomed_countdown_ <= 0) {
+    WindowId victim = server_->doomed_window_;
+    server_->doomed_window_ = kNone;
+    server_->InjectDestroy(victim);
+  }
+  const FaultPlan& plan = server_->fault_plan_;
+  if (plan.fail_request_n != 0 && server_->faultable_requests_ == plan.fail_request_n) {
+    ++server_->fault_counters_.failed_requests;
+    server_->RaiseError(client, plan.fail_code, 0);
+    ok_ = false;
+  }
+}
+
+Server::RequestGuard::~RequestGuard() {
+  if (--server_->request_depth_ == 0) {
+    server_->current_request_ = xproto::RequestCode::kNone;
+    server_->current_client_ = 0;
+  }
+}
+
+// ---- Fault injection --------------------------------------------------------
+
+void Server::InstallFaultPlan(const FaultPlan& plan) {
+  fault_plan_ = plan;
+  fault_plan_active_ = true;
+  fault_rng_ = FaultRng(plan.seed);
+  fault_counters_ = FaultCounters{};
+  faultable_requests_ = 0;
+  doomed_window_ = kNone;
+  doomed_countdown_ = 0;
+}
+
+void Server::ClearFaultPlan() {
+  fault_plan_active_ = false;
+  doomed_window_ = kNone;
+  doomed_countdown_ = 0;
+}
+
+void Server::MaybeDoom(WindowId window) {
+  if (!fault_plan_active_ || in_fault_ || doomed_window_ != kNone) {
+    return;
+  }
+  if (fault_rng_.Roll(fault_plan_.destroy_on_map_permille)) {
+    doomed_window_ = window;
+    // Spread the death across the manage path: sometimes before the WM's
+    // reparent, sometimes in the reparent→SelectInput gap, sometimes after.
+    doomed_countdown_ = fault_rng_.Range(1, 6);
+  }
+}
+
+void Server::InjectDestroy(WindowId window) {
+  WindowRec* win = Find(window);
+  if (win == nullptr || win->parent == kNone) {
+    return;
+  }
+  in_fault_ = true;
+  ++fault_counters_.destroyed_windows;
+  if (IsViewable(window)) {
+    UnmapWindow(win->owner, window);
+  }
+  DestroyRecursive(window, /*notify_parent=*/true);
+  UpdatePointerWindow();
+  in_fault_ = false;
+}
+
 // ---- Event delivery ---------------------------------------------------------
 
 void Server::Enqueue(ClientId client, Event event) {
   ClientRec* rec = FindClient(client);
-  if (rec != nullptr) {
-    rec->queue.push_back(std::move(event));
+  if (rec == nullptr) {
+    return;
   }
+  if (fault_plan_active_ && !in_fault_) {
+    if (fault_rng_.Roll(fault_plan_.delay_event_permille)) {
+      // Hold the event back; it is released after the next event for this
+      // client (adjacent reorder) or when the queue drains — never dropped.
+      ++fault_counters_.delayed_events;
+      rec->delayed.push_back(std::move(event));
+      return;
+    }
+    rec->queue.push_back(event);
+    if (fault_rng_.Roll(fault_plan_.duplicate_event_permille)) {
+      ++fault_counters_.duplicated_events;
+      rec->queue.push_back(event);
+    }
+    // Release anything the plan was holding, now out of order.
+    while (!rec->delayed.empty()) {
+      rec->queue.push_back(std::move(rec->delayed.front()));
+      rec->delayed.pop_front();
+    }
+    return;
+  }
+  rec->queue.push_back(std::move(event));
 }
 
 int Server::DeliverToSelecting(WindowId window, uint32_t required_mask, const Event& event,
@@ -178,10 +322,13 @@ int Server::DeliverToSelecting(WindowId window, uint32_t required_mask, const Ev
 
 bool Server::SendEvent(ClientId client, WindowId destination, uint32_t event_mask,
                        Event event) {
-  (void)client;
+  RequestGuard req(this, client, RequestCode::kSendEvent);
+  if (!req.ok()) {
+    return false;
+  }
   const WindowRec* win = Find(destination);
   if (win == nullptr) {
-    return false;
+    return RaiseError(client, ErrorCode::kBadWindow, destination);
   }
   if (event_mask == 0) {
     Enqueue(win->owner, std::move(event));
@@ -193,7 +340,14 @@ bool Server::SendEvent(ClientId client, WindowId destination, uint32_t event_mas
 
 std::optional<Event> Server::NextEvent(ClientId client) {
   ClientRec* rec = FindClient(client);
-  if (rec == nullptr || rec->queue.empty()) {
+  if (rec == nullptr) {
+    return std::nullopt;
+  }
+  if (rec->queue.empty() && !rec->delayed.empty()) {
+    // Nothing left to reorder against: flush delayed events so none is lost.
+    rec->queue.swap(rec->delayed);
+  }
+  if (rec->queue.empty()) {
     return std::nullopt;
   }
   Event event = std::move(rec->queue.front());
@@ -203,7 +357,7 @@ std::optional<Event> Server::NextEvent(ClientId client) {
 
 size_t Server::PendingEvents(ClientId client) const {
   auto it = clients_.find(client);
-  return it == clients_.end() ? 0 : it->second.queue.size();
+  return it == clients_.end() ? 0 : it->second.queue.size() + it->second.delayed.size();
 }
 
 // ---- Window lifecycle -------------------------------------------------------
@@ -211,9 +365,14 @@ size_t Server::PendingEvents(ClientId client) const {
 WindowId Server::CreateWindow(ClientId client, WindowId parent, const xbase::Rect& geometry,
                               int border_width, xproto::WindowClass window_class,
                               bool override_redirect) {
+  RequestGuard req(this, client, RequestCode::kCreateWindow);
+  if (!req.ok()) {
+    return kNone;
+  }
   WindowRec* parent_rec = Find(parent);
   if (parent_rec == nullptr || !HasClient(client)) {
     XB_LOG(Warning) << "CreateWindow: bad parent " << parent;
+    RaiseError(client, ErrorCode::kBadWindow, parent);
     return kNone;
   }
   WindowRec win;
@@ -290,10 +449,16 @@ void Server::DestroyRecursive(WindowId window, bool notify_parent) {
 }
 
 bool Server::DestroyWindow(ClientId client, WindowId window) {
-  (void)client;
+  RequestGuard req(this, client, RequestCode::kDestroyWindow);
+  if (!req.ok()) {
+    return false;
+  }
   WindowRec* win = Find(window);
-  if (win == nullptr || win->parent == kNone) {
-    return false;  // Roots cannot be destroyed.
+  if (win == nullptr) {
+    return RaiseError(client, ErrorCode::kBadWindow, window);
+  }
+  if (win->parent == kNone) {
+    return RaiseError(client, ErrorCode::kBadMatch, window);  // Roots cannot be destroyed.
   }
   bool was_viewable = IsViewable(window);
   if (was_viewable) {
@@ -346,9 +511,13 @@ void Server::MapApplied(WindowRec* win) {
 }
 
 bool Server::MapWindow(ClientId client, WindowId window) {
+  RequestGuard req(this, client, RequestCode::kMapWindow);
+  if (!req.ok()) {
+    return false;
+  }
   WindowRec* win = Find(window);
   if (win == nullptr) {
-    return false;
+    return RaiseError(client, ErrorCode::kBadWindow, window);
   }
   if (win->mapped) {
     return true;
@@ -362,6 +531,9 @@ bool Server::MapWindow(ClientId client, WindowId window) {
       request.parent = win->parent;
       request.window = window;
       Enqueue(holder, Event{request});
+      // The WM is about to start managing this window — the fault plan may
+      // decide the client destroys it somewhere along that path.
+      MaybeDoom(window);
       return true;  // Redirected, not mapped.
     }
   }
@@ -370,10 +542,16 @@ bool Server::MapWindow(ClientId client, WindowId window) {
 }
 
 bool Server::UnmapWindow(ClientId client, WindowId window) {
-  (void)client;
-  WindowRec* win = Find(window);
-  if (win == nullptr || !win->mapped) {
+  RequestGuard req(this, client, RequestCode::kUnmapWindow);
+  if (!req.ok()) {
     return false;
+  }
+  WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return RaiseError(client, ErrorCode::kBadWindow, window);
+  }
+  if (!win->mapped) {
+    return false;  // Unmapping an unmapped window is a no-op, not an error.
   }
   win->mapped = false;
   Tick();
@@ -391,14 +569,26 @@ bool Server::UnmapWindow(ClientId client, WindowId window) {
 
 bool Server::ReparentWindow(ClientId client, WindowId window, WindowId new_parent,
                             const xbase::Point& position) {
-  WindowRec* win = Find(window);
-  WindowRec* parent = Find(new_parent);
-  if (win == nullptr || parent == nullptr || win->parent == kNone) {
+  RequestGuard req(this, client, RequestCode::kReparentWindow);
+  if (!req.ok()) {
     return false;
   }
-  if (window == new_parent || IsAncestorOrSelf(window, new_parent)) {
-    return false;  // Would create a cycle.
+  WindowRec* win = Find(window);
+  WindowRec* parent = Find(new_parent);
+  if (win == nullptr) {
+    return RaiseError(client, ErrorCode::kBadWindow, window);
   }
+  if (parent == nullptr) {
+    return RaiseError(client, ErrorCode::kBadWindow, new_parent);
+  }
+  if (win->parent == kNone) {
+    return RaiseError(client, ErrorCode::kBadMatch, window);  // Roots stay put.
+  }
+  if (window == new_parent || IsAncestorOrSelf(window, new_parent)) {
+    return RaiseError(client, ErrorCode::kBadMatch, new_parent);  // Would create a cycle.
+  }
+  ClientId owner = win->owner;
+  bool into_frame = parent->parent != kNone;  // Destination is not a screen root.
   bool was_mapped = win->mapped;
   if (was_mapped) {
     UnmapWindow(client, window);
@@ -429,14 +619,28 @@ bool Server::ReparentWindow(ClientId client, WindowId window, WindowId new_paren
     // Re-map goes through redirect again per protocol.
     MapWindow(client, window);
   }
+  // The narrowest race a WM faces: its reparent succeeded, but the client
+  // destroys the window before the WM selects StructureNotify on it — no
+  // DestroyNotify will ever reach the WM.
+  if (fault_plan_active_ && !in_fault_ && client != owner && into_frame &&
+      fault_rng_.Roll(fault_plan_.destroy_on_reparent_permille)) {
+    InjectDestroy(window);
+  }
   return true;
 }
 
 bool Server::ConfigureWindow(ClientId client, WindowId window, uint16_t value_mask,
                              const ConfigureValues& values) {
-  WindowRec* win = Find(window);
-  if (win == nullptr || win->parent == kNone) {
+  RequestGuard req(this, client, RequestCode::kConfigureWindow);
+  if (!req.ok()) {
     return false;
+  }
+  WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return RaiseError(client, ErrorCode::kBadWindow, window);
+  }
+  if (win->parent == kNone) {
+    return RaiseError(client, ErrorCode::kBadMatch, window);  // Roots are not configurable.
   }
   WindowRec* parent = Find(win->parent);
   if (!win->override_redirect && parent != nullptr) {
@@ -521,6 +725,12 @@ bool Server::ConfigureWindow(ClientId client, WindowId window, uint16_t value_ma
     SendExpose(win);
   }
   UpdatePointerWindow();
+  // Move/resize-in-progress death: the client gives up on a window the WM is
+  // actively configuring.
+  if (fault_plan_active_ && !in_fault_ && client != win->owner &&
+      fault_rng_.Roll(fault_plan_.destroy_on_configure_permille)) {
+    InjectDestroy(window);
+  }
   return true;
 }
 
@@ -560,14 +770,19 @@ bool Server::LowerWindow(ClientId client, WindowId window) {
 }
 
 bool Server::SelectInput(ClientId client, WindowId window, uint32_t event_mask) {
+  RequestGuard req(this, client, RequestCode::kSelectInput);
+  if (!req.ok()) {
+    return false;
+  }
   WindowRec* win = Find(window);
   if (win == nullptr || !HasClient(client)) {
-    return false;
+    return RaiseError(client, ErrorCode::kBadWindow, window);
   }
   if (event_mask & xproto::kSubstructureRedirectMask) {
     ClientId holder = RedirectHolder(*win);
     if (holder != 0 && holder != client) {
-      return false;  // Another window manager is running.
+      // Another window manager is running.
+      return RaiseError(client, ErrorCode::kBadAccess, window);
     }
   }
   if (event_mask == 0) {
@@ -588,10 +803,17 @@ uint32_t Server::SelectedInput(ClientId client, WindowId window) const {
 }
 
 bool Server::ChangeSaveSet(ClientId client, WindowId window, bool add) {
+  RequestGuard req(this, client, RequestCode::kChangeSaveSet);
+  if (!req.ok()) {
+    return false;
+  }
   WindowRec* win = Find(window);
   ClientRec* rec = FindClient(client);
-  if (win == nullptr || rec == nullptr) {
+  if (rec == nullptr) {
     return false;
+  }
+  if (win == nullptr) {
+    return RaiseError(client, ErrorCode::kBadWindow, window);
   }
   if (add) {
     if (std::find(rec->save_set.begin(), rec->save_set.end(), window) == rec->save_set.end()) {
@@ -696,13 +918,19 @@ bool Server::IsAncestorOrSelf(WindowId ancestor, WindowId descendant) const {
 
 bool Server::ChangeProperty(ClientId client, WindowId window, AtomId property, AtomId type,
                             int format, PropMode mode, const std::vector<uint8_t>& data) {
-  (void)client;
-  WindowRec* win = Find(window);
-  if (win == nullptr || property == xproto::kAtomNone) {
+  RequestGuard req(this, client, RequestCode::kChangeProperty);
+  if (!req.ok()) {
     return false;
   }
+  WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return RaiseError(client, ErrorCode::kBadWindow, window);
+  }
+  if (property == xproto::kAtomNone) {
+    return RaiseError(client, ErrorCode::kBadAtom, property);
+  }
   if (format != 8 && format != 16 && format != 32) {
-    return false;
+    return RaiseError(client, ErrorCode::kBadValue, static_cast<uint32_t>(format));
   }
   PropertyRec& rec = win->properties[property];
   switch (mode) {
@@ -713,7 +941,7 @@ bool Server::ChangeProperty(ClientId client, WindowId window, AtomId property, A
       break;
     case PropMode::kAppend:
       if (!rec.data.empty() && (rec.type != type || rec.format != format)) {
-        return false;
+        return RaiseError(client, ErrorCode::kBadMatch, property);
       }
       rec.type = type;
       rec.format = format;
@@ -721,7 +949,7 @@ bool Server::ChangeProperty(ClientId client, WindowId window, AtomId property, A
       break;
     case PropMode::kPrepend:
       if (!rec.data.empty() && (rec.type != type || rec.format != format)) {
-        return false;
+        return RaiseError(client, ErrorCode::kBadMatch, property);
       }
       rec.type = type;
       rec.format = format;
@@ -738,10 +966,16 @@ bool Server::ChangeProperty(ClientId client, WindowId window, AtomId property, A
 }
 
 bool Server::DeleteProperty(ClientId client, WindowId window, AtomId property) {
-  (void)client;
-  WindowRec* win = Find(window);
-  if (win == nullptr || win->properties.erase(property) == 0) {
+  RequestGuard req(this, client, RequestCode::kDeleteProperty);
+  if (!req.ok()) {
     return false;
+  }
+  WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return RaiseError(client, ErrorCode::kBadWindow, window);
+  }
+  if (win->properties.erase(property) == 0) {
+    return false;  // Deleting an absent property is a no-op, not an error.
   }
   xproto::PropertyNotifyEvent notify;
   notify.window = window;
@@ -761,6 +995,17 @@ std::optional<PropertyRec> Server::GetProperty(WindowId window, AtomId property)
   if (it == win->properties.end()) {
     return std::nullopt;
   }
+  if (fault_plan_active_ && !in_fault_ &&
+      fault_rng_.Roll(fault_plan_.corrupt_property_permille)) {
+    // Oversized garbage payload, same type/format the reader expects.
+    ++fault_counters_.corrupted_properties;
+    PropertyRec garbage = it->second;
+    garbage.data.resize(fault_plan_.corrupt_property_bytes);
+    for (uint8_t& byte : garbage.data) {
+      byte = static_cast<uint8_t>(fault_rng_.Next());
+    }
+    return garbage;
+  }
   return it->second;
 }
 
@@ -778,30 +1023,39 @@ std::vector<AtomId> Server::ListProperties(WindowId window) const {
 // ---- Drawing ----------------------------------------------------------------
 
 bool Server::SetWindowBackground(ClientId client, WindowId window, char background) {
-  (void)client;
+  RequestGuard req(this, client, RequestCode::kSetWindowBackground);
+  if (!req.ok()) {
+    return false;
+  }
   WindowRec* win = Find(window);
   if (win == nullptr) {
-    return false;
+    return RaiseError(client, ErrorCode::kBadWindow, window);
   }
   win->background = background;
   return true;
 }
 
 bool Server::SetCursor(ClientId client, WindowId window, const std::string& name) {
-  (void)client;
+  RequestGuard req(this, client, RequestCode::kSetCursor);
+  if (!req.ok()) {
+    return false;
+  }
   WindowRec* win = Find(window);
   if (win == nullptr) {
-    return false;
+    return RaiseError(client, ErrorCode::kBadWindow, window);
   }
   win->cursor_name = name;
   return true;
 }
 
 bool Server::ClearWindow(ClientId client, WindowId window) {
-  (void)client;
+  RequestGuard req(this, client, RequestCode::kClearWindow);
+  if (!req.ok()) {
+    return false;
+  }
   WindowRec* win = Find(window);
   if (win == nullptr) {
-    return false;
+    return RaiseError(client, ErrorCode::kBadWindow, window);
   }
   // No Expose is generated here: redraw-on-clear would make every renderer
   // that clears-then-draws in its Expose handler loop forever.
@@ -810,10 +1064,16 @@ bool Server::ClearWindow(ClientId client, WindowId window) {
 }
 
 bool Server::Draw(ClientId client, WindowId window, DrawOp op) {
-  (void)client;
-  WindowRec* win = Find(window);
-  if (win == nullptr || win->window_class == xproto::WindowClass::kInputOnly) {
+  RequestGuard req(this, client, RequestCode::kDraw);
+  if (!req.ok()) {
     return false;
+  }
+  WindowRec* win = Find(window);
+  if (win == nullptr) {
+    return RaiseError(client, ErrorCode::kBadWindow, window);
+  }
+  if (win->window_class == xproto::WindowClass::kInputOnly) {
+    return RaiseError(client, ErrorCode::kBadMatch, window);
   }
   win->draw_ops.push_back(std::move(op));
   return true;

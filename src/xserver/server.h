@@ -15,6 +15,7 @@
 #define SRC_XSERVER_SERVER_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -22,8 +23,10 @@
 #include <vector>
 
 #include "src/base/canvas.h"
+#include "src/xproto/error.h"
 #include "src/xproto/events.h"
 #include "src/xproto/types.h"
+#include "src/xserver/faults.h"
 #include "src/xserver/window.h"
 
 namespace xserver {
@@ -91,6 +94,28 @@ class Server {
   void Disconnect(xproto::ClientId client);
   bool HasClient(xproto::ClientId client) const;
   std::string ClientMachine(xproto::ClientId client) const;
+
+  // ---- Error channel -----------------------------------------------------
+  // Errors for requests against dead/invalid resources are reported to the
+  // issuing client's callback (its Display's XSetErrorHandler equivalent),
+  // synchronously with the failing request.  The request still returns
+  // false/kNone, so un-ported callers keep working.
+  using ErrorCallback = std::function<void(const xproto::XError&)>;
+  void SetErrorCallback(xproto::ClientId client, ErrorCallback callback);
+  // Per-connection request sequence number (requests processed so far).
+  uint64_t SequenceNumber(xproto::ClientId client) const;
+  // Errors raised against the connection so far.
+  uint64_t ErrorCount(xproto::ClientId client) const;
+  // Requests processed across all connections.
+  uint64_t TotalRequests() const { return total_requests_; }
+
+  // ---- Fault injection ---------------------------------------------------
+  // Installs a deterministic fault plan (see faults.h) and resets the fault
+  // counters.  Faults apply to requests/events processed after this call.
+  void InstallFaultPlan(const FaultPlan& plan);
+  void ClearFaultPlan();
+  bool HasFaultPlan() const { return fault_plan_active_; }
+  const FaultCounters& fault_counters() const { return fault_counters_; }
 
   // ---- Screens -----------------------------------------------------------
   int ScreenCount() const { return static_cast<int>(screens_.size()); }
@@ -201,7 +226,13 @@ class Server {
   struct ClientRec {
     std::string machine;
     std::deque<xproto::Event> queue;
+    // Events a fault plan is holding back; released after the next enqueue
+    // for this client (adjacent reorder) or when the queue drains.
+    std::deque<xproto::Event> delayed;
     std::vector<xproto::WindowId> save_set;
+    uint64_t sequence = 0;  // Requests processed on this connection.
+    uint64_t errors = 0;
+    ErrorCallback on_error;
   };
 
   struct ActiveGrab {
@@ -217,6 +248,34 @@ class Server {
   ClientRec* FindClient(xproto::ClientId client);
 
   xproto::Timestamp Tick() { return ++time_; }
+
+  // ---- Request bookkeeping / error channel ---------------------------------
+  // Every state-changing request enters through a RequestGuard: the
+  // outermost guard bumps the client's sequence number and runs the fault
+  // hooks (nth-request failure, doomed-window destruction).  Nested guards
+  // (requests issued internally while servicing another request, e.g. the
+  // unmap inside ReparentWindow) are transparent.
+  class RequestGuard {
+   public:
+    RequestGuard(Server* server, xproto::ClientId client, xproto::RequestCode code);
+    ~RequestGuard();
+    bool ok() const { return ok_; }  // False when a fault failed the request.
+
+   private:
+    Server* server_;
+    bool ok_;
+  };
+  friend class RequestGuard;
+
+  // Raises `code` on `client`'s connection (invoking its error callback) and
+  // returns false so call sites can `return RaiseError(...)`.
+  bool RaiseError(xproto::ClientId client, xproto::ErrorCode code, uint32_t resource_id);
+
+  // Destroys a window on behalf of the fault plan (full DestroyNotify
+  // semantics, no redirect, no recursion into fault hooks).
+  void InjectDestroy(xproto::WindowId window);
+  // Rolls the doomed-window dice after a redirected MapRequest.
+  void MaybeDoom(xproto::WindowId window);
 
   // Delivers `event` to every client that selected `required_mask` on
   // `window` (excluding `skip`).  Returns number of clients reached.
@@ -260,6 +319,24 @@ class Server {
   PointerState pointer_;
   ActiveGrab grab_;
   xproto::WindowId focus_window_ = xproto::kNone;  // kNone = pointer-root.
+
+  // ---- Error-channel state --------------------------------------------------
+  uint64_t total_requests_ = 0;
+  int request_depth_ = 0;  // >0 while servicing a request (nested calls).
+  xproto::RequestCode current_request_ = xproto::RequestCode::kNone;
+  xproto::ClientId current_client_ = 0;
+
+  // ---- Fault-injection state ------------------------------------------------
+  // Mutable: const read paths (GetProperty) also consume PRNG draws and
+  // bump counters when corrupting replies.
+  FaultPlan fault_plan_;
+  bool fault_plan_active_ = false;
+  bool in_fault_ = false;  // Re-entrancy guard while injecting a fault.
+  mutable FaultRng fault_rng_{1};
+  mutable FaultCounters fault_counters_;
+  uint64_t faultable_requests_ = 0;  // Requests since plan installation.
+  xproto::WindowId doomed_window_ = xproto::kNone;
+  int doomed_countdown_ = 0;
 };
 
 }  // namespace xserver

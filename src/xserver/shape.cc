@@ -26,36 +26,52 @@ void Server::SetShapeInternal(ClientId client, WindowRec* win,
 }
 
 bool Server::ShapeSetMask(ClientId client, WindowId window, const xbase::Bitmap& mask) {
+  RequestGuard req(this, client, xproto::RequestCode::kShapeOp);
+  if (!req.ok()) {
+    return false;
+  }
   WindowRec* win = Find(window);
   if (win == nullptr) {
-    return false;
+    return RaiseError(client, xproto::ErrorCode::kBadWindow, window);
   }
   SetShapeInternal(client, win, mask.ToRegion());
   return true;
 }
 
 bool Server::ShapeSetRegion(ClientId client, WindowId window, xbase::Region region) {
+  RequestGuard req(this, client, xproto::RequestCode::kShapeOp);
+  if (!req.ok()) {
+    return false;
+  }
   WindowRec* win = Find(window);
   if (win == nullptr) {
-    return false;
+    return RaiseError(client, xproto::ErrorCode::kBadWindow, window);
   }
   SetShapeInternal(client, win, std::move(region));
   return true;
 }
 
 bool Server::ShapeClear(ClientId client, WindowId window) {
+  RequestGuard req(this, client, xproto::RequestCode::kShapeOp);
+  if (!req.ok()) {
+    return false;
+  }
   WindowRec* win = Find(window);
   if (win == nullptr) {
-    return false;
+    return RaiseError(client, xproto::ErrorCode::kBadWindow, window);
   }
   SetShapeInternal(client, win, std::nullopt);
   return true;
 }
 
 bool Server::ShapeSelect(ClientId client, WindowId window, bool enable) {
+  RequestGuard req(this, client, xproto::RequestCode::kShapeOp);
+  if (!req.ok()) {
+    return false;
+  }
   WindowRec* win = Find(window);
   if (win == nullptr || !HasClient(client)) {
-    return false;
+    return RaiseError(client, xproto::ErrorCode::kBadWindow, window);
   }
   if (enable) {
     win->shape_selections[client] = true;

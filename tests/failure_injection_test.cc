@@ -220,6 +220,134 @@ TEST_F(FailureTest, UnknownTemplateNameFallsBackToDefault) {
   EXPECT_EQ(client->decoration_name, "swmDefault");
 }
 
+// ---- FaultPlan-driven robustness (docs/ROBUSTNESS.md) -----------------------
+
+TEST_F(FailureTest, DestroyDuringManageUnwindsCleanly) {
+  StartWm();
+  // Every reparent of a foreign window into a frame kills it immediately —
+  // the client destroys its window in the reparent -> SelectInput gap, where
+  // no DestroyNotify can reach the WM.
+  xserver::FaultPlan plan;
+  plan.destroy_on_reparent_permille = 1000;
+  server_->InstallFaultPlan(plan);
+
+  auto app = Spawn("doomed", {"doomed", "Doomed"});
+  EXPECT_FALSE(server_->WindowExists(app->window()));
+  EXPECT_EQ(wm_->ClientCount(), 0u);          // Mid-manage rollback ran.
+  EXPECT_EQ(Managed(*app), nullptr);          // No dangling ManagedClient.
+  EXPECT_GE(server_->fault_counters().destroyed_windows, 1u);
+
+  // The WM is still fully functional once the faults stop.
+  server_->ClearFaultPlan();
+  auto survivor = Spawn("xterm", {"xterm", "XTerm"});
+  EXPECT_NE(Managed(*survivor), nullptr);
+  EXPECT_EQ(wm_->ClientCount(), 1u);
+}
+
+TEST_F(FailureTest, DestroyDuringMoveResizeHealed) {
+  StartWm();
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  ManagedClient* client = Managed(*app);
+  ASSERT_NE(client, nullptr);
+
+  // The client's window dies the moment the WM configures it (the move/
+  // resize-in-progress race).
+  xserver::FaultPlan plan;
+  plan.destroy_on_configure_permille = 1000;
+  server_->InstallFaultPlan(plan);
+  wm_->ResizeClient(client, {50, 40});
+  server_->ClearFaultPlan();
+  wm_->ProcessEvents();
+
+  EXPECT_FALSE(server_->WindowExists(app->window()));
+  EXPECT_EQ(wm_->ClientCount(), 0u);  // DestroyNotify or heal sweep cleaned up.
+  EXPECT_EQ(Managed(*app), nullptr);
+}
+
+TEST_F(FailureTest, InjectedRequestFailureInvokesErrorHandler) {
+  StartWm();
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  ManagedClient* client = Managed(*app);
+  ASSERT_NE(client, nullptr);
+
+  uint64_t errors_before = wm_->x_error_count();
+  xserver::FaultPlan plan;
+  plan.fail_request_n = 1;  // The very next request fails out of the blue.
+  server_->InstallFaultPlan(plan);
+  wm_->RaiseClient(client);
+  server_->ClearFaultPlan();
+  wm_->ProcessEvents();
+
+  EXPECT_EQ(server_->fault_counters().failed_requests, 1u);
+  EXPECT_GT(wm_->x_error_count(), errors_before);  // Handler saw the error.
+  // The window survives (the failure was spurious) and the WM still works.
+  EXPECT_TRUE(server_->WindowExists(app->window()));
+  EXPECT_EQ(wm_->ClientCount(), 1u);
+  wm_->Iconify(client);
+  EXPECT_EQ(client->state, xproto::WmState::kIconic);
+}
+
+TEST_F(FailureTest, CorruptPropertyPayloadTolerated) {
+  StartWm();
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  ASSERT_NE(Managed(*app), nullptr);
+
+  // Every property read returns 4KB of garbage for a while.
+  xserver::FaultPlan plan;
+  plan.corrupt_property_permille = 1000;
+  server_->InstallFaultPlan(plan);
+  xlib::SetWmName(&app->display(), app->window(), "new title");
+  app->RequestMoveResize({5, 5, 40, 20});
+  wm_->ProcessEvents();
+  server_->ClearFaultPlan();
+
+  EXPECT_GE(server_->fault_counters().corrupted_properties, 1u);
+  EXPECT_EQ(wm_->ClientCount(), 1u);  // Bookkeeping intact.
+  EXPECT_TRUE(server_->IsViewable(app->window()));
+}
+
+// ---- swmcmd channel (paper §4.5) --------------------------------------------
+
+TEST_F(FailureTest, ConcurrentSwmcmdsAllExecute) {
+  StartWm();
+  Spawn("xterm", {"xterm", "XTerm"});
+  xlib::Display shell_a(server_.get(), "a");
+  xlib::Display shell_b(server_.get(), "b");
+  // Two senders race before the WM drains: append semantics keep both.
+  swm::SendSwmCommand(&shell_a, 0, "f.exec(first)");
+  swm::SendSwmCommand(&shell_b, 0, "f.exec(second)");
+  wm_->ProcessEvents();
+  EXPECT_EQ(wm_->executed_commands(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST_F(FailureTest, OversizedSwmCommandTruncated) {
+  StartWm();
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  xlib::Display shell(server_.get(), "s");
+  // A single 64KB "command": capped to 4KB at read time, then rejected by
+  // the parser — never executed, never crashing.
+  swm::SendSwmCommand(&shell, 0, std::string(64 * 1024, 'x'));
+  wm_->ProcessEvents();
+  EXPECT_EQ(wm_->executed_commands().size(), 0u);
+  EXPECT_EQ(wm_->ClientCount(), 1u);
+  EXPECT_EQ(Managed(*app)->state, xproto::WmState::kNormal);
+}
+
+TEST_F(FailureTest, SwmcmdFloodRateLimited) {
+  StartWm();
+  Spawn("xterm", {"xterm", "XTerm"});
+  xlib::Display shell(server_.get(), "s");
+  for (int i = 0; i < 100; ++i) {
+    swm::SendSwmCommand(&shell, 0, "f.exec(flood)");
+  }
+  wm_->ProcessEvents();
+  // One drain executes at most the per-call budget; the flood is dropped,
+  // not queued forever.
+  EXPECT_LE(wm_->executed_commands().size(), 64u);
+  EXPECT_GT(wm_->executed_commands().size(), 0u);
+}
+
 TEST_F(FailureTest, IconifyAlreadyIconicIsIdempotent) {
   StartWm();
   auto app = Spawn("xterm", {"xterm", "XTerm"});

@@ -24,10 +24,17 @@ class SwmTest : public ::testing::Test {
                const std::string& template_name = "openlook",
                std::vector<xserver::ScreenConfig> screens = {
                    xserver::ScreenConfig{200, 100, false}}) {
-    server_ = std::make_unique<xserver::Server>(std::move(screens));
     swm::WindowManager::Options options;
     options.resources = resources;
     options.template_name = template_name;
+    StartWm(options, std::move(screens));
+  }
+
+  // Full-options variant (robustness tests toggle Options::self_heal).
+  void StartWm(swm::WindowManager::Options options,
+               std::vector<xserver::ScreenConfig> screens = {
+                   xserver::ScreenConfig{200, 100, false}}) {
+    server_ = std::make_unique<xserver::Server>(std::move(screens));
     wm_ = std::make_unique<swm::WindowManager>(server_.get(), options);
     ASSERT_TRUE(wm_->Start());
   }

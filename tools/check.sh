@@ -1,0 +1,19 @@
+#!/bin/sh
+# Robustness gate: build everything under ASan+UBSan and run the full test
+# suite (including the seeded chaos tests).  Any sanitizer report fails the
+# run.  Usage: tools/check.sh [build-dir]
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-sanitize}"
+
+cmake -B "$BUILD" -S "$ROOT" -DSWM_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j "$(nproc)"
+
+# halt_on_error makes UBSan reports fail the test instead of just logging.
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+echo "check.sh: all tests passed under ASan+UBSan"
