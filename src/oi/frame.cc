@@ -1,0 +1,155 @@
+#include "src/oi/frame.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/oi/object.h"
+#include "src/oi/panel.h"
+
+namespace oi {
+
+namespace {
+
+// Offset of an object's window within its tree root's window.
+xbase::Point OffsetInTree(const Object* object) {
+  xbase::Point offset{0, 0};
+  for (const Object* cur = object; cur->parent() != nullptr; cur = cur->parent()) {
+    offset.x += cur->geometry().x;
+    offset.y += cur->geometry().y;
+  }
+  return offset;
+}
+
+}  // namespace
+
+void FrameScheduler::MarkDirty(Object* object, uint8_t kinds, Object* tree_root) {
+  ++stats_.invalidations;
+  if (immediate_render_) {
+    ImmediateFlush(object, kinds, tree_root);
+    return;
+  }
+  // Dirty bits double as queue membership: an object joins each queue at
+  // most once between flushes, which is what makes "painted exactly once
+  // per flush" hold under invalidation storms.
+  if ((kinds & kLayoutDirty) != 0 && (tree_root->dirty_kinds_ & kLayoutDirty) == 0) {
+    tree_root->dirty_kinds_ |= kLayoutDirty;
+    layout_roots_.push_back(tree_root);
+  }
+  if ((kinds & kPaintDirty) != 0 && (object->dirty_kinds_ & kPaintDirty) == 0) {
+    object->dirty_kinds_ |= kPaintDirty;
+    paint_objects_.push_back(object);
+  }
+}
+
+void FrameScheduler::AddExposeDamage(Object* object, const xbase::Rect& area) {
+  ++stats_.expose_rects;
+  if (immediate_render_) {
+    if (immediate_depth_ > 0) {
+      return;
+    }
+    ++immediate_depth_;
+    object->Render();
+    ++stats_.frames;
+    --immediate_depth_;
+    return;
+  }
+  expose_rects_[object].push_back(area);
+  if ((object->dirty_kinds_ & kPaintDirty) == 0) {
+    object->dirty_kinds_ |= kPaintDirty;
+    paint_objects_.push_back(object);
+  }
+}
+
+void FrameScheduler::ForgetObject(Object* object) {
+  layout_roots_.erase(std::remove(layout_roots_.begin(), layout_roots_.end(), object),
+                      layout_roots_.end());
+  paint_objects_.erase(std::remove(paint_objects_.begin(), paint_objects_.end(), object),
+                       paint_objects_.end());
+  expose_rects_.erase(object);
+}
+
+void FrameScheduler::FlushFrame() {
+  if (immediate_render_ || in_flush_ || !HasPendingWork()) {
+    return;
+  }
+  in_flush_ = true;
+  // Layout phase.  Laying out resizes child windows, which marks them
+  // paint-dirty (and occasionally marks further layout, e.g. a nested
+  // size-override change); everything lands in this same frame, so the
+  // paint snapshot below is taken only once the layout queue is drained.
+  while (!layout_roots_.empty()) {
+    std::vector<Object*> roots;
+    roots.swap(layout_roots_);
+    for (Object* root : roots) {
+      root->dirty_kinds_ &= static_cast<uint8_t>(~kLayoutDirty);
+      root->Layout();
+      ++stats_.layouts;
+      if (layout_observer_) {
+        layout_observer_(root);
+      }
+    }
+  }
+  // Damage accumulation: per tree, the union of every damaged object's
+  // bounds plus any Expose rectangles, as a canonical banded Region.  Draw
+  // lists are per-window in this server, so the object window is the
+  // repaint granularity; zero-area objects clip out entirely.
+  std::vector<Object*> paints;
+  paints.swap(paint_objects_);
+  std::map<Object*, std::vector<xbase::Rect>> damage;
+  for (Object* object : paints) {
+    object->dirty_kinds_ &= static_cast<uint8_t>(~kPaintDirty);
+    xbase::Point offset = OffsetInTree(object);
+    damage[object->TreeRoot()].push_back(
+        xbase::Rect{offset.x, offset.y, object->geometry().width, object->geometry().height});
+  }
+  for (auto& [object, rects] : expose_rects_) {
+    xbase::Point offset = OffsetInTree(object);
+    for (const xbase::Rect& rect : rects) {
+      damage[object->TreeRoot()].push_back(rect.Translated(offset.x, offset.y));
+    }
+  }
+  expose_rects_.clear();
+  last_frame_damage_area_ = 0;
+  for (auto& [root, rects] : damage) {
+    last_frame_damage_area_ += xbase::Region(std::move(rects)).Area();
+  }
+  stats_.damage_area += last_frame_damage_area_;
+  // Paint phase: each damaged object exactly once.
+  for (Object* object : paints) {
+    if (object->geometry().width <= 0 || object->geometry().height <= 0) {
+      continue;
+    }
+    if (object->parent() != nullptr) {
+      // Containers used to Show children as part of rendering; preserve
+      // that for freshly built trees.  Tree roots stay under their owner's
+      // explicit Show/Hide (icons and menus pop up on their own schedule).
+      object->Show();
+    }
+    object->Paint();
+  }
+  ++stats_.frames;
+  in_flush_ = false;
+}
+
+void FrameScheduler::ImmediateFlush(Object* object, uint8_t kinds, Object* tree_root) {
+  if (immediate_depth_ > 0) {
+    // Invalidation raised by the layout/paint running below: the outer
+    // eager pass re-renders the whole tree, so nothing is lost.
+    return;
+  }
+  ++immediate_depth_;
+  if ((kinds & kLayoutDirty) != 0) {
+    tree_root->Layout();
+    ++stats_.layouts;
+    if (layout_observer_) {
+      layout_observer_(tree_root);
+    }
+    tree_root->Render();
+  } else {
+    object->Render();
+  }
+  ++stats_.frames;
+  --immediate_depth_;
+}
+
+}  // namespace oi

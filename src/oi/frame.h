@@ -1,0 +1,93 @@
+// Retained-mode frame scheduling (docs/RENDERING.md).
+//
+// Objects no longer lay out and repaint eagerly at every mutation.  Setters
+// call Object::Invalidate, which records the dirty subtree root and the
+// dirty object here; FlushFrame() then runs one layout pass over the dirty
+// roots, folds the damaged rectangles into an xbase::Region per tree, and
+// reissues each damaged object's draw list exactly once, however many
+// invalidations hit it since the previous flush.
+//
+// An immediate mode bypasses the deferral for ablation benchmarks and A/B
+// correctness tests: every invalidation lays out and repaints its tree on
+// the spot, as the pre-pipeline code did.  Pixel output is identical in
+// both modes; only the amount of repeated work differs.
+#ifndef SRC_OI_FRAME_H_
+#define SRC_OI_FRAME_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/base/geometry.h"
+#include "src/base/region.h"
+
+namespace oi {
+
+class Object;
+
+class FrameScheduler {
+ public:
+  // Cumulative instrumentation since the last ResetStats.
+  struct Stats {
+    uint64_t frames = 0;           // Flushes (or eager renders) that did work.
+    uint64_t layouts = 0;          // Subtree layout passes.
+    uint64_t objects_painted = 0;  // Draw lists reissued, via any paint path.
+    uint64_t invalidations = 0;    // Invalidate() calls reaching the scheduler.
+    uint64_t expose_rects = 0;     // Expose rectangles folded into damage.
+    int64_t damage_area = 0;       // Cells covered by flushed damage regions.
+  };
+
+  // Called after each dirty root's layout pass (both modes); swm uses it to
+  // pin floating resize-corner handles to the frame edges.
+  using LayoutObserver = std::function<void(Object* tree_root)>;
+
+  // ---- Invalidation intake (called via Object::Invalidate) -----------------
+  void MarkDirty(Object* object, uint8_t kinds, Object* tree_root);
+  // Expose handling: the window-relative rectangle joins the damage region
+  // and the object repaints at the next flush (immediately when eager).
+  void AddExposeDamage(Object* object, const xbase::Rect& area);
+  // Object destruction: drop every pending reference.
+  void ForgetObject(Object* object);
+
+  // ---- Frame flush ---------------------------------------------------------
+  // Lays out every dirty subtree root (a layout pass may invalidate further
+  // paint or layout; it joins the same frame), then paints each damaged
+  // object exactly once.  No-op in immediate mode or with nothing pending.
+  void FlushFrame();
+  bool HasPendingWork() const {
+    return !layout_roots_.empty() || !paint_objects_.empty() || !expose_rects_.empty();
+  }
+
+  void SetLayoutObserver(LayoutObserver observer) { layout_observer_ = std::move(observer); }
+
+  // Ablation escape hatch: eager per-invalidation layout + paint.
+  void SetImmediateRender(bool immediate) { immediate_render_ = immediate; }
+  bool immediate_render() const { return immediate_render_; }
+
+  // Every draw-list reissue funnels through Object::Paint, which reports
+  // here, so `objects_painted` is comparable across modes.
+  void NoteObjectPainted() { ++stats_.objects_painted; }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+  // Damage accumulated by the most recent flush alone (diagnostics/tests).
+  int64_t last_frame_damage_area() const { return last_frame_damage_area_; }
+
+ private:
+  void ImmediateFlush(Object* object, uint8_t kinds, Object* tree_root);
+
+  std::vector<Object*> layout_roots_;
+  std::vector<Object*> paint_objects_;
+  std::map<Object*, std::vector<xbase::Rect>> expose_rects_;
+  LayoutObserver layout_observer_;
+  bool immediate_render_ = false;
+  bool in_flush_ = false;
+  int immediate_depth_ = 0;
+  Stats stats_;
+  int64_t last_frame_damage_area_ = 0;
+};
+
+}  // namespace oi
+
+#endif  // SRC_OI_FRAME_H_

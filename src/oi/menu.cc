@@ -19,7 +19,11 @@ Button* Menu::AddItem(const std::string& name, const std::string& label) {
     item->SetLabel(label);
   }
   items_.push_back(std::move(item));
+  // Items are parented on the menu window but are not tree children, so
+  // the fresh item's dirty bits are seeded here (it missed AddChild).
+  items_.back()->Invalidate(kPaintDirty);
   DoLayout();
+  Invalidate(kPaintDirty);
   return items_.back().get();
 }
 
@@ -54,9 +58,8 @@ void Menu::PopupAt(const xbase::Point& position) {
   Show();
   for (const std::unique_ptr<Button>& item : items_) {
     item->Show();
-    item->Render();
   }
-  Render();
+  InvalidateTree(kPaintDirty);
   popped_up_ = true;
 }
 
@@ -66,14 +69,25 @@ void Menu::Popdown() {
 }
 
 void Menu::Render() {
+  Paint();
+  for (const std::unique_ptr<Button>& item : items_) {
+    item->Render();
+  }
+}
+
+void Menu::RenderSelf() {
   xlib::Display& dpy = toolkit_->display();
   dpy.ClearWindow(window_);
   xserver::DrawOp border;
   border.kind = xserver::DrawOp::Kind::kBorder;
   border.rect = xbase::Rect{0, 0, geometry_.width, geometry_.height};
   dpy.Draw(window_, border);
+}
+
+void Menu::InvalidateTree(uint8_t kinds) {
+  Invalidate(kinds);
   for (const std::unique_ptr<Button>& item : items_) {
-    item->Render();
+    item->InvalidateTree(kinds);
   }
 }
 

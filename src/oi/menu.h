@@ -32,6 +32,9 @@ class Menu : public Object {
   bool popped_up() const { return popped_up_; }
 
   void Render() override;
+  void RenderSelf() override;
+  void InvalidateTree(uint8_t kinds) override;
+  void Layout() override { DoLayout(); }
 
  private:
   void DoLayout();

@@ -49,11 +49,57 @@ bool Object::BoolAttribute(const std::string& attribute, bool default_value) con
 }
 
 void Object::SetGeometry(const xbase::Rect& geometry) {
+  if (geometry == geometry_) {
+    return;
+  }
+  bool resized = geometry.size() != geometry_.size();
   geometry_ = geometry;
+  // The window moves/resizes immediately — owners read laid-out geometry
+  // synchronously — but painting is deferred.  Draw lists are
+  // window-relative and survive moves; only a size change goes stale.
   toolkit_->display().MoveResizeWindow(window_, geometry);
+  if (resized) {
+    Invalidate(kPaintDirty);
+  }
 }
 
-void Object::Render() {}
+void Object::SetSizeOverride(std::optional<xbase::Size> size) {
+  if (size_override_ == size) {
+    return;
+  }
+  size_override_ = std::move(size);
+  Invalidate(kLayoutDirty);
+}
+
+void Object::SetPosition(const ObjectPosition& position) {
+  if (position == position_) {
+    return;
+  }
+  position_ = position;
+  Invalidate(kLayoutDirty);
+}
+
+void Object::Invalidate(uint8_t kinds) {
+  if (kinds == 0) {
+    return;
+  }
+  toolkit_->frame_scheduler().MarkDirty(this, kinds, TreeRoot());
+}
+
+Object* Object::TreeRoot() {
+  Object* cur = this;
+  while (cur->parent_ != nullptr) {
+    cur = cur->parent_;
+  }
+  return cur;
+}
+
+void Object::Paint() {
+  toolkit_->frame_scheduler().NoteObjectPainted();
+  RenderSelf();
+}
+
+void Object::Render() { Paint(); }
 
 void Object::ApplyShape() {
   std::optional<std::string> mask_name = Attribute("shapeMask");

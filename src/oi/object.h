@@ -25,6 +25,16 @@ namespace oi {
 
 class Toolkit;
 class Panel;
+class FrameScheduler;
+
+// Dirty bits for the retained-mode frame pipeline (docs/RENDERING.md).
+// kLayoutDirty bubbles to the subtree root — row layout is computed
+// top-down — while kPaintDirty stays on the object whose draw list went
+// stale.
+enum DirtyKind : uint8_t {
+  kLayoutDirty = 1u << 0,
+  kPaintDirty = 1u << 1,
+};
 
 class Object {
  public:
@@ -60,7 +70,7 @@ class Object {
   virtual xbase::Size PreferredSize() const = 0;
   // Hard override used e.g. for the `client` panel, sized by the client
   // window rather than by content.
-  void SetSizeOverride(std::optional<xbase::Size> size) { size_override_ = size; }
+  void SetSizeOverride(std::optional<xbase::Size> size);
   const std::optional<xbase::Size>& size_override() const { return size_override_; }
   xbase::Size EffectiveSize() const {
     return size_override_.has_value() ? *size_override_ : PreferredSize();
@@ -68,16 +78,39 @@ class Object {
 
   // Position within the parent panel's rows (from the panel definition).
   const ObjectPosition& position() const { return position_; }
-  void SetPosition(const ObjectPosition& position) { position_ = position; }
+  void SetPosition(const ObjectPosition& position);
 
   // Floating objects are excluded from the parent panel's row layout and
   // positioned explicitly (e.g. swm's resize-corner handles).
   bool floating() const { return floating_; }
   void SetFloating(bool floating) { floating_ = floating; }
 
+  // ---- Invalidation (retained-mode frame pipeline; docs/RENDERING.md) -----
+  // Records that this object needs the given work and registers it with the
+  // toolkit's FrameScheduler (or lays out and repaints on the spot when the
+  // scheduler runs in immediate mode).  Attribute setters self-invalidate;
+  // callers outside src/oi never invoke layout or painting directly.
+  void Invalidate(uint8_t kinds);
+  // Invalidates this object and, for containers, every descendant.
+  virtual void InvalidateTree(uint8_t kinds) { Invalidate(kinds); }
+  uint8_t dirty_kinds() const { return dirty_kinds_; }
+  // Root of the tree this object belongs to (decoration frame, icon tree,
+  // root panel, or the object itself when parentless).
+  Object* TreeRoot();
+
+  // Recomputes this subtree's layout; containers override.
+  virtual void Layout() {}
+
   // ---- Appearance ------------------------------------------------------------
-  // Re-issues this object's draw list (and children's, for panels).
+  // Re-issues this object's draw list (and children's, for panels).  The
+  // legacy recursive entry, still used by immediate mode and Expose
+  // fallback paths inside the toolkit.
   virtual void Render();
+  // This object's own draw list only, no recursion: the unit the frame
+  // scheduler repaints.
+  virtual void RenderSelf() {}
+  // Counts (for FrameScheduler stats) and reissues this object's draw list.
+  void Paint();
   // Applies the object's shape attributes (shapeMask / shape-to-children).
   virtual void ApplyShape();
   void Show();
@@ -117,6 +150,11 @@ class Object {
   std::vector<xtb::Binding> bindings_;
   std::vector<std::string> path_names_;
   std::vector<std::string> path_classes_;
+
+ private:
+  // Owned by the FrameScheduler: bits double as pending-queue membership.
+  friend class FrameScheduler;
+  uint8_t dirty_kinds_ = 0;
 };
 
 }  // namespace oi

@@ -22,7 +22,13 @@ Panel::~Panel() {
 
 Object* Panel::AddChild(std::unique_ptr<Object> child) {
   children_.push_back(std::move(child));
-  return children_.back().get();
+  Object* added = children_.back().get();
+  // The child is fully constructed here, so this is the safe place to seed
+  // its dirty bits (a constructor-time Invalidate would lay out a tree with
+  // half-built members in immediate mode).  The layout bit bubbles to the
+  // tree root and covers this panel too.
+  added->Invalidate(kLayoutDirty | kPaintDirty);
+  return added;
 }
 
 std::unique_ptr<Object> Panel::RemoveChild(Object* child) {
@@ -30,6 +36,7 @@ std::unique_ptr<Object> Panel::RemoveChild(Object* child) {
     if (it->get() == child) {
       std::unique_ptr<Object> out = std::move(*it);
       children_.erase(it);
+      Invalidate(kLayoutDirty);
       return out;
     }
   }
@@ -171,9 +178,17 @@ void Panel::DoLayout(const xbase::Size* forced) {
 }
 
 void Panel::Render() {
+  Paint();
   for (const std::unique_ptr<Object>& child : children_) {
     child->Show();
     child->Render();
+  }
+}
+
+void Panel::InvalidateTree(uint8_t kinds) {
+  Invalidate(kinds);
+  for (const std::unique_ptr<Object>& child : children_) {
+    child->InvalidateTree(kinds);
   }
 }
 

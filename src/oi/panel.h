@@ -33,8 +33,11 @@ class Panel : public Object {
   // `forced` is non-null the panel body is made exactly that size and rows
   // are laid out inside it; otherwise the panel shrinks to content.
   void DoLayout(const xbase::Size* forced = nullptr);
+  void Layout() override { DoLayout(); }
 
   void Render() override;
+  // Panels issue no draw ops of their own; RenderSelf stays empty.
+  void InvalidateTree(uint8_t kinds) override;
   void ApplyShape() override;
   void RefreshAttributes() override;  // Recurses into children.
 

@@ -51,27 +51,39 @@ void Toolkit::InvalidateQueryCaches() const {
 
 std::unique_ptr<Panel> Toolkit::CreatePanel(Panel* parent, xproto::WindowId parent_window,
                                             const std::string& name) {
-  return std::make_unique<Panel>(this, parent, parent_window, name);
+  auto panel = std::make_unique<Panel>(this, parent, parent_window, name);
+  // Factories seed the dirty bits once the object is fully constructed;
+  // doing it from the Object constructor would let an immediate-mode
+  // layout reach a half-built derived class.
+  panel->Invalidate(kLayoutDirty | kPaintDirty);
+  return panel;
 }
 
 std::unique_ptr<Button> Toolkit::CreateButton(Panel* parent, xproto::WindowId parent_window,
                                               const std::string& name) {
-  return std::make_unique<Button>(this, parent, parent_window, name);
+  auto button = std::make_unique<Button>(this, parent, parent_window, name);
+  button->Invalidate(kLayoutDirty | kPaintDirty);
+  return button;
 }
 
 std::unique_ptr<TextObject> Toolkit::CreateText(Panel* parent, xproto::WindowId parent_window,
                                                 const std::string& name) {
-  return std::make_unique<TextObject>(this, parent, parent_window, name);
+  auto text = std::make_unique<TextObject>(this, parent, parent_window, name);
+  text->Invalidate(kLayoutDirty | kPaintDirty);
+  return text;
 }
 
 std::unique_ptr<Menu> Toolkit::CreateMenu(xproto::WindowId parent_window,
                                           const std::string& name) {
-  return std::make_unique<Menu>(this, nullptr, parent_window, name);
+  auto menu = std::make_unique<Menu>(this, nullptr, parent_window, name);
+  menu->Invalidate(kLayoutDirty | kPaintDirty);
+  return menu;
 }
 
 void Toolkit::Register(Object* object) { registry_[object->window()] = object; }
 
 void Toolkit::Unregister(Object* object) {
+  frame_scheduler_.ForgetObject(object);
   registry_.erase(object->window());
   tree_prefixes_.erase(object);
   // Drop the object's cache entries: a later object may reuse the address.
@@ -292,8 +304,10 @@ bool Toolkit::DispatchEvent(const xproto::Event& event) {
     context.root_pos = motion->root_pos;
     context.pos = motion->pos;
     context.modifiers = motion->modifiers;
-  } else if (std::get_if<xproto::ExposeEvent>(&event) != nullptr) {
-    object->Render();
+  } else if (const auto* expose = std::get_if<xproto::ExposeEvent>(&event)) {
+    // The exposed rectangle joins the damage region; the object repaints
+    // once at the next FlushFrame (immediately in immediate mode).
+    frame_scheduler_.AddExposeDamage(object, expose->area);
     return true;
   } else {
     actionable = false;

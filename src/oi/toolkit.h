@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/base/interner.h"
+#include "src/oi/frame.h"
 #include "src/oi/menu.h"
 #include "src/oi/panel.h"
 #include "src/oi/panel_def.h"
@@ -118,6 +119,17 @@ class Toolkit {
   // const pointer without going through ResourceDatabase (none today).
   void InvalidateQueryCaches() const;
 
+  // ---- Frame pipeline ------------------------------------------------------
+  // The retained-mode scheduler every object of this toolkit reports its
+  // invalidations to (docs/RENDERING.md).
+  FrameScheduler& frame_scheduler() { return frame_scheduler_; }
+  const FrameScheduler& frame_scheduler() const { return frame_scheduler_; }
+  // Lays out dirty subtrees and paints accumulated damage: one frame.
+  void FlushFrame() { frame_scheduler_.FlushFrame(); }
+  // Per-frame instrumentation, alongside the query-cache stats below.
+  const FrameScheduler::Stats& frame_stats() const { return frame_scheduler_.stats(); }
+  void ResetFrameStats() { frame_scheduler_.ResetStats(); }
+
   // Query-path instrumentation (benchmarks, tests).
   struct QueryStats {
     uint64_t queries = 0;      // QueryAttribute calls.
@@ -155,6 +167,7 @@ class Toolkit {
       tree_prefixes_;
   ActionHandler action_handler_;
   std::vector<std::string> build_stack_;  // Cycle detection during BuildPanelTree.
+  FrameScheduler frame_scheduler_;
 
   // ---- Query fast-path state (logically const: pure memoization) -------------
   mutable uint64_t seen_generation_ = 0;

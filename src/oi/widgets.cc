@@ -29,18 +29,25 @@ void Button::RefreshAttributes() {
 }
 
 void Button::SetLabel(std::string label) {
+  if (label == label_) {
+    return;
+  }
   label_ = std::move(label);
-  Render();
+  // The label feeds PreferredSize, so the row layout is stale too.
+  Invalidate(kLayoutDirty | kPaintDirty);
 }
 
 void Button::SetImage(xbase::Bitmap image) {
   image_ = std::move(image);
-  Render();
+  Invalidate(kLayoutDirty | kPaintDirty);
 }
 
 void Button::ClearImage() {
+  if (!image_.has_value()) {
+    return;
+  }
   image_.reset();
-  Render();
+  Invalidate(kLayoutDirty | kPaintDirty);
 }
 
 xbase::Size Button::PreferredSize() const {
@@ -51,7 +58,7 @@ xbase::Size Button::PreferredSize() const {
   return {static_cast<int>(label_.size()) + 4, 3};
 }
 
-void Button::Render() {
+void Button::RenderSelf() {
   xlib::Display& dpy = toolkit_->display();
   dpy.ClearWindow(window_);
   xbase::Rect bounds{0, 0, geometry_.width, geometry_.height};
@@ -86,15 +93,18 @@ TextObject::TextObject(Toolkit* toolkit, Panel* parent, xproto::WindowId parent_
 }
 
 void TextObject::SetText(std::string text) {
+  if (text == text_) {
+    return;
+  }
   text_ = std::move(text);
-  Render();
+  Invalidate(kLayoutDirty | kPaintDirty);
 }
 
 xbase::Size TextObject::PreferredSize() const {
   return {static_cast<int>(text_.size()) + 2, 1};
 }
 
-void TextObject::Render() {
+void TextObject::RenderSelf() {
   xlib::Display& dpy = toolkit_->display();
   dpy.ClearWindow(window_);
   xserver::DrawOp text_op;

@@ -26,7 +26,7 @@ class Button : public Object {
   void ClearImage();
 
   xbase::Size PreferredSize() const override;
-  void Render() override;
+  void RenderSelf() override;
   // Re-reads the label/image attributes if configured (explicit SetLabel
   // values survive when no resource entry exists).
   void RefreshAttributes() override;
@@ -48,7 +48,7 @@ class TextObject : public Object {
   void SetText(std::string text);
 
   xbase::Size PreferredSize() const override;
-  void Render() override;
+  void RenderSelf() override;
 
  private:
   std::string text_;

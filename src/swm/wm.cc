@@ -181,6 +181,9 @@ void WindowManager::InitScreen(int screen) {
       [this](const xtb::FunctionCall& function, const oi::ActionContext& context) {
         ExecuteFunction(function, context);
       });
+  state.toolkit->frame_scheduler().SetImmediateRender(options_.immediate_render);
+  state.toolkit->frame_scheduler().SetLayoutObserver(
+      [this](oi::Object* root) { OnTreeLaidOut(root); });
 
   // Virtual Desktop (paper §6): resource value is "WIDTHxHEIGHT".
   std::optional<std::string> vdesk_spec = ScreenResource(screen, "virtualDesktop");
@@ -507,9 +510,11 @@ void WindowManager::ResizeClient(ManagedClient* client, xbase::Size client_size)
   client_size = client->size_hints.Constrain(client_size);
   display_.ResizeWindow(client->window, client_size);
   client->client_panel->SetSizeOverride(client_size);
-  client->frame->DoLayout();
-  PositionResizeCorners(client);
-  client->frame->Render();
+  // Shapes and the synthetic configure below read laid-out geometry, so
+  // this flush is synchronous even mid-batch.  Only objects the layout
+  // actually resized repaint; title buttons that merely moved keep their
+  // display lists.  Corner handles are re-pinned by the layout observer.
+  FlushFrames();
   client->frame->ApplyShape();
   ApplyClientShapeToFrame(client);
   SendSyntheticConfigure(client);
@@ -588,7 +593,7 @@ void WindowManager::ReloadResources() {
   for (const auto& [window, client] : clients_) {
     if (client->frame != nullptr) {
       client->frame->RefreshAttributes();
-      client->frame->Render();
+      client->frame->InvalidateTree(oi::kPaintDirty);
     }
     if (client->icon != nullptr) {
       client->icon->RefreshAttributes();
@@ -597,7 +602,7 @@ void WindowManager::ReloadResources() {
   for (ScreenState& state : screens_) {
     for (const auto& tree : state.root_panel_trees) {
       tree->RefreshAttributes();
-      tree->Render();
+      tree->InvalidateTree(oi::kPaintDirty);
     }
     for (const auto& icon : state.root_icons) {
       icon->RefreshAttributes();
@@ -611,15 +616,16 @@ void WindowManager::ReloadResources() {
     }
     state.menus.clear();
   }
+  MaybeFlushFrames();
 }
 
 void WindowManager::RefreshAll() {
   for (const auto& [window, client] : clients_) {
     if (client->frame != nullptr) {
-      client->frame->Render();
+      client->frame->InvalidateTree(oi::kPaintDirty);
     }
     if (client->icon != nullptr && client->state == xproto::WmState::kIconic) {
-      client->icon->Render();
+      client->icon->InvalidateTree(oi::kPaintDirty);
     }
   }
   for (ScreenState& state : screens_) {
@@ -627,8 +633,32 @@ void WindowManager::RefreshAll() {
       state.panner->Update();
     }
     for (const auto& icon : state.root_icons) {
-      icon->Render();
+      icon->InvalidateTree(oi::kPaintDirty);
     }
+  }
+  MaybeFlushFrames();
+}
+
+void WindowManager::FlushFrames() {
+  for (ScreenState& state : screens_) {
+    state.toolkit->FlushFrame();
+  }
+}
+
+void WindowManager::MaybeFlushFrames() {
+  if (frame_hold_depth_ == 0) {
+    FlushFrames();
+  }
+}
+
+void WindowManager::OnTreeLaidOut(oi::Object* root) {
+  auto it = tree_owner_.find(root);
+  if (it == tree_owner_.end()) {
+    return;
+  }
+  ManagedClient* client = FindClient(it->second);
+  if (client != nullptr && client->frame.get() == root) {
+    PositionResizeCorners(client);
   }
 }
 

@@ -152,6 +152,12 @@ class WindowManager {
     // that unmanages clients whose windows died without a DestroyNotify.
     // Disable only to demonstrate the failure modes it prevents.
     bool self_heal = true;
+    // Ablation escape hatch (docs/RENDERING.md): bypass the retained-mode
+    // frame scheduler and lay out/repaint eagerly at every invalidation,
+    // as the pre-pipeline code did.  Pixel output is identical; only the
+    // amount of repeated work differs.  Used by the frame-pipeline bench
+    // and the differential tests.
+    bool immediate_render = false;
   };
 
   WindowManager(xserver::Server* server, Options options);
@@ -209,6 +215,11 @@ class WindowManager {
   uint64_t healed_count() const { return healed_count_; }
   // Exceptions caught by the event-dispatch barrier.
   uint64_t dispatch_error_count() const { return dispatch_errors_; }
+  // ---- Frame-pipeline counters (docs/RENDERING.md) -------------------------
+  // Events handled and events dropped by per-batch coalescing (redundant
+  // ConfigureNotify snapshots, merged Expose rectangles).
+  uint64_t events_dispatched() const { return events_dispatched_; }
+  uint64_t events_coalesced() const { return events_coalesced_; }
   bool quit_requested() const { return quit_requested_; }
   bool restart_requested() const { return restart_requested_; }
   bool awaiting_target() const { return pending_.active; }
@@ -250,6 +261,11 @@ class WindowManager {
 
   // Re-renders every frame/icon and the panner (f.refresh).
   void RefreshAll();
+
+  // Lays out and paints every pending invalidation on all screens: one
+  // retained-mode frame per toolkit.  Mutating operations flush at their
+  // natural boundary; the event loop flushes once per drained batch.
+  void FlushFrames();
 
   // Rebuilds the resource database from the template + user resources (the
   // in-place half of f.restart) and re-reads attributes of every live
@@ -334,6 +350,23 @@ class WindowManager {
   // gone — the cleanup DestroyNotify would have triggered, had it arrived.
   void HealSuspects();
 
+  // ---- Frame pipeline --------------------------------------------------------
+  // Flushes unless an event batch holds frames for batch-end coalescing.
+  void MaybeFlushFrames();
+  // RAII scope: while held, MaybeFlushFrames defers to the batch-end
+  // FlushFrames in ProcessEvents so one frame covers the whole batch.
+  struct FrameHold {
+    explicit FrameHold(WindowManager* wm) : wm_(wm) { ++wm_->frame_hold_depth_; }
+    ~FrameHold() { --wm_->frame_hold_depth_; }
+    WindowManager* wm_;
+  };
+  // Drops redundant ConfigureNotify snapshots (keep last per window) and
+  // merges same-window Expose rectangles within one drained batch.
+  void CoalesceEventBatch(std::vector<xproto::Event>* batch);
+  // Layout observer installed on every toolkit's FrameScheduler: re-pins
+  // floating resize corners after a client frame's layout pass.
+  void OnTreeLaidOut(oi::Object* root);
+
   // ---- Event handling ----------------------------------------------------------------
   void HandleEvent(const xproto::Event& event);
   void HandleMapRequest(const xproto::MapRequestEvent& event);
@@ -383,6 +416,9 @@ class WindowManager {
   bool restart_requested_ = false;
   bool resource_reload_pending_ = false;  // f.restart defers to ProcessEvents.
   bool started_ = false;
+  int frame_hold_depth_ = 0;  // >0 while ProcessEvents batches invalidations.
+  uint64_t events_dispatched_ = 0;
+  uint64_t events_coalesced_ = 0;
 
   // Self-healing state.
   std::vector<xproto::WindowId> suspect_windows_;

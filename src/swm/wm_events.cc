@@ -1,5 +1,9 @@
 // Event handling: redirect requests, client state changes, swmcmd property
 // commands, interactive drags and pending target selection.
+#include <algorithm>
+#include <map>
+#include <tuple>
+
 #include "src/base/logging.h"
 #include "src/base/strings.h"
 #include "src/swm/panner.h"
@@ -22,18 +26,31 @@ constexpr size_t kMaxSwmCommandBytes = 4096;
 void WindowManager::ProcessEvents() {
   swmcmd_budget_ = kMaxSwmCommandsPerDrain;
   swmcmd_budget_warned_ = false;
+  // Dispatch runs under a frame hold: handlers invalidate objects instead of
+  // painting, and each settle iteration flushes the accumulated damage as
+  // one frame (the retained pipeline's batch boundary).
+  FrameHold hold(this);
   // Events can cascade (managing a window produces more events for us), so
   // loop until the queue settles.
   bool progressed = true;
   while (progressed) {
     progressed = false;
+    // Drain the whole pending batch before dispatching anything: coalescing
+    // can only spot redundant ConfigureNotify/Expose pairs across the batch.
+    std::vector<xproto::Event> batch;
     while (std::optional<xproto::Event> event = display_.NextEvent()) {
+      batch.push_back(std::move(*event));
+    }
+    CoalesceEventBatch(&batch);
+    for (const xproto::Event& event : batch) {
+      progressed = true;
+      ++events_dispatched_;
       if (options_.self_heal) {
         // The barrier: one failed dispatch must not take down the WM (or
         // leave the remaining queue unprocessed).  X errors don't throw —
         // they go through OnXError — so this catches toolkit/dispatch bugs.
         try {
-          HandleEvent(*event);
+          HandleEvent(event);
         } catch (const std::exception& e) {
           ++dispatch_errors_;
           XB_LOG(Error) << "swm: event dispatch failed (" << e.what()
@@ -43,10 +60,14 @@ void WindowManager::ProcessEvents() {
           XB_LOG(Error) << "swm: event dispatch failed; dropping event and continuing";
         }
       } else {
-        HandleEvent(*event);
+        HandleEvent(event);
       }
-      progressed = true;
     }
+    // One frame per batch: lay out dirty subtrees, paint each damaged
+    // object once.  The flush's own layout may emit new ConfigureNotify /
+    // Expose events; they form the next iteration's batch and settle
+    // because repainting without a geometry change emits nothing.
+    FlushFrames();
     if (options_.self_heal && !suspect_windows_.empty()) {
       HealSuspects();
       progressed = true;
@@ -60,6 +81,71 @@ void WindowManager::ProcessEvents() {
       progressed = true;
     }
   }
+}
+
+// Drops events the batch itself makes redundant: only the last
+// ConfigureNotify per (event_window, window, synthetic) key matters — each
+// carries the complete current geometry — and Expose rectangles for one
+// window merge into a single event covering their bounding box.  The damage
+// region keeps paints tight; coalescing keeps dispatch count low.
+void WindowManager::CoalesceEventBatch(std::vector<xproto::Event>* batch) {
+  struct ConfigureKey {
+    xproto::WindowId event_window;
+    xproto::WindowId window;
+    bool synthetic;
+    bool operator<(const ConfigureKey& other) const {
+      return std::tie(event_window, window, synthetic) <
+             std::tie(other.event_window, other.window, other.synthetic);
+    }
+  };
+  std::map<ConfigureKey, size_t> last_configure;
+  std::map<xproto::WindowId, size_t> last_expose;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    if (const auto* configure =
+            std::get_if<xproto::ConfigureNotifyEvent>(&(*batch)[i])) {
+      last_configure[{configure->event_window, configure->window,
+                      configure->synthetic}] = i;
+    } else if (const auto* expose = std::get_if<xproto::ExposeEvent>(&(*batch)[i])) {
+      last_expose[expose->window] = i;
+    }
+  }
+
+  std::map<xproto::WindowId, xbase::Rect> merged_areas;
+  std::vector<xproto::Event> kept;
+  kept.reserve(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    xproto::Event& event = (*batch)[i];
+    if (const auto* configure = std::get_if<xproto::ConfigureNotifyEvent>(&event)) {
+      ConfigureKey key{configure->event_window, configure->window,
+                       configure->synthetic};
+      if (last_configure[key] != i) {
+        ++events_coalesced_;
+        continue;
+      }
+    } else if (auto* expose = std::get_if<xproto::ExposeEvent>(&event)) {
+      // Accumulate the running bounding box; only the final event survives,
+      // carrying the union and count 0.
+      auto [it, inserted] = merged_areas.try_emplace(expose->window, expose->area);
+      if (!inserted) {
+        xbase::Rect& merged = it->second;
+        int right = std::max(merged.x + merged.width, expose->area.x + expose->area.width);
+        int bottom =
+            std::max(merged.y + merged.height, expose->area.y + expose->area.height);
+        merged.x = std::min(merged.x, expose->area.x);
+        merged.y = std::min(merged.y, expose->area.y);
+        merged.width = right - merged.x;
+        merged.height = bottom - merged.y;
+      }
+      if (last_expose[expose->window] != i) {
+        ++events_coalesced_;
+        continue;
+      }
+      expose->area = it->second;
+      expose->count = 0;
+    }
+    kept.push_back(std::move(event));
+  }
+  *batch = std::move(kept);
 }
 
 void WindowManager::HandleEvent(const xproto::Event& event) {

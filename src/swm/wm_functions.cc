@@ -200,6 +200,14 @@ void WindowManager::ApplyWindowFunction(const std::string& name, ManagedClient* 
 
 void WindowManager::ExecuteFunction(const xtb::FunctionCall& function,
                                     const oi::ActionContext& context) {
+  // Functions invalidate objects rather than painting; flush on every exit
+  // path so direct callers (swmcmd tests, bindings outside ProcessEvents)
+  // still see their effects.  Inside ProcessEvents the frame hold makes
+  // this a no-op and the batch flush takes over.
+  struct FlushOnExit {
+    WindowManager* wm;
+    ~FlushOnExit() { wm->MaybeFlushFrames(); }
+  } flush_on_exit{this};
   const std::string& name = function.name;
   int screen = ScreenOfContext(context);
 

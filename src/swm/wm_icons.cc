@@ -87,7 +87,11 @@ void WindowManager::BuildIcon(ManagedClient* client) {
       static_cast<oi::TextObject*>(name_obj)->SetText(client->icon_name);
     }
   }
-  icon->DoLayout();
+  // Flush the freshly built (all-dirty) icon tree: PlaceIcon's slot math
+  // reads the laid-out geometry, and the flush also paints the icon — the
+  // old DoLayout()-only path left icons built while already iconic laid out
+  // but never rendered.
+  state.toolkit->FlushFrame();
   tree_owner_[icon.get()] = client->window;
   client->icon = std::move(icon);
   client->icon_holder = holder;
@@ -145,7 +149,6 @@ void WindowManager::PlaceIcon(ManagedClient* client) {
                                         client->icon->geometry().height});
   display_.MapWindow(client->icon->window());
   client->icon->Show();
-  client->icon->Render();
 }
 
 void WindowManager::Iconify(ManagedClient* client) {
@@ -188,7 +191,6 @@ void WindowManager::Deiconify(ManagedClient* client) {
   client->state = xproto::WmState::kNormal;
   if (client->frame != nullptr) {
     display_.MapWindow(client->frame->window());
-    client->frame->Render();
   }
   display_.MapWindow(client->window);
   xlib::SetWmState(&display_, client->window, xproto::WmState::kNormal, xproto::kNone);
@@ -298,7 +300,6 @@ void IconHolder::Relayout() {
         xbase::Rect{x, y - scroll_offset_, size.width, size.height});
     dpy.MapWindow(client->icon->window());
     client->icon->Show();
-    client->icon->Render();
     x += size.width + 1;
     row_height = std::max(row_height, size.height);
     max_right = std::max(max_right, x);

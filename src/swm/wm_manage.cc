@@ -267,8 +267,10 @@ ManagedClient* WindowManager::ManageWindow(xproto::WindowId window, int screen) 
     return nullptr;
   }
   client->client_panel->SetSizeOverride(client_size);
-  client->frame->DoLayout();
-  PositionResizeCorners(client);
+  // PlaceNewWindow reads the laid-out frame geometry, so the freshly built
+  // (all-dirty) tree flushes synchronously here; the layout observer pins
+  // the resize corners.
+  screens_[screen].toolkit->FlushFrame();
 
   xbase::Point frame_pos =
       PlaceNewWindow(client, xbase::Rect{0, 0, client_size.width, client_size.height},
@@ -284,8 +286,8 @@ ManagedClient* WindowManager::ManageWindow(xproto::WindowId window, int screen) 
     } else if (client->name_object->type() == oi::ObjectType::kText) {
       static_cast<oi::TextObject*>(client->name_object)->SetText(client->name);
     }
-    client->frame->DoLayout();
-  PositionResizeCorners(client);
+    // The label change relayouts the title row; shapes below read geometry.
+    screens_[screen].toolkit->FlushFrame();
   }
 
   display_.ReparentWindow(window, client->client_panel->window(), {0, 0});
@@ -337,15 +339,14 @@ ManagedClient* WindowManager::ManageWindow(xproto::WindowId window, int screen) 
 
   if (initial == xproto::WmState::kIconic) {
     client->state = xproto::WmState::kNormal;  // Iconify() flips it.
-    client->frame->Render();
     Iconify(client);
   } else {
     client->state = xproto::WmState::kNormal;
     display_.MapWindow(client->frame->window());
-    client->frame->Render();
     display_.MapWindow(window);
     xlib::SetWmState(&display_, window, xproto::WmState::kNormal, xproto::kNone);
   }
+  MaybeFlushFrames();
   SendSyntheticConfigure(client);
   if (died_mid_manage()) {
     return nullptr;
@@ -418,14 +419,12 @@ void WindowManager::ReDecorate(ManagedClient* client) {
   tree_owner_[client->frame.get()] = client->window;
 
   client->client_panel->SetSizeOverride(client_geometry->size());
-  client->frame->DoLayout();
-  PositionResizeCorners(client);
   if (client->name_object != nullptr &&
       client->name_object->type() == oi::ObjectType::kButton) {
     static_cast<oi::Button*>(client->name_object)->SetLabel(client->name);
-    client->frame->DoLayout();
-  PositionResizeCorners(client);
   }
+  // The repositioning below reads the laid-out frame geometry.
+  screens_[client->screen].toolkit->FlushFrame();
 
   // New frame parent coordinates that keep the client at screen_pos.
   ScreenState& state = screens_[client->screen];
@@ -450,10 +449,10 @@ void WindowManager::ReDecorate(ManagedClient* client) {
   UpdateSwmRootProperty(client);
   if (was_mapped) {
     display_.MapWindow(client->frame->window());
-    client->frame->Render();
     display_.MapWindow(client->window);
   }
   SendSyntheticConfigure(client);
+  MaybeFlushFrames();
 }
 
 void WindowManager::SetSticky(ManagedClient* client, bool sticky) {
@@ -500,11 +499,12 @@ void WindowManager::CreateRootPanels(int screen) {
       aux_display_.DestroyWindow(toplevel);
       continue;
     }
-    tree->DoLayout();
+    // Flush the freshly built (all-dirty) tree: the toplevel is sized from
+    // the laid-out geometry before it maps.
+    state.toolkit->FlushFrame();
     xbase::Size size = tree->geometry().size();
     aux_display_.ResizeWindow(toplevel, size);
     tree->Show();
-    tree->Render();
     aux_display_.MapWindow(toplevel);  // -> MapRequest -> managed.
     state.root_panel_trees.push_back(std::move(tree));
   }
@@ -537,7 +537,7 @@ void WindowManager::CreateRootIcons(int screen) {
         static_cast<oi::Button*>(image_obj)->SetImage(xbase::XLogo32());
       }
     }
-    tree->DoLayout();
+    state.toolkit->FlushFrame();
     xbase::Point pos{cascade_x, 4};
     if (std::optional<std::string> geo = ScreenResource(
             screen, {"rootIcon", name}, {"RootIcon", name}, "geometry")) {
@@ -549,7 +549,7 @@ void WindowManager::CreateRootIcons(int screen) {
                                   tree->geometry().height});
     cascade_x += tree->geometry().width + 4;
     tree->Show();
-    tree->Render();
+    state.toolkit->FlushFrame();
     display_.MapWindow(tree->window());
     state.root_icons.push_back(std::move(tree));
   }

@@ -1,9 +1,42 @@
 // Screen rendering: replays window display lists into an ASCII canvas in
 // stacking order, honoring borders and SHAPE regions.  This is how the
 // paper's figure screenshots are regenerated.
+#include <algorithm>
+
 #include "src/xserver/server.h"
 
 namespace xserver {
+
+// Accounting for the drawing clients request (Server::Draw funnels every op
+// through here).  "Pixels" are canvas cells the op covers before clipping:
+// a stable proxy for repaint work that lets tests assert the retained
+// pipeline draws strictly less than eager rendering.
+void Server::RecordDraw(const DrawOp& op) {
+  ++render_stats_.draw_ops;
+  int64_t width = std::max(0, op.rect.width);
+  int64_t height = std::max(0, op.rect.height);
+  switch (op.kind) {
+    case DrawOp::Kind::kFillRect:
+      ++render_stats_.rects_drawn;
+      render_stats_.pixels_drawn += width * height;
+      break;
+    case DrawOp::Kind::kBorder:
+      ++render_stats_.rects_drawn;
+      // Outline only: both horizontal edges plus the remaining verticals.
+      render_stats_.pixels_drawn +=
+          2 * width + 2 * std::max<int64_t>(0, height - 2);
+      break;
+    case DrawOp::Kind::kText:
+    case DrawOp::Kind::kTextCentered:
+      render_stats_.pixels_drawn += static_cast<int64_t>(op.text.size());
+      break;
+    case DrawOp::Kind::kBitmap:
+      ++render_stats_.rects_drawn;
+      render_stats_.pixels_drawn +=
+          static_cast<int64_t>(op.bitmap.width()) * op.bitmap.height();
+      break;
+  }
+}
 
 void Server::RenderWindow(const WindowRec& win, const xbase::Point& origin,
                           const xbase::Region& clip, xbase::Canvas* canvas) const {

@@ -1060,6 +1060,7 @@ bool Server::ClearWindow(ClientId client, WindowId window) {
   // No Expose is generated here: redraw-on-clear would make every renderer
   // that clears-then-draws in its Expose handler loop forever.
   win->draw_ops.clear();
+  ++render_stats_.clears;
   return true;
 }
 
@@ -1075,6 +1076,7 @@ bool Server::Draw(ClientId client, WindowId window, DrawOp op) {
   if (win->window_class == xproto::WindowClass::kInputOnly) {
     return RaiseError(client, ErrorCode::kBadMatch, window);
   }
+  RecordDraw(op);
   win->draw_ops.push_back(std::move(op));
   return true;
 }

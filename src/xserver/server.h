@@ -117,6 +117,19 @@ class Server {
   bool HasFaultPlan() const { return fault_plan_active_; }
   const FaultCounters& fault_counters() const { return fault_counters_; }
 
+  // ---- Render accounting -------------------------------------------------
+  // Counts the drawing actually requested of the server, so tests and
+  // benches can assert that the retained-mode frame pipeline repaints less
+  // than eager rendering for the same final framebuffer.
+  struct RenderStats {
+    uint64_t draw_ops = 0;      // Draw requests recorded into display lists.
+    uint64_t clears = 0;        // ClearWindow requests (display list resets).
+    uint64_t rects_drawn = 0;   // Rect-shaped ops (fill/border/bitmap).
+    int64_t pixels_drawn = 0;   // Cells covered by the recorded ops.
+  };
+  const RenderStats& render_stats() const { return render_stats_; }
+  void ResetRenderStats() { render_stats_ = {}; }
+
   // ---- Screens -----------------------------------------------------------
   int ScreenCount() const { return static_cast<int>(screens_.size()); }
   const ScreenInfo& screen(int number) const;
@@ -337,6 +350,10 @@ class Server {
   uint64_t faultable_requests_ = 0;  // Requests since plan installation.
   xproto::WindowId doomed_window_ = xproto::kNone;
   int doomed_countdown_ = 0;
+
+  // ---- Render accounting -----------------------------------------------------
+  void RecordDraw(const DrawOp& op);  // render.cc
+  RenderStats render_stats_;
 };
 
 }  // namespace xserver

@@ -1,0 +1,138 @@
+// Differential property test for the retained-mode frame pipeline
+// (docs/RENDERING.md): seeded random operation sequences run against two
+// otherwise-identical WM stacks — retained vs `Options::immediate_render` —
+// and after every operation the rendered framebuffers must be
+// byte-identical, while the retained stack must never paint more objects
+// or pixels than the eager one (and strictly fewer over the whole run).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/swm/wm.h"
+#include "src/xlib/client_app.h"
+#include "src/xlib/icccm.h"
+#include "src/xserver/server.h"
+
+namespace swm_test {
+namespace {
+
+struct Stack {
+  std::unique_ptr<xserver::Server> server;
+  std::unique_ptr<swm::WindowManager> wm;
+  std::vector<std::unique_ptr<xlib::ClientApp>> apps;
+};
+
+Stack StartStack(bool immediate_render) {
+  Stack stack;
+  stack.server = std::make_unique<xserver::Server>(
+      std::vector<xserver::ScreenConfig>{xserver::ScreenConfig{200, 100, false}});
+  swm::WindowManager::Options options;
+  options.template_name = "openlook";
+  options.immediate_render = immediate_render;
+  stack.wm = std::make_unique<swm::WindowManager>(stack.server.get(), options);
+  EXPECT_TRUE(stack.wm->Start());
+  return stack;
+}
+
+// One random operation, applied identically to both stacks.  `op`, `target`
+// and the geometry/name payloads are drawn once so the streams match.
+void ApplyOp(Stack* stack, int op, int target, const xbase::Rect& geometry,
+             const std::string& name, int* spawned) {
+  std::vector<std::unique_ptr<xlib::ClientApp>>& apps = stack->apps;
+  if (apps.empty() || (op == 0 && apps.size() < 5)) {
+    xlib::ClientAppConfig config;
+    config.name = "diff" + std::to_string((*spawned)++);
+    config.wm_class = {config.name, "Diff"};
+    config.command = {config.name};
+    config.geometry = geometry;
+    apps.push_back(std::make_unique<xlib::ClientApp>(stack->server.get(), config));
+    apps.back()->Map();
+  } else {
+    xlib::ClientApp& app = *apps[target % apps.size()];
+    switch (op) {
+      case 1:
+        app.RequestMoveResize(geometry);
+        break;
+      case 2:
+        app.RequestIconify();
+        break;
+      case 3:
+        app.Map();  // Deiconify (or no-op when already mapped).
+        break;
+      case 4:
+        xlib::SetWmName(&app.display(), app.window(), name);
+        break;
+      default:
+        xlib::SetWmIconName(&app.display(), app.window(), name);
+        break;
+    }
+  }
+  stack->wm->ProcessEvents();
+  for (std::unique_ptr<xlib::ClientApp>& app : apps) {
+    app->ProcessEvents();
+  }
+  stack->wm->ProcessEvents();
+}
+
+TEST(FrameDifferentialTest, RetainedMatchesImmediatePixelForPixel) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kError);
+  constexpr int kSequences = 100;
+  constexpr int kOpsPerSequence = 12;
+  int64_t total_retained_pixels = 0;
+  int64_t total_immediate_pixels = 0;
+  uint64_t total_retained_painted = 0;
+  uint64_t total_immediate_painted = 0;
+
+  for (int sequence = 0; sequence < kSequences; ++sequence) {
+    std::mt19937_64 rng(0xf00dULL + sequence);
+    Stack retained = StartStack(/*immediate_render=*/false);
+    Stack immediate = StartStack(/*immediate_render=*/true);
+    int spawned_retained = 0;
+    int spawned_immediate = 0;
+
+    for (int step = 0; step < kOpsPerSequence; ++step) {
+      SCOPED_TRACE("sequence " + std::to_string(sequence) + " step " +
+                   std::to_string(step));
+      int op = static_cast<int>(rng() % 6);
+      int target = static_cast<int>(rng() % 8);
+      xbase::Rect geometry{static_cast<int>(rng() % 140),
+                           static_cast<int>(rng() % 60),
+                           static_cast<int>(10 + rng() % 50),
+                           static_cast<int>(6 + rng() % 24)};
+      std::string name = "name" + std::to_string(rng() % 12);
+
+      ApplyOp(&retained, op, target, geometry, name, &spawned_retained);
+      ApplyOp(&immediate, op, target, geometry, name, &spawned_immediate);
+
+      ASSERT_EQ(retained.server->RenderScreen(0).ToString(),
+                immediate.server->RenderScreen(0).ToString());
+    }
+
+    const xserver::Server::RenderStats& retained_render =
+        retained.server->render_stats();
+    const xserver::Server::RenderStats& immediate_render =
+        immediate.server->render_stats();
+    EXPECT_LE(retained_render.pixels_drawn, immediate_render.pixels_drawn);
+    uint64_t retained_painted =
+        retained.wm->toolkit(0).frame_stats().objects_painted;
+    uint64_t immediate_painted =
+        immediate.wm->toolkit(0).frame_stats().objects_painted;
+    EXPECT_LE(retained_painted, immediate_painted);
+    total_retained_pixels += retained_render.pixels_drawn;
+    total_immediate_pixels += immediate_render.pixels_drawn;
+    total_retained_painted += retained_painted;
+    total_immediate_painted += immediate_painted;
+  }
+
+  // Over the whole run the reduction must be real, not just non-negative.
+  EXPECT_LT(total_retained_pixels, total_immediate_pixels);
+  EXPECT_LT(total_retained_painted, total_immediate_painted);
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+}
+
+}  // namespace
+}  // namespace swm_test

@@ -420,6 +420,8 @@ TEST_F(ToolkitTest, ExposeTriggersRender) {
     }
   });
   EXPECT_GT(handled, 0);
+  // Expose damage is retained until the next frame flush.
+  toolkit_->FlushFrame();
   // The render produced draw ops (border + label).
   EXPECT_FALSE(server_.FindWindowForTest(button->window())->draw_ops.empty());
 }

@@ -1,39 +1,58 @@
 #!/usr/bin/env bash
-# Builds the benchmark suite in Release and records the resource-query
-# benchmarks to BENCH_<n>.json as {"BenchmarkName": ns_per_op}.  Medians
-# of several repetitions are recorded: the harness machines are noisy and
-# single runs swing by 2x.
+# Builds the benchmark suite in Release and records benchmark results as
+# BENCH_<n>.json files of {"BenchmarkName": ns_per_op} plus any per-bench
+# counters as {"BenchmarkName/counter": value}.  Medians of several
+# repetitions are recorded: the harness machines are noisy and single runs
+# swing by 2x.
 #
-# Usage: tools/run_benches.sh [output.json]
+#   BENCH_2.json  resource-query fast path   (bench_eval_resource_db)
+#   BENCH_4.json  retained frame pipeline    (bench_frame_pipeline)
+#
+# Usage: tools/run_benches.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_2.json}"
 BUILD_DIR=build
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_eval_resource_db >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target bench_eval_resource_db --target bench_frame_pipeline >/dev/null
 
 # Let the machine settle after the build before timing anything.
 sleep 5
 
-"$BUILD_DIR"/bench/bench_eval_resource_db \
-    --benchmark_min_time=0.3 \
-    --benchmark_repetitions=3 \
-    --benchmark_report_aggregates_only=true \
-    --benchmark_format=json >"$OUT.raw"
+record() {
+  local bench="$1" out="$2"
+  "$BUILD_DIR"/bench/"$bench" \
+      --benchmark_min_time=0.3 \
+      --benchmark_repetitions=3 \
+      --benchmark_report_aggregates_only=true \
+      --benchmark_format=json >"$out.raw"
 
-python3 - "$OUT.raw" "$OUT" <<'EOF'
+  python3 - "$out.raw" "$out" <<'EOF'
 import json, sys
 raw = json.load(open(sys.argv[1]))
 out = {}
+skip = {"name", "real_time", "cpu_time", "time_unit", "iterations", "run_name",
+        "run_type", "repetitions", "repetition_index", "threads",
+        "aggregate_name", "aggregate_unit", "family_index",
+        "per_family_instance_index", "items_per_second"}
 for bench in raw["benchmarks"]:
     name = bench["name"]
     if not name.endswith("_median"):
         continue
-    out[name.removesuffix("_median")] = round(bench["real_time"], 2)
+    base = name.removesuffix("_median")
+    out[base] = round(bench["real_time"], 2)
+    for key, value in bench.items():
+        if key in skip or not isinstance(value, (int, float)):
+            continue
+        out[base + "/" + key] = round(value, 2)
 json.dump(out, open(sys.argv[2], "w"), indent=2, sort_keys=True)
 open(sys.argv[2], "a").write("\n")
 EOF
-rm -f "$OUT.raw"
-echo "wrote $OUT"
+  rm -f "$out.raw"
+  echo "wrote $out"
+}
+
+record bench_eval_resource_db BENCH_2.json
+record bench_frame_pipeline BENCH_4.json
