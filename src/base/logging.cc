@@ -1,12 +1,20 @@
 #include "src/base/logging.h"
 
 #include <atomic>
+#include <map>
+#include <mutex>
 
 namespace xbase {
 namespace {
 
 std::atomic<LogSeverity> g_min_severity{LogSeverity::kWarning};
 std::atomic<int> g_error_count{0};
+
+std::mutex g_throttle_mutex;
+std::map<std::string, int>& ThrottleCounts() {
+  static auto* counts = new std::map<std::string, int>();
+  return *counts;
+}
 
 const char* SeverityName(LogSeverity severity) {
   switch (severity) {
@@ -53,5 +61,25 @@ void SetMinLogSeverity(LogSeverity severity) {
 LogSeverity MinLogSeverity() { return g_min_severity.load(std::memory_order_relaxed); }
 
 int LogErrorCount() { return g_error_count.load(std::memory_order_relaxed); }
+
+bool ShouldLogEveryN(const std::string& key, int n) {
+  if (n <= 1) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(g_throttle_mutex);
+  int count = ThrottleCounts()[key]++;
+  return count % n == 0;
+}
+
+void ResetLogThrottle() {
+  std::lock_guard<std::mutex> lock(g_throttle_mutex);
+  ThrottleCounts().clear();
+}
+
+int LogThrottleCount(const std::string& key) {
+  std::lock_guard<std::mutex> lock(g_throttle_mutex);
+  auto it = ThrottleCounts().find(key);
+  return it == ThrottleCounts().end() ? 0 : it->second;
+}
 
 }  // namespace xbase

@@ -46,10 +46,31 @@ LogSeverity MinLogSeverity();
 // tests to assert that bad input was diagnosed rather than ignored.
 int LogErrorCount();
 
+// Per-source log dedupe: returns true for the 1st, (n+1)th, (2n+1)th, ...
+// occurrence of `key`, so a repeated diagnosis (a hostile client re-sending
+// the same malformed property, swmcmd garbage in a loop) logs once and then
+// once per N instead of once per occurrence.  Keys are arbitrary strings —
+// callers bake in the source site and the offender (window id, say).
+// Occurrences are counted even when the call returns false, so the throttle
+// itself is cheap and state is bounded by the number of distinct keys.
+bool ShouldLogEveryN(const std::string& key, int n);
+// Drops all throttle state (tests; also keeps long-lived processes bounded
+// if a caller knows its keys went stale, e.g. after unmanaging a window).
+void ResetLogThrottle();
+// Occurrences recorded for a key so far (0 if never seen).
+int LogThrottleCount(const std::string& key);
+
 }  // namespace xbase
 
 #define XB_LOG(severity)                                                                 \
   ::xbase::LogMessage(::xbase::LogSeverity::k##severity, __FILE__, __LINE__).stream()
+
+// Rate-limited logging: emits the first occurrence for `key` and then one per
+// `n`.  Spam paths (sanitizer rejections, malformed swmcmd commands) use this
+// so one hostile client cannot flood stderr.  The statement after the macro
+// is the usual `<<` chain; when throttled the chain is not evaluated.
+#define XB_LOG_EVERY_N(severity, key, n)                                                 \
+  if (::xbase::ShouldLogEveryN((key), (n))) XB_LOG(severity)
 
 #define XB_CHECK(cond)                                                                   \
   if (!(cond)) XB_LOG(Fatal) << "Check failed: " #cond " "

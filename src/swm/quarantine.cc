@@ -1,0 +1,73 @@
+#include "src/swm/quarantine.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace swm {
+
+MisbehaviorLedger::MisbehaviorLedger(QuarantinePolicy policy) : policy_(policy) {}
+
+bool MisbehaviorLedger::Charge(xproto::WindowId window, int cost) {
+  Entry& entry = entries_.try_emplace(window, Entry{policy_.budget}).first->second;
+  entry.charged_since_tick = true;
+  entry.quiet_ticks = 0;
+  entry.tokens -= cost;
+  if (!entry.quarantined && entry.tokens < 0) {
+    entry.quarantined = true;
+    ++quarantines_started_;
+    XB_LOG(Warning) << "swm: quarantining window " << window
+                    << " (misbehavior budget exhausted); its requests will be "
+                       "coalesced until it quiets down";
+  }
+  return entry.quarantined;
+}
+
+bool MisbehaviorLedger::IsQuarantined(xproto::WindowId window) const {
+  auto it = entries_.find(window);
+  return it != entries_.end() && it->second.quarantined;
+}
+
+std::vector<xproto::WindowId> MisbehaviorLedger::Tick() {
+  std::vector<xproto::WindowId> paroled;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = it->second;
+    entry.tokens = std::min(entry.tokens + policy_.refill_per_tick, policy_.budget);
+    if (entry.quarantined) {
+      if (!entry.charged_since_tick) {
+        ++entry.quiet_ticks;
+        if (entry.quiet_ticks >= policy_.parole_ticks) {
+          entry.quarantined = false;
+          entry.tokens = policy_.budget;
+          paroled.push_back(it->first);
+          XB_LOG(Info) << "swm: paroling window " << it->first
+                       << " after quiet period";
+        }
+      }
+    }
+    entry.charged_since_tick = false;
+    // A well-behaved window whose bucket refilled completely carries no
+    // information: drop the entry so the ledger stays proportional to the
+    // set of currently-misbehaving clients.
+    if (!entry.quarantined && entry.tokens >= policy_.budget) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return paroled;
+}
+
+void MisbehaviorLedger::Forget(xproto::WindowId window) { entries_.erase(window); }
+
+size_t MisbehaviorLedger::quarantined_count() const {
+  size_t n = 0;
+  for (const auto& [window, entry] : entries_) {
+    if (entry.quarantined) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace swm

@@ -1,5 +1,6 @@
 #include "src/swm/session.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/base/logging.h"
@@ -23,6 +24,13 @@ std::optional<xproto::WmState> StateFromName(const std::string& name) {
   }
   return std::nullopt;
 }
+
+// Bounds on SWM_RESTART_INFO (anyone can append to a root property, so the
+// parser must not be a memory amplifier): total text, per-line length, and
+// record count are all capped; excess is dropped with a throttled warning.
+constexpr size_t kMaxRestartText = 256 * 1024;
+constexpr size_t kMaxRestartLine = 4096;
+constexpr size_t kMaxRestartRecords = 256;
 
 }  // namespace
 
@@ -73,6 +81,14 @@ std::optional<SwmHintsRecord> SwmHintsRecord::Parse(const std::string& line) {
       }
       record.geometry = {spec->x.value_or(0), spec->y.value_or(0), *spec->width,
                          *spec->height};
+      // Bounds: a forged record must not smuggle insane geometry past the
+      // ICCCM sanitizer (it never passes through a property decoder).
+      record.geometry.x =
+          std::clamp(record.geometry.x, -xproto::kMaxCoordinate, xproto::kMaxCoordinate);
+      record.geometry.y =
+          std::clamp(record.geometry.y, -xproto::kMaxCoordinate, xproto::kMaxCoordinate);
+      record.geometry.width = std::clamp(record.geometry.width, 1, xproto::kMaxCoordinate);
+      record.geometry.height = std::clamp(record.geometry.height, 1, xproto::kMaxCoordinate);
       have_geometry = true;
     } else if (flag == "-icongeometry") {
       std::optional<std::string> value = next();
@@ -83,7 +99,10 @@ std::optional<SwmHintsRecord> SwmHintsRecord::Parse(const std::string& line) {
       if (!spec.has_value() || !spec->x) {
         return std::nullopt;
       }
-      record.icon_position = xbase::Point{*spec->x, spec->y.value_or(0)};
+      record.icon_position = xbase::Point{
+          std::clamp(*spec->x, -xproto::kMaxCoordinate, xproto::kMaxCoordinate),
+          std::clamp(spec->y.value_or(0), -xproto::kMaxCoordinate,
+                     xproto::kMaxCoordinate)};
     } else if (flag == "-state") {
       std::optional<std::string> value = next();
       if (!value.has_value()) {
@@ -113,7 +132,8 @@ std::optional<SwmHintsRecord> SwmHintsRecord::Parse(const std::string& line) {
       have_command = true;
     } else {
       // Unknown flag: swallow a value if one follows, for forward compat.
-      XB_LOG(Warning) << "swmhints: unknown flag " << flag;
+      XB_LOG_EVERY_N(Warning, "swmhints:unknown-flag:" + flag, 16)
+          << "swmhints: unknown flag " << flag;
     }
   }
   if (!have_geometry || !have_command) {
@@ -140,9 +160,30 @@ std::optional<SwmHintsRecord> RestartTable::MatchAndConsume(const std::string& c
 
 RestartTable RestartTable::FromPropertyText(const std::string& text) {
   RestartTable table;
-  std::istringstream stream(text);
+  std::string bounded = text;
+  if (bounded.size() > kMaxRestartText) {
+    XB_LOG_EVERY_N(Warning, "swm:restart-text-cap", 16)
+        << "swm: SWM_RESTART_INFO of " << text.size()
+        << " bytes exceeds cap; truncating to " << kMaxRestartText;
+    bounded.resize(kMaxRestartText);
+    // Drop the now-partial trailing line rather than parse half a record.
+    size_t last_newline = bounded.find_last_of('\n');
+    bounded.resize(last_newline == std::string::npos ? 0 : last_newline);
+  }
+  std::istringstream stream(bounded);
   std::string line;
   while (std::getline(stream, line)) {
+    if (table.size() >= kMaxRestartRecords) {
+      XB_LOG_EVERY_N(Warning, "swm:restart-record-cap", 16)
+          << "swm: restart table full (" << kMaxRestartRecords
+          << " records); dropping the rest";
+      break;
+    }
+    if (line.size() > kMaxRestartLine) {
+      XB_LOG_EVERY_N(Warning, "swm:restart-line-cap", 16)
+          << "swm: restart record of " << line.size() << " bytes skipped";
+      continue;
+    }
     std::string trimmed = xbase::TrimWhitespace(line);
     if (trimmed.empty()) {
       continue;
@@ -151,7 +192,10 @@ RestartTable RestartTable::FromPropertyText(const std::string& text) {
     if (record.has_value()) {
       table.Add(std::move(*record));
     } else {
-      XB_LOG(Warning) << "swm: malformed restart record skipped: " << trimmed;
+      // A storm of garbage records repeats this line; log every Nth.
+      XB_LOG_EVERY_N(Warning, "swm:restart-malformed", 16)
+          << "swm: malformed restart record skipped: "
+          << trimmed.substr(0, 128);
     }
   }
   return table;

@@ -61,14 +61,26 @@ WindowManager::WindowManager(xserver::Server* server, Options options)
 
 void WindowManager::OnXError(const xproto::XError& error) {
   ++x_errors_;
-  XB_LOG(Warning) << "swm: " << xproto::ErrorText(error);
+  // An error flood repeats one line thousands of times; log every Nth
+  // occurrence per (request, code) pair instead.
+  XB_LOG_EVERY_N(Warning,
+                 "swm:xerror:" + xproto::RequestCodeName(error.request) + ":" +
+                     xproto::ErrorCodeName(error.code),
+                 32)
+      << "swm: " << xproto::ErrorText(error);
   // The handler runs synchronously inside the failed request, so it must not
   // mutate management state; it records the window for HealSuspects, which
-  // the event loop runs once the stack has unwound.
-  if ((error.code == xproto::ErrorCode::kBadWindow ||
-       error.code == xproto::ErrorCode::kBadMatch) &&
-      error.resource_id != xproto::kNone) {
-    suspect_windows_.push_back(error.resource_id);
+  // the event loop runs once the stack has unwound.  Charging the ledger is
+  // pure bookkeeping: a client whose windows keep raising errors drains its
+  // misbehavior budget like any other flood.
+  if (error.resource_id != xproto::kNone) {
+    if (clients_.count(error.resource_id) != 0) {
+      ledger_.Charge(error.resource_id, ledger_.policy().error_cost);
+    }
+    if (error.code == xproto::ErrorCode::kBadWindow ||
+        error.code == xproto::ErrorCode::kBadMatch) {
+      suspect_windows_.push_back(error.resource_id);
+    }
   }
 }
 
@@ -108,6 +120,12 @@ void WindowManager::HealSuspects() {
 }
 
 WindowManager::~WindowManager() {
+  // Hand the session to whoever manages these clients next (restart
+  // recovery, docs/ROBUSTNESS.md): the successor's TakeRestartInfo restores
+  // geometry, icon position, iconic and sticky state.
+  if (started_) {
+    PersistSessionState();
+  }
   // Withdraw management: reparent all clients back to their roots so that a
   // successor window manager finds them intact.
   std::vector<xproto::WindowId> windows;
@@ -115,7 +133,17 @@ WindowManager::~WindowManager() {
     windows.push_back(window);
   }
   for (xproto::WindowId window : windows) {
-    UnmanageWindow(window, server_->WindowExists(window));
+    bool exists = server_->WindowExists(window);
+    // Re-map iconified clients: a successor's ManageExistingWindows skips
+    // unmapped windows, and the restart record carries their iconic state.
+    if (exists) {
+      auto it = clients_.find(window);
+      if (it != clients_.end() && !it->second->is_internal &&
+          it->second->state == xproto::WmState::kIconic) {
+        display_.MapWindow(window);
+      }
+    }
+    UnmanageWindow(window, exists);
   }
   // Screens (toolkits, vdesks, panners) tear down before the displays
   // disconnect below.

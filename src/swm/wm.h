@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/oi/toolkit.h"
+#include "src/swm/quarantine.h"
 #include "src/swm/session.h"
 #include "src/swm/vdesk.h"
 #include "src/xlib/display.h"
@@ -40,6 +41,9 @@ struct ManagedClient {
   std::string machine;  // WM_CLIENT_MACHINE.
   xproto::SizeHints size_hints;
   xproto::WmHints wm_hints;
+  // WM_TRANSIENT_FOR owner; self-references and cycles are broken to kNone
+  // at manage time (docs/ROBUSTNESS.md "Input hardening").
+  xproto::WindowId transient_for = xproto::kNone;
 
   bool shaped = false;
   bool sticky = false;
@@ -215,6 +219,21 @@ class WindowManager {
   uint64_t healed_count() const { return healed_count_; }
   // Exceptions caught by the event-dispatch barrier.
   uint64_t dispatch_error_count() const { return dispatch_errors_; }
+  // ---- Quarantine (docs/ROBUSTNESS.md "Input hardening and quarantine") ----
+  // The per-client misbehavior ledger: property storms, ConfigureRequest
+  // floods and error-generating clients drain a token bucket; an exhausted
+  // bucket quarantines the window (requests coalesced/dropped, decoration
+  // kept) until a quiet period paroles it.
+  const MisbehaviorLedger& ledger() const { return ledger_; }
+  bool IsQuarantined(xproto::WindowId window) const {
+    return ledger_.IsQuarantined(window);
+  }
+  // Events dispatched that were attributable to this client's windows —
+  // the fairness metric a flooding neighbor must not distort.
+  uint64_t events_dispatched_for(xproto::WindowId client_window) const {
+    auto it = events_dispatched_by_client_.find(client_window);
+    return it == events_dispatched_by_client_.end() ? 0 : it->second;
+  }
   // ---- Frame-pipeline counters (docs/RENDERING.md) -------------------------
   // Events handled and events dropped by per-batch coalescing (redundant
   // ConfigureNotify snapshots, merged Expose rectangles).
@@ -256,6 +275,11 @@ class WindowManager {
   // ---- Session management --------------------------------------------------------
   // f.places: the .xinitrc-replacement text for the current session.
   std::string GeneratePlaces();
+  // Writes the current session (one swmhints record per restartable client,
+  // plus any unconsumed restart-table entries) back to SWM_RESTART_INFO.
+  // The destructor calls this so a successor WindowManager on the same
+  // server re-adopts every surviving client with state intact.
+  void PersistSessionState();
   // The text produced by the most recent f.places execution.
   const std::string& last_places() const { return last_places_; }
 
@@ -332,6 +356,12 @@ class WindowManager {
   void ReDecorate(ManagedClient* client);
   xbase::Point PlaceNewWindow(ManagedClient* client, const xbase::Rect& client_geometry,
                               const std::optional<SwmHintsRecord>& session);
+  // The swmhints record describing one client's current state.
+  SwmHintsRecord SessionRecordFor(ManagedClient* client);
+  // Walks the transient_for chain through managed clients; returns kNone
+  // (and counts transient_cycles_broken) when `owner` leads back to
+  // `window` or into any cycle.
+  xproto::WindowId BreakTransientCycle(xproto::WindowId window, xproto::WindowId owner);
   void UpdateSwmRootProperty(ManagedClient* client);
   void SendSyntheticConfigure(ManagedClient* client);
   // Window the frames of this client should parent on (vdesk or root).
@@ -419,6 +449,13 @@ class WindowManager {
   int frame_hold_depth_ = 0;  // >0 while ProcessEvents batches invalidations.
   uint64_t events_dispatched_ = 0;
   uint64_t events_coalesced_ = 0;
+
+  // Quarantine state (docs/ROBUSTNESS.md).
+  MisbehaviorLedger ledger_;
+  // Last ConfigureRequest from each quarantined window, applied at parole
+  // (coalescing: a thousand-request flood becomes one configure).
+  std::map<xproto::WindowId, xproto::ConfigureRequestEvent> quarantine_pending_configure_;
+  std::map<xproto::WindowId, uint64_t> events_dispatched_by_client_;
 
   // Self-healing state.
   std::vector<xproto::WindowId> suspect_windows_;

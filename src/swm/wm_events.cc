@@ -21,11 +21,51 @@ namespace {
 constexpr int kMaxSwmCommandsPerDrain = 64;
 constexpr size_t kMaxSwmCommandBytes = 4096;
 
+// The window whose client is responsible for an event — request events name
+// the client window, notify events the event window.
+xproto::WindowId CulpritWindow(const xproto::Event& event) {
+  if (const auto* map_request = std::get_if<xproto::MapRequestEvent>(&event)) {
+    return map_request->window;
+  }
+  if (const auto* configure = std::get_if<xproto::ConfigureRequestEvent>(&event)) {
+    return configure->window;
+  }
+  if (const auto* circulate = std::get_if<xproto::CirculateRequestEvent>(&event)) {
+    return circulate->window;
+  }
+  return xproto::EventWindow(event);
+}
+
 }  // namespace
 
 void WindowManager::ProcessEvents() {
   swmcmd_budget_ = kMaxSwmCommandsPerDrain;
   swmcmd_budget_warned_ = false;
+  // Quarantine time tick: refill misbehavior budgets, and apply the single
+  // coalesced ConfigureRequest each paroled window earned during quarantine.
+  for (xproto::WindowId paroled : ledger_.Tick()) {
+    auto pending = quarantine_pending_configure_.find(paroled);
+    if (pending != quarantine_pending_configure_.end()) {
+      xproto::ConfigureRequestEvent request = pending->second;
+      quarantine_pending_configure_.erase(pending);
+      if (FindClient(paroled) != nullptr) {
+        HandleConfigureRequest(request);
+      }
+    }
+    if (FindClient(paroled) != nullptr) {
+      // Property updates were skipped during quarantine; pick up whatever
+      // values the storm settled on by replaying one notify per ICCCM atom.
+      for (const char* atom : {xproto::kAtomWmName, xproto::kAtomWmIconName,
+                               xproto::kAtomWmNormalHints, xproto::kAtomWmHints,
+                               xproto::kAtomWmCommand}) {
+        xproto::PropertyNotifyEvent notify;
+        notify.window = paroled;
+        notify.atom = display_.InternAtom(atom);
+        notify.state = xproto::PropertyState::kNewValue;
+        HandlePropertyNotify(notify);
+      }
+    }
+  }
   // Dispatch runs under a frame hold: handlers invalidate objects instead of
   // painting, and each settle iteration flushes the accumulated damage as
   // one frame (the retained pipeline's batch boundary).
@@ -45,6 +85,9 @@ void WindowManager::ProcessEvents() {
     for (const xproto::Event& event : batch) {
       progressed = true;
       ++events_dispatched_;
+      if (ManagedClient* culprit = FindClientByAnyWindow(CulpritWindow(event))) {
+        ++events_dispatched_by_client_[culprit->window];
+      }
       if (options_.self_heal) {
         // The barrier: one failed dispatch must not take down the WM (or
         // leave the remaining queue unprocessed).  X errors don't throw —
@@ -254,6 +297,15 @@ void WindowManager::HandleMapRequest(const xproto::MapRequestEvent& event) {
 
 void WindowManager::HandleConfigureRequest(const xproto::ConfigureRequestEvent& event) {
   ManagedClient* client = FindClient(event.window);
+  if (client != nullptr && !client->is_internal &&
+      ledger_.Charge(event.window, ledger_.policy().configure_cost)) {
+    // Quarantined: coalesce.  Only the latest request is kept; it is applied
+    // once at parole, so the decoration stays intact and the flood costs the
+    // rest of the desktop nothing.
+    quarantine_pending_configure_[event.window] = event;
+    ledger_.NoteDropped();
+    return;
+  }
   if (client == nullptr) {
     // Not managed (yet): forward the configuration unchanged.
     xserver::ConfigureValues values;
@@ -338,9 +390,9 @@ void WindowManager::HandlePropertyNotify(const xproto::PropertyNotifyEvent& even
         if (text.has_value()) {
           std::string payload = *text;
           if (payload.size() > kMaxSwmCommandBytes) {
-            XB_LOG(Warning) << "swm: SWM_COMMAND payload of " << payload.size()
-                            << " bytes exceeds cap; truncating to "
-                            << kMaxSwmCommandBytes;
+            XB_LOG_EVERY_N(Warning, "swm:swmcmd-payload-cap", 16)
+                << "swm: SWM_COMMAND payload of " << payload.size()
+                << " bytes exceeds cap; truncating to " << kMaxSwmCommandBytes;
             payload.resize(kMaxSwmCommandBytes);
           }
           for (const std::string& line : xbase::Split(payload, '\n')) {
@@ -367,6 +419,14 @@ void WindowManager::HandlePropertyNotify(const xproto::PropertyNotifyEvent& even
 
   ManagedClient* client = FindClient(event.window);
   if (client == nullptr || event.state != xproto::PropertyState::kNewValue) {
+    return;
+  }
+  if (!client->is_internal &&
+      ledger_.Charge(event.window, ledger_.policy().property_cost)) {
+    // Property storm from a quarantined window: skip the re-read entirely
+    // (each one costs a round trip plus decoration updates).  Parole-time
+    // RefreshClientProperties picks up whatever value the storm settled on.
+    ledger_.NoteDropped();
     return;
   }
   std::optional<std::string> atom_name = display_.GetAtomName(event.atom);

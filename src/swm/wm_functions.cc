@@ -386,7 +386,10 @@ bool WindowManager::ExecuteCommandString(const std::string& text, int screen) {
   std::optional<std::vector<xtb::FunctionCall>> functions =
       xtb::ParseFunctionList(xbase::TrimWhitespace(text));
   if (!functions.has_value()) {
-    XB_LOG(Warning) << "swmcmd: malformed command '" << text << "'";
+    // A malformed-command flood (hostile swmcmd sender) repeats this line;
+    // log every Nth occurrence instead of each one.
+    XB_LOG_EVERY_N(Warning, "swmcmd:malformed", 16)
+        << "swmcmd: malformed command '" << text.substr(0, 128) << "'";
     return false;
   }
   oi::ActionContext context;
@@ -431,6 +434,43 @@ void WindowManager::PopdownMenus(int screen) {
   menu_context_client_ = nullptr;
 }
 
+SwmHintsRecord WindowManager::SessionRecordFor(ManagedClient* client) {
+  SwmHintsRecord record;
+  std::optional<xbase::Rect> geometry = display_.GetGeometry(client->window);
+  xbase::Point pos = client->ClientDesktopPosition();
+  record.geometry = xbase::Rect{std::max(0, pos.x), std::max(0, pos.y),
+                                geometry.has_value() ? geometry->width : 1,
+                                geometry.has_value() ? geometry->height : 1};
+  if (client->icon_position_set || client->state == xproto::WmState::kIconic) {
+    record.icon_position = client->icon_position;
+  }
+  record.state = client->state == xproto::WmState::kIconic ? xproto::WmState::kIconic
+                                                           : xproto::WmState::kNormal;
+  record.sticky = client->sticky;
+  record.icon_on_root = client->icon_holder == nullptr;
+  record.command = client->command;
+  record.machine = client->machine;
+  return record;
+}
+
+void WindowManager::PersistSessionState() {
+  // One swmhints record per restartable client, appended to the same root
+  // property the swmhints program uses, so a successor WindowManager on this
+  // server restores geometry, icon position, iconic and sticky state
+  // (docs/ROBUSTNESS.md "Restart recovery").
+  for (ManagedClient* client : Clients()) {
+    if (client->is_internal || client->command.empty()) {
+      continue;
+    }
+    AppendSwmHints(&display_, client->screen, SessionRecordFor(client));
+  }
+  // Unconsumed records (clients that never reappeared this session) ride
+  // along unchanged so they still apply after the next restart.
+  for (const SwmHintsRecord& record : restart_table_.records()) {
+    AppendSwmHints(&display_, 0, record);
+  }
+}
+
 std::string WindowManager::GeneratePlaces() {
   std::vector<SwmHintsRecord> records;
   for (ManagedClient* client : Clients()) {
@@ -442,22 +482,7 @@ std::string WindowManager::GeneratePlaces() {
                       << "\" has no WM_COMMAND and cannot be restarted";
       continue;
     }
-    SwmHintsRecord record;
-    std::optional<xbase::Rect> geometry = display_.GetGeometry(client->window);
-    xbase::Point pos = client->ClientDesktopPosition();
-    record.geometry = xbase::Rect{std::max(0, pos.x), std::max(0, pos.y),
-                                  geometry.has_value() ? geometry->width : 1,
-                                  geometry.has_value() ? geometry->height : 1};
-    if (client->icon_position_set || client->state == xproto::WmState::kIconic) {
-      record.icon_position = client->icon_position;
-    }
-    record.state = client->state == xproto::WmState::kIconic ? xproto::WmState::kIconic
-                                                             : xproto::WmState::kNormal;
-    record.sticky = client->sticky;
-    record.icon_on_root = client->icon_holder == nullptr;
-    record.command = client->command;
-    record.machine = client->machine;
-    records.push_back(std::move(record));
+    records.push_back(SessionRecordFor(client));
   }
   std::string remote_template;
   if (std::optional<std::string> res = ScreenResource(0, "remoteStartup")) {

@@ -13,6 +13,10 @@ namespace swm {
 
 namespace {
 
+// Chains longer than this are treated as a cycle even if the seen-set never
+// repeats (a hostile client can mint fresh windows faster than we walk).
+constexpr int kMaxTransientDepth = 64;
+
 xbase::Point OffsetWithinTree(const oi::Object* object) {
   xbase::Point offset{0, 0};
   const oi::Object* cur = object;
@@ -25,6 +29,35 @@ xbase::Point OffsetWithinTree(const oi::Object* object) {
 }
 
 }  // namespace
+
+xproto::WindowId WindowManager::BreakTransientCycle(xproto::WindowId window,
+                                                    xproto::WindowId owner) {
+  if (owner == xproto::kNone) {
+    return xproto::kNone;
+  }
+  std::set<xproto::WindowId> seen{window};
+  xproto::WindowId cur = owner;
+  int depth = 0;
+  while (cur != xproto::kNone && depth++ < kMaxTransientDepth) {
+    if (!seen.insert(cur).second) {
+      // A→B→…→A (or a cycle further down the chain the walk can never
+      // escape): drop the hint rather than loop forever in any consumer.
+      ++display_.mutable_sanitizer_stats()->transient_cycles_broken;
+      XB_LOG_EVERY_N(Warning, "swm:transient-cycle:" + std::to_string(window),
+                     1 << 30)
+          << "swm: WM_TRANSIENT_FOR cycle through window " << window
+          << "; breaking";
+      return xproto::kNone;
+    }
+    ManagedClient* next = FindClient(cur);
+    cur = next != nullptr ? next->transient_for : xproto::kNone;
+  }
+  if (depth > kMaxTransientDepth) {
+    ++display_.mutable_sanitizer_stats()->transient_cycles_broken;
+    return xproto::kNone;
+  }
+  return owner;
+}
 
 std::string WindowManager::ChooseDecoration(const ManagedClient& client) const {
   std::optional<std::string> decoration = ClientResource(client, "decoration");
@@ -52,6 +85,10 @@ std::unique_ptr<oi::Panel> WindowManager::BuildFrame(ManagedClient* client) {
   if (client->shaped) {
     prefix_names.push_back("shaped");
     prefix_classes.push_back("Shaped");
+  }
+  if (client->transient_for != xproto::kNone) {
+    prefix_names.push_back("transient");
+    prefix_classes.push_back("Transient");
   }
   if (!client->wm_class.clazz.empty() || !client->wm_class.instance.empty()) {
     prefix_names.push_back(client->wm_class.clazz);
@@ -208,6 +245,8 @@ ManagedClient* WindowManager::ManageWindow(xproto::WindowId window, int screen) 
   client->size_hints =
       xlib::GetWmNormalHints(&display_, window).value_or(xproto::SizeHints{});
   client->wm_hints = xlib::GetWmHints(&display_, window).value_or(xproto::WmHints{});
+  client->transient_for = BreakTransientCycle(
+      window, xlib::GetTransientForHint(&display_, window).value_or(xproto::kNone));
   client->shaped = display_.IsShaped(window);
   const xserver::WindowRec* window_rec = server_->FindWindowForTest(window);
   client->is_internal = internal_windows_.count(window) != 0 ||
@@ -391,6 +430,8 @@ void WindowManager::UnmanageWindow(xproto::WindowId window, bool reparent_back) 
   }
   client->frame.reset();  // Destroys the decoration tree windows.
   clients_.erase(it);
+  ledger_.Forget(window);
+  quarantine_pending_configure_.erase(window);
   if (Panner* p = panner(screen)) {
     p->Update();
   }

@@ -15,6 +15,7 @@
 
 #include "src/xproto/error.h"
 #include "src/xproto/events.h"
+#include "src/xproto/sanitize.h"
 #include "src/xproto/types.h"
 #include "src/xserver/server.h"
 
@@ -48,6 +49,12 @@ class Display {
   uint64_t RequestCount() const { return server_->SequenceNumber(client_); }
   // The most recent error, if any.
   const std::optional<xproto::XError>& LastError() const { return last_error_; }
+
+  // ---- ICCCM sanitizer (docs/ROBUSTNESS.md) --------------------------------
+  // What the sanitizing decoders in xlib/icccm repaired on this connection.
+  // Hostile clients show up here, not as crashes.
+  const xproto::SanitizerStats& sanitizer_stats() const { return sanitizer_stats_; }
+  xproto::SanitizerStats* mutable_sanitizer_stats() { return &sanitizer_stats_; }
 
   // ---- Screens -----------------------------------------------------------
   int ScreenCount() const { return server_->ScreenCount(); }
@@ -158,6 +165,7 @@ class Display {
   std::string machine_;
   XErrorHandler error_handler_;
   std::optional<xproto::XError> last_error_;
+  xproto::SanitizerStats sanitizer_stats_;
 };
 
 }  // namespace xlib

@@ -1,6 +1,8 @@
 #include "src/xlib/icccm.h"
 
+#include "src/base/logging.h"
 #include "src/base/strings.h"
+#include "src/xproto/sanitize.h"
 
 namespace xlib {
 
@@ -8,6 +10,17 @@ using xproto::AtomId;
 using xproto::WindowId;
 
 namespace {
+
+// Sanitizer rejections log once per (window, kind): the first garbage
+// property from a window is news, the next thousand are the same news.
+constexpr int kLogOncePerWindow = 1 << 30;
+
+void LogSanitized(WindowId window, const char* kind) {
+  XB_LOG_EVERY_N(Warning,
+                 std::string("icccm:") + kind + ":" + std::to_string(window),
+                 kLogOncePerWindow)
+      << "icccm: sanitized " << kind << " from window " << window;
+}
 
 void PutU32(std::vector<uint8_t>* out, uint32_t value) {
   out->push_back(static_cast<uint8_t>(value & 0xff));
@@ -42,6 +55,28 @@ class Reader {
 
   int32_t I32() { return static_cast<int32_t>(U32()); }
 
+  // Tolerant variants for struct-shaped properties: a property truncated
+  // mid-field keeps its decoded prefix and defaults the rest, like Xlib's
+  // XGetWMNormalHints accepting short pre-ICCCM hints.  Sets truncated().
+  uint32_t U32Or(uint32_t fallback) {
+    if (pos_ + 4 > data_.size()) {
+      truncated_ = truncated_ || pos_ < data_.size();
+      exhausted_ = true;
+      pos_ = data_.size();
+      return fallback;
+    }
+    return U32();
+  }
+
+  int32_t I32Or(int32_t fallback) {
+    return static_cast<int32_t>(U32Or(static_cast<uint32_t>(fallback)));
+  }
+
+  // True when a tolerant read hit a partial trailing field (not a clean end).
+  bool truncated() const { return truncated_; }
+  // True when any tolerant read ran past the end (clean or not).
+  bool exhausted() const { return exhausted_; }
+
   std::string Rest() {
     std::string s(data_.begin() + static_cast<long>(pos_), data_.end());
     pos_ = data_.size();
@@ -52,18 +87,40 @@ class Reader {
   const std::vector<uint8_t>& data_;
   size_t pos_ = 0;
   bool ok_ = true;
+  bool truncated_ = false;
+  bool exhausted_ = false;
 };
 
 }  // namespace
 
 // ---- Simple string properties -------------------------------------------------
 
+namespace {
+
+// Shared by the capped string getters: fetch, then run the sanitizer with
+// the per-window dedupe on the log line.
+std::optional<std::string> GetSanitizedString(Display* dpy, WindowId window,
+                                              const char* atom, size_t cap,
+                                              const char* kind) {
+  std::optional<std::string> raw = dpy->GetStringProperty(window, atom);
+  if (!raw.has_value()) {
+    return std::nullopt;
+  }
+  if (xproto::SanitizeClientString(&*raw, cap, dpy->mutable_sanitizer_stats())) {
+    LogSanitized(window, kind);
+  }
+  return raw;
+}
+
+}  // namespace
+
 bool SetWmName(Display* dpy, WindowId window, const std::string& name) {
   return dpy->SetStringProperty(window, xproto::kAtomWmName, name);
 }
 
 std::optional<std::string> GetWmName(Display* dpy, WindowId window) {
-  return dpy->GetStringProperty(window, xproto::kAtomWmName);
+  return GetSanitizedString(dpy, window, xproto::kAtomWmName,
+                            xproto::kMaxWmStringBytes, "WM_NAME");
 }
 
 bool SetWmIconName(Display* dpy, WindowId window, const std::string& name) {
@@ -71,7 +128,8 @@ bool SetWmIconName(Display* dpy, WindowId window, const std::string& name) {
 }
 
 std::optional<std::string> GetWmIconName(Display* dpy, WindowId window) {
-  return dpy->GetStringProperty(window, xproto::kAtomWmIconName);
+  return GetSanitizedString(dpy, window, xproto::kAtomWmIconName,
+                            xproto::kMaxWmStringBytes, "WM_ICON_NAME");
 }
 
 bool SetWmClientMachine(Display* dpy, WindowId window, const std::string& machine) {
@@ -79,7 +137,28 @@ bool SetWmClientMachine(Display* dpy, WindowId window, const std::string& machin
 }
 
 std::optional<std::string> GetWmClientMachine(Display* dpy, WindowId window) {
-  return dpy->GetStringProperty(window, xproto::kAtomWmClientMachine);
+  return GetSanitizedString(dpy, window, xproto::kAtomWmClientMachine,
+                            xproto::kMaxWmStringBytes, "WM_CLIENT_MACHINE");
+}
+
+// ---- WM_TRANSIENT_FOR ------------------------------------------------------
+
+bool SetTransientForHint(Display* dpy, WindowId window, WindowId owner) {
+  return dpy->SetWindowIdProperty(window, xproto::kAtomWmTransientFor, owner);
+}
+
+std::optional<WindowId> GetTransientForHint(Display* dpy, WindowId window) {
+  std::optional<WindowId> owner =
+      dpy->GetWindowIdProperty(window, xproto::kAtomWmTransientFor);
+  if (!owner.has_value()) {
+    return std::nullopt;
+  }
+  WindowId sanitized =
+      xproto::SanitizeTransientFor(window, *owner, dpy->mutable_sanitizer_stats());
+  if (sanitized != *owner) {
+    LogSanitized(window, "WM_TRANSIENT_FOR");
+  }
+  return sanitized;
 }
 
 // ---- WM_CLASS --------------------------------------------------------------
@@ -104,6 +183,9 @@ std::optional<xproto::WmClass> GetWmClass(Display* dpy, WindowId window) {
   out.clazz = raw->substr(first_nul + 1, second_nul == std::string::npos
                                              ? std::string::npos
                                              : second_nul - first_nul - 1);
+  if (xproto::SanitizeWmClass(&out, dpy->mutable_sanitizer_stats())) {
+    LogSanitized(window, "WM_CLASS");
+  }
   return out;
 }
 
@@ -123,6 +205,12 @@ std::optional<std::vector<std::string>> GetWmCommand(Display* dpy, WindowId wind
   if (!raw.has_value()) {
     return std::nullopt;
   }
+  bool repaired = false;
+  if (raw->size() > xproto::kMaxWmCommandBytes) {
+    raw->resize(xproto::kMaxWmCommandBytes);
+    ++dpy->mutable_sanitizer_stats()->strings_truncated;
+    repaired = true;
+  }
   std::vector<std::string> argv;
   std::string cur;
   for (char c : *raw) {
@@ -135,6 +223,13 @@ std::optional<std::vector<std::string>> GetWmCommand(Display* dpy, WindowId wind
   }
   if (!cur.empty()) {
     argv.push_back(cur);  // Tolerate a missing trailing NUL.
+  }
+  for (std::string& arg : argv) {
+    repaired |= xproto::SanitizeClientString(&arg, xproto::kMaxWmStringBytes,
+                                             dpy->mutable_sanitizer_stats());
+  }
+  if (repaired) {
+    LogSanitized(window, "WM_COMMAND");
   }
   return argv;
 }
@@ -164,21 +259,34 @@ std::optional<xproto::SizeHints> GetWmNormalHints(Display* dpy, WindowId window)
   if (!rec.has_value()) {
     return std::nullopt;
   }
+  if (rec->data.empty()) {
+    return std::nullopt;
+  }
+  // Tolerant decode: a property truncated mid-struct keeps the fields that
+  // made it across and defaults the rest (hostile or buggy clients must not
+  // strip a window of all hints just by sending a short property).
   Reader reader(rec->data);
   xproto::SizeHints hints;
-  hints.flags = reader.U32();
-  hints.x = reader.I32();
-  hints.y = reader.I32();
-  hints.width = reader.I32();
-  hints.height = reader.I32();
-  hints.min_width = reader.I32();
-  hints.min_height = reader.I32();
-  hints.max_width = reader.I32();
-  hints.max_height = reader.I32();
-  hints.width_inc = reader.I32();
-  hints.height_inc = reader.I32();
-  if (!reader.ok()) {
-    return std::nullopt;
+  const xproto::SizeHints defaults;
+  hints.flags = reader.U32Or(0);
+  hints.x = reader.I32Or(defaults.x);
+  hints.y = reader.I32Or(defaults.y);
+  hints.width = reader.I32Or(defaults.width);
+  hints.height = reader.I32Or(defaults.height);
+  hints.min_width = reader.I32Or(defaults.min_width);
+  hints.min_height = reader.I32Or(defaults.min_height);
+  hints.max_width = reader.I32Or(defaults.max_width);
+  hints.max_height = reader.I32Or(defaults.max_height);
+  hints.width_inc = reader.I32Or(defaults.width_inc);
+  hints.height_inc = reader.I32Or(defaults.height_inc);
+  bool repaired = false;
+  if (reader.truncated() || reader.exhausted()) {
+    ++dpy->mutable_sanitizer_stats()->truncated_decodes;
+    repaired = true;
+  }
+  repaired |= xproto::SanitizeSizeHints(&hints, dpy->mutable_sanitizer_stats());
+  if (repaired) {
+    LogSanitized(window, "WM_NORMAL_HINTS");
   }
   return hints;
 }
@@ -207,18 +315,33 @@ std::optional<xproto::WmHints> GetWmHints(Display* dpy, WindowId window) {
   if (!rec.has_value()) {
     return std::nullopt;
   }
-  Reader reader(rec->data);
-  xproto::WmHints hints;
-  hints.flags = reader.U32();
-  hints.input = reader.U32() != 0;
-  hints.initial_state = static_cast<xproto::WmState>(reader.U32());
-  hints.icon_window = reader.U32();
-  hints.icon_position.x = reader.I32();
-  hints.icon_position.y = reader.I32();
-  if (!reader.ok()) {
+  if (rec->data.empty()) {
     return std::nullopt;
   }
+  // Tolerant decode, mirroring GetWmNormalHints: keep the decoded prefix.
+  Reader reader(rec->data);
+  xproto::WmHints hints;
+  const xproto::WmHints defaults;
+  hints.flags = reader.U32Or(0);
+  hints.input = reader.U32Or(defaults.input ? 1 : 0) != 0;
+  hints.initial_state = static_cast<xproto::WmState>(
+      reader.U32Or(static_cast<uint32_t>(defaults.initial_state)));
+  hints.icon_window = reader.U32Or(defaults.icon_window);
+  hints.icon_position.x = reader.I32Or(defaults.icon_position.x);
+  hints.icon_position.y = reader.I32Or(defaults.icon_position.y);
   hints.icon_pixmap_name = reader.Rest();
+  bool repaired = false;
+  if (reader.truncated() || reader.exhausted()) {
+    ++dpy->mutable_sanitizer_stats()->truncated_decodes;
+    repaired = true;
+  }
+  repaired |= xproto::SanitizeWmHints(&hints, dpy->mutable_sanitizer_stats());
+  repaired |= xproto::SanitizeClientString(&hints.icon_pixmap_name,
+                                           xproto::kMaxIconNameBytes,
+                                           dpy->mutable_sanitizer_stats());
+  if (repaired) {
+    LogSanitized(window, "WM_HINTS");
+  }
   return hints;
 }
 

@@ -31,6 +31,13 @@ std::optional<std::vector<std::string>> GetWmCommand(Display* dpy, xproto::Windo
 bool SetWmClientMachine(Display* dpy, xproto::WindowId window, const std::string& machine);
 std::optional<std::string> GetWmClientMachine(Display* dpy, xproto::WindowId window);
 
+// WM_TRANSIENT_FOR (ICCCM §4.1.2.6) ------------------------------------------
+// The getter sanitizes self-references to kNone; deeper cycle-breaking across
+// chains of transient windows is the window manager's job (it knows the set
+// of managed windows).
+bool SetTransientForHint(Display* dpy, xproto::WindowId window, xproto::WindowId owner);
+std::optional<xproto::WindowId> GetTransientForHint(Display* dpy, xproto::WindowId window);
+
 // WM_NORMAL_HINTS (XSizeHints) -----------------------------------------------
 bool SetWmNormalHints(Display* dpy, xproto::WindowId window, const xproto::SizeHints& hints);
 std::optional<xproto::SizeHints> GetWmNormalHints(Display* dpy, xproto::WindowId window);

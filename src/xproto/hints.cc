@@ -14,6 +14,9 @@ xbase::Size SizeHints::Constrain(xbase::Size requested) const {
     out.width = std::min(out.width, max_width);
     out.height = std::min(out.height, max_height);
   }
+  // The `> 0` guards are load-bearing: the sanitizing decoder resets
+  // non-positive increments, but hints can also be constructed in-process,
+  // and a zero increment here is a divide-by-zero.
   if ((flags & kPResizeInc) && width_inc > 0 && height_inc > 0) {
     int base_w = (flags & kPMinSize) ? min_width : 0;
     int base_h = (flags & kPMinSize) ? min_height : 0;

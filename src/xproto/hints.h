@@ -80,6 +80,7 @@ inline constexpr char kAtomWmIconName[] = "WM_ICON_NAME";
 inline constexpr char kAtomWmClass[] = "WM_CLASS";
 inline constexpr char kAtomWmCommand[] = "WM_COMMAND";
 inline constexpr char kAtomWmClientMachine[] = "WM_CLIENT_MACHINE";
+inline constexpr char kAtomWmTransientFor[] = "WM_TRANSIENT_FOR";
 inline constexpr char kAtomWmNormalHints[] = "WM_NORMAL_HINTS";
 inline constexpr char kAtomWmHints[] = "WM_HINTS";
 inline constexpr char kAtomWmState[] = "WM_STATE";

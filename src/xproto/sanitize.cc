@@ -1,0 +1,132 @@
+#include "src/xproto/sanitize.h"
+
+#include <algorithm>
+
+namespace xproto {
+
+namespace {
+
+// Clamp helper that records whether it changed anything.
+bool ClampInt(int* value, int lo, int hi) {
+  int clamped = std::clamp(*value, lo, hi);
+  if (clamped == *value) {
+    return false;
+  }
+  *value = clamped;
+  return true;
+}
+
+}  // namespace
+
+bool SanitizeSizeHints(SizeHints* hints, SanitizerStats* stats) {
+  bool repaired = false;
+
+  // Position/size fields: the protocol carries signed 32-bit values but only
+  // signed 16-bit is representable on the glass.
+  bool clamped = false;
+  clamped |= ClampInt(&hints->x, -kMaxCoordinate, kMaxCoordinate);
+  clamped |= ClampInt(&hints->y, -kMaxCoordinate, kMaxCoordinate);
+  clamped |= ClampInt(&hints->width, 0, kMaxCoordinate);
+  clamped |= ClampInt(&hints->height, 0, kMaxCoordinate);
+  clamped |= ClampInt(&hints->min_width, 1, kMaxCoordinate);
+  clamped |= ClampInt(&hints->min_height, 1, kMaxCoordinate);
+  clamped |= ClampInt(&hints->max_width, 1, kMaxCoordinate);
+  clamped |= ClampInt(&hints->max_height, 1, kMaxCoordinate);
+  if (clamped) {
+    ++stats->size_clamped;
+    repaired = true;
+  }
+
+  // Inverted min > max: swapping preserves the client's likely intent better
+  // than rejecting the whole block (a constrained window beats no hints).
+  if (hints->min_width > hints->max_width || hints->min_height > hints->max_height) {
+    if (hints->min_width > hints->max_width) {
+      std::swap(hints->min_width, hints->max_width);
+    }
+    if (hints->min_height > hints->max_height) {
+      std::swap(hints->min_height, hints->max_height);
+    }
+    ++stats->min_max_swapped;
+    repaired = true;
+  }
+
+  // Zero/negative resize increments are the classic WM divide-by-zero.
+  if (hints->width_inc <= 0 || hints->height_inc <= 0) {
+    hints->width_inc = std::max(hints->width_inc, 1);
+    hints->height_inc = std::max(hints->height_inc, 1);
+    ++stats->increments_rejected;
+    repaired = true;
+  }
+
+  return repaired;
+}
+
+bool SanitizeWmHints(WmHints* hints, SanitizerStats* stats) {
+  bool repaired = false;
+  bool clamped = false;
+  clamped |= ClampInt(&hints->icon_position.x, -kMaxCoordinate, kMaxCoordinate);
+  clamped |= ClampInt(&hints->icon_position.y, -kMaxCoordinate, kMaxCoordinate);
+  if (clamped) {
+    ++stats->icon_geometry_clamped;
+    repaired = true;
+  }
+  if (hints->icon_pixmap_name.size() > kMaxIconNameBytes) {
+    hints->icon_pixmap_name.resize(kMaxIconNameBytes);
+    ++stats->icon_geometry_clamped;
+    repaired = true;
+  }
+  switch (hints->initial_state) {
+    case WmState::kWithdrawn:
+    case WmState::kNormal:
+    case WmState::kIconic:
+      break;
+    default:
+      hints->initial_state = WmState::kNormal;
+      ++stats->states_rejected;
+      repaired = true;
+      break;
+  }
+  return repaired;
+}
+
+bool SanitizeClientString(std::string* s, size_t cap, SanitizerStats* stats) {
+  bool repaired = false;
+  if (s->size() > cap) {
+    s->resize(cap);
+    repaired = true;
+  }
+  // Strip NUL and C0 control characters except tab; they corrupt log lines
+  // and the newline-framed property protocols (SWM_COMMAND, restart info).
+  std::string cleaned;
+  cleaned.reserve(s->size());
+  for (char c : *s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u >= 0x20 || c == '\t') {
+      cleaned.push_back(c);
+    } else {
+      repaired = true;
+    }
+  }
+  if (repaired) {
+    *s = std::move(cleaned);
+    ++stats->strings_truncated;
+  }
+  return repaired;
+}
+
+bool SanitizeWmClass(WmClass* wm_class, SanitizerStats* stats) {
+  bool a = SanitizeClientString(&wm_class->instance, kMaxWmClassBytes, stats);
+  bool b = SanitizeClientString(&wm_class->clazz, kMaxWmClassBytes, stats);
+  return a || b;
+}
+
+WindowId SanitizeTransientFor(WindowId window, WindowId transient_for,
+                              SanitizerStats* stats) {
+  if (transient_for == window && transient_for != kNone) {
+    ++stats->transient_self_broken;
+    return kNone;
+  }
+  return transient_for;
+}
+
+}  // namespace xproto

@@ -1,0 +1,79 @@
+// Validating pass over decoded ICCCM client data (docs/ROBUSTNESS.md,
+// "Input hardening").
+//
+// A window manager decodes properties written by arbitrary clients; nothing
+// guarantees the bytes describe a sane window.  The functions here clamp or
+// reject the classic poison values — min > max sizes, zero/negative resize
+// increments (the divide-by-zero), multi-megabyte names, out-of-range icon
+// geometry — and count every repair in a SanitizerStats block so callers can
+// surface what their clients tried.  Decoders call these after decoding;
+// geometry consumers keep their own guards (belt and suspenders).
+#ifndef SRC_XPROTO_SANITIZE_H_
+#define SRC_XPROTO_SANITIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/xproto/hints.h"
+
+namespace xproto {
+
+// Byte caps on client-supplied strings.  Generous for any real client, tiny
+// against a hostile one (a WM_NAME is a title bar label, not a payload).
+inline constexpr size_t kMaxWmStringBytes = 1024;     // WM_NAME, WM_ICON_NAME.
+inline constexpr size_t kMaxWmCommandBytes = 4096;    // WM_COMMAND, total argv.
+inline constexpr size_t kMaxWmClassBytes = 256;       // Each WM_CLASS half.
+inline constexpr size_t kMaxIconNameBytes = 256;      // Icon pixmap names.
+
+// What the sanitizer repaired, cumulatively.  One block per Display
+// connection (xlib::Display::sanitizer_stats()); tests and diagnostics read
+// it to prove hostile input was neutralized rather than ignored.
+struct SanitizerStats {
+  uint64_t size_clamped = 0;        // min/max/base sizes forced into range.
+  uint64_t min_max_swapped = 0;     // min > max pairs swapped.
+  uint64_t increments_rejected = 0; // width_inc/height_inc <= 0 reset to 1.
+  uint64_t strings_truncated = 0;   // Over-cap WM_NAME/WM_COMMAND/... cut.
+  uint64_t icon_geometry_clamped = 0;  // Icon position/pixmap out of range.
+  uint64_t transient_self_broken = 0;  // WM_TRANSIENT_FOR naming itself.
+  uint64_t transient_cycles_broken = 0;  // Cycles across transient chains.
+  uint64_t states_rejected = 0;     // WM_HINTS initial_state not a WmState.
+  uint64_t truncated_decodes = 0;   // Property shorter than its struct.
+
+  uint64_t Total() const {
+    return size_clamped + min_max_swapped + increments_rejected + strings_truncated +
+           icon_geometry_clamped + transient_self_broken + transient_cycles_broken +
+           states_rejected + truncated_decodes;
+  }
+};
+
+// Clamps a SizeHints block to sane values in place.  Returns true if
+// anything was repaired.  Guarantees on return:
+//   1 <= min_width/height <= max_width/height <= kMaxCoordinate,
+//   width_inc/height_inc >= 1, |x|,|y| <= kMaxCoordinate,
+//   0 <= width/height <= kMaxCoordinate.
+bool SanitizeSizeHints(SizeHints* hints, SanitizerStats* stats);
+
+// Clamps WM_HINTS: icon position within [-kMaxCoordinate, kMaxCoordinate],
+// icon pixmap name within kMaxIconNameBytes, initial_state to a legal
+// WmState (anything else becomes kNormal).  Returns true if repaired.
+bool SanitizeWmHints(WmHints* hints, SanitizerStats* stats);
+
+// Truncates a client string to `cap` bytes and strips embedded NUL and
+// control characters (which would corrupt logs and property round-trips).
+// Returns true if modified.
+bool SanitizeClientString(std::string* s, size_t cap, SanitizerStats* stats);
+
+// WM_CLASS halves through SanitizeClientString with kMaxWmClassBytes.
+bool SanitizeWmClass(WmClass* wm_class, SanitizerStats* stats);
+
+// WM_TRANSIENT_FOR self-reference: a window transient for itself gets the
+// hint dropped (returns kNone).  Cycle breaking across *chains* needs the
+// managed-window table and lives in the WM (swm::WindowManager).
+WindowId SanitizeTransientFor(WindowId window, WindowId transient_for,
+                              SanitizerStats* stats);
+
+}  // namespace xproto
+
+#endif  // SRC_XPROTO_SANITIZE_H_

@@ -45,6 +45,13 @@ struct FaultPlan {
   int corrupt_property_permille = 0;
   uint32_t corrupt_property_bytes = 4096;
 
+  // Replace a GetProperty reply with a *structured* malformation instead of
+  // uniform garbage: truncated mid-field (short hints arrays), a giant
+  // string, all-negative 32-bit fields, a wrong format tag, or an all-zero
+  // payload (zero resize increments).  These are the shapes hostile clients
+  // actually send; uniform garbage rarely hits them.
+  int malform_property_permille = 0;
+
   // Deliver an event twice.
   int duplicate_event_permille = 0;
 
@@ -59,12 +66,13 @@ struct FaultCounters {
   uint64_t failed_requests = 0;
   uint64_t destroyed_windows = 0;
   uint64_t corrupted_properties = 0;
+  uint64_t malformed_properties = 0;
   uint64_t duplicated_events = 0;
   uint64_t delayed_events = 0;
 
   uint64_t Total() const {
-    return failed_requests + destroyed_windows + corrupted_properties + duplicated_events +
-           delayed_events;
+    return failed_requests + destroyed_windows + corrupted_properties +
+           malformed_properties + duplicated_events + delayed_events;
   }
 };
 

@@ -1006,7 +1006,65 @@ std::optional<PropertyRec> Server::GetProperty(WindowId window, AtomId property)
     }
     return garbage;
   }
+  if (fault_plan_active_ && !in_fault_ &&
+      fault_rng_.Roll(fault_plan_.malform_property_permille)) {
+    ++fault_counters_.malformed_properties;
+    return MalformProperty(it->second);
+  }
   return it->second;
+}
+
+PropertyRec Server::MalformProperty(const PropertyRec& original) const {
+  // Structured malformations: the shapes hostile or buggy clients actually
+  // produce, each targeting a decoder assumption.  Which shape is drawn from
+  // the same seeded stream as every other fault decision.
+  PropertyRec out = original;
+  switch (fault_rng_.Range(0, 4)) {
+    case 0:
+      // Truncated mid-field: a hints array cut anywhere, including inside a
+      // 32-bit field.
+      if (!out.data.empty()) {
+        out.data.resize(fault_rng_.Next() % out.data.size());
+        break;
+      }
+      [[fallthrough]];
+    case 1: {
+      // Giant string, sprinkled with control characters and NULs.
+      out.data.resize(64 * 1024 + static_cast<size_t>(fault_rng_.Range(0, 4095)));
+      for (uint8_t& byte : out.data) {
+        uint64_t draw = fault_rng_.Next();
+        byte = (draw % 17 == 0) ? static_cast<uint8_t>(draw % 32)  // NUL/C0.
+                                : static_cast<uint8_t>('!' + draw % 94);
+      }
+      break;
+    }
+    case 2: {
+      // All-negative 32-bit fields: -1, INT_MIN, or a large negative, per
+      // field (negative sizes, increments, coordinates).
+      for (size_t i = 0; i + 4 <= out.data.size(); i += 4) {
+        uint32_t value = 0;
+        switch (fault_rng_.Range(0, 2)) {
+          case 0: value = 0xffffffffu; break;                        // -1
+          case 1: value = 0x80000000u; break;                        // INT_MIN
+          default: value = 0x80000000u | static_cast<uint32_t>(fault_rng_.Next()); break;
+        }
+        out.data[i] = static_cast<uint8_t>(value & 0xff);
+        out.data[i + 1] = static_cast<uint8_t>((value >> 8) & 0xff);
+        out.data[i + 2] = static_cast<uint8_t>((value >> 16) & 0xff);
+        out.data[i + 3] = static_cast<uint8_t>((value >> 24) & 0xff);
+      }
+      break;
+    }
+    case 3:
+      // Wrong format tag: 32-bit data claiming to be bytes and vice versa.
+      out.format = out.format == 32 ? 8 : 32;
+      break;
+    default:
+      // All-zero payload: zero sizes, zero resize increments, state 0.
+      std::fill(out.data.begin(), out.data.end(), 0);
+      break;
+  }
+  return out;
 }
 
 std::vector<AtomId> Server::ListProperties(WindowId window) const {

@@ -289,6 +289,9 @@ class Server {
   void InjectDestroy(xproto::WindowId window);
   // Rolls the doomed-window dice after a redirected MapRequest.
   void MaybeDoom(xproto::WindowId window);
+  // Applies one seeded structured malformation to a GetProperty reply
+  // (truncation, giant string, negative fields, wrong format, zero fill).
+  PropertyRec MalformProperty(const PropertyRec& original) const;
 
   // Delivers `event` to every client that selected `required_mask` on
   // `window` (excluding `skip`).  Returns number of clients reached.

@@ -1,0 +1,257 @@
+// Per-client quarantine (docs/ROBUSTNESS.md "Input hardening and
+// quarantine"): a flooding client drains its token bucket and is
+// quarantined — its requests coalesced/dropped, its decoration kept — then
+// paroled after a quiet period, while well-behaved neighbors keep their
+// full event service.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/base/logging.h"
+#include "src/swm/quarantine.h"
+#include "src/xlib/icccm.h"
+#include "tests/swm_test_util.h"
+
+namespace swm_test {
+namespace {
+
+using swm::MisbehaviorLedger;
+using swm::QuarantinePolicy;
+
+// ---- Ledger unit tests -----------------------------------------------------
+
+TEST(MisbehaviorLedgerTest, StaysFreeWithinBudget) {
+  MisbehaviorLedger ledger;
+  for (int i = 0; i < ledger.policy().budget; ++i) {
+    EXPECT_FALSE(ledger.Charge(7, 1));
+  }
+  EXPECT_FALSE(ledger.IsQuarantined(7));
+  EXPECT_EQ(ledger.quarantined_count(), 0u);
+}
+
+TEST(MisbehaviorLedgerTest, ExhaustedBucketQuarantines) {
+  MisbehaviorLedger ledger;
+  bool tripped = false;
+  for (int i = 0; i < ledger.policy().budget + 1; ++i) {
+    tripped = ledger.Charge(7, 1);
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_TRUE(ledger.IsQuarantined(7));
+  EXPECT_EQ(ledger.quarantines_started(), 1u);
+  EXPECT_EQ(ledger.quarantined_count(), 1u);
+  // Other windows are unaffected.
+  EXPECT_FALSE(ledger.IsQuarantined(8));
+}
+
+TEST(MisbehaviorLedgerTest, ErrorCostDrainsFaster) {
+  MisbehaviorLedger ledger;
+  const QuarantinePolicy& policy = ledger.policy();
+  int errors_to_trip = policy.budget / policy.error_cost + 1;
+  bool tripped = false;
+  for (int i = 0; i < errors_to_trip; ++i) {
+    tripped = ledger.Charge(9, policy.error_cost);
+  }
+  EXPECT_TRUE(tripped);
+}
+
+TEST(MisbehaviorLedgerTest, ParoleAfterQuietTicks) {
+  MisbehaviorLedger ledger;
+  while (!ledger.Charge(7, 1)) {
+  }
+  ASSERT_TRUE(ledger.IsQuarantined(7));
+  std::vector<xproto::WindowId> paroled;
+  int ticks = 0;
+  while (paroled.empty() && ticks < 10) {
+    paroled = ledger.Tick();
+    ++ticks;
+  }
+  // The tripping charge dirties the first tick, so parole lands one tick
+  // after `parole_ticks` consecutive quiet ones.
+  EXPECT_EQ(ticks, ledger.policy().parole_ticks + 1);
+  ASSERT_EQ(paroled.size(), 1u);
+  EXPECT_EQ(paroled[0], 7u);
+  EXPECT_FALSE(ledger.IsQuarantined(7));
+}
+
+TEST(MisbehaviorLedgerTest, ChargesDuringQuarantineDelayParole) {
+  MisbehaviorLedger ledger;
+  while (!ledger.Charge(7, 1)) {
+  }
+  // Keep misbehaving through what would have been the parole window.
+  for (int i = 0; i < ledger.policy().parole_ticks + 2; ++i) {
+    EXPECT_TRUE(ledger.Charge(7, 1));
+    EXPECT_TRUE(ledger.Tick().empty());
+  }
+  EXPECT_TRUE(ledger.IsQuarantined(7));
+  // Now go quiet: parole arrives on schedule.
+  std::vector<xproto::WindowId> paroled;
+  for (int i = 0; i < ledger.policy().parole_ticks; ++i) {
+    paroled = ledger.Tick();
+  }
+  EXPECT_EQ(paroled.size(), 1u);
+}
+
+TEST(MisbehaviorLedgerTest, ForgetDropsState) {
+  MisbehaviorLedger ledger;
+  while (!ledger.Charge(7, 1)) {
+  }
+  ledger.Forget(7);
+  EXPECT_FALSE(ledger.IsQuarantined(7));
+  EXPECT_EQ(ledger.quarantined_count(), 0u);
+}
+
+TEST(MisbehaviorLedgerTest, RefillForgivesOldSins) {
+  MisbehaviorLedger ledger;
+  const QuarantinePolicy& policy = ledger.policy();
+  // Misbehave at just under the refill rate forever: never quarantined.
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < policy.refill_per_tick; ++i) {
+      EXPECT_FALSE(ledger.Charge(7, 1));
+    }
+    ledger.Tick();
+  }
+  EXPECT_FALSE(ledger.IsQuarantined(7));
+}
+
+// ---- WM integration --------------------------------------------------------
+
+class QuarantineWmTest : public SwmTest {
+ protected:
+  void SetUp() override {
+    previous_severity_ = xbase::MinLogSeverity();
+    xbase::SetMinLogSeverity(xbase::LogSeverity::kError);
+    xbase::ResetLogThrottle();
+  }
+  void TearDown() override { xbase::SetMinLogSeverity(previous_severity_); }
+
+  xbase::LogSeverity previous_severity_ = xbase::LogSeverity::kInfo;
+};
+
+TEST_F(QuarantineWmTest, ConfigureFloodQuarantinesAndParoles) {
+  StartWm();
+  auto app = Spawn("flood", {"flood", "Flood"});
+  swm::ManagedClient* client = Managed(*app);
+  ASSERT_NE(client, nullptr);
+
+  // Flood: far more ConfigureRequests in one batch than the budget allows.
+  int flood = wm_->ledger().policy().budget + 60;
+  for (int i = 0; i < flood; ++i) {
+    app->RequestMoveResize({i % 40, i % 20, 30 + i % 8, 10 + i % 4});
+  }
+  app->RequestMoveResize({60, 40, 50, 25});  // The request that should win.
+  wm_->ProcessEvents();
+
+  EXPECT_TRUE(wm_->IsQuarantined(app->window()));
+  EXPECT_GT(wm_->ledger().dropped(), 0u);
+  EXPECT_EQ(wm_->ledger().quarantines_started(), 1u);
+  // Decoration survives quarantine.
+  client = Managed(*app);
+  ASSERT_NE(client, nullptr);
+  EXPECT_NE(client->frame, nullptr);
+  EXPECT_TRUE(server_->IsViewable(app->window()));
+
+  // Quiet batches: parole, then the coalesced final configure is applied.
+  for (int i = 0; i < wm_->ledger().policy().parole_ticks + 1; ++i) {
+    wm_->ProcessEvents();
+  }
+  EXPECT_FALSE(wm_->IsQuarantined(app->window()));
+  std::optional<xbase::Rect> geometry = app->display().GetGeometry(app->window());
+  ASSERT_TRUE(geometry.has_value());
+  EXPECT_EQ(geometry->width, 50);
+  EXPECT_EQ(geometry->height, 25);
+}
+
+TEST_F(QuarantineWmTest, PropertyStormQuarantines) {
+  StartWm();
+  auto app = Spawn("chatty", {"chatty", "Chatty"});
+  int storm = wm_->ledger().policy().budget + 40;
+  for (int i = 0; i < storm; ++i) {
+    xlib::SetWmName(&app->display(), app->window(), "name-" + std::to_string(i));
+  }
+  wm_->ProcessEvents();
+  EXPECT_TRUE(wm_->IsQuarantined(app->window()));
+
+  // During quarantine property re-reads are skipped...
+  std::string stale = Managed(*app)->name;
+  xlib::SetWmName(&app->display(), app->window(), "ignored-mid-quarantine");
+  wm_->ProcessEvents();
+  EXPECT_EQ(Managed(*app)->name, stale);
+
+  // ...and replayed at parole, so the WM converges on the latest value.
+  xlib::SetWmName(&app->display(), app->window(), "final-name");
+  for (int i = 0; i < wm_->ledger().policy().parole_ticks + 2; ++i) {
+    wm_->ProcessEvents();
+  }
+  EXPECT_FALSE(wm_->IsQuarantined(app->window()));
+  EXPECT_EQ(Managed(*app)->name, "final-name");
+}
+
+TEST_F(QuarantineWmTest, UnmanageForgetsLedgerState) {
+  StartWm();
+  auto app = Spawn("brief", {"brief", "Brief"});
+  int flood = wm_->ledger().policy().budget + 20;
+  for (int i = 0; i < flood; ++i) {
+    app->RequestMoveResize({1, 1, 30, 10});
+  }
+  wm_->ProcessEvents();
+  ASSERT_TRUE(wm_->IsQuarantined(app->window()));
+
+  app->display().DestroyWindow(app->window());
+  wm_->ProcessEvents();
+  EXPECT_FALSE(wm_->IsQuarantined(app->window()));
+  EXPECT_EQ(wm_->ledger().quarantined_count(), 0u);
+}
+
+// The acceptance fairness bar: with one client flooding, a well-behaved
+// client's dispatched-event count stays within 10% of the no-flood baseline.
+class QuarantineFairnessTest : public QuarantineWmTest {
+ protected:
+  uint64_t RunWorkload(bool with_flooder) {
+    // Tear the previous run down in dependency order: the WM must go before
+    // StartWm replaces the server it points at.
+    wm_.reset();
+    server_.reset();
+    StartWm();
+    auto good = Spawn("good", {"good", "Good"});
+    std::unique_ptr<xlib::ClientApp> flooder;
+    if (with_flooder) {
+      flooder = Spawn("flood", {"flood", "Flood"});
+    }
+    for (int round = 0; round < 8; ++round) {
+      good->RequestMoveResize({10 + round, 10, 40 + round, 20});
+      xlib::SetWmName(&good->display(), good->window(),
+                      "good-" + std::to_string(round));
+      if (flooder != nullptr) {
+        for (int i = 0; i < 200; ++i) {
+          flooder->RequestMoveResize({i % 50, i % 30, 30 + i % 10, 10 + i % 5});
+        }
+        xlib::SetWmName(&flooder->display(), flooder->window(),
+                        "flood-" + std::to_string(round));
+      }
+      wm_->ProcessEvents();
+      good->ProcessEvents();
+      if (flooder != nullptr) {
+        flooder->ProcessEvents();
+      }
+    }
+    uint64_t dispatched = wm_->events_dispatched_for(good->window());
+    if (with_flooder) {
+      EXPECT_TRUE(wm_->IsQuarantined(flooder->window()));
+      EXPECT_GT(wm_->ledger().dropped(), 0u);
+    }
+    return dispatched;
+  }
+};
+
+TEST_F(QuarantineFairnessTest, FloodingNeighborDoesNotStarveGoodClient) {
+  uint64_t baseline = RunWorkload(/*with_flooder=*/false);
+  uint64_t with_flood = RunWorkload(/*with_flooder=*/true);
+  ASSERT_GT(baseline, 0u);
+  uint64_t difference =
+      baseline > with_flood ? baseline - with_flood : with_flood - baseline;
+  EXPECT_LE(difference * 10, baseline)
+      << "baseline=" << baseline << " with_flood=" << with_flood;
+}
+
+}  // namespace
+}  // namespace swm_test

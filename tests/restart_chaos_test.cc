@@ -1,0 +1,388 @@
+// Property-fuzz and restart-under-chaos (docs/ROBUSTNESS.md "Restart
+// recovery").
+//
+// Two escalations over the base chaos suite: (1) a seeded property fuzzer —
+// the FaultPlan's structured malformations plus clients writing hostile
+// ICCCM properties directly — through which the sanitizing decoders must
+// hold every invariant; (2) chaos runs that tear the WindowManager down
+// mid-sequence and construct a fresh one on the same server, which must
+// re-adopt every surviving client with geometry, iconic state and restart
+// table intact.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/swm/session.h"
+#include "src/xlib/icccm.h"
+#include "src/xserver/faults.h"
+#include "tests/swm_test_util.h"
+
+namespace swm_test {
+namespace {
+
+using swm::ManagedClient;
+using swm::SwmHintsRecord;
+
+void CheckInvariants(xserver::Server* server, swm::WindowManager* wm) {
+  for (ManagedClient* client : wm->Clients()) {
+    ASSERT_TRUE(server->WindowExists(client->window))
+        << "dangling ManagedClient for window " << client->window;
+    ASSERT_NE(client->frame, nullptr) << "client " << client->window;
+    ASSERT_TRUE(server->WindowExists(client->frame->window()))
+        << "frame of client " << client->window;
+    ASSERT_NE(client->client_panel, nullptr) << "client " << client->window;
+    auto tree = server->QueryTree(client->window);
+    ASSERT_TRUE(tree.has_value());
+    EXPECT_EQ(tree->parent, client->client_panel->window())
+        << "client " << client->window << " not parented in its frame";
+  }
+}
+
+class QuietSwmTest : public SwmTest {
+ protected:
+  void SetUp() override {
+    previous_severity_ = xbase::MinLogSeverity();
+    xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+    xbase::ResetLogThrottle();
+  }
+  void TearDown() override { xbase::SetMinLogSeverity(previous_severity_); }
+
+  xbase::LogSeverity previous_severity_ = xbase::LogSeverity::kInfo;
+};
+
+// ---- Property fuzz ---------------------------------------------------------
+
+class PropertyFuzzTest : public QuietSwmTest,
+                         public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(PropertyFuzzTest, SanitizersSurviveMalformedProperties) {
+  uint64_t seed = GetParam();
+  StartWm();
+
+  xserver::FaultPlan plan;
+  plan.seed = seed;
+  plan.malform_property_permille = 350;
+  plan.corrupt_property_permille = 80;
+  server_->InstallFaultPlan(plan);
+
+  xserver::FaultRng driver(seed * 0x6c8e9cf570932bd5u + 1);
+  std::vector<std::unique_ptr<xlib::ClientApp>> apps;
+  int spawned = 0;
+
+  // Two unconditional hostile writes so every seed exercises the decoders
+  // beyond what the fault plan happens to roll.
+  auto first = Spawn("fuzz-fixed", {"fuzz-fixed", "Fuzz"});
+  xlib::SetWmName(&first->display(), first->window(), std::string(50000, 'A'));
+  first->display().ChangeProperty(
+      first->window(), first->display().InternAtom(xproto::kAtomWmNormalHints),
+      first->display().InternAtom("WM_SIZE_HINTS"), 32,
+      xserver::PropMode::kReplace, std::vector<uint8_t>{64, 0, 0, 0, 0, 0});
+  wm_->ProcessEvents();
+  apps.push_back(std::move(first));
+
+  for (int step = 0; step < 50; ++step) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " step " + std::to_string(step));
+    int action = driver.Range(0, 5);
+    auto& victim = apps[driver.Range(0, static_cast<int>(apps.size()) - 1)];
+    switch (action) {
+      case 0: {  // Fresh client (bounded population).
+        if (apps.size() < 6) {
+          xlib::ClientAppConfig config;
+          config.name = "fuzz" + std::to_string(spawned++);
+          config.wm_class = {config.name, "Fuzz"};
+          config.command = {config.name};
+          config.geometry = {driver.Range(0, 100), driver.Range(0, 50),
+                             driver.Range(10, 40), driver.Range(8, 24)};
+          apps.push_back(std::make_unique<xlib::ClientApp>(server_.get(), config));
+          apps.back()->Map();
+        }
+        break;
+      }
+      case 1: {  // Raw garbage WM_NORMAL_HINTS of random length.
+        std::vector<uint8_t> bytes(static_cast<size_t>(driver.Range(0, 60)));
+        for (uint8_t& b : bytes) {
+          b = static_cast<uint8_t>(driver.Range(0, 255));
+        }
+        victim->display().ChangeProperty(
+            victim->window(),
+            victim->display().InternAtom(xproto::kAtomWmNormalHints),
+            victim->display().InternAtom("WM_SIZE_HINTS"), 32,
+            xserver::PropMode::kReplace, bytes);
+        break;
+      }
+      case 2: {  // Oversized or control-ridden name.
+        std::string name(static_cast<size_t>(driver.Range(1, 5000)),
+                         static_cast<char>(driver.Range(1, 126)));
+        xlib::SetWmName(&victim->display(), victim->window(), name);
+        break;
+      }
+      case 3: {  // WM_TRANSIENT_FOR pointing anywhere, including itself.
+        xproto::WindowId owner =
+            driver.Roll(300) ? victim->window()
+                             : apps[driver.Range(0, static_cast<int>(apps.size()) - 1)]
+                                   ->window();
+        xlib::SetTransientForHint(&victim->display(), victim->window(), owner);
+        break;
+      }
+      case 4: {  // Configure through the redirect.
+        victim->RequestMoveResize({driver.Range(-10, 150), driver.Range(-10, 80),
+                                   driver.Range(1, 60), driver.Range(1, 40)});
+        break;
+      }
+      case 5: {  // Iconify / remap churn.
+        if (driver.Roll(500)) {
+          victim->RequestIconify();
+        } else {
+          victim->Map();
+        }
+        break;
+      }
+    }
+    wm_->ProcessEvents();
+    CheckInvariants(server_.get(), wm_.get());
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+
+  EXPECT_GT(server_->fault_counters().malformed_properties, 0u)
+      << "seed " << seed << " never malformed a property — fuzz was a no-op";
+  EXPECT_GT(wm_->display().sanitizer_stats().Total(), 0u)
+      << "seed " << seed << " never tripped a sanitizer";
+
+  // Faults off: the WM must still manage new clients normally.
+  server_->ClearFaultPlan();
+  wm_->ProcessEvents();
+  CheckInvariants(server_.get(), wm_.get());
+  auto survivor = Spawn("survivor", {"survivor", "Survivor"});
+  ASSERT_NE(Managed(*survivor), nullptr);
+  EXPECT_TRUE(server_->IsViewable(survivor->window()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyFuzzTest,
+                         ::testing::Range<uint64_t>(1, 25));  // 24 distinct seeds.
+
+// ---- Restart recovery ------------------------------------------------------
+
+struct ClientSnapshot {
+  xbase::Point position;
+  xbase::Size size;
+  xproto::WmState state = xproto::WmState::kNormal;
+  bool sticky = false;
+  // WM_COMMAND / WM_CLIENT_MACHINE as the WM believed them at snapshot time.
+  // Under property malformation either belief can be corrupt, in which case
+  // the restart record cannot match the clean re-read and only re-adoption
+  // (not state restore) can be promised.
+  std::string command;
+  std::string machine;
+};
+
+std::map<xproto::WindowId, ClientSnapshot> MustSnapshot(swm::WindowManager* wm) {
+  std::map<xproto::WindowId, ClientSnapshot> out;
+  for (ManagedClient* client : wm->Clients()) {
+    if (client->is_internal || client->command.empty()) {
+      continue;
+    }
+    ClientSnapshot snap;
+    snap.position = client->ClientDesktopPosition();
+    std::optional<xbase::Rect> geometry = wm->display().GetGeometry(client->window);
+    if (geometry.has_value()) {
+      snap.size = geometry->size();
+    }
+    snap.state = client->state;
+    snap.sticky = client->sticky;
+    snap.command = client->command;
+    snap.machine = client->machine;
+    out[client->window] = snap;
+  }
+  return out;
+}
+
+// `true_commands` maps each window to the WM_COMMAND its client actually
+// set.  Where the WM's snapshot belief matches it, the restart record must
+// apply in full; where malformation corrupted the belief, the record cannot
+// match and only re-adoption is required.
+void VerifyReadopted(xserver::Server* server, swm::WindowManager* wm,
+                     const std::map<xproto::WindowId, ClientSnapshot>& before,
+                     const std::map<xproto::WindowId, std::string>& true_commands) {
+  for (const auto& [window, snap] : before) {
+    if (!server->WindowExists(window)) {
+      continue;  // Destroyed between snapshot and restart; nothing to adopt.
+    }
+    SCOPED_TRACE("window " + std::to_string(window));
+    ManagedClient* client = wm->FindClient(window);
+    ASSERT_NE(client, nullptr) << "surviving client not re-adopted";
+    auto truth = true_commands.find(window);
+    if (truth == true_commands.end() || snap.command != truth->second ||
+        snap.machine != "localhost") {  // Every test client's true machine.
+      continue;  // Corrupted belief: re-adopted, but state restore is off.
+    }
+    EXPECT_TRUE(client->restored_from_session);
+    // SessionRecordFor clamps positions to the visible desktop (>= 0).
+    EXPECT_EQ(client->ClientDesktopPosition().x, std::max(0, snap.position.x));
+    EXPECT_EQ(client->ClientDesktopPosition().y, std::max(0, snap.position.y));
+    std::optional<xbase::Rect> geometry = wm->display().GetGeometry(window);
+    ASSERT_TRUE(geometry.has_value());
+    EXPECT_EQ(geometry->width, snap.size.width);
+    EXPECT_EQ(geometry->height, snap.size.height);
+    EXPECT_EQ(client->state, snap.state);
+    EXPECT_EQ(client->sticky, snap.sticky);
+  }
+}
+
+class RestartRecoveryTest : public QuietSwmTest {
+ protected:
+  void RestartWm() {
+    wm_.reset();  // Destructor persists SWM_RESTART_INFO and remaps iconics.
+    swm::WindowManager::Options options;
+    options.template_name = "openlook";
+    wm_ = std::make_unique<swm::WindowManager>(server_.get(), options);
+    ASSERT_TRUE(wm_->Start());
+    wm_->ProcessEvents();
+  }
+};
+
+TEST_F(RestartRecoveryTest, SuccessorReadoptsClientsWithStateIntact) {
+  StartWm();
+  auto alpha = Spawn("alpha", {"alpha", "Alpha"}, {0, 0, 40, 20});
+  alpha->RequestMoveResize({30, 15, 44, 22});
+  wm_->ProcessEvents();
+
+  auto beta = Spawn("beta", {"beta", "Beta"}, {10, 10, 30, 12});
+  beta->RequestIconify();
+  wm_->ProcessEvents();
+  ASSERT_EQ(Managed(*beta)->state, xproto::WmState::kIconic);
+
+  auto gamma = Spawn("gamma", {"gamma", "Gamma"}, {5, 5, 24, 16});
+  wm_->SetSticky(Managed(*gamma), true);
+  wm_->ProcessEvents();
+  ASSERT_TRUE(Managed(*gamma)->sticky);
+
+  // An unconsumed restart record (a client that never reappeared) must ride
+  // through the restart untouched.
+  SwmHintsRecord ghost;
+  ghost.geometry = {5, 5, 20, 10};
+  ghost.command = "ghost-app";
+  wm_->restart_table().Add(ghost);
+
+  std::map<xproto::WindowId, ClientSnapshot> before = MustSnapshot(wm_.get());
+  ASSERT_EQ(before.size(), 3u);
+
+  RestartWm();
+  alpha->ProcessEvents();
+  beta->ProcessEvents();
+  gamma->ProcessEvents();
+
+  std::map<xproto::WindowId, std::string> true_commands{
+      {alpha->window(), "alpha"}, {beta->window(), "beta"}, {gamma->window(), "gamma"}};
+  VerifyReadopted(server_.get(), wm_.get(), before, true_commands);
+  CheckInvariants(server_.get(), wm_.get());
+
+  bool ghost_preserved = false;
+  for (const SwmHintsRecord& record : wm_->restart_table().records()) {
+    if (record.command == "ghost-app") {
+      ghost_preserved = true;
+      EXPECT_EQ(record.geometry.width, 20);
+    }
+  }
+  EXPECT_TRUE(ghost_preserved) << "unconsumed restart record lost across restart";
+}
+
+class RestartChaosTest : public QuietSwmTest,
+                         public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(RestartChaosTest, MidSequenceRestartReadoptsSurvivors) {
+  uint64_t seed = GetParam();
+  StartWm();
+
+  xserver::FaultPlan plan;
+  plan.seed = seed;
+  plan.destroy_on_map_permille = 200;
+  plan.destroy_on_configure_permille = 60;
+  plan.malform_property_permille = 150;
+  plan.duplicate_event_permille = 60;
+  plan.delay_event_permille = 60;
+  server_->InstallFaultPlan(plan);
+
+  xserver::FaultRng driver(seed * 0x9e3779b9u + 7);
+  std::vector<std::unique_ptr<xlib::ClientApp>> apps;
+  int spawned = 0;
+
+  for (int step = 0; step < 30; ++step) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " step " + std::to_string(step));
+    int action = apps.empty() ? 0 : driver.Range(0, 4);
+    switch (action) {
+      case 0: {
+        xlib::ClientAppConfig config;
+        config.name = "rc" + std::to_string(spawned++);
+        config.wm_class = {config.name, "RestartChaos"};
+        config.command = {config.name};
+        config.geometry = {driver.Range(0, 120), driver.Range(0, 60),
+                           driver.Range(10, 50), driver.Range(8, 30)};
+        apps.push_back(std::make_unique<xlib::ClientApp>(server_.get(), config));
+        apps.back()->Map();
+        break;
+      }
+      case 1: {
+        auto& app = apps[driver.Range(0, static_cast<int>(apps.size()) - 1)];
+        app->display().DestroyWindow(app->window());
+        break;
+      }
+      case 2:
+        apps[driver.Range(0, static_cast<int>(apps.size()) - 1)]->RequestMoveResize(
+            {driver.Range(-10, 150), driver.Range(-10, 80), driver.Range(1, 60),
+             driver.Range(1, 40)});
+        break;
+      case 3:
+        apps[driver.Range(0, static_cast<int>(apps.size()) - 1)]->RequestIconify();
+        break;
+      case 4:
+        apps[driver.Range(0, static_cast<int>(apps.size()) - 1)]->Map();
+        break;
+    }
+    wm_->ProcessEvents();
+    CheckInvariants(server_.get(), wm_.get());
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+
+  // Mid-sequence restart.  Chaos has already happened; faults pause so the
+  // recovery itself is deterministic and the assertions are exact.
+  server_->ClearFaultPlan();
+  wm_->ProcessEvents();
+  CheckInvariants(server_.get(), wm_.get());
+  std::map<xproto::WindowId, ClientSnapshot> before = MustSnapshot(wm_.get());
+
+  wm_.reset();
+  swm::WindowManager::Options options;
+  options.template_name = "openlook";
+  wm_ = std::make_unique<swm::WindowManager>(server_.get(), options);
+  ASSERT_TRUE(wm_->Start());
+  wm_->ProcessEvents();
+  std::map<xproto::WindowId, std::string> true_commands;
+  for (auto& app : apps) {
+    true_commands[app->window()] = app->config().command[0];
+    if (server_->WindowExists(app->window())) {
+      app->ProcessEvents();
+    }
+  }
+
+  VerifyReadopted(server_.get(), wm_.get(), before, true_commands);
+  CheckInvariants(server_.get(), wm_.get());
+
+  // The restarted WM is fully functional, chaos counters prove the run bit.
+  auto survivor = Spawn("survivor", {"survivor", "Survivor"});
+  ASSERT_NE(Managed(*survivor), nullptr);
+  EXPECT_GT(server_->fault_counters().Total(), 0u)
+      << "seed " << seed << " injected nothing — chaos was a no-op";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RestartChaosTest,
+                         ::testing::Range<uint64_t>(1, 25));  // 24 distinct seeds.
+
+}  // namespace
+}  // namespace swm_test

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "src/xlib/icccm.h"
+#include "src/xserver/faults.h"
 #include "tests/swm_test_util.h"
 
 namespace swm_test {
@@ -347,6 +348,91 @@ TEST_F(SessionTest, RemoteStartupTemplateInPlacesOutput) {
   wm_->ProcessEvents();
   std::string places = wm_->GeneratePlaces();
   EXPECT_NE(places.find("rsh crunch 'env DISPLAY=unix:0 xload' &"), std::string::npos);
+}
+
+// ---- Adversarial SWM_RESTART_INFO input (docs/ROBUSTNESS.md) --------------
+// Anyone can append to a root property, so FromPropertyText is a hostile
+// input boundary: total text, per-line length and record count are capped,
+// garbage lines are skipped, and insane geometry is clamped.
+
+TEST(RestartTableBoundsTest, OversizedTextTruncatedSafely) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  // Far past the 256 KiB cap; every line is valid, so the survivors up to
+  // the cap all parse and nothing past it is touched.
+  std::string text;
+  for (int i = 0; i < 20000; ++i) {
+    text += "swmhints -geometry 10x10+1+1 -cmd app" + std::to_string(i) + "\n";
+  }
+  RestartTable table = RestartTable::FromPropertyText(text);
+  EXPECT_GT(table.size(), 0u);
+  EXPECT_LE(table.size(), 256u);  // Record cap.
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+}
+
+TEST(RestartTableBoundsTest, GiantSingleLineSkipped) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  std::string giant = "swmhints -geometry 10x10+1+1 -cmd " +
+                      std::string(100000, 'x');
+  RestartTable table = RestartTable::FromPropertyText(
+      giant + "\nswmhints -geometry 10x10+2+2 -cmd sane\n");
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.records()[0].command, "sane");
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+}
+
+TEST(RestartTableBoundsTest, InsaneGeometryClamped) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  auto record = SwmHintsRecord::Parse(
+      "swmhints -geometry 9999999x0+9999999-9999999 -icongeometry "
+      "+9999999-9999999 -cmd evil");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_LE(record->geometry.width, xproto::kMaxCoordinate);
+  EXPECT_GE(record->geometry.height, 1);
+  EXPECT_LE(record->geometry.x, xproto::kMaxCoordinate);
+  EXPECT_GE(record->geometry.y, -xproto::kMaxCoordinate);
+  ASSERT_TRUE(record->icon_position.has_value());
+  EXPECT_LE(record->icon_position->x, xproto::kMaxCoordinate);
+  EXPECT_GE(record->icon_position->y, -xproto::kMaxCoordinate);
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+}
+
+TEST(RestartTableBoundsTest, SeededGarbageFuzzRoundTrips) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  // Interleave valid records with seeded garbage: every valid record
+  // survives, every garbage line is dropped, and re-encoding what survived
+  // round-trips exactly.
+  xserver::FaultRng rng(0xfeedbeef);
+  std::string text;
+  std::vector<std::string> expected_commands;
+  for (int i = 0; i < 120; ++i) {
+    if (rng.Roll(400)) {
+      std::string cmd = "app" + std::to_string(i);
+      text += "swmhints -geometry " + std::to_string(rng.Range(1, 200)) + "x" +
+              std::to_string(rng.Range(1, 100)) + "+" +
+              std::to_string(rng.Range(0, 500)) + "+" +
+              std::to_string(rng.Range(0, 500)) + " -cmd " + cmd + "\n";
+      expected_commands.push_back(cmd);
+    } else {
+      std::string junk(static_cast<size_t>(rng.Range(0, 80)), ' ');
+      for (char& c : junk) {
+        c = static_cast<char>(rng.Range(32, 126));
+      }
+      text += junk + "\n";
+    }
+  }
+  RestartTable table = RestartTable::FromPropertyText(text);
+  // Garbage might coincidentally parse only if it starts with "swmhints";
+  // random printable junk never does, so the counts match exactly.
+  ASSERT_EQ(table.size(), expected_commands.size());
+  for (size_t i = 0; i < expected_commands.size(); ++i) {
+    EXPECT_EQ(table.records()[i].command, expected_commands[i]);
+  }
+  RestartTable reparsed = RestartTable::FromPropertyText(table.ToPropertyText());
+  ASSERT_EQ(reparsed.size(), table.size());
+  for (size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(reparsed.records()[i], table.records()[i]);
+  }
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
 }
 
 TEST_F(SessionTest, FPlacesWritesFile) {

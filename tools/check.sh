@@ -26,4 +26,13 @@ ASAN_OPTIONS="detect_leaks=1" \
   ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
     -R 'frame_differential_test|frame_pipeline_test|chaos_test'
 
-echo "check.sh: all tests passed under ASan+UBSan"
+# Fuzz stage: every ctest target labeled `chaos` — the 24-seed chaos suite,
+# the 24-seed property-fuzz + restart-under-chaos suite, and the binding
+# grammar fuzzer — must come up clean under ASan+UBSan.  This is the
+# acceptance gate for the sanitizing ICCCM decoders: malformed property
+# bytes must never become an out-of-bounds read, only a SanitizerStats tick.
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -L chaos
+
+echo "check.sh: all tests passed under ASan+UBSan (including the chaos/fuzz label)"
