@@ -1,0 +1,188 @@
+// Wire-codec benchmarks (PR 6, docs/PROTOCOL.md): decode throughput for the
+// hardened parser and wall-clock for deterministic trace replay.
+//
+//   BM_DecodeRequestStream   parse a pre-encoded mixed request stream;
+//                            messages_per_second is the decode rate.
+//   BM_DispatchBytesStream   the same stream through the full Server
+//                            dispatch path (parse + execute + events).
+//   BM_TraceReplay           replay a recorded session (honest traffic,
+//                            input, a mutated hostile stream) into a fresh
+//                            server per iteration.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/base/logging.h"
+#include "src/xlib/display.h"
+#include "src/xproto/trace.h"
+#include "src/xproto/wire.h"
+#include "src/xserver/faults.h"
+#include "src/xserver/replay.h"
+
+namespace {
+
+// A mixed stream representative of session traffic: window lifecycle,
+// configuration, properties, and drawing.
+std::vector<uint8_t> BuildStream(int frames, size_t* frame_count) {
+  xproto::WireWriter w;
+  size_t count = 0;
+  for (int i = 0; i < frames; ++i) {
+    switch (i % 6) {
+      case 0:
+        xproto::EncodeRequest(
+            xproto::CreateWindowRequest{.parent = 1,
+                                        .geometry = {i % 500, i % 300, 120, 80}},
+            &w);
+        break;
+      case 1:
+        xproto::EncodeRequest(
+            xproto::MapWindowRequest{.window = static_cast<uint32_t>(i % 40 + 2)}, &w);
+        break;
+      case 2:
+        xproto::EncodeRequest(
+            xproto::ConfigureWindowRequest{
+                .window = static_cast<uint32_t>(i % 40 + 2),
+                .value_mask = xproto::kConfigX | xproto::kConfigY,
+                .geometry = {i % 400, i % 200, 0, 0}},
+            &w);
+        break;
+      case 3:
+        xproto::EncodeRequest(
+            xproto::ChangePropertyRequest{
+                .window = static_cast<uint32_t>(i % 40 + 2),
+                .property = 5,
+                .type = 1,
+                .format = 8,
+                .mode = 0,
+                .data = std::vector<uint8_t>(32, 'x')},
+            &w);
+        break;
+      case 4:
+        xproto::EncodeRequest(
+            xproto::DrawRequest{.window = static_cast<uint32_t>(i % 40 + 2),
+                                .kind = 0,
+                                .rect = {0, 0, 40, 20},
+                                .fill = '#'},
+            &w);
+        break;
+      case 5:
+        xproto::EncodeRequest(
+            xproto::SelectInputRequest{.window = static_cast<uint32_t>(i % 40 + 2),
+                                       .event_mask = 0xFFFF},
+            &w);
+        break;
+    }
+    ++count;
+  }
+  *frame_count = count;
+  return w.Take();
+}
+
+void BM_DecodeRequestStream(benchmark::State& state) {
+  size_t frames = 0;
+  std::vector<uint8_t> stream = BuildStream(600, &frames);
+  size_t decoded = 0;
+  for (auto _ : state) {
+    std::span<const uint8_t> rest(stream);
+    while (!rest.empty()) {
+      xproto::Request request;
+      xproto::ParseError error;
+      size_t used = xproto::DecodeRequest(rest, &request, &error);
+      if (used == 0) {
+        state.SkipWithError("decode failed on honest stream");
+        break;
+      }
+      rest = rest.subspan(used);
+      ++decoded;
+      benchmark::DoNotOptimize(request);
+    }
+  }
+  state.counters["messages_per_second"] = benchmark::Counter(
+      static_cast<double>(decoded), benchmark::Counter::kIsRate);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * stream.size()));
+}
+BENCHMARK(BM_DecodeRequestStream);
+
+void BM_DispatchBytesStream(benchmark::State& state) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  size_t frames = 0;
+  std::vector<uint8_t> stream = BuildStream(600, &frames);
+  auto server = bench_util::MakeServer();
+  xproto::ClientId client = server->Connect("bench");
+  size_t dispatched = 0;
+  for (auto _ : state) {
+    xserver::Server::DispatchResult result = server->DispatchBytes(client, stream);
+    dispatched += result.requests_dispatched;
+  }
+  state.counters["messages_per_second"] = benchmark::Counter(
+      static_cast<double>(dispatched), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DispatchBytesStream);
+
+// Records one session up front: honest wire-mode traffic, simulated input,
+// and a hostile stream mangled by the seeded wire mutations.
+xproto::Trace RecordSession() {
+  xserver::Server server;
+  xproto::TraceRecorder recorder;
+  server.SetTraceRecorder(&recorder);
+
+  xlib::Display honest(&server, "bench-honest");
+  honest.set_wire_mode(true);
+  xproto::WindowId root = server.RootWindow(0);
+  for (int i = 0; i < 20; ++i) {
+    xproto::WindowId w =
+        honest.CreateWindow(root, {(i * 17) % 150, (i * 11) % 80, 40, 20});
+    honest.MapWindow(w);
+    honest.MoveWindow(w, {(i * 23) % 140, (i * 7) % 70});
+  }
+
+  xserver::FaultPlan plan;
+  plan.seed = 99;
+  plan.bitflip_request_permille = 300;
+  plan.lie_length_permille = 150;
+  plan.truncate_request_permille = 150;
+  plan.scramble_opcode_permille = 150;
+  server.InstallFaultPlan(plan);
+  xproto::ClientId hostile = server.Connect("bench-hostile");
+  size_t frames = 0;
+  std::vector<uint8_t> stream = BuildStream(200, &frames);
+  server.DispatchBytes(hostile, stream);
+  server.ClearFaultPlan();
+
+  for (int i = 0; i < 10; ++i) {
+    server.SimulateMotion({(i * 13) % 150, (i * 9) % 80});
+    server.SimulateButton(1, true);
+    server.SimulateButton(1, false);
+  }
+
+  server.SetTraceRecorder(nullptr);
+  recorder.RecordExpect(server.TotalRequests(), server.render_stats().draw_ops,
+                        static_cast<uint64_t>(server.render_stats().pixels_drawn));
+  return recorder.Take();
+}
+
+void BM_TraceReplay(benchmark::State& state) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  xproto::Trace trace = RecordSession();
+  size_t records = 0;
+  for (auto _ : state) {
+    xserver::Server server;
+    xserver::ReplayResult result = xserver::ReplayTrace(&server, trace);
+    if (!result.expectations_met) {
+      state.SkipWithError("replay diverged");
+      break;
+    }
+    records += result.records_applied;
+  }
+  state.counters["records_per_second"] = benchmark::Counter(
+      static_cast<double>(records), benchmark::Counter::kIsRate);
+  state.counters["trace_records"] =
+      benchmark::Counter(static_cast<double>(trace.records.size()));
+}
+BENCHMARK(BM_TraceReplay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

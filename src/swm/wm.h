@@ -465,6 +465,10 @@ class WindowManager {
   // swmcmd flood control: commands still allowed in this ProcessEvents call.
   int swmcmd_budget_ = 0;
   bool swmcmd_budget_warned_ = false;
+  // Partial swmcmd write (no trailing newline yet) buffered per screen until
+  // the sender's next append completes the line.  Shares the 4KB payload cap
+  // with the drain, so a sender that never sends the newline can't grow it.
+  std::map<int, std::string> swmcmd_partial_;
 };
 
 }  // namespace swm

@@ -388,12 +388,26 @@ void WindowManager::HandlePropertyNotify(const xproto::PropertyNotifyEvent& even
         display_.DeleteProperty(event.window,
                                 display_.InternAtom(xproto::kAtomSwmCommand));
         if (text.has_value()) {
-          std::string payload = *text;
+          // A sender writes "command\n"; a property observed mid-write can
+          // end without the newline.  Only complete (newline-terminated)
+          // lines execute; an unterminated tail is buffered and prepended to
+          // the next read, so a partial write never runs as a half-command.
+          std::string payload = std::move(swmcmd_partial_[screen]) + *text;
+          swmcmd_partial_[screen].clear();
           if (payload.size() > kMaxSwmCommandBytes) {
             XB_LOG_EVERY_N(Warning, "swm:swmcmd-payload-cap", 16)
                 << "swm: SWM_COMMAND payload of " << payload.size()
                 << " bytes exceeds cap; truncating to " << kMaxSwmCommandBytes;
             payload.resize(kMaxSwmCommandBytes);
+          }
+          size_t last_newline = payload.rfind('\n');
+          if (last_newline == std::string::npos) {
+            swmcmd_partial_[screen] = std::move(payload);
+            return;
+          }
+          if (last_newline + 1 != payload.size()) {
+            swmcmd_partial_[screen] = payload.substr(last_newline + 1);
+            payload.resize(last_newline + 1);
           }
           for (const std::string& line : xbase::Split(payload, '\n')) {
             std::string command = xbase::TrimWhitespace(line);

@@ -20,6 +20,19 @@ Display::Display(xserver::Server* server, std::string client_machine)
   });
 }
 
+bool Display::Issue(xproto::Request request) {
+  xserver::Server::DispatchResult result =
+      server_->DispatchBytes(client_, xproto::EncodeRequestBytes(request));
+  return result.requests_dispatched == 1 && result.requests_failed == 0 &&
+         result.parse_errors == 0;
+}
+
+xproto::WindowId Display::IssueCreate(xproto::CreateWindowRequest request) {
+  xserver::Server::DispatchResult result =
+      server_->DispatchBytes(client_, xproto::EncodeRequestBytes(request));
+  return result.last_created_window;
+}
+
 Display::XErrorHandler Display::SetErrorHandler(XErrorHandler handler) {
   XErrorHandler previous = std::move(error_handler_);
   error_handler_ = std::move(handler);
@@ -34,53 +47,132 @@ Display::~Display() {
 
 WindowId Display::CreateWindow(WindowId parent, const xbase::Rect& geometry, int border_width,
                                bool override_redirect, xproto::WindowClass window_class) {
+  if (wire_mode_) {
+    return IssueCreate({.parent = parent,
+                        .geometry = geometry,
+                        .border_width = border_width,
+                        .window_class = window_class,
+                        .override_redirect = override_redirect});
+  }
   return server_->CreateWindow(client_, parent, geometry, border_width, window_class,
                                override_redirect);
 }
 
-bool Display::DestroyWindow(WindowId window) { return server_->DestroyWindow(client_, window); }
-bool Display::MapWindow(WindowId window) { return server_->MapWindow(client_, window); }
+bool Display::DestroyWindow(WindowId window) {
+  if (wire_mode_) {
+    return Issue(xproto::DestroyWindowRequest{.window = window});
+  }
+  return server_->DestroyWindow(client_, window);
+}
+
+bool Display::MapWindow(WindowId window) {
+  if (wire_mode_) {
+    return Issue(xproto::MapWindowRequest{.window = window});
+  }
+  return server_->MapWindow(client_, window);
+}
 
 bool Display::MapRaised(WindowId window) {
   server_->RaiseWindow(client_, window);
   return server_->MapWindow(client_, window);
 }
 
-bool Display::UnmapWindow(WindowId window) { return server_->UnmapWindow(client_, window); }
+bool Display::UnmapWindow(WindowId window) {
+  if (wire_mode_) {
+    return Issue(xproto::UnmapWindowRequest{.window = window});
+  }
+  return server_->UnmapWindow(client_, window);
+}
 
 bool Display::ReparentWindow(WindowId window, WindowId parent, const xbase::Point& position) {
+  if (wire_mode_) {
+    return Issue(
+        xproto::ReparentWindowRequest{.window = window, .parent = parent, .position = position});
+  }
   return server_->ReparentWindow(client_, window, parent, position);
 }
 
 bool Display::ConfigureWindow(WindowId window, uint16_t value_mask,
                               const xserver::ConfigureValues& values) {
+  if (wire_mode_) {
+    return Issue(xproto::ConfigureWindowRequest{.window = window,
+                                                .value_mask = value_mask,
+                                                .geometry = values.geometry,
+                                                .border_width = values.border_width,
+                                                .sibling = values.sibling,
+                                                .stack_mode = values.stack_mode});
+  }
   return server_->ConfigureWindow(client_, window, value_mask, values);
 }
 
 bool Display::MoveWindow(WindowId window, const xbase::Point& position) {
+  if (wire_mode_) {
+    xserver::ConfigureValues values;
+    values.geometry.x = position.x;
+    values.geometry.y = position.y;
+    return ConfigureWindow(window, xproto::kConfigX | xproto::kConfigY, values);
+  }
   return server_->MoveWindow(client_, window, position);
 }
 
 bool Display::ResizeWindow(WindowId window, const xbase::Size& size) {
+  if (wire_mode_) {
+    xserver::ConfigureValues values;
+    values.geometry.width = size.width;
+    values.geometry.height = size.height;
+    return ConfigureWindow(window, xproto::kConfigWidth | xproto::kConfigHeight, values);
+  }
   return server_->ResizeWindow(client_, window, size);
 }
 
 bool Display::MoveResizeWindow(WindowId window, const xbase::Rect& geometry) {
+  if (wire_mode_) {
+    xserver::ConfigureValues values;
+    values.geometry = geometry;
+    return ConfigureWindow(window,
+                           xproto::kConfigX | xproto::kConfigY | xproto::kConfigWidth |
+                               xproto::kConfigHeight,
+                           values);
+  }
   return server_->MoveResizeWindow(client_, window, geometry);
 }
 
-bool Display::RaiseWindow(WindowId window) { return server_->RaiseWindow(client_, window); }
-bool Display::LowerWindow(WindowId window) { return server_->LowerWindow(client_, window); }
+bool Display::RaiseWindow(WindowId window) {
+  if (wire_mode_) {
+    xserver::ConfigureValues values;
+    values.stack_mode = xproto::StackMode::kAbove;
+    return ConfigureWindow(window, xproto::kConfigStackMode, values);
+  }
+  return server_->RaiseWindow(client_, window);
+}
+
+bool Display::LowerWindow(WindowId window) {
+  if (wire_mode_) {
+    xserver::ConfigureValues values;
+    values.stack_mode = xproto::StackMode::kBelow;
+    return ConfigureWindow(window, xproto::kConfigStackMode, values);
+  }
+  return server_->LowerWindow(client_, window);
+}
 
 bool Display::SelectInput(WindowId window, uint32_t event_mask) {
+  if (wire_mode_) {
+    return Issue(xproto::SelectInputRequest{.window = window, .event_mask = event_mask});
+  }
   return server_->SelectInput(client_, window, event_mask);
 }
 
 bool Display::AddToSaveSet(WindowId window) {
+  if (wire_mode_) {
+    return Issue(xproto::ChangeSaveSetRequest{.window = window, .add = true});
+  }
   return server_->ChangeSaveSet(client_, window, /*add=*/true);
 }
 
 bool Display::RemoveFromSaveSet(WindowId window) {
+  if (wire_mode_) {
+    return Issue(xproto::ChangeSaveSetRequest{.window = window, .add = false});
+  }
   return server_->ChangeSaveSet(client_, window, /*add=*/false);
 }
 
@@ -109,6 +201,15 @@ std::optional<std::string> Display::GetAtomName(AtomId atom) const {
 
 bool Display::ChangeProperty(WindowId window, AtomId property, AtomId type, int format,
                              xserver::PropMode mode, const std::vector<uint8_t>& data) {
+  if (wire_mode_) {
+    return Issue(xproto::ChangePropertyRequest{
+        .window = window,
+        .property = property,
+        .type = type,
+        .format = format,
+        .mode = static_cast<uint8_t>(mode),
+        .data = data});
+  }
   return server_->ChangeProperty(client_, window, property, type, format, mode, data);
 }
 
@@ -118,6 +219,9 @@ std::optional<xserver::PropertyRec> Display::GetProperty(WindowId window,
 }
 
 bool Display::DeleteProperty(WindowId window, AtomId property) {
+  if (wire_mode_) {
+    return Issue(xproto::DeletePropertyRequest{.window = window, .property = property});
+  }
   return server_->DeleteProperty(client_, window, property);
 }
 
@@ -216,7 +320,18 @@ std::optional<WindowId> Display::GetWindowIdProperty(WindowId window,
 }
 
 bool Display::SendEvent(WindowId destination, uint32_t event_mask, xproto::Event event) {
+  if (wire_mode_) {
+    return Issue(xproto::SendEventRequest{
+        .destination = destination, .event_mask = event_mask, .event = std::move(event)});
+  }
   return server_->SendEvent(client_, destination, event_mask, std::move(event));
+}
+
+bool Display::SetInputFocus(WindowId window) {
+  if (wire_mode_) {
+    return Issue(xproto::SetInputFocusRequest{.window = window});
+  }
+  return server_->SetInputFocus(client_, window);
 }
 
 std::optional<xproto::Event> Display::NextEvent() { return server_->NextEvent(client_); }
@@ -225,10 +340,20 @@ size_t Display::Pending() const { return server_->PendingEvents(client_); }
 
 bool Display::GrabButton(WindowId window, int button, uint32_t modifiers,
                          uint32_t event_mask) {
+  if (wire_mode_) {
+    return Issue(xproto::GrabButtonRequest{.window = window,
+                                           .button = button,
+                                           .modifiers = modifiers,
+                                           .event_mask = event_mask});
+  }
   return server_->GrabButton(client_, window, button, modifiers, event_mask);
 }
 
 bool Display::UngrabButton(WindowId window, int button, uint32_t modifiers) {
+  if (wire_mode_) {
+    return Issue(xproto::UngrabButtonRequest{
+        .window = window, .button = button, .modifiers = modifiers});
+  }
   return server_->UngrabButton(client_, window, button, modifiers);
 }
 
@@ -237,26 +362,68 @@ bool Display::ShapeSetMask(WindowId window, const xbase::Bitmap& mask) {
 }
 
 bool Display::ShapeSetRegion(WindowId window, xbase::Region region) {
+  if (wire_mode_) {
+    return Issue(xproto::ShapeRegionRequest{.window = window, .rects = region.rects()});
+  }
   return server_->ShapeSetRegion(client_, window, std::move(region));
 }
 
-bool Display::ShapeClear(WindowId window) { return server_->ShapeClear(client_, window); }
+bool Display::ShapeClear(WindowId window) {
+  if (wire_mode_) {
+    return Issue(xproto::ShapeClearRequest{.window = window});
+  }
+  return server_->ShapeClear(client_, window);
+}
 
 bool Display::ShapeSelect(WindowId window, bool enable) {
+  if (wire_mode_) {
+    return Issue(xproto::ShapeSelectRequest{.window = window, .enable = enable});
+  }
   return server_->ShapeSelect(client_, window, enable);
 }
 
 bool Display::SetWindowBackground(WindowId window, char background) {
+  if (wire_mode_) {
+    return Issue(xproto::SetWindowBackgroundRequest{.window = window, .background = background});
+  }
   return server_->SetWindowBackground(client_, window, background);
 }
 
 bool Display::SetCursor(WindowId window, const std::string& name) {
+  if (wire_mode_) {
+    return Issue(xproto::SetCursorRequest{.window = window, .name = name});
+  }
   return server_->SetCursor(client_, window, name);
 }
 
-bool Display::ClearWindow(WindowId window) { return server_->ClearWindow(client_, window); }
+bool Display::ClearWindow(WindowId window) {
+  if (wire_mode_) {
+    return Issue(xproto::ClearWindowRequest{.window = window});
+  }
+  return server_->ClearWindow(client_, window);
+}
 
 bool Display::Draw(WindowId window, xserver::DrawOp op) {
+  if (wire_mode_) {
+    xproto::DrawRequest request;
+    request.window = window;
+    request.kind = static_cast<uint8_t>(op.kind);
+    request.rect = op.rect;
+    request.fill = op.fill;
+    request.text = op.text;
+    if (!op.bitmap.IsEmpty()) {
+      request.bitmap_width = op.bitmap.width();
+      request.bitmap_height = op.bitmap.height();
+      request.bitmap_cells.reserve(static_cast<size_t>(request.bitmap_width) *
+                                   request.bitmap_height);
+      for (int y = 0; y < request.bitmap_height; ++y) {
+        for (int x = 0; x < request.bitmap_width; ++x) {
+          request.bitmap_cells.push_back(op.bitmap.Get(x, y) ? 1 : 0);
+        }
+      }
+    }
+    return Issue(std::move(request));
+  }
   return server_->Draw(client_, window, std::move(op));
 }
 

@@ -50,6 +50,16 @@ class Display {
   // The most recent error, if any.
   const std::optional<xproto::XError>& LastError() const { return last_error_; }
 
+  // ---- Wire mode (docs/PROTOCOL.md) ----------------------------------------
+  // When enabled, every void (reply-free) request this Display issues is
+  // encoded to X11 wire bytes and routed through Server::DispatchBytes
+  // instead of being a direct call — the full serialize → parse → dispatch
+  // path a real out-of-process client exercises.  Reply-bearing requests
+  // (queries, InternAtom, GetProperty) stay direct calls; the wire subset
+  // has no replies.  Off by default: direct calls are the fast path.
+  void set_wire_mode(bool enable) { wire_mode_ = enable; }
+  bool wire_mode() const { return wire_mode_; }
+
   // ---- ICCCM sanitizer (docs/ROBUSTNESS.md) --------------------------------
   // What the sanitizing decoders in xlib/icccm repaired on this connection.
   // Hostile clients show up here, not as crashes.
@@ -132,9 +142,7 @@ class Display {
   }
 
   // ---- Focus ---------------------------------------------------------------
-  bool SetInputFocus(xproto::WindowId window) {
-    return server_->SetInputFocus(client_, window);
-  }
+  bool SetInputFocus(xproto::WindowId window);
   xproto::WindowId GetInputFocus() const { return server_->GetInputFocus(); }
 
   // ---- Pointer -------------------------------------------------------------
@@ -160,9 +168,16 @@ class Display {
   bool Draw(xproto::WindowId window, xserver::DrawOp op);
 
  private:
+  // Wire-mode funnel: encodes `request` and dispatches the bytes.  Returns
+  // true when the one frame parsed and executed cleanly.
+  bool Issue(xproto::Request request);
+  // Same funnel for CreateWindow (the id comes back via DispatchResult).
+  xproto::WindowId IssueCreate(xproto::CreateWindowRequest request);
+
   xserver::Server* server_;
   xproto::ClientId client_;
   std::string machine_;
+  bool wire_mode_ = false;
   XErrorHandler error_handler_;
   std::optional<xproto::XError> last_error_;
   xproto::SanitizerStats sanitizer_stats_;

@@ -173,17 +173,8 @@ std::optional<xproto::WmClass> GetWmClass(Display* dpy, WindowId window) {
   if (!raw.has_value()) {
     return std::nullopt;
   }
-  size_t first_nul = raw->find('\0');
-  if (first_nul == std::string::npos) {
-    return std::nullopt;
-  }
-  size_t second_nul = raw->find('\0', first_nul + 1);
   xproto::WmClass out;
-  out.instance = raw->substr(0, first_nul);
-  out.clazz = raw->substr(first_nul + 1, second_nul == std::string::npos
-                                             ? std::string::npos
-                                             : second_nul - first_nul - 1);
-  if (xproto::SanitizeWmClass(&out, dpy->mutable_sanitizer_stats())) {
+  if (xproto::DecodeWmClass(*raw, &out, dpy->mutable_sanitizer_stats())) {
     LogSanitized(window, "WM_CLASS");
   }
   return out;

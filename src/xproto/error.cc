@@ -18,6 +18,10 @@ std::string ErrorCodeName(ErrorCode code) {
       return "BadAccess";
     case ErrorCode::kBadImplementation:
       return "BadImplementation";
+    case ErrorCode::kBadRequest:
+      return "BadRequest";
+    case ErrorCode::kBadLength:
+      return "BadLength";
   }
   return "BadImplementation";
 }

@@ -18,6 +18,8 @@ enum class ErrorCode : uint8_t {
   kBadAtom,            // Request named an invalid atom.
   kBadAccess,          // Another client already holds an exclusive selection/grab.
   kBadImplementation,  // Server-side injected failure (fault harness).
+  kBadRequest,         // Wire frame named an opcode outside the implemented subset.
+  kBadLength,          // Wire frame length field inconsistent with its payload.
 };
 
 // The request that produced an error (the major opcode on the wire).

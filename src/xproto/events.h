@@ -22,6 +22,7 @@ struct ButtonEvent {
   xbase::Point root_pos;  // Pointer position in (real) root coordinates.
   xbase::Point pos;       // Pointer position relative to event window.
   Timestamp time = 0;
+  friend bool operator==(const ButtonEvent&, const ButtonEvent&) = default;
 };
 
 struct MotionEvent {
@@ -31,6 +32,7 @@ struct MotionEvent {
   xbase::Point root_pos;
   xbase::Point pos;
   Timestamp time = 0;
+  friend bool operator==(const MotionEvent&, const MotionEvent&) = default;
 };
 
 struct KeyEvent {
@@ -41,6 +43,7 @@ struct KeyEvent {
   xbase::Point root_pos;
   xbase::Point pos;
   Timestamp time = 0;
+  friend bool operator==(const KeyEvent&, const KeyEvent&) = default;
 };
 
 struct CrossingEvent {
@@ -49,12 +52,14 @@ struct CrossingEvent {
   xbase::Point root_pos;
   xbase::Point pos;
   Timestamp time = 0;
+  friend bool operator==(const CrossingEvent&, const CrossingEvent&) = default;
 };
 
 struct ExposeEvent {
   WindowId window = kNone;
   xbase::Rect area;
   int count = 0;  // Number of Expose events still to come for this window.
+  friend bool operator==(const ExposeEvent&, const ExposeEvent&) = default;
 };
 
 struct CreateNotifyEvent {
@@ -62,28 +67,33 @@ struct CreateNotifyEvent {
   WindowId window = kNone;
   xbase::Rect geometry;
   bool override_redirect = false;
+  friend bool operator==(const CreateNotifyEvent&, const CreateNotifyEvent&) = default;
 };
 
 struct DestroyNotifyEvent {
   WindowId event_window = kNone;
   WindowId window = kNone;
+  friend bool operator==(const DestroyNotifyEvent&, const DestroyNotifyEvent&) = default;
 };
 
 struct MapRequestEvent {
   WindowId parent = kNone;
   WindowId window = kNone;
+  friend bool operator==(const MapRequestEvent&, const MapRequestEvent&) = default;
 };
 
 struct MapNotifyEvent {
   WindowId event_window = kNone;
   WindowId window = kNone;
   bool override_redirect = false;
+  friend bool operator==(const MapNotifyEvent&, const MapNotifyEvent&) = default;
 };
 
 struct UnmapNotifyEvent {
   WindowId event_window = kNone;
   WindowId window = kNone;
   bool from_configure = false;
+  friend bool operator==(const UnmapNotifyEvent&, const UnmapNotifyEvent&) = default;
 };
 
 struct ReparentNotifyEvent {
@@ -92,6 +102,7 @@ struct ReparentNotifyEvent {
   WindowId parent = kNone;
   xbase::Point pos;
   bool override_redirect = false;
+  friend bool operator==(const ReparentNotifyEvent&, const ReparentNotifyEvent&) = default;
 };
 
 struct ConfigureRequestEvent {
@@ -102,6 +113,7 @@ struct ConfigureRequestEvent {
   int border_width = 0;
   WindowId sibling = kNone;
   StackMode stack_mode = StackMode::kAbove;
+  friend bool operator==(const ConfigureRequestEvent&, const ConfigureRequestEvent&) = default;
 };
 
 struct ConfigureNotifyEvent {
@@ -113,12 +125,14 @@ struct ConfigureNotifyEvent {
   WindowId above_sibling = kNone;
   bool override_redirect = false;
   bool synthetic = false;
+  friend bool operator==(const ConfigureNotifyEvent&, const ConfigureNotifyEvent&) = default;
 };
 
 struct CirculateRequestEvent {
   WindowId parent = kNone;
   WindowId window = kNone;
   bool place_on_top = true;
+  friend bool operator==(const CirculateRequestEvent&, const CirculateRequestEvent&) = default;
 };
 
 struct PropertyNotifyEvent {
@@ -126,6 +140,7 @@ struct PropertyNotifyEvent {
   AtomId atom = kAtomNone;
   PropertyState state = PropertyState::kNewValue;
   Timestamp time = 0;
+  friend bool operator==(const PropertyNotifyEvent&, const PropertyNotifyEvent&) = default;
 };
 
 struct ClientMessageEvent {
@@ -133,17 +148,20 @@ struct ClientMessageEvent {
   AtomId message_type = kAtomNone;
   int format = 32;
   std::array<uint32_t, 5> data = {};
+  friend bool operator==(const ClientMessageEvent&, const ClientMessageEvent&) = default;
 };
 
 struct FocusEvent {
   bool in = true;
   WindowId window = kNone;
+  friend bool operator==(const FocusEvent&, const FocusEvent&) = default;
 };
 
 struct ShapeNotifyEvent {
   WindowId window = kNone;
   bool shaped = false;
   xbase::Rect extents;
+  friend bool operator==(const ShapeNotifyEvent&, const ShapeNotifyEvent&) = default;
 };
 
 using Event =

@@ -120,6 +120,39 @@ bool SanitizeWmClass(WmClass* wm_class, SanitizerStats* stats) {
   return a || b;
 }
 
+bool DecodeWmClass(const std::string& raw, WmClass* out, SanitizerStats* stats) {
+  bool repaired = false;
+  size_t first_nul = raw.find('\0');
+  if (first_nul == std::string::npos) {
+    // No separator at all: the whole payload is the instance name.
+    out->instance = raw;
+    out->clazz.clear();
+    ++stats->truncated_decodes;
+    repaired = true;
+  } else {
+    out->instance = raw.substr(0, first_nul);
+    size_t second_nul = raw.find('\0', first_nul + 1);
+    if (second_nul == std::string::npos) {
+      // Missing trailing NUL: the class half ran to the end of the property
+      // unterminated.  Take it as written — a decoder that trusts the
+      // terminator walks off the end of the buffer here.
+      out->clazz = raw.substr(first_nul + 1);
+      ++stats->truncated_decodes;
+      repaired = true;
+    } else {
+      out->clazz = raw.substr(first_nul + 1, second_nul - first_nul - 1);
+      if (second_nul + 1 != raw.size()) {
+        // Bytes after the terminating NUL (or more than two strings): the
+        // spec says exactly two.  Excess is dropped and counted.
+        ++stats->truncated_decodes;
+        repaired = true;
+      }
+    }
+  }
+  repaired |= SanitizeWmClass(out, stats);
+  return repaired;
+}
+
 WindowId SanitizeTransientFor(WindowId window, WindowId transient_for,
                               SanitizerStats* stats) {
   if (transient_for == window && transient_for != kNone) {

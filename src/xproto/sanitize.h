@@ -68,6 +68,14 @@ bool SanitizeClientString(std::string* s, size_t cap, SanitizerStats* stats);
 // WM_CLASS halves through SanitizeClientString with kMaxWmClassBytes.
 bool SanitizeWmClass(WmClass* wm_class, SanitizerStats* stats);
 
+// Decodes a raw WM_CLASS payload.  ICCCM requires exactly two NUL-terminated
+// strings ("instance\0class\0"); clients routinely drop the trailing NUL and
+// hostile ones drop the separator too.  Both malformations are repaired —
+// the unterminated tail is taken as written and counted in
+// truncated_decodes — instead of trusted, and the halves then pass through
+// SanitizeWmClass.  Returns true if anything was repaired.
+bool DecodeWmClass(const std::string& raw, WmClass* out, SanitizerStats* stats);
+
 // WM_TRANSIENT_FOR self-reference: a window transient for itself gets the
 // hint dropped (returns kNone).  Cycle breaking across *chains* needs the
 // managed-window table and lives in the WM (swm::WindowManager).

@@ -58,6 +58,26 @@ struct FaultPlan {
   // Hold an event back so it arrives after the next event for the same
   // client (adjacent reordering); never dropped.
   int delay_event_permille = 0;
+
+  // ---- Byte-level wire mutations (docs/PROTOCOL.md) -------------------------
+  // Applied per frame inside Server::DispatchBytes, before the parser sees
+  // the bytes — the attacks a corrupted or hostile out-of-process client
+  // mounts against the wire codec.  The parser's contract under these is a
+  // typed ParseError or an X error, never UB; tests/wire_fuzz_test.cc holds
+  // it to that under ASan+UBSan.
+
+  // Flip 1–3 random bits anywhere in the frame.
+  int bitflip_request_permille = 0;
+
+  // Overwrite the frame's length field with a lie (zero, huge, off-by-N).
+  int lie_length_permille = 0;
+
+  // Cut the frame short mid-message (drop 1..frame-1 trailing bytes).
+  int truncate_request_permille = 0;
+
+  // Replace the major opcode (sometimes with garbage, sometimes with a
+  // different valid opcode so the old payload is parsed under new rules).
+  int scramble_opcode_permille = 0;
 };
 
 // Exposed by Server::fault_counters() so tests can assert the harness
@@ -69,10 +89,19 @@ struct FaultCounters {
   uint64_t malformed_properties = 0;
   uint64_t duplicated_events = 0;
   uint64_t delayed_events = 0;
+  // Wire mutations applied by DispatchBytes.
+  uint64_t bitflipped_requests = 0;
+  uint64_t length_lies = 0;
+  uint64_t truncated_requests = 0;
+  uint64_t scrambled_opcodes = 0;
+
+  uint64_t WireMutations() const {
+    return bitflipped_requests + length_lies + truncated_requests + scrambled_opcodes;
+  }
 
   uint64_t Total() const {
     return failed_requests + destroyed_windows + corrupted_properties +
-           malformed_properties + duplicated_events + delayed_events;
+           malformed_properties + duplicated_events + delayed_events + WireMutations();
   }
 };
 

@@ -86,10 +86,21 @@ void Server::WarpPointer(int screen, const xbase::Point& root_pos) {
   XB_CHECK_GE(screen, 0);
   XB_CHECK_LT(screen, static_cast<int>(screens_.size()));
   pointer_.screen = screen;
+  if (trace_recorder_ != nullptr) {
+    trace_recorder_->RecordWarp(screen, root_pos.x, root_pos.y);
+  }
+  // The nested motion must not also be recorded — replaying the warp record
+  // re-runs it.
+  xproto::TraceRecorder* recorder = trace_recorder_;
+  trace_recorder_ = nullptr;
   SimulateMotion(root_pos);
+  trace_recorder_ = recorder;
 }
 
 void Server::SimulateMotion(const xbase::Point& root_pos) {
+  if (trace_recorder_ != nullptr) {
+    trace_recorder_->RecordMotion(root_pos.x, root_pos.y);
+  }
   pointer_.root_pos = root_pos;
   Tick();
   UpdatePointerWindow();
@@ -171,6 +182,9 @@ bool Server::UngrabButton(ClientId client, WindowId window, int button, uint32_t
 void Server::SimulateButton(int button, bool press, uint32_t modifiers) {
   XB_CHECK_GE(button, 1);
   XB_CHECK_LE(button, xproto::kMaxButton);
+  if (trace_recorder_ != nullptr) {
+    trace_recorder_->RecordButton(button, press, modifiers);
+  }
   Tick();
   uint32_t bit = 1u << (button - 1);
 
@@ -303,6 +317,9 @@ bool Server::SetInputFocus(ClientId client, WindowId window) {
 }
 
 void Server::SimulateKey(xproto::KeySym keysym, bool press, uint32_t modifiers) {
+  if (trace_recorder_ != nullptr) {
+    trace_recorder_->RecordKey(keysym, press, modifiers);
+  }
   Tick();
   xproto::KeyEvent event;
   event.press = press;

@@ -1,0 +1,98 @@
+#include "src/xserver/replay.h"
+
+#include <sstream>
+
+#include "src/base/geometry.h"
+
+namespace xserver {
+
+using xproto::ClientId;
+using xproto::Trace;
+using xproto::TraceRecord;
+using xproto::TraceRecordType;
+
+ReplayResult ReplayTrace(Server* server, const Trace& trace,
+                         const ReplayOptions& options) {
+  ReplayResult result;
+  std::map<ClientId, ClientId> client_map = options.client_map;
+  auto live = [&](ClientId recorded) -> ClientId {
+    auto it = client_map.find(recorded);
+    return it == client_map.end() ? recorded : it->second;
+  };
+
+  for (const TraceRecord& rec : trace.records) {
+    switch (rec.type) {
+      case TraceRecordType::kConnect:
+        client_map[rec.client] = server->Connect(rec.machine);
+        break;
+      case TraceRecordType::kDisconnect:
+        server->Disconnect(live(rec.client));
+        break;
+      case TraceRecordType::kRequest: {
+        Server::DispatchResult d = server->DispatchBytes(live(rec.client), rec.bytes);
+        result.requests_dispatched += d.requests_dispatched;
+        result.parse_errors += d.parse_errors;
+        break;
+      }
+      case TraceRecordType::kMotion:
+        server->SimulateMotion({rec.x, rec.y});
+        break;
+      case TraceRecordType::kButton:
+        server->SimulateButton(rec.button, rec.press, rec.modifiers);
+        break;
+      case TraceRecordType::kKey:
+        server->SimulateKey(rec.keysym, rec.press, rec.modifiers);
+        break;
+      case TraceRecordType::kWarp:
+        server->WarpPointer(rec.screen, {rec.x, rec.y});
+        break;
+      case TraceRecordType::kPump:
+        if (options.pump) {
+          options.pump();
+        }
+        break;
+      case TraceRecordType::kExpect: {
+        ++result.expectations_checked;
+        uint64_t requests = server->TotalRequests();
+        uint64_t draw_ops = server->render_stats().draw_ops;
+        uint64_t pixels = static_cast<uint64_t>(server->render_stats().pixels_drawn);
+        if (result.expectations_met &&
+            (requests != rec.expect_requests || draw_ops != rec.expect_draw_ops ||
+             pixels != rec.expect_pixels)) {
+          result.expectations_met = false;
+          std::ostringstream out;
+          out << "expect mismatch: requests " << requests << " vs recorded "
+              << rec.expect_requests << ", draw_ops " << draw_ops << " vs "
+              << rec.expect_draw_ops << ", pixels " << pixels << " vs "
+              << rec.expect_pixels;
+          result.mismatch = out.str();
+        }
+        break;
+      }
+    }
+    ++result.records_applied;
+  }
+  return result;
+}
+
+ServerFingerprint FingerprintServer(const Server& server) {
+  ServerFingerprint fp;
+  fp.total_requests = server.TotalRequests();
+  fp.wire_parse_errors = server.wire_parse_errors();
+  fp.draw_ops = server.render_stats().draw_ops;
+  fp.pixels_drawn = server.render_stats().pixels_drawn;
+  // FNV-1a over every screen's rendered canvas: any divergence in the window
+  // tree, stacking, shapes, or display lists shows up here.
+  uint64_t hash = 1469598103934665603ull;
+  for (int s = 0; s < server.ScreenCount(); ++s) {
+    std::string rendered = server.RenderScreen(s).ToString();
+    for (char c : rendered) {
+      hash ^= static_cast<uint8_t>(c);
+      hash *= 1099511628211ull;
+    }
+  }
+  fp.screen_hash = hash;
+  return fp;
+}
+
+}  // namespace xserver

@@ -1,0 +1,69 @@
+// Deterministic trace replay (docs/PROTOCOL.md).
+//
+// A trace recorded via xproto::TraceRecorder is a complete account of the
+// external stimuli a server saw: connections, request byte buffers (exactly
+// as the parser saw them, wire mutations included), and simulated input.
+// ReplayTrace feeds those stimuli to a fresh server in order, so the same
+// trace always produces the same window tree, the same render stats, and the
+// same error counts — replaying twice and diffing is the regression test.
+//
+// Client ids are minted by the server at Connect time, so a trace's recorded
+// ids are remapped: each kConnect record connects a fresh client and binds
+// the recorded id to the new one.  Ids that appear without a kConnect record
+// (e.g. a WM connected before recording started) can be pre-bound through
+// ReplayOptions::client_map.
+#ifndef SRC_XSERVER_REPLAY_H_
+#define SRC_XSERVER_REPLAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/xproto/trace.h"
+#include "src/xserver/server.h"
+
+namespace xserver {
+
+struct ReplayOptions {
+  // Pre-seeded recorded-id → live-id bindings (for clients that connected
+  // before recording started, typically the window manager).
+  std::map<xproto::ClientId, xproto::ClientId> client_map;
+  // Invoked at every kPump record — the recorded session's "drain the WM's
+  // event queue" points.  Optional.
+  std::function<void()> pump;
+};
+
+struct ReplayResult {
+  size_t records_applied = 0;
+  size_t requests_dispatched = 0;  // Frames parsed and executed.
+  size_t parse_errors = 0;         // Frames the wire codec rejected.
+  // kExpect verification: counters recorded at capture time vs. this replay.
+  size_t expectations_checked = 0;
+  bool expectations_met = true;
+  std::string mismatch;  // Human-readable first mismatch, empty when met.
+};
+
+// Applies every record of `trace` to `server`.  Stops at nothing: malformed
+// request buffers raise X errors exactly as they did when recorded.
+ReplayResult ReplayTrace(Server* server, const xproto::Trace& trace,
+                         const ReplayOptions& options = {});
+
+// Fingerprint of observable server state used by determinism tests: request
+// and error totals, render stats, and a hash of every screen's rendered
+// canvas.  Two replays of the same trace must produce equal fingerprints.
+struct ServerFingerprint {
+  uint64_t total_requests = 0;
+  uint64_t wire_parse_errors = 0;
+  uint64_t draw_ops = 0;
+  int64_t pixels_drawn = 0;
+  uint64_t screen_hash = 0;
+
+  bool operator==(const ServerFingerprint&) const = default;
+};
+
+ServerFingerprint FingerprintServer(const Server& server);
+
+}  // namespace xserver
+
+#endif  // SRC_XSERVER_REPLAY_H_

@@ -42,6 +42,9 @@ Server::~Server() = default;
 ClientId Server::Connect(const std::string& client_machine) {
   ClientId id = next_client_id_++;
   clients_[id].machine = client_machine;
+  if (trace_recorder_ != nullptr) {
+    trace_recorder_->RecordConnect(id, client_machine);
+  }
   return id;
 }
 
@@ -49,6 +52,9 @@ void Server::Disconnect(ClientId client) {
   ClientRec* rec = FindClient(client);
   if (rec == nullptr) {
     return;
+  }
+  if (trace_recorder_ != nullptr) {
+    trace_recorder_->RecordDisconnect(client);
   }
   // Save-set processing: windows of *other* clients that this client added
   // to its save set are reparented back to their screen's root and mapped.

@@ -25,7 +25,9 @@
 #include "src/base/canvas.h"
 #include "src/xproto/error.h"
 #include "src/xproto/events.h"
+#include "src/xproto/trace.h"
 #include "src/xproto/types.h"
+#include "src/xproto/wire.h"
 #include "src/xserver/faults.h"
 #include "src/xserver/window.h"
 
@@ -108,6 +110,40 @@ class Server {
   uint64_t ErrorCount(xproto::ClientId client) const;
   // Requests processed across all connections.
   uint64_t TotalRequests() const { return total_requests_; }
+
+  // ---- Wire dispatch (docs/PROTOCOL.md) ----------------------------------
+  // Requests arriving as bytes.  Parses frame after frame out of `bytes`
+  // and applies each through the same request paths as the direct calls, so
+  // the error channel, fault hooks and sequence numbers behave identically.
+  // Malformed input raises a typed X error (BadRequest / BadLength /
+  // BadValue) on the connection and aborts the rest of the buffer — after a
+  // framing error the stream cannot be resynchronized, exactly the case
+  // where a real server would kill the connection.
+  struct DispatchResult {
+    size_t requests_dispatched = 0;  // Frames parsed and executed.
+    size_t requests_failed = 0;      // Executed but refused (X error raised).
+    size_t parse_errors = 0;         // Frames rejected by the wire codec.
+    std::optional<xproto::ParseError> first_parse_error;
+    // Window id minted by the last CreateWindow in the buffer (the wire
+    // protocol has no replies; byte-routed clients read the id here).
+    xproto::WindowId last_created_window = xproto::kNone;
+    size_t bytes_consumed = 0;
+  };
+  DispatchResult DispatchBytes(xproto::ClientId client, std::span<const uint8_t> bytes);
+  // Applies one already-decoded request (the replayer and wire-mode clients
+  // share this with DispatchBytes).  Returns false if the request failed.
+  bool ApplyRequest(xproto::ClientId client, const xproto::Request& request,
+                    DispatchResult* result);
+  // Wire frames rejected across all connections (parser health metric).
+  uint64_t wire_parse_errors() const { return wire_parse_errors_; }
+
+  // ---- Trace recording (docs/PROTOCOL.md) --------------------------------
+  // When a recorder is installed, the server appends every external
+  // stimulus it sees — connects/disconnects, DispatchBytes buffers (exactly
+  // as the parser saw them, mutations included), and simulated input — to
+  // the recorder.  Not owned; caller clears before destroying the recorder.
+  void SetTraceRecorder(xproto::TraceRecorder* recorder) { trace_recorder_ = recorder; }
+  xproto::TraceRecorder* trace_recorder() const { return trace_recorder_; }
 
   // ---- Fault injection ---------------------------------------------------
   // Installs a deterministic fault plan (see faults.h) and resets the fault
@@ -353,6 +389,14 @@ class Server {
   uint64_t faultable_requests_ = 0;  // Requests since plan installation.
   xproto::WindowId doomed_window_ = xproto::kNone;
   int doomed_countdown_ = 0;
+
+  // ---- Wire dispatch state ---------------------------------------------------
+  // Applies the plan's byte-level mutations to `frame` in place (dispatch.cc).
+  void MutateFrame(std::vector<uint8_t>* frame, size_t frame_start);
+  uint64_t wire_parse_errors_ = 0;
+
+  // ---- Trace recording -------------------------------------------------------
+  xproto::TraceRecorder* trace_recorder_ = nullptr;
 
   // ---- Render accounting -----------------------------------------------------
   void RecordDraw(const DrawOp& op);  // render.cc

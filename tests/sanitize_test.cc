@@ -117,6 +117,46 @@ TEST(SanitizeTransientForTest, BreaksSelfReference) {
   EXPECT_EQ(stats.transient_self_broken, 1u);
 }
 
+TEST(DecodeWmClassTest, WellFormedPayloadDecodesUnrepaired) {
+  SanitizerStats stats;
+  xproto::WmClass out;
+  EXPECT_FALSE(xproto::DecodeWmClass(std::string("xterm\0XTerm\0", 12), &out, &stats));
+  EXPECT_EQ(out.instance, "xterm");
+  EXPECT_EQ(out.clazz, "XTerm");
+  EXPECT_EQ(stats.truncated_decodes, 0u);
+}
+
+TEST(DecodeWmClassTest, MissingTrailingNulIsRepairedNotOverread) {
+  // The classic malformation: "instance\0class" with no trailing NUL.  The
+  // unterminated tail must be taken as written — never read past the buffer —
+  // and counted as a truncated decode.
+  SanitizerStats stats;
+  xproto::WmClass out;
+  EXPECT_TRUE(xproto::DecodeWmClass(std::string("xterm\0XTerm", 11), &out, &stats));
+  EXPECT_EQ(out.instance, "xterm");
+  EXPECT_EQ(out.clazz, "XTerm");
+  EXPECT_EQ(stats.truncated_decodes, 1u);
+}
+
+TEST(DecodeWmClassTest, MissingSeparatorYieldsInstanceOnly) {
+  SanitizerStats stats;
+  xproto::WmClass out;
+  EXPECT_TRUE(xproto::DecodeWmClass("xterm", &out, &stats));
+  EXPECT_EQ(out.instance, "xterm");
+  EXPECT_EQ(out.clazz, "");
+  EXPECT_EQ(stats.truncated_decodes, 1u);
+}
+
+TEST(DecodeWmClassTest, BytesAfterTerminatorAreDroppedAndCounted) {
+  SanitizerStats stats;
+  xproto::WmClass out;
+  EXPECT_TRUE(
+      xproto::DecodeWmClass(std::string("a\0B\0garbage", 11), &out, &stats));
+  EXPECT_EQ(out.instance, "a");
+  EXPECT_EQ(out.clazz, "B");
+  EXPECT_EQ(stats.truncated_decodes, 1u);
+}
+
 // ---- Log throttle (base/logging) -------------------------------------------
 
 TEST(LogThrottleTest, EveryNDedupesPerKey) {
@@ -169,6 +209,20 @@ class IcccmSanitizeTest : public ::testing::Test {
   std::unique_ptr<xlib::Display> dpy_;
   xproto::WindowId window_ = xproto::kNone;
 };
+
+TEST_F(IcccmSanitizeTest, WmClassWithoutTrailingNulIsRepaired) {
+  // A client that forgets the ICCCM trailing NUL still gets a usable class
+  // through GetWmClass, with the repair ticked in the stats.
+  std::string raw("myapp\0MyApp", 11);
+  dpy_->ChangeProperty(window_, dpy_->InternAtom(xproto::kAtomWmClass),
+                       dpy_->InternAtom("STRING"), 8, xserver::PropMode::kReplace,
+                       std::vector<uint8_t>(raw.begin(), raw.end()));
+  std::optional<xproto::WmClass> decoded = xlib::GetWmClass(dpy_.get(), window_);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->instance, "myapp");
+  EXPECT_EQ(decoded->clazz, "MyApp");
+  EXPECT_EQ(dpy_->sanitizer_stats().truncated_decodes, 1u);
+}
 
 TEST_F(IcccmSanitizeTest, GiantWmNameIsCapped) {
   xlib::SetWmName(dpy_.get(), window_, std::string(100000, 'x'));

@@ -109,6 +109,28 @@ TEST_F(FunctionsTest, SwmcmdPropertyChannel) {
   EXPECT_FALSE(shell.GetStringProperty(shell.RootWindow(0), "SWM_COMMAND").has_value());
 }
 
+TEST_F(FunctionsTest, SwmcmdPartialWriteIsBufferedUntilNewline) {
+  // A shell that lands mid-line (partial write, no trailing newline) must not
+  // have its fragment executed or dropped: swm buffers it until the newline
+  // arrives, then runs the reassembled command.
+  StartWm();
+  auto app = Spawn("xterm", {"xterm", "XTerm"});
+  xlib::Display shell(server_.get(), "shellhost");
+  xproto::WindowId root = shell.RootWindow(0);
+
+  shell.SetStringProperty(root, "SWM_COMMAND", "f.iconify");
+  wm_->ProcessEvents();
+  EXPECT_EQ(Managed(*app)->state, xproto::WmState::kNormal)
+      << "fragment without newline must not execute";
+  // The property is still consumed (the fragment now lives in swm's buffer).
+  EXPECT_FALSE(shell.GetStringProperty(root, "SWM_COMMAND").has_value());
+
+  shell.SetStringProperty(root, "SWM_COMMAND", "(XTerm)\n");
+  wm_->ProcessEvents();
+  EXPECT_EQ(Managed(*app)->state, xproto::WmState::kIconic)
+      << "completed line runs as one command";
+}
+
 TEST_F(FunctionsTest, SwmcmdWithoutTargetPromptsLikeThePaper) {
   // "swmcmd f.raise — the pointer would be changed to a question mark
   // prompting you to select a window to be raised."

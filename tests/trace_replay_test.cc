@@ -1,0 +1,193 @@
+// Deterministic trace record/replay (docs/PROTOCOL.md): a recorded session —
+// connects, request bytes exactly as the parser saw them (wire mutations
+// included), simulated input — must replay onto a fresh server to the same
+// observable state, every time.  The checked-in chaos-seed traces under
+// tests/traces/ are the regression corpus: streams that once carried live
+// fault-plan mutations now replay bit-identically with no fault plan at all.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/xlib/display.h"
+#include "src/xproto/trace.h"
+#include "src/xserver/replay.h"
+#include "src/xserver/server.h"
+
+namespace swm_test {
+namespace {
+
+using xproto::Trace;
+using xserver::FingerprintServer;
+using xserver::ReplayResult;
+using xserver::ReplayTrace;
+using xserver::Server;
+using xserver::ServerFingerprint;
+
+// A small scripted session issued through wire-mode Displays (so every
+// request travels as bytes and lands in the recorder) plus simulated input.
+void RunScriptedSession(Server* server) {
+  xlib::Display a(server, "host-a");
+  a.set_wire_mode(true);
+  xlib::Display b(server, "host-b");
+  b.set_wire_mode(true);
+
+  xproto::WindowId root = server->RootWindow(0);
+  xproto::WindowId wa = a.CreateWindow(root, {10, 10, 40, 20}, 1);
+  ASSERT_NE(wa, xproto::kNone);
+  a.SetWindowBackground(wa, '.');
+  a.MapWindow(wa);
+  xserver::DrawOp op;
+  op.kind = xserver::DrawOp::Kind::kFillRect;
+  op.rect = {0, 0, 10, 5};
+  op.fill = '#';
+  a.Draw(wa, op);
+
+  xproto::WindowId wb = b.CreateWindow(root, {60, 30, 30, 15});
+  b.MapWindow(wb);
+  b.MoveWindow(wb, {70, 35});
+  b.RaiseWindow(wb);
+
+  server->SimulateMotion({75, 40});
+  server->SimulateButton(1, true);
+  server->SimulateButton(1, false);
+  server->SimulateKey('x', true);
+  server->SimulateKey('x', false);
+  server->WarpPointer(0, {5, 5});
+
+  a.UnmapWindow(wa);
+  a.MapWindow(wa);
+  b.DestroyWindow(wb);
+}
+
+TEST(TraceReplayTest, ScriptedSessionReplaysToIdenticalState) {
+  Server recorded;
+  xproto::TraceRecorder recorder;
+  recorded.SetTraceRecorder(&recorder);
+  RunScriptedSession(&recorded);
+  recorded.SetTraceRecorder(nullptr);
+  recorder.RecordExpect(recorded.TotalRequests(), recorded.render_stats().draw_ops,
+                        static_cast<uint64_t>(recorded.render_stats().pixels_drawn));
+  Trace trace = recorder.Take();
+  ASSERT_FALSE(trace.records.empty());
+
+  Server replay1;
+  ReplayResult r1 = ReplayTrace(&replay1, trace);
+  EXPECT_TRUE(r1.expectations_met) << r1.mismatch;
+  EXPECT_EQ(r1.parse_errors, 0u);
+
+  Server replay2;
+  ReplayResult r2 = ReplayTrace(&replay2, trace);
+
+  // Recorded run and both replays converge on the same observable state.
+  ServerFingerprint original = FingerprintServer(recorded);
+  EXPECT_EQ(FingerprintServer(replay1), original);
+  EXPECT_EQ(FingerprintServer(replay2), original);
+  EXPECT_EQ(r1.records_applied, r2.records_applied);
+  EXPECT_EQ(r1.requests_dispatched, r2.requests_dispatched);
+}
+
+TEST(TraceReplayTest, MutatedStreamReplaysWithoutTheFaultPlan) {
+  // Record with live wire mutations: the recorder sees post-mutation bytes,
+  // so replay needs no fault plan and reproduces the mangled stream exactly —
+  // parse errors included.
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  Server recorded;
+  xproto::TraceRecorder recorder;
+  recorded.SetTraceRecorder(&recorder);
+
+  xserver::FaultPlan plan;
+  plan.seed = 77;
+  plan.bitflip_request_permille = 400;
+  plan.lie_length_permille = 200;
+  plan.truncate_request_permille = 200;
+  plan.scramble_opcode_permille = 200;
+  recorded.InstallFaultPlan(plan);
+
+  xproto::ClientId hostile = recorded.Connect("hostile");
+  xproto::WindowId root = recorded.RootWindow(0);
+  for (int i = 0; i < 50; ++i) {
+    xproto::WireWriter w;
+    xproto::EncodeRequest(
+        xproto::CreateWindowRequest{.parent = root, .geometry = {i, i, 10, 5}}, &w);
+    xproto::EncodeRequest(xproto::MapWindowRequest{.window = static_cast<uint32_t>(i + 1)},
+                          &w);
+    recorded.DispatchBytes(hostile, w.span());
+  }
+  ASSERT_GT(recorded.fault_counters().WireMutations(), 0u);
+  ASSERT_GT(recorded.wire_parse_errors(), 0u) << "mutations should have broken frames";
+
+  recorded.ClearFaultPlan();
+  recorded.SetTraceRecorder(nullptr);
+  recorder.RecordExpect(recorded.TotalRequests(), recorded.render_stats().draw_ops,
+                        static_cast<uint64_t>(recorded.render_stats().pixels_drawn));
+  Trace trace = recorder.Take();
+
+  Server replay1;
+  ReplayResult r1 = ReplayTrace(&replay1, trace);
+  Server replay2;
+  ReplayResult r2 = ReplayTrace(&replay2, trace);
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+
+  EXPECT_TRUE(r1.expectations_met) << r1.mismatch;
+  EXPECT_EQ(FingerprintServer(replay1), FingerprintServer(replay2));
+  EXPECT_EQ(FingerprintServer(replay1), FingerprintServer(recorded));
+  EXPECT_EQ(replay1.wire_parse_errors(), recorded.wire_parse_errors())
+      << "replay reproduces every parse error without a fault plan";
+  EXPECT_EQ(r1.requests_dispatched, r2.requests_dispatched);
+  EXPECT_EQ(r1.parse_errors, r2.parse_errors);
+}
+
+TEST(TraceReplayTest, SerializedTraceSurvivesTheDiskRoundTrip) {
+  Server recorded;
+  xproto::TraceRecorder recorder;
+  recorded.SetTraceRecorder(&recorder);
+  RunScriptedSession(&recorded);
+  recorded.SetTraceRecorder(nullptr);
+
+  std::string path = ::testing::TempDir() + "/session.swmtrace";
+  ASSERT_TRUE(xproto::WriteTraceFile(path, recorder.trace()));
+  xproto::ParseError error;
+  std::optional<Trace> loaded = xproto::ReadTraceFile(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << xproto::ParseErrorText(error);
+
+  Server replay;
+  ReplayTrace(&replay, *loaded);
+  EXPECT_EQ(FingerprintServer(replay), FingerprintServer(recorded));
+}
+
+// ---- Checked-in chaos-seed corpus -------------------------------------------
+
+class TraceCorpusTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TraceCorpusTest, CorpusTraceReplaysDeterministically) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  std::string path = std::string(SWM_TRACE_DIR) + "/" + GetParam();
+  xproto::ParseError error;
+  std::optional<Trace> trace = xproto::ReadTraceFile(path, &error);
+  ASSERT_TRUE(trace.has_value()) << path << ": " << xproto::ParseErrorText(error);
+  ASSERT_FALSE(trace->records.empty());
+
+  Server replay1;
+  ReplayResult r1 = ReplayTrace(&replay1, *trace);
+  Server replay2;
+  ReplayResult r2 = ReplayTrace(&replay2, *trace);
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+
+  EXPECT_GT(r1.expectations_checked, 0u) << "corpus traces carry an expect footer";
+  EXPECT_TRUE(r1.expectations_met) << r1.mismatch;
+  EXPECT_TRUE(r2.expectations_met) << r2.mismatch;
+  EXPECT_EQ(FingerprintServer(replay1), FingerprintServer(replay2));
+  EXPECT_EQ(replay1.wire_parse_errors(), replay2.wire_parse_errors());
+}
+
+INSTANTIATE_TEST_SUITE_P(CheckedInTraces, TraceCorpusTest,
+                         ::testing::Values("chaos_seed_1.swmtrace",
+                                           "chaos_seed_2.swmtrace",
+                                           "chaos_seed_3.swmtrace",
+                                           "chaos_seed_4.swmtrace"));
+
+}  // namespace
+}  // namespace swm_test

@@ -27,12 +27,23 @@ ASAN_OPTIONS="detect_leaks=1" \
     -R 'frame_differential_test|frame_pipeline_test|chaos_test'
 
 # Fuzz stage: every ctest target labeled `chaos` — the 24-seed chaos suite,
-# the 24-seed property-fuzz + restart-under-chaos suite, and the binding
-# grammar fuzzer — must come up clean under ASan+UBSan.  This is the
-# acceptance gate for the sanitizing ICCCM decoders: malformed property
-# bytes must never become an out-of-bounds read, only a SanitizerStats tick.
+# the 24-seed property-fuzz + restart-under-chaos suite, the binding grammar
+# fuzzer, the 24-seed wire fuzz, and trace-replay determinism — must come up
+# clean under ASan+UBSan.  This is the acceptance gate for the sanitizing
+# ICCCM decoders and the wire codec: malformed bytes must never become an
+# out-of-bounds read, only a SanitizerStats tick or a typed ParseError.
 UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
 ASAN_OPTIONS="detect_leaks=1" \
   ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -L chaos
+
+# And the standalone fuzz harness over the checked-in trace corpus plus its
+# seeded-random smoke mode (tools/run_fuzz.sh drives the same harness
+# open-ended under libFuzzer when clang is available).
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  "$BUILD/tools/fuzz_wire" "$ROOT/tests/traces"
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  "$BUILD/tools/fuzz_wire"
 
 echo "check.sh: all tests passed under ASan+UBSan (including the chaos/fuzz label)"

@@ -1,0 +1,140 @@
+// Regenerates the checked-in trace corpus under tests/traces/.
+//
+// Each chaos_seed_<n>.swmtrace is a recorded session: honest wire-mode
+// traffic, a hostile byte stream mangled by the seeded FaultPlan wire
+// mutations (the recorder captures the post-mutation bytes, so replay needs
+// no fault plan), simulated input, and an expect footer carrying the final
+// server counters.  trace_replay_test replays these twice per run and
+// requires identical fingerprints plus a matching footer.
+//
+// Usage: record_traces [output-dir]     (default: tests/traces)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/xlib/display.h"
+#include "src/xproto/trace.h"
+#include "src/xproto/wire.h"
+#include "src/xserver/faults.h"
+#include "src/xserver/server.h"
+
+namespace {
+
+// Plausible request traffic for the mutator to chew on, drawn from the
+// driver stream so every seed records different bytes.
+std::vector<uint8_t> BuildRequestBuffer(xserver::FaultRng* driver,
+                                        xproto::WindowId root, int frames) {
+  xproto::WireWriter w;
+  for (int i = 0; i < frames; ++i) {
+    switch (driver->Range(0, 4)) {
+      case 0:
+        xproto::EncodeRequest(
+            xproto::CreateWindowRequest{
+                .parent = root,
+                .geometry = {driver->Range(-20, 150), driver->Range(-20, 80),
+                             driver->Range(1, 60), driver->Range(1, 40)}},
+            &w);
+        break;
+      case 1:
+        xproto::EncodeRequest(
+            xproto::MapWindowRequest{.window = static_cast<xproto::WindowId>(
+                                         driver->Range(1, 40))},
+            &w);
+        break;
+      case 2:
+        xproto::EncodeRequest(
+            xproto::ConfigureWindowRequest{
+                .window = static_cast<xproto::WindowId>(driver->Range(1, 40)),
+                .value_mask = xproto::kConfigX | xproto::kConfigY,
+                .geometry = {driver->Range(-50, 200), driver->Range(-50, 100), 0, 0}},
+            &w);
+        break;
+      case 3:
+        xproto::EncodeRequest(
+            xproto::DrawRequest{
+                .window = static_cast<xproto::WindowId>(driver->Range(1, 40)),
+                .kind = 0,
+                .rect = {0, 0, driver->Range(1, 30), driver->Range(1, 20)},
+                .fill = '#'},
+            &w);
+        break;
+      case 4:
+        xproto::EncodeRequest(
+            xproto::DestroyWindowRequest{.window = static_cast<xproto::WindowId>(
+                                             driver->Range(1, 40))},
+            &w);
+        break;
+    }
+  }
+  return w.Take();
+}
+
+bool RecordSeed(uint64_t seed, const std::string& path) {
+  xserver::Server server;
+  xproto::TraceRecorder recorder;
+  server.SetTraceRecorder(&recorder);
+
+  // Honest traffic first: a wire-mode client builds a small session.
+  xlib::Display honest(&server, "corpus-honest");
+  honest.set_wire_mode(true);
+  xproto::WindowId root = server.RootWindow(0);
+  xproto::WindowId w1 = honest.CreateWindow(root, {10, 10, 40, 20}, 1);
+  honest.SetWindowBackground(w1, '.');
+  honest.MapWindow(w1);
+
+  // Then the hostile stream under the seeded wire mutations.
+  xserver::FaultPlan plan;
+  plan.seed = seed;
+  plan.bitflip_request_permille = 350;
+  plan.lie_length_permille = 200;
+  plan.truncate_request_permille = 200;
+  plan.scramble_opcode_permille = 200;
+  server.InstallFaultPlan(plan);
+
+  xserver::FaultRng driver(seed * 0x9e3779b9u + 7);
+  xproto::ClientId hostile = server.Connect("corpus-hostile");
+  for (int round = 0; round < 30; ++round) {
+    server.DispatchBytes(hostile,
+                         BuildRequestBuffer(&driver, root, driver.Range(1, 5)));
+    if (round % 5 == 0) {
+      server.SimulateMotion({driver.Range(0, 150), driver.Range(0, 80)});
+    }
+    if (round % 7 == 0) {
+      server.SimulateButton(1, true);
+      server.SimulateButton(1, false);
+    }
+  }
+  server.ClearFaultPlan();
+
+  // A little more honest traffic after the storm, then the expect footer.
+  honest.MoveWindow(w1, {30, 15});
+  server.WarpPointer(0, {5, 5});
+
+  server.SetTraceRecorder(nullptr);
+  recorder.RecordExpect(server.TotalRequests(), server.render_stats().draw_ops,
+                        static_cast<uint64_t>(server.render_stats().pixels_drawn));
+  if (!xproto::WriteTraceFile(path, recorder.trace())) {
+    std::fprintf(stderr, "record_traces: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu records, %llu requests, %llu parse errors)\n",
+              path.c_str(), recorder.trace().records.size(),
+              static_cast<unsigned long long>(server.TotalRequests()),
+              static_cast<unsigned long long>(server.wire_parse_errors()));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  std::string dir = argc > 1 ? argv[1] : "tests/traces";
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    std::string path = dir + "/chaos_seed_" + std::to_string(seed) + ".swmtrace";
+    if (!RecordSeed(seed, path)) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 #
 #   BENCH_2.json  resource-query fast path   (bench_eval_resource_db)
 #   BENCH_4.json  retained frame pipeline    (bench_frame_pipeline)
+#   BENCH_6.json  wire codec + trace replay  (bench_wire)
 #
 # Usage: tools/run_benches.sh
 set -euo pipefail
@@ -16,7 +17,8 @@ BUILD_DIR=build
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target bench_eval_resource_db --target bench_frame_pipeline >/dev/null
+  --target bench_eval_resource_db --target bench_frame_pipeline \
+  --target bench_wire >/dev/null
 
 # Let the machine settle after the build before timing anything.
 sleep 5
@@ -56,3 +58,4 @@ EOF
 
 record bench_eval_resource_db BENCH_2.json
 record bench_frame_pipeline BENCH_4.json
+record bench_wire BENCH_6.json
