@@ -1,0 +1,132 @@
+// Parallel painter benchmark (docs/RENDERING.md): how wall-clock and work
+// distribution respond to Options::paint_threads.
+//
+// Two shapes of parallelism:
+//   - MultiScreen: four populated screens rendered via RenderAllScreens;
+//     each worker owns whole screens (per-root ownership).
+//   - DamageBands: one large screen, a many-band damage region rendered
+//     incrementally via RenderScreenInto; the damage bands are partitioned
+//     across workers, each painting a private tile.
+//
+// Counters record the per-worker raster-work split (worker_cells_min/max as
+// a fraction of the total) so the work balance is visible even on hosts
+// where real concurrency is not: on a single-core machine the wall-clock
+// for threads=4 cannot beat threads=1 — the balance counters show the
+// partition is even, the BENCH_7 methodology note in docs/RENDERING.md
+// covers the caveat.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "src/xlib/icccm.h"
+
+namespace {
+
+constexpr int kScreens = 4;
+constexpr int kClientsPerScreen = 6;
+
+std::unique_ptr<xserver::Server> MakeMultiScreenServer(int screens) {
+  std::vector<xserver::ScreenConfig> configs;
+  for (int i = 0; i < screens; ++i) {
+    configs.push_back(xserver::ScreenConfig{1152, 900, false});
+  }
+  return std::make_unique<xserver::Server>(configs);
+}
+
+// Spawns clients spread across all screens by warping the pointer (swm
+// manages new windows on the pointer's screen).
+std::vector<std::unique_ptr<xlib::ClientApp>> PopulateScreens(
+    xserver::Server* server, swm::WindowManager* wm, int per_screen) {
+  std::vector<std::unique_ptr<xlib::ClientApp>> apps;
+  for (int screen = 0; screen < server->ScreenCount(); ++screen) {
+    server->WarpPointer(screen, {10, 10});
+    for (int i = 0; i < per_screen; ++i) {
+      xlib::ClientAppConfig config = bench_util::ClientConfig(
+          screen * per_screen + i, "ParallelPaint");
+      config.geometry = {(i * 160) % 900, (i * 130) % 700, 220, 160};
+      apps.push_back(std::make_unique<xlib::ClientApp>(server, config));
+      apps.back()->Map();
+      wm->ProcessEvents();
+    }
+  }
+  server->WarpPointer(0, {10, 10});
+  return apps;
+}
+
+void ReportWorkerBalance(benchmark::State& state,
+                         const std::vector<uint64_t>& worker_cells) {
+  uint64_t total = std::accumulate(worker_cells.begin(), worker_cells.end(),
+                                   uint64_t{0});
+  if (total == 0) {
+    return;
+  }
+  uint64_t lo = *std::min_element(worker_cells.begin(), worker_cells.end());
+  uint64_t hi = *std::max_element(worker_cells.begin(), worker_cells.end());
+  state.counters["worker_share_min"] = static_cast<double>(lo) / total;
+  state.counters["worker_share_max"] = static_cast<double>(hi) / total;
+}
+
+// Four screens, each with its own window population: RenderAllScreens fans
+// the screens out across the pool.
+void BM_ParallelPaint_MultiScreen(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  auto server = MakeMultiScreenServer(kScreens);
+  auto wm = bench_util::MakeSwm(server.get());
+  auto apps = PopulateScreens(server.get(), wm.get(), kClientsPerScreen);
+  server->SetPaintThreads(threads);
+
+  uint64_t cells = 0;
+  for (auto _ : state) {
+    std::vector<xbase::Canvas> screens = server->RenderAllScreens();
+    for (const xbase::Canvas& c : screens) {
+      cells += c.cells_written();
+    }
+    benchmark::DoNotOptimize(screens);
+  }
+  state.counters["cells_per_iter"] = benchmark::Counter(
+      static_cast<double>(cells), benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations() * kScreens);
+}
+BENCHMARK(BM_ParallelPaint_MultiScreen)->Arg(1)->Arg(2)->Arg(4);
+
+// One big screen, a storm of damage bands repainted incrementally: the
+// banded-damage path the retained pipeline produces each frame.
+void BM_ParallelPaint_DamageBands(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  auto server = bench_util::MakeServer();
+  auto wm = bench_util::MakeSwm(server.get());
+  auto apps = bench_util::SpawnClients(server.get(), 8,
+                                       [&] { wm->ProcessEvents(); });
+  server->SetPaintThreads(threads);
+
+  xbase::Canvas frame = server->RenderScreen(0);
+  std::vector<uint64_t> worker_cells;
+  std::vector<uint64_t> balance;
+  int round = 0;
+  for (auto _ : state) {
+    // 16 disjoint damage bands marching down the screen, ~1/3 of it total.
+    xbase::Region damage;
+    for (int band = 0; band < 16; ++band) {
+      damage.UnionRect(xbase::Rect{(band * 67 + round * 31) % 400,
+                                   band * 56 + (round % 7), 700, 18});
+    }
+    server->RenderScreenInto(0, damage, &frame, &worker_cells);
+    if (balance.empty()) {
+      balance.assign(worker_cells.size(), 0);
+    }
+    for (size_t w = 0; w < worker_cells.size(); ++w) {
+      balance[w] += worker_cells[w];
+    }
+    benchmark::DoNotOptimize(frame);
+    ++round;
+  }
+  ReportWorkerBalance(state, balance);
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ParallelPaint_DamageBands)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -28,32 +28,68 @@ void Canvas::Put(int x, int y, char c) {
     return;
   }
   cells_[static_cast<size_t>(y) * width_ + x] = c;
+  ++cells_written_;
 }
 
 void Canvas::Clear(char background) {
   std::fill(cells_.begin(), cells_.end(), background);
 }
 
-void Canvas::FillRect(const Rect& r, char c) {
-  for (int y = std::max(0, r.y); y < std::min(height_, r.Bottom()); ++y) {
-    for (int x = std::max(0, r.x); x < std::min(width_, r.Right()); ++x) {
-      Put(x, y, c);
+void Canvas::FillRowRaw(int x0, int x1, int y, char c) {
+  char* row = cells_.data() + static_cast<size_t>(y) * width_;
+  std::fill(row + x0, row + x1, c);
+  cells_written_ += static_cast<uint64_t>(x1 - x0);
+}
+
+void Canvas::CopyRowRaw(int x0, int y, const char* src, int count) {
+  char* row = cells_.data() + static_cast<size_t>(y) * width_;
+  std::copy(src, src + count, row + x0);
+  cells_written_ += static_cast<uint64_t>(count);
+}
+
+// The clip intersection is computed once per operation: each banded clip
+// rect contributes at most one span run per row it covers, so the inner
+// loops below never test bounds or clip per pixel.
+template <typename Fn>
+void Canvas::ForEachSpan(const Rect& r, Fn&& fn) {
+  Rect clamped = r.Intersection(Rect{0, 0, width_, height_});
+  if (clamped.IsEmpty()) {
+    return;
+  }
+  if (clip_.IsEmpty()) {
+    for (int y = clamped.y; y < clamped.Bottom(); ++y) {
+      fn(clamped.x, clamped.Right(), y);
+    }
+    return;
+  }
+  for (const Rect& band : clip_.rects()) {
+    if (band.y >= clamped.Bottom()) {
+      break;  // Clip rects are sorted by y.
+    }
+    Rect part = band.Intersection(clamped);
+    if (part.IsEmpty()) {
+      continue;
+    }
+    for (int y = part.y; y < part.Bottom(); ++y) {
+      fn(part.x, part.Right(), y);
     }
   }
+}
+
+void Canvas::FillRect(const Rect& r, char c) {
+  ForEachSpan(r, [&](int x0, int x1, int y) { FillRowRaw(x0, x1, y, c); });
 }
 
 void Canvas::DrawBorder(const Rect& r, char horizontal, char vertical, char corner) {
   if (r.width < 1 || r.height < 1) {
     return;
   }
-  for (int x = r.x; x < r.Right(); ++x) {
-    Put(x, r.y, horizontal);
-    Put(x, r.Bottom() - 1, horizontal);
-  }
-  for (int y = r.y; y < r.Bottom(); ++y) {
-    Put(r.x, y, vertical);
-    Put(r.Right() - 1, y, vertical);
-  }
+  // Same overdraw order as per-pixel drawing: horizontals, then verticals
+  // (which own the column cells), then the four corner cells.
+  FillRect(Rect{r.x, r.y, r.width, 1}, horizontal);
+  FillRect(Rect{r.x, r.Bottom() - 1, r.width, 1}, horizontal);
+  FillRect(Rect{r.x, r.y, 1, r.height}, vertical);
+  FillRect(Rect{r.Right() - 1, r.y, 1, r.height}, vertical);
   Put(r.x, r.y, corner);
   Put(r.Right() - 1, r.y, corner);
   Put(r.x, r.Bottom() - 1, corner);
@@ -61,9 +97,10 @@ void Canvas::DrawBorder(const Rect& r, char horizontal, char vertical, char corn
 }
 
 void Canvas::DrawText(int x, int y, const std::string& text) {
-  for (size_t i = 0; i < text.size(); ++i) {
-    Put(x + static_cast<int>(i), y, text[i]);
-  }
+  Rect row{x, y, static_cast<int>(text.size()), 1};
+  ForEachSpan(row, [&](int x0, int x1, int span_y) {
+    CopyRowRaw(x0, span_y, text.data() + (x0 - x), x1 - x0);
+  });
 }
 
 void Canvas::DrawTextCentered(int x, int width, int y, const std::string& text) {
@@ -72,12 +109,28 @@ void Canvas::DrawTextCentered(int x, int width, int y, const std::string& text) 
 }
 
 void Canvas::DrawBitmap(int x, int y, const Bitmap& bm, char on) {
-  for (int by = 0; by < bm.height(); ++by) {
-    for (int bx = 0; bx < bm.width(); ++bx) {
-      if (bm.Get(bx, by)) {
-        Put(x + bx, y + by, on);
+  Rect bounds{x, y, bm.width(), bm.height()};
+  ForEachSpan(bounds, [&](int x0, int x1, int span_y) {
+    char* row = cells_.data() + static_cast<size_t>(span_y) * width_;
+    int by = span_y - y;
+    for (int cx = x0; cx < x1; ++cx) {
+      if (bm.Get(cx - x, by)) {
+        row[cx] = on;
+        ++cells_written_;
       }
     }
+  });
+}
+
+void Canvas::CopyRectFrom(const Canvas& src, const Rect& r) {
+  Rect clamped = r.Intersection(Rect{0, 0, width_, height_})
+                     .Intersection(Rect{0, 0, src.width_, src.height_});
+  if (clamped.IsEmpty()) {
+    return;
+  }
+  for (int y = clamped.y; y < clamped.Bottom(); ++y) {
+    const char* from = src.cells_.data() + static_cast<size_t>(y) * src.width_;
+    CopyRowRaw(clamped.x, y, from + clamped.x, clamped.width);
   }
 }
 

@@ -4,9 +4,18 @@
 // decorations and the Virtual Desktop panner as deterministic ASCII art so
 // the figures can be regenerated and diffed in tests.  One canvas cell
 // corresponds to one simulated pixel.
+//
+// Drawing is span-based: every operation precomputes its clip intersection
+// once (clip regions are y-x banded rect lists, so the intersection is a
+// handful of rectangles) and then writes whole rows with std::fill /
+// std::copy instead of testing bounds and clip per pixel.  `cells_written()`
+// counts the cells each operation actually touched, which is how tests and
+// benches assert that damage-clipped repaints cost what the damage covers
+// rather than what the window covers.
 #ifndef SRC_BASE_CANVAS_H_
 #define SRC_BASE_CANVAS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -38,21 +47,38 @@ class Canvas {
   // Text centered horizontally within [x, x+width).
   void DrawTextCentered(int x, int width, int y, const std::string& text);
   void DrawBitmap(int x, int y, const Bitmap& bm, char on = '#');
+  // Copies `r` (clamped to both canvases) out of `src` row-wise.  Ignores
+  // the clip: this is the parallel painter's copyback of finished worker
+  // tiles, not a drawing op.
+  void CopyRectFrom(const Canvas& src, const Rect& r);
 
   // Restricts all subsequent drawing to the region (canvas coordinates).
   // An empty clip means "no clipping".
   void SetClip(const Region& clip) { clip_ = clip; }
   void ClearClip() { clip_ = Region(); }
 
+  // Cells written by drawing operations since construction (or the last
+  // ResetCellsWritten).  A cell overdrawn by two ops counts twice: the
+  // counter measures raster work, not coverage.
+  uint64_t cells_written() const { return cells_written_; }
+  void ResetCellsWritten() { cells_written_ = 0; }
+
   std::string ToString() const;
 
  private:
   bool Clipped(int x, int y) const;
+  // Row [x0, x1) × {y}, already clamped to the canvas, no clip test.
+  void FillRowRaw(int x0, int x1, int y, char c);
+  void CopyRowRaw(int x0, int y, const char* src, int count);
+  // Applies `fn(x0, x1, y)` to every maximal span of `r` ∩ canvas ∩ clip.
+  template <typename Fn>
+  void ForEachSpan(const Rect& r, Fn&& fn);
 
   int width_ = 0;
   int height_ = 0;
   std::vector<char> cells_;
   Region clip_;
+  uint64_t cells_written_ = 0;
 };
 
 }  // namespace xbase

@@ -1,162 +1,276 @@
 #include "src/base/region.h"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
 
 namespace xbase {
 namespace {
 
-struct Interval {
-  int left;
-  int right;  // exclusive
-  friend bool operator==(const Interval&, const Interval&) = default;
+enum class OpKind { kUnion, kIntersect, kSubtract };
+
+// A maximal run of rectangles sharing one (y, height) band in a canonical
+// rect list.  Canonical form guarantees every rect with the same y has the
+// same height, so a band is identified by the y of its first rect.
+struct BandCursor {
+  const Rect* rects = nullptr;
+  size_t count = 0;
+  size_t begin = 0;
+  size_t end = 0;
+  int y0 = 0;
+  int y1 = 0;
+
+  explicit BandCursor(const std::vector<Rect>& source)
+      : rects(source.data()), count(source.size()) {
+    Load();
+  }
+
+  bool valid() const { return begin < count; }
+
+  void Load() {
+    if (!valid()) {
+      return;
+    }
+    y0 = rects[begin].y;
+    y1 = rects[begin].Bottom();
+    end = begin + 1;
+    while (end < count && rects[end].y == y0) {
+      ++end;
+    }
+  }
+
+  void Advance() {
+    begin = end;
+    Load();
+  }
 };
 
-// Merges overlapping/adjacent intervals in place; input must be sorted by left.
-void MergeIntervals(std::vector<Interval>* intervals) {
-  if (intervals->empty()) {
-    return;
+// ---- Per-slab x-interval combination ----------------------------------------
+// Each helper appends `Rect{_, y, _, h}` entries to `out` for one horizontal
+// slab.  Inputs are disjoint, sorted, non-adjacent interval runs (band
+// slices of canonical regions); outputs preserve that invariant.
+
+void AppendCopy(const Rect* it, const Rect* last, int y, int h, std::vector<Rect>* out) {
+  for (; it != last; ++it) {
+    out->push_back(Rect{it->x, y, it->width, h});
   }
-  std::vector<Interval> merged;
-  merged.push_back((*intervals)[0]);
-  for (size_t i = 1; i < intervals->size(); ++i) {
-    Interval& last = merged.back();
-    const Interval& cur = (*intervals)[i];
-    if (cur.left <= last.right) {
-      last.right = std::max(last.right, cur.right);
+}
+
+void AppendUnion(const Rect* a, const Rect* a_end, const Rect* b, const Rect* b_end,
+                 int y, int h, std::vector<Rect>* out) {
+  int left = 0;
+  int right = 0;
+  bool open = false;
+  while (a != a_end || b != b_end) {
+    const Rect* next;
+    if (b == b_end || (a != a_end && a->x <= b->x)) {
+      next = a++;
     } else {
-      merged.push_back(cur);
+      next = b++;
+    }
+    if (!open) {
+      left = next->x;
+      right = next->Right();
+      open = true;
+    } else if (next->x <= right) {
+      right = std::max(right, next->Right());
+    } else {
+      out->push_back(Rect{left, y, right - left, h});
+      left = next->x;
+      right = next->Right();
     }
   }
-  *intervals = std::move(merged);
+  if (open) {
+    out->push_back(Rect{left, y, right - left, h});
+  }
 }
 
-// Returns merged x-intervals of all rects that fully cover the band [y0, y1).
-// Rects are assumed to either cover the band or miss it entirely (guaranteed
-// when y0/y1 are consecutive breakpoints of the rect set).
-std::vector<Interval> BandIntervals(const std::vector<Rect>& rects, int y0) {
-  std::vector<Interval> out;
-  for (const Rect& r : rects) {
-    if (r.y <= y0 && r.Bottom() > y0) {
-      out.push_back({r.x, r.Right()});
+void AppendIntersect(const Rect* a, const Rect* a_end, const Rect* b, const Rect* b_end,
+                     int y, int h, std::vector<Rect>* out) {
+  while (a != a_end && b != b_end) {
+    int left = std::max(a->x, b->x);
+    int right = std::min(a->Right(), b->Right());
+    if (left < right) {
+      out->push_back(Rect{left, y, right - left, h});
+    }
+    if (a->Right() < b->Right()) {
+      ++a;
+    } else {
+      ++b;
     }
   }
-  std::sort(out.begin(), out.end(),
-            [](const Interval& a, const Interval& b) { return a.left < b.left; });
-  MergeIntervals(&out);
-  return out;
 }
 
-std::vector<Interval> SubtractIntervals(const std::vector<Interval>& a,
-                                        const std::vector<Interval>& b) {
-  std::vector<Interval> out;
-  size_t bi = 0;
-  for (Interval cur : a) {
-    while (bi < b.size() && b[bi].right <= cur.left) {
-      ++bi;
+void AppendSubtract(const Rect* a, const Rect* a_end, const Rect* b, const Rect* b_end,
+                    int y, int h, std::vector<Rect>* out) {
+  for (; a != a_end; ++a) {
+    int pos = a->x;
+    int right = a->Right();
+    while (b != b_end && b->Right() <= pos) {
+      ++b;
     }
-    size_t j = bi;
-    int pos = cur.left;
-    while (j < b.size() && b[j].left < cur.right) {
-      if (b[j].left > pos) {
-        out.push_back({pos, b[j].left});
+    const Rect* hole = b;
+    while (hole != b_end && hole->x < right) {
+      if (hole->x > pos) {
+        out->push_back(Rect{pos, y, hole->x - pos, h});
       }
-      pos = std::max(pos, b[j].right);
-      if (pos >= cur.right) {
+      pos = std::max(pos, hole->Right());
+      if (pos >= right) {
         break;
       }
-      ++j;
+      ++hole;
     }
-    if (pos < cur.right) {
-      out.push_back({pos, cur.right});
+    if (pos < right) {
+      out->push_back(Rect{pos, y, right - pos, h});
     }
   }
-  return out;
 }
 
-std::vector<Interval> IntersectIntervals(const std::vector<Interval>& a,
-                                         const std::vector<Interval>& b) {
-  std::vector<Interval> out;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    int left = std::max(a[i].left, b[j].left);
-    int right = std::min(a[i].right, b[j].right);
-    if (left < right) {
-      out.push_back({left, right});
-    }
-    if (a[i].right < b[j].right) {
-      ++i;
-    } else {
-      ++j;
+// Tries to merge the band just appended at [band_begin, out.size()) into the
+// previous band: same y seam and identical x-interval structure coalesce
+// vertically, which is what keeps canonical form unique.
+void CoalesceBands(std::vector<Rect>* out, size_t prev_begin, size_t band_begin) {
+  size_t band_end = out->size();
+  if (band_begin == band_end || prev_begin == band_begin) {
+    return;
+  }
+  size_t prev_count = band_begin - prev_begin;
+  if (prev_count != band_end - band_begin) {
+    return;
+  }
+  const Rect& prev = (*out)[prev_begin];
+  const Rect& cur = (*out)[band_begin];
+  if (prev.Bottom() != cur.y) {
+    return;
+  }
+  for (size_t i = 0; i < prev_count; ++i) {
+    const Rect& p = (*out)[prev_begin + i];
+    const Rect& c = (*out)[band_begin + i];
+    if (p.x != c.x || p.width != c.width) {
+      return;
     }
   }
-  return out;
+  int grow = (*out)[band_begin].height;
+  for (size_t i = 0; i < prev_count; ++i) {
+    (*out)[prev_begin + i].height += grow;
+  }
+  out->resize(band_begin);
 }
 
-std::vector<Interval> UnionIntervals(std::vector<Interval> a, const std::vector<Interval>& b) {
-  a.insert(a.end(), b.begin(), b.end());
-  std::sort(a.begin(), a.end(),
-            [](const Interval& x, const Interval& y) { return x.left < y.left; });
-  MergeIntervals(&a);
-  return a;
-}
-
-// Rebuilds canonical banded rects from per-band interval computation.
-// `op` maps (intervals-of-a-at-band, intervals-of-b-at-band) -> intervals.
-template <typename Op>
-std::vector<Rect> BandCombine(const std::vector<Rect>& a, const std::vector<Rect>& b, Op op) {
-  std::set<int> ys;
-  for (const Rect& r : a) {
-    ys.insert(r.y);
-    ys.insert(r.Bottom());
-  }
-  for (const Rect& r : b) {
-    ys.insert(r.y);
-    ys.insert(r.Bottom());
-  }
-  std::vector<Rect> out;
-  // Previous band's intervals plus its y-range, for vertical coalescing.
-  std::vector<Interval> prev_intervals;
-  int prev_y0 = 0;
-  int prev_y1 = 0;
+// One linear sweep over both operands' bands.  `out` must not alias either
+// input; the in-place entry points below route through pooled scratch.
+void CombineRects(const std::vector<Rect>& a, const std::vector<Rect>& b, OpKind op,
+                  std::vector<Rect>* out) {
+  out->clear();
+  BandCursor ca(a);
+  BandCursor cb(b);
+  size_t prev_begin = 0;
   bool have_prev = false;
-
-  auto flush_prev = [&]() {
-    for (const Interval& iv : prev_intervals) {
-      out.push_back(Rect::FromCorners(iv.left, prev_y0, iv.right, prev_y1));
-    }
-    have_prev = false;
-  };
-
-  int band_start = 0;
-  bool first = true;
-  for (int y : ys) {
-    if (!first) {
-      std::vector<Interval> ivs = op(BandIntervals(a, band_start), BandIntervals(b, band_start));
-      if (!ivs.empty()) {
-        if (have_prev && prev_y1 == band_start && prev_intervals == ivs) {
-          prev_y1 = y;  // Coalesce with previous band.
-        } else {
-          if (have_prev) {
-            flush_prev();
-          }
-          prev_intervals = std::move(ivs);
-          prev_y0 = band_start;
-          prev_y1 = y;
-          have_prev = true;
-        }
-      } else if (have_prev) {
-        flush_prev();
+  int y = 0;
+  if (ca.valid() && cb.valid()) {
+    y = std::min(ca.y0, cb.y0);
+  } else if (ca.valid()) {
+    y = ca.y0;
+  } else if (cb.valid()) {
+    y = cb.y0;
+  }
+  while (ca.valid() || cb.valid()) {
+    // Next slab edge: the nearest band top/bottom above y.
+    int next = 0;
+    bool have_next = false;
+    auto consider = [&](int edge) {
+      if (edge > y && (!have_next || edge < next)) {
+        next = edge;
+        have_next = true;
       }
+    };
+    if (ca.valid()) {
+      consider(ca.y0);
+      consider(ca.y1);
     }
-    band_start = y;
-    first = false;
+    if (cb.valid()) {
+      consider(cb.y0);
+      consider(cb.y1);
+    }
+    bool in_a = ca.valid() && ca.y0 <= y;
+    bool in_b = cb.valid() && cb.y0 <= y;
+    size_t band_begin = out->size();
+    int h = next - y;
+    const Rect* a_begin = ca.rects + ca.begin;
+    const Rect* a_end = ca.rects + ca.end;
+    const Rect* b_begin = cb.rects + cb.begin;
+    const Rect* b_end = cb.rects + cb.end;
+    switch (op) {
+      case OpKind::kUnion:
+        if (in_a && in_b) {
+          AppendUnion(a_begin, a_end, b_begin, b_end, y, h, out);
+        } else if (in_a) {
+          AppendCopy(a_begin, a_end, y, h, out);
+        } else if (in_b) {
+          AppendCopy(b_begin, b_end, y, h, out);
+        }
+        break;
+      case OpKind::kIntersect:
+        if (in_a && in_b) {
+          AppendIntersect(a_begin, a_end, b_begin, b_end, y, h, out);
+        }
+        break;
+      case OpKind::kSubtract:
+        if (in_a && in_b) {
+          AppendSubtract(a_begin, a_end, b_begin, b_end, y, h, out);
+        } else if (in_a) {
+          AppendCopy(a_begin, a_end, y, h, out);
+        }
+        break;
+    }
+    if (out->size() != band_begin) {
+      if (have_prev) {
+        // Merging leaves prev_begin pointing at the (now taller) prior
+        // band; an empty slab in between is harmless because the seam
+        // check compares prev.Bottom() against the new band's y.
+        CoalesceBands(out, prev_begin, band_begin);
+      }
+      if (out->size() > band_begin) {
+        prev_begin = band_begin;
+      }
+      have_prev = true;
+    }
+    y = next;
+    if (ca.valid() && ca.y1 <= y) {
+      ca.Advance();
+    }
+    if (cb.valid() && cb.y1 <= y) {
+      cb.Advance();
+    }
   }
-  if (have_prev) {
-    flush_prev();
+}
+
+// Pooled scratch for the in-place operations: one vector per thread, its
+// capacity reused across calls (and across frames by the schedulers that
+// hold long-lived damage Regions).
+std::vector<Rect>& OpScratch() {
+  thread_local std::vector<Rect> scratch;
+  return scratch;
+}
+
+std::vector<Rect>& RectScratch() {
+  thread_local std::vector<Rect> one(1);
+  return one;
+}
+
+// Divide-and-conquer union canonicalizes arbitrary rect soup through the
+// same sweep as every other operation.
+std::vector<Rect> CanonicalUnion(const Rect* rects, size_t count) {
+  std::vector<Rect> out;
+  if (count == 0) {
+    return out;
   }
+  if (count == 1) {
+    out.push_back(rects[0]);
+    return out;
+  }
+  std::vector<Rect> left = CanonicalUnion(rects, count / 2);
+  std::vector<Rect> right = CanonicalUnion(rects + count / 2, count - count / 2);
+  CombineRects(left, right, OpKind::kUnion, &out);
   return out;
 }
 
@@ -177,10 +291,7 @@ void Region::Canonicalize() {
   if (rects_.size() <= 1) {
     return;
   }
-  // Union with the empty region re-bands arbitrary input.
-  rects_ = BandCombine(rects_, {}, [](std::vector<Interval> a, const std::vector<Interval>&) {
-    return a;
-  });
+  rects_ = CanonicalUnion(rects_.data(), rects_.size());
 }
 
 int64_t Region::Area() const {
@@ -201,6 +312,9 @@ Rect Region::Bounds() const {
 
 bool Region::Contains(const Point& p) const {
   for (const Rect& r : rects_) {
+    if (r.y > p.y) {
+      return false;  // Bands are sorted by y; nothing below can cover p.
+    }
     if (r.Contains(p)) {
       return true;
     }
@@ -212,26 +326,100 @@ bool Region::ContainsRect(const Rect& r) const {
   if (r.IsEmpty()) {
     return true;
   }
-  return Region(r).Subtract(*this).IsEmpty();
+  // Rows [r.y, r.Bottom()) must be covered gaplessly; within a band the
+  // intervals are non-adjacent, so full coverage requires a single interval
+  // spanning [r.x, r.Right()).
+  int y = r.y;
+  size_t i = 0;
+  while (y < r.Bottom()) {
+    while (i < rects_.size() && rects_[i].Bottom() <= y) {
+      ++i;
+    }
+    if (i == rects_.size() || rects_[i].y > y) {
+      return false;  // Row y is uncovered.
+    }
+    int band_y = rects_[i].y;
+    bool covered = false;
+    for (size_t j = i; j < rects_.size() && rects_[j].y == band_y; ++j) {
+      if (rects_[j].x <= r.x && rects_[j].Right() >= r.Right()) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return false;
+    }
+    y = rects_[i].Bottom();
+  }
+  return true;
 }
 
-bool Region::Intersects(const Region& other) const { return !Intersect(other).IsEmpty(); }
+bool Region::IntersectsRect(const Rect& r) const {
+  if (r.IsEmpty()) {
+    return false;
+  }
+  for (const Rect& mine : rects_) {
+    if (mine.y >= r.Bottom()) {
+      return false;
+    }
+    if (mine.Intersects(r)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Region::Intersects(const Region& other) const {
+  // Allocation-free band sweep with early exit on the first overlap.
+  BandCursor ca(rects_);
+  BandCursor cb(other.rects_);
+  while (ca.valid() && cb.valid()) {
+    if (ca.y1 <= cb.y0) {
+      ca.Advance();
+      continue;
+    }
+    if (cb.y1 <= ca.y0) {
+      cb.Advance();
+      continue;
+    }
+    const Rect* a = ca.rects + ca.begin;
+    const Rect* a_end = ca.rects + ca.end;
+    const Rect* b = cb.rects + cb.begin;
+    const Rect* b_end = cb.rects + cb.end;
+    while (a != a_end && b != b_end) {
+      if (std::max(a->x, b->x) < std::min(a->Right(), b->Right())) {
+        return true;
+      }
+      if (a->Right() < b->Right()) {
+        ++a;
+      } else {
+        ++b;
+      }
+    }
+    if (ca.y1 <= cb.y1) {
+      ca.Advance();
+    } else {
+      cb.Advance();
+    }
+  }
+  return false;
+}
 
 Region Region::Union(const Region& other) const {
   Region out;
-  out.rects_ = BandCombine(rects_, other.rects_, UnionIntervals);
+  CombineRects(rects_, other.rects_, OpKind::kUnion, &out.rects_);
   return out;
 }
 
 Region Region::Intersect(const Region& other) const {
   Region out;
-  out.rects_ = BandCombine(rects_, other.rects_, IntersectIntervals);
+  CombineRects(rects_, other.rects_, OpKind::kIntersect, &out.rects_);
   return out;
 }
 
 Region Region::Subtract(const Region& other) const {
   Region out;
-  out.rects_ = BandCombine(rects_, other.rects_, SubtractIntervals);
+  CombineRects(rects_, other.rects_, OpKind::kSubtract, &out.rects_);
   return out;
 }
 
@@ -243,6 +431,104 @@ Region Region::Translated(int dx, int dy) const {
     r.y += dy;
   }
   return out;
+}
+
+void Region::SetRect(const Rect& rect) {
+  rects_.clear();
+  if (!rect.IsEmpty()) {
+    rects_.push_back(rect);
+  }
+}
+
+void Region::UnionRect(const Rect& rect) {
+  if (rect.IsEmpty()) {
+    return;
+  }
+  if (rects_.empty()) {
+    rects_.push_back(rect);
+    return;
+  }
+  // Already covered by one band rect: the common case once a tree root's
+  // damage has grown to its full bounds.
+  for (const Rect& mine : rects_) {
+    if (mine.y > rect.y) {
+      break;
+    }
+    if (mine.Contains(rect)) {
+      return;
+    }
+  }
+  const Rect& last = rects_.back();
+  if (rect.y > last.Bottom()) {
+    // Strictly below every band: appending keeps canonical form.
+    rects_.push_back(rect);
+    return;
+  }
+  std::vector<Rect>& one = RectScratch();
+  one.resize(1);
+  one[0] = rect;
+  std::vector<Rect>& scratch = OpScratch();
+  CombineRects(rects_, one, OpKind::kUnion, &scratch);
+  rects_.swap(scratch);
+}
+
+void Region::UnionWith(const Region& other) {
+  if (&other == this || other.IsEmpty()) {
+    return;
+  }
+  if (IsEmpty()) {
+    rects_ = other.rects_;
+    return;
+  }
+  if (other.rects_.size() == 1) {
+    UnionRect(other.rects_[0]);
+    return;
+  }
+  std::vector<Rect>& scratch = OpScratch();
+  CombineRects(rects_, other.rects_, OpKind::kUnion, &scratch);
+  rects_.swap(scratch);
+}
+
+void Region::IntersectWith(const Region& other) {
+  if (&other == this || IsEmpty()) {
+    return;
+  }
+  if (other.IsEmpty()) {
+    rects_.clear();
+    return;
+  }
+  std::vector<Rect>& scratch = OpScratch();
+  CombineRects(rects_, other.rects_, OpKind::kIntersect, &scratch);
+  rects_.swap(scratch);
+}
+
+void Region::IntersectRect(const Rect& rect) {
+  if (IsEmpty()) {
+    return;
+  }
+  if (rect.IsEmpty()) {
+    rects_.clear();
+    return;
+  }
+  std::vector<Rect>& one = RectScratch();
+  one.resize(1);
+  one[0] = rect;
+  std::vector<Rect>& scratch = OpScratch();
+  CombineRects(rects_, one, OpKind::kIntersect, &scratch);
+  rects_.swap(scratch);
+}
+
+void Region::SubtractWith(const Region& other) {
+  if (IsEmpty() || other.IsEmpty()) {
+    return;
+  }
+  if (&other == this) {
+    rects_.clear();
+    return;
+  }
+  std::vector<Rect>& scratch = OpScratch();
+  CombineRects(rects_, other.rects_, OpKind::kSubtract, &scratch);
+  rects_.swap(scratch);
 }
 
 std::string Region::ToString() const {

@@ -4,8 +4,16 @@
 // identical x-interval sets are coalesced.  Canonical form makes equality
 // comparison structural.
 //
-// Used for the SHAPE extension (bounding shapes), exposure computation and
-// the panner's visible-area bookkeeping.
+// Used for the SHAPE extension (bounding shapes), exposure computation,
+// clip/damage bookkeeping in the renderer, and the frame scheduler's
+// per-root damage accumulation.
+//
+// The binary operations run a single linear sweep over both operands'
+// bands (O(|a| + |b|) rectangles, no intermediate sets), and the in-place
+// forms (UnionWith / UnionRect / ...) write through pooled per-thread
+// scratch storage, so a Region reused across frames performs steady-state
+// operations without allocating.  The pooling is thread-local, which keeps
+// the parallel painter's per-worker clip arithmetic race-free.
 #ifndef SRC_BASE_REGION_H_
 #define SRC_BASE_REGION_H_
 
@@ -37,11 +45,26 @@ class Region {
   bool Contains(const Point& p) const;
   bool ContainsRect(const Rect& r) const;
   bool Intersects(const Region& other) const;
+  bool IntersectsRect(const Rect& r) const;
 
   Region Union(const Region& other) const;
   Region Intersect(const Region& other) const;
   Region Subtract(const Region& other) const;
   Region Translated(int dx, int dy) const;
+
+  // ---- In-place forms (pooled scratch; capacity is retained) ---------------
+  // Empties the region but keeps its rectangle storage for reuse.
+  void Clear() { rects_.clear(); }
+  // Replaces the contents with a single rectangle (empty rect clears).
+  void SetRect(const Rect& rect);
+  // Folds one rectangle into the region.  The common damage-accumulation
+  // cases — first rect, rect already covered, rect strictly below every
+  // band — append or return without running the band sweep.
+  void UnionRect(const Rect& rect);
+  void UnionWith(const Region& other);
+  void IntersectWith(const Region& other);
+  void IntersectRect(const Rect& rect);
+  void SubtractWith(const Region& other);
 
   friend bool operator==(const Region&, const Region&) = default;
 

@@ -1,0 +1,94 @@
+#include "src/base/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace xbase {
+
+ThreadPool::ThreadPool(int threads) : thread_count_(std::max(1, threads)) {
+  threads_.reserve(static_cast<size_t>(thread_count_ - 1));
+  for (int i = 1; i < thread_count_; ++i) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+int ThreadPool::RunTasks(const std::function<void(int, int)>& body, int count, int worker) {
+  int executed = 0;
+  for (;;) {
+    int task = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    if (task >= count) {
+      return executed;
+    }
+    body(task, worker);
+    ++executed;
+  }
+}
+
+void ThreadPool::ParallelFor(int count, const std::function<void(int, int)>& body) {
+  if (count <= 0) {
+    return;
+  }
+  if (thread_count_ == 1 || count == 1) {
+    for (int task = 0; task < count; ++task) {
+      body(task, 0);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    XB_CHECK(body_ == nullptr);  // Nested/concurrent ParallelFor is not supported.
+    body_ = &body;
+    count_ = count;
+    completed_ = 0;
+    next_ticket_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  int executed = RunTasks(body, count, /*worker=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  completed_ += executed;
+  done_cv_.wait(lock, [this] { return completed_ == count_ && active_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerMain(int worker_index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int, int)>* body = nullptr;
+    int count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (body_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      body = body_;
+      count = count_;
+      ++active_;
+    }
+    int executed = RunTasks(*body, count, worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_ += executed;
+      --active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace xbase

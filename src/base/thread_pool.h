@@ -1,0 +1,70 @@
+// Fixed-size worker pool for data-parallel painting.
+//
+// The pool runs one batch at a time: ParallelFor hands every worker (plus
+// the calling thread, which participates as worker 0) an atomic ticket
+// dispenser over [0, count) and blocks until all tasks have executed.  The
+// body receives both the task index and the worker index, so callers can
+// give each worker private scratch state (e.g. a per-worker canvas tile)
+// and keep the pixel path lock-free.
+//
+// With `threads <= 1` no OS threads are created and ParallelFor degenerates
+// to a plain serial loop on the caller — the serial and parallel paths run
+// the identical body, which is what the painter's determinism tests rely
+// on.
+#ifndef SRC_BASE_THREAD_POOL_H_
+#define SRC_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xbase {
+
+class ThreadPool {
+ public:
+  // `threads` counts the caller: a pool of 4 spawns 3 OS threads.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return thread_count_; }
+
+  // Invokes body(task_index, worker_index) for every task_index in
+  // [0, count), distributing tasks dynamically across workers.  Worker
+  // indices are in [0, thread_count()); the caller runs as worker 0.
+  // Blocks until every task has finished.  Not reentrant: the body must
+  // not call ParallelFor on the same pool.
+  void ParallelFor(int count, const std::function<void(int task, int worker)>& body);
+
+ private:
+  void WorkerMain(int worker_index);
+  // Pulls tickets for the current batch; returns tasks executed.
+  int RunTasks(const std::function<void(int, int)>& body, int count, int worker);
+
+  const int thread_count_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers: a new batch (or shutdown).
+  std::condition_variable done_cv_;  // Caller: batch fully drained.
+  // Batch state.  `generation_` tells a waking worker whether the batch is
+  // new to it; `active_` counts workers currently inside a batch so the
+  // caller cannot recycle the batch slots under a straggler.
+  const std::function<void(int, int)>* body_ = nullptr;  // Guarded by mu_.
+  int count_ = 0;                                        // Guarded by mu_.
+  std::atomic<int> next_ticket_{0};
+  int completed_ = 0;  // Guarded by mu_.
+  int active_ = 0;     // Guarded by mu_.
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace xbase
+
+#endif  // SRC_BASE_THREAD_POOL_H_

@@ -53,7 +53,7 @@ void FrameScheduler::AddExposeDamage(Object* object, const xbase::Rect& area) {
     --immediate_depth_;
     return;
   }
-  expose_rects_[object].push_back(area);
+  expose_rects_.emplace_back(object, area);
   if ((object->dirty_kinds_ & kPaintDirty) == 0) {
     object->dirty_kinds_ |= kPaintDirty;
     paint_objects_.push_back(object);
@@ -65,7 +65,28 @@ void FrameScheduler::ForgetObject(Object* object) {
                       layout_roots_.end());
   paint_objects_.erase(std::remove(paint_objects_.begin(), paint_objects_.end(), object),
                        paint_objects_.end());
-  expose_rects_.erase(object);
+  expose_rects_.erase(
+      std::remove_if(expose_rects_.begin(), expose_rects_.end(),
+                     [object](const auto& entry) { return entry.first == object; }),
+      expose_rects_.end());
+}
+
+xbase::Region& FrameScheduler::DamageFor(Object* root) {
+  // Dirty trees per flush number a handful (one per screen plus open icons
+  // and menus), so a linear scan beats any associative container here and
+  // keeps the slot pool trivially reusable.
+  for (size_t i = 0; i < damage_slots_used_; ++i) {
+    if (damage_slots_[i].root == root) {
+      return damage_slots_[i].damage;
+    }
+  }
+  if (damage_slots_used_ == damage_slots_.size()) {
+    damage_slots_.emplace_back();
+  }
+  RootDamage& slot = damage_slots_[damage_slots_used_++];
+  slot.root = root;
+  slot.damage.Clear();  // Keeps the banded rect storage from prior frames.
+  return slot.damage;
 }
 
 void FrameScheduler::FlushFrame() {
@@ -78,9 +99,9 @@ void FrameScheduler::FlushFrame() {
   // size-override change); everything lands in this same frame, so the
   // paint snapshot below is taken only once the layout queue is drained.
   while (!layout_roots_.empty()) {
-    std::vector<Object*> roots;
-    roots.swap(layout_roots_);
-    for (Object* root : roots) {
+    layout_scratch_.clear();
+    layout_scratch_.swap(layout_roots_);
+    for (Object* root : layout_scratch_) {
       root->dirty_kinds_ &= static_cast<uint8_t>(~kLayoutDirty);
       root->Layout();
       ++stats_.layouts;
@@ -89,36 +110,37 @@ void FrameScheduler::FlushFrame() {
       }
     }
   }
-  // Damage accumulation: per tree, the union of every damaged object's
-  // bounds plus any Expose rectangles, as a canonical banded Region.  Draw
-  // lists are per-window in this server, so the object window is the
-  // repaint granularity; zero-area objects clip out entirely.
-  std::vector<Object*> paints;
-  paints.swap(paint_objects_);
-  std::map<Object*, std::vector<xbase::Rect>> damage;
-  for (Object* object : paints) {
-    object->dirty_kinds_ &= static_cast<uint8_t>(~kPaintDirty);
-    xbase::Point offset = OffsetInTree(object);
-    damage[object->TreeRoot()].push_back(
-        xbase::Rect{offset.x, offset.y, object->geometry().width, object->geometry().height});
-  }
-  for (auto& [object, rects] : expose_rects_) {
-    xbase::Point offset = OffsetInTree(object);
-    for (const xbase::Rect& rect : rects) {
-      damage[object->TreeRoot()].push_back(rect.Translated(offset.x, offset.y));
-    }
-  }
-  expose_rects_.clear();
-  last_frame_damage_area_ = 0;
-  for (auto& [root, rects] : damage) {
-    last_frame_damage_area_ += xbase::Region(std::move(rects)).Area();
-  }
-  stats_.damage_area += last_frame_damage_area_;
-  // Paint phase: each damaged object exactly once.
-  for (Object* object : paints) {
-    if (object->geometry().width <= 0 || object->geometry().height <= 0) {
+  // Damage + paint phase.  Per tree, the union of every damaged object's
+  // bounds plus any Expose rectangles accumulates into a pooled banded
+  // Region, each contribution clipped to the tree root's bounds before any
+  // region arithmetic runs.  Draw lists are per-window in this server, so
+  // the object window is the repaint granularity.
+  paint_scratch_.clear();
+  paint_scratch_.swap(paint_objects_);
+  for (Object* object : paint_scratch_) {
+    const xbase::Rect& geo = object->geometry();
+    if (geo.width <= 0 || geo.height <= 0) {
+      // Zero-area objects clip out entirely; they repaint on their next
+      // resize, which re-queues them.
+      object->dirty_kinds_ &= static_cast<uint8_t>(~kPaintDirty);
       continue;
     }
+    Object* root = object->TreeRoot();
+    xbase::Rect bounds{0, 0, root->geometry().width, root->geometry().height};
+    xbase::Point offset = OffsetInTree(object);
+    xbase::Rect damage =
+        xbase::Rect{offset.x, offset.y, geo.width, geo.height}.Intersection(bounds);
+    if (object != root && damage.IsEmpty()) {
+      // Entirely outside its tree's bounds: no pixels can result, so leave
+      // the draw list untouched.  The object keeps its dirty bit and stays
+      // queued, so a later flush repaints it once layout brings it back
+      // into view — dropping it here would leave the server holding a
+      // stale draw list.
+      paint_objects_.push_back(object);
+      continue;
+    }
+    object->dirty_kinds_ &= static_cast<uint8_t>(~kPaintDirty);
+    DamageFor(root).UnionRect(damage);
     if (object->parent() != nullptr) {
       // Containers used to Show children as part of rendering; preserve
       // that for freshly built trees.  Tree roots stay under their owner's
@@ -127,6 +149,29 @@ void FrameScheduler::FlushFrame() {
     }
     object->Paint();
   }
+  for (const auto& [object, rect] : expose_rects_) {
+    Object* root = object->TreeRoot();
+    xbase::Rect bounds{0, 0, root->geometry().width, root->geometry().height};
+    xbase::Point offset = OffsetInTree(object);
+    xbase::Rect damage = rect.Translated(offset.x, offset.y).Intersection(bounds);
+    if (!damage.IsEmpty()) {
+      DamageFor(root).UnionRect(damage);
+    }
+  }
+  expose_rects_.clear();
+  last_frame_damage_area_ = 0;
+  for (size_t i = 0; i < damage_slots_used_; ++i) {
+    int64_t area = damage_slots_[i].damage.Area();
+    if (area > 0) {
+      last_frame_damage_area_ += static_cast<uint64_t>(area);
+    }
+    damage_slots_[i].root = nullptr;
+  }
+  damage_slots_used_ = 0;
+  // Saturating: a counter wedged at max is better than one that wrapped.
+  stats_.damage_area = (stats_.damage_area > UINT64_MAX - last_frame_damage_area_)
+                           ? UINT64_MAX
+                           : stats_.damage_area + last_frame_damage_area_;
   ++stats_.frames;
   in_flush_ = false;
 }

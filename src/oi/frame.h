@@ -7,6 +7,15 @@
 // reissues each damaged object's draw list exactly once, however many
 // invalidations hit it since the previous flush.
 //
+// The flush path is allocation-free in steady state: the pending queues are
+// flat vectors whose buffers are recycled across frames, and the per-root
+// damage regions live in a pooled slot arena (`RootDamage`) whose banded
+// rect storage is reused frame after frame instead of being rebuilt from a
+// map of rect vectors.  Each object's damage contribution is clipped to its
+// tree root's bounds with a plain rect intersection before any region work
+// happens; an object that clips out entirely keeps its dirty bit and stays
+// queued (its draw list is not touched until it can produce pixels).
+//
 // An immediate mode bypasses the deferral for ablation benchmarks and A/B
 // correctness tests: every invalidation lays out and repaints its tree on
 // the spot, as the pre-pipeline code did.  Pixel output is identical in
@@ -16,7 +25,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "src/base/geometry.h"
@@ -35,7 +44,8 @@ class FrameScheduler {
     uint64_t objects_painted = 0;  // Draw lists reissued, via any paint path.
     uint64_t invalidations = 0;    // Invalidate() calls reaching the scheduler.
     uint64_t expose_rects = 0;     // Expose rectangles folded into damage.
-    int64_t damage_area = 0;       // Cells covered by flushed damage regions.
+    uint64_t damage_area = 0;      // Cells covered by flushed damage regions
+                                   // (clipped to tree bounds; saturating).
   };
 
   // Called after each dirty root's layout pass (both modes); swm uses it to
@@ -72,20 +82,33 @@ class FrameScheduler {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
   // Damage accumulated by the most recent flush alone (diagnostics/tests).
-  int64_t last_frame_damage_area() const { return last_frame_damage_area_; }
+  uint64_t last_frame_damage_area() const { return last_frame_damage_area_; }
 
  private:
+  // One pooled damage accumulator per dirty tree root.  Slots (and the
+  // banded rect storage inside their Regions) are recycled across frames.
+  struct RootDamage {
+    Object* root = nullptr;
+    xbase::Region damage;
+  };
+
   void ImmediateFlush(Object* object, uint8_t kinds, Object* tree_root);
+  xbase::Region& DamageFor(Object* root);
 
   std::vector<Object*> layout_roots_;
   std::vector<Object*> paint_objects_;
-  std::map<Object*, std::vector<xbase::Rect>> expose_rects_;
+  std::vector<std::pair<Object*, xbase::Rect>> expose_rects_;
+  // Recycled scratch buffers for the flush (capacity persists).
+  std::vector<Object*> layout_scratch_;
+  std::vector<Object*> paint_scratch_;
+  std::vector<RootDamage> damage_slots_;
+  size_t damage_slots_used_ = 0;
   LayoutObserver layout_observer_;
   bool immediate_render_ = false;
   bool in_flush_ = false;
   int immediate_depth_ = 0;
   Stats stats_;
-  int64_t last_frame_damage_area_ = 0;
+  uint64_t last_frame_damage_area_ = 0;
 };
 
 }  // namespace oi

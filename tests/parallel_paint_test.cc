@@ -1,0 +1,248 @@
+// Differential tests for the parallel painter (docs/RENDERING.md): the
+// worker pool may only change wall-clock, never pixels.  A hundred seeded
+// random WM workloads each drive randomized damage sequences through
+// Server::RenderScreenInto at paint_threads 1, 2 and 4, and every
+// framebuffer must stay byte-identical across thread counts.  A chaos-seed
+// run keeps the pool enabled while the fault plan destroys windows mid-
+// manage, and the ThreadPool itself gets a direct exercise (this file is
+// what the TSan stage in tools/check.sh gates on).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <iterator>
+#include <memory>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/thread_pool.h"
+#include "src/swm/wm.h"
+#include "src/xlib/client_app.h"
+#include "src/xlib/icccm.h"
+#include "src/xserver/faults.h"
+#include "src/xserver/server.h"
+
+namespace swm_test {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4};
+
+struct Stack {
+  std::unique_ptr<xserver::Server> server;
+  std::unique_ptr<swm::WindowManager> wm;
+  std::vector<std::unique_ptr<xlib::ClientApp>> apps;
+  int spawned = 0;
+};
+
+Stack StartStack() {
+  Stack stack;
+  stack.server = std::make_unique<xserver::Server>(std::vector<xserver::ScreenConfig>{
+      xserver::ScreenConfig{200, 100, false}, xserver::ScreenConfig{160, 80, false}});
+  swm::WindowManager::Options options;
+  options.template_name = "openlook";
+  stack.wm = std::make_unique<swm::WindowManager>(stack.server.get(), options);
+  EXPECT_TRUE(stack.wm->Start());
+  return stack;
+}
+
+// One random client operation (same family as the frame differential test).
+void ApplyOp(Stack* stack, std::mt19937_64& rng) {
+  std::vector<std::unique_ptr<xlib::ClientApp>>& apps = stack->apps;
+  int op = static_cast<int>(rng() % 6);
+  xbase::Rect geometry{static_cast<int>(rng() % 140), static_cast<int>(rng() % 60),
+                       static_cast<int>(10 + rng() % 50), static_cast<int>(6 + rng() % 24)};
+  if (apps.empty() || (op == 0 && apps.size() < 5)) {
+    xlib::ClientAppConfig config;
+    config.name = "pp" + std::to_string(stack->spawned++);
+    config.wm_class = {config.name, "ParallelPaint"};
+    config.command = {config.name};
+    config.geometry = geometry;
+    apps.push_back(std::make_unique<xlib::ClientApp>(stack->server.get(), config));
+    apps.back()->Map();
+  } else {
+    xlib::ClientApp& app = *apps[rng() % apps.size()];
+    switch (op) {
+      case 1:
+        app.RequestMoveResize(geometry);
+        break;
+      case 2:
+        app.RequestIconify();
+        break;
+      case 3:
+        app.Map();
+        break;
+      default:
+        xlib::SetWmName(&app.display(), app.window(),
+                        "name" + std::to_string(rng() % 12));
+        break;
+    }
+  }
+  stack->wm->ProcessEvents();
+  for (std::unique_ptr<xlib::ClientApp>& app : apps) {
+    app->ProcessEvents();
+  }
+  stack->wm->ProcessEvents();
+}
+
+// A multi-band damage region somewhere on the screen.
+xbase::Region RandomDamage(std::mt19937_64& rng, int width, int height) {
+  xbase::Region damage;
+  int bands = 3 + static_cast<int>(rng() % 6);
+  for (int i = 0; i < bands; ++i) {
+    damage.UnionRect(xbase::Rect{static_cast<int>(rng() % static_cast<uint64_t>(width)),
+                                 static_cast<int>(rng() % static_cast<uint64_t>(height)),
+                                 static_cast<int>(1 + rng() % 80),
+                                 static_cast<int>(1 + rng() % 30)});
+  }
+  return damage;
+}
+
+TEST(ParallelPaintTest, DamageSequencesByteIdenticalAcrossThreadCounts) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kError);
+  constexpr int kSequences = 100;
+  constexpr int kOpsPerSequence = 6;
+  for (int sequence = 0; sequence < kSequences; ++sequence) {
+    std::mt19937_64 rng(0x9a11e7ULL + sequence);
+    Stack stack = StartStack();
+    // One incrementally-presented framebuffer per thread count; all start
+    // from the same serial full render and must never diverge.
+    std::vector<xbase::Canvas> frames;
+    for (size_t i = 0; i < std::size(kThreadCounts); ++i) {
+      frames.push_back(stack.server->RenderScreen(0));
+    }
+    for (int step = 0; step < kOpsPerSequence; ++step) {
+      SCOPED_TRACE("sequence " + std::to_string(sequence) + " step " +
+                   std::to_string(step));
+      ApplyOp(&stack, rng);
+      xbase::Region damage = RandomDamage(rng, 200, 100);
+      std::vector<uint64_t> serial_cells;
+      uint64_t parallel_total = 0;
+      for (size_t i = 0; i < std::size(kThreadCounts); ++i) {
+        stack.server->SetPaintThreads(kThreadCounts[i]);
+        std::vector<uint64_t> worker_cells;
+        stack.server->RenderScreenInto(0, damage, &frames[i], &worker_cells);
+        ASSERT_EQ(worker_cells.size(), static_cast<size_t>(kThreadCounts[i]));
+        uint64_t total = std::accumulate(worker_cells.begin(), worker_cells.end(),
+                                         uint64_t{0});
+        if (kThreadCounts[i] == 1) {
+          serial_cells = worker_cells;
+        } else {
+          parallel_total = total;
+          // The pool splits the raster work; it must not duplicate it.
+          ASSERT_EQ(total, serial_cells[0]);
+        }
+        ASSERT_EQ(frames[i].ToString(), frames[0].ToString())
+            << "paint_threads=" << kThreadCounts[i] << " diverged";
+      }
+      (void)parallel_total;
+    }
+  }
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+}
+
+// Whole-screen fan-out: RenderAllScreens with the pool must match the
+// serial per-screen renders exactly.
+TEST(ParallelPaintTest, RenderAllScreensMatchesSerialPerScreen) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kError);
+  std::mt19937_64 rng(0x5c4ee25ULL);
+  Stack stack = StartStack();
+  for (int step = 0; step < 10; ++step) {
+    SCOPED_TRACE("step " + std::to_string(step));
+    ApplyOp(&stack, rng);
+    stack.server->SetPaintThreads(1);
+    std::vector<std::string> serial;
+    for (int s = 0; s < stack.server->ScreenCount(); ++s) {
+      serial.push_back(stack.server->RenderScreen(s).ToString());
+    }
+    for (int threads : {2, 4}) {
+      stack.server->SetPaintThreads(threads);
+      std::vector<xbase::Canvas> parallel = stack.server->RenderAllScreens();
+      ASSERT_EQ(parallel.size(), serial.size());
+      for (size_t s = 0; s < serial.size(); ++s) {
+        ASSERT_EQ(parallel[s].ToString(), serial[s]) << "screen " << s << " threads "
+                                                     << threads;
+      }
+    }
+  }
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+}
+
+// Options::paint_threads reaches the server when the WM starts.
+TEST(ParallelPaintTest, WindowManagerPlumbsPaintThreads) {
+  xserver::Server server(std::vector<xserver::ScreenConfig>{xserver::ScreenConfig{}});
+  swm::WindowManager::Options options;
+  options.template_name = "openlook";
+  options.paint_threads = 4;
+  swm::WindowManager wm(&server, options);
+  ASSERT_TRUE(wm.Start());
+  EXPECT_EQ(server.paint_threads(), 4);
+}
+
+// Chaos-seed run with the pool enabled: the painter must stay correct and
+// crash-free while the fault plan destroys windows in the manage races.
+// Every few steps the pooled incremental render is checked against the
+// serial recursive render of the same tree.
+TEST(ParallelPaintTest, ChaosSeedsWithPoolEnabled) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Stack stack = StartStack();
+    stack.server->SetPaintThreads(4);
+
+    xserver::FaultPlan plan;
+    plan.seed = seed;
+    plan.destroy_on_map_permille = 250;
+    plan.destroy_on_reparent_permille = 120;
+    plan.destroy_on_configure_permille = 80;
+    plan.duplicate_event_permille = 60;
+    stack.server->InstallFaultPlan(plan);
+
+    std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL);
+    for (int step = 0; step < 40; ++step) {
+      SCOPED_TRACE("step " + std::to_string(step));
+      ApplyOp(&stack, rng);
+      if (step % 5 == 0) {
+        // Prime with the serial full render, repaint random damage through
+        // the pool: the result must still equal the full render.
+        std::string expected = stack.server->RenderScreen(0).ToString();
+        xbase::Canvas frame = stack.server->RenderScreen(0);
+        stack.server->RenderScreenInto(0, RandomDamage(rng, 200, 100), &frame);
+        ASSERT_EQ(frame.ToString(), expected);
+      }
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+    stack.server->ClearFaultPlan();
+    stack.wm->ProcessEvents();
+  }
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+}
+
+// Direct pool exercise: dynamic ticketing must run every task exactly once,
+// whatever worker picks it up.  (The TSan stage relies on this test driving
+// the pool's handshake hard.)
+TEST(ParallelPaintTest, ThreadPoolRunsEveryTaskExactlyOnce) {
+  xbase::ThreadPool pool(4);
+  ASSERT_EQ(pool.thread_count(), 4);
+  for (int round = 0; round < 50; ++round) {
+    constexpr int kTasks = 64;
+    std::vector<std::atomic<int>> hits(kTasks);
+    for (auto& h : hits) {
+      h.store(0);
+    }
+    pool.ParallelFor(kTasks, [&](int task, int worker) {
+      ASSERT_GE(worker, 0);
+      ASSERT_LT(worker, 4);
+      hits[static_cast<size_t>(task)].fetch_add(1);
+    });
+    for (int task = 0; task < kTasks; ++task) {
+      ASSERT_EQ(hits[static_cast<size_t>(task)].load(), 1) << "task " << task;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swm_test

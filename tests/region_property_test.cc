@@ -1,0 +1,304 @@
+// Differential property tests for xbase::Region against a brute-force
+// bitmap oracle: every operation is replayed per-pixel on a boolean grid
+// and the region must agree cell for cell, while also staying in canonical
+// y-x banded form (sorted, disjoint, horizontally merged, vertically
+// coalesced).  Canonical form is what makes operator== structural, so the
+// tests also assert that differently-constructed regions with the same
+// coverage compare equal.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bitset>
+#include <random>
+#include <vector>
+
+#include "src/base/region.h"
+
+namespace xbase {
+namespace {
+
+// Oracle universe: [kMin, kMin + kSpan) in both axes.  Generated rects stay
+// well inside so translations cannot escape.
+constexpr int kMin = -12;
+constexpr int kSpan = 64;
+
+class Grid {
+ public:
+  Grid() = default;
+  static bool InUniverse(int x, int y) {
+    return x >= kMin && y >= kMin && x < kMin + kSpan && y < kMin + kSpan;
+  }
+  bool Get(int x, int y) const { return InUniverse(x, y) && bits_[Index(x, y)]; }
+  void Set(int x, int y) {
+    ASSERT_TRUE(InUniverse(x, y)) << "cell (" << x << "," << y << ") escaped the universe";
+    bits_[Index(x, y)] = true;
+  }
+
+  void AddRect(const Rect& r) {
+    for (int y = r.y; y < r.Bottom(); ++y) {
+      for (int x = r.x; x < r.Right(); ++x) {
+        Set(x, y);
+        if (::testing::Test::HasFatalFailure()) {
+          return;
+        }
+      }
+    }
+  }
+
+  size_t Count() const { return bits_.count(); }
+
+  Grid Union(const Grid& o) const { return Grid(bits_ | o.bits_); }
+  Grid Intersect(const Grid& o) const { return Grid(bits_ & o.bits_); }
+  Grid Subtract(const Grid& o) const { return Grid(bits_ & ~o.bits_); }
+
+  friend bool operator==(const Grid&, const Grid&) = default;
+
+ private:
+  explicit Grid(std::bitset<kSpan * kSpan> bits) : bits_(bits) {}
+  static size_t Index(int x, int y) {
+    return static_cast<size_t>(y - kMin) * kSpan + static_cast<size_t>(x - kMin);
+  }
+  std::bitset<kSpan * kSpan> bits_;
+};
+
+Grid FromRects(const std::vector<Rect>& rects) {
+  Grid g;
+  for (const Rect& r : rects) {
+    g.AddRect(r);
+  }
+  return g;
+}
+
+Grid FromRegion(const Region& region) { return FromRects(region.rects()); }
+
+// Structural canonical-form invariants (see region.h).
+void CheckCanonical(const Region& region) {
+  const std::vector<Rect>& rects = region.rects();
+  for (const Rect& r : rects) {
+    ASSERT_GT(r.width, 0) << region.ToString();
+    ASSERT_GT(r.height, 0) << region.ToString();
+  }
+  // Band structure: rects sorted by (y, x); within a band equal y/height and
+  // a horizontal gap between neighbors; across bands vertical disjointness.
+  for (size_t i = 1; i < rects.size(); ++i) {
+    const Rect& prev = rects[i - 1];
+    const Rect& cur = rects[i];
+    if (cur.y == prev.y) {
+      ASSERT_EQ(cur.height, prev.height) << region.ToString();
+      ASSERT_GT(cur.x, prev.Right()) << "unmerged neighbors: " << region.ToString();
+    } else {
+      ASSERT_GE(cur.y, prev.Bottom()) << region.ToString();
+    }
+  }
+  // Coalescing: vertically adjacent bands must not have identical x spans.
+  for (size_t band = 0; band < rects.size();) {
+    size_t band_end = band;
+    while (band_end < rects.size() && rects[band_end].y == rects[band].y) {
+      ++band_end;
+    }
+    if (band_end < rects.size() && rects[band_end].y == rects[band].Bottom() &&
+        band_end - band == [&] {
+          size_t next_end = band_end;
+          while (next_end < rects.size() && rects[next_end].y == rects[band_end].y) {
+            ++next_end;
+          }
+          return next_end - band_end;
+        }()) {
+      bool identical = true;
+      for (size_t i = 0; band + i < band_end; ++i) {
+        if (rects[band + i].x != rects[band_end + i].x ||
+            rects[band + i].width != rects[band_end + i].width) {
+          identical = false;
+          break;
+        }
+      }
+      ASSERT_FALSE(identical) << "uncoalesced bands: " << region.ToString();
+    }
+    band = band_end;
+  }
+}
+
+// Full agreement between a region and its oracle grid.
+void CheckAgainstOracle(const Region& region, const Grid& oracle) {
+  CheckCanonical(region);
+  ASSERT_EQ(FromRegion(region), oracle) << region.ToString();
+  ASSERT_EQ(static_cast<size_t>(region.Area()), oracle.Count());
+  // Bounds must be the tight bounding box.
+  Rect bounds = region.Bounds();
+  if (region.IsEmpty()) {
+    ASSERT_TRUE(bounds.IsEmpty());
+  } else {
+    int min_x = kMin + kSpan, min_y = kMin + kSpan, max_x = kMin, max_y = kMin;
+    for (int y = kMin; y < kMin + kSpan; ++y) {
+      for (int x = kMin; x < kMin + kSpan; ++x) {
+        if (oracle.Get(x, y)) {
+          min_x = std::min(min_x, x);
+          min_y = std::min(min_y, y);
+          max_x = std::max(max_x, x + 1);
+          max_y = std::max(max_y, y + 1);
+        }
+      }
+    }
+    ASSERT_EQ(bounds, (Rect{min_x, min_y, max_x - min_x, max_y - min_y}));
+  }
+}
+
+std::vector<Rect> RandomRects(std::mt19937_64& rng, int max_count) {
+  int count = static_cast<int>(rng() % static_cast<uint64_t>(max_count + 1));
+  std::vector<Rect> rects;
+  rects.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // Sizes occasionally zero: empty rects must canonicalize away.  The
+    // 6-cell margin keeps ±4 translations inside the oracle universe.
+    rects.push_back(Rect{kMin + 6 + static_cast<int>(rng() % 36),
+                         kMin + 6 + static_cast<int>(rng() % 36),
+                         static_cast<int>(rng() % 13), static_cast<int>(rng() % 13)});
+  }
+  return rects;
+}
+
+TEST(RegionPropertyTest, ConstructionCanonicalizesAnyRectSoup) {
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937_64 rng(0xbeef0000 + seed);
+    std::vector<Rect> rects = RandomRects(rng, 8);
+    Region region(rects);
+    CheckAgainstOracle(region, FromRects(rects));
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+// Equal coverage implies structural equality, regardless of how the
+// coverage was described: shuffled input, rects split in half, overlaps.
+TEST(RegionPropertyTest, EqualCoverageComparesEqual) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937_64 rng(0xcafe0000 + seed);
+    std::vector<Rect> rects = RandomRects(rng, 6);
+    Region original(rects);
+
+    std::vector<Rect> mangled;
+    for (const Rect& r : rects) {
+      if (r.width > 1 && rng() % 2 == 0) {
+        int cut = 1 + static_cast<int>(rng() % static_cast<uint64_t>(r.width - 1));
+        mangled.push_back(Rect{r.x, r.y, cut, r.height});
+        mangled.push_back(Rect{r.x + cut, r.y, r.width - cut, r.height});
+      } else if (r.height > 1 && rng() % 2 == 0) {
+        int cut = 1 + static_cast<int>(rng() % static_cast<uint64_t>(r.height - 1));
+        mangled.push_back(Rect{r.x, r.y, r.width, cut});
+        mangled.push_back(Rect{r.x, r.y + cut, r.width, r.height - cut});
+      } else {
+        mangled.push_back(r);  // Duplicates below create overlaps.
+        mangled.push_back(r);
+      }
+    }
+    std::shuffle(mangled.begin(), mangled.end(), rng);
+    ASSERT_EQ(original, Region(mangled)) << original.ToString();
+  }
+}
+
+TEST(RegionPropertyTest, BinaryOpsMatchBitmapOracle) {
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937_64 rng(0xab5e0000 + seed);
+    std::vector<Rect> rects_a = RandomRects(rng, 7);
+    std::vector<Rect> rects_b = RandomRects(rng, 7);
+    Region a(rects_a);
+    Region b(rects_b);
+    Grid ga = FromRects(rects_a);
+    Grid gb = FromRects(rects_b);
+
+    CheckAgainstOracle(a.Union(b), ga.Union(gb));
+    CheckAgainstOracle(a.Intersect(b), ga.Intersect(gb));
+    CheckAgainstOracle(a.Subtract(b), ga.Subtract(gb));
+    CheckAgainstOracle(b.Subtract(a), gb.Subtract(ga));
+
+    // In-place forms must agree with the functional ones.
+    Region in_place = a;
+    in_place.UnionWith(b);
+    ASSERT_EQ(in_place, a.Union(b));
+    in_place = a;
+    in_place.IntersectWith(b);
+    ASSERT_EQ(in_place, a.Intersect(b));
+    in_place = a;
+    in_place.SubtractWith(b);
+    ASSERT_EQ(in_place, a.Subtract(b));
+
+    // Translation: move the oracle cells along with the rects.
+    int dx = static_cast<int>(rng() % 9) - 4;
+    int dy = static_cast<int>(rng() % 9) - 4;
+    std::vector<Rect> moved = rects_a;
+    for (Rect& r : moved) {
+      r = r.Translated(dx, dy);
+    }
+    CheckAgainstOracle(a.Translated(dx, dy), FromRects(moved));
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(RegionPropertyTest, IncrementalUnionRectMatchesBatchConstruction) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937_64 rng(0x50da0000 + seed);
+    std::vector<Rect> rects = RandomRects(rng, 10);
+    Region incremental;
+    for (const Rect& r : rects) {
+      incremental.UnionRect(r);
+    }
+    ASSERT_EQ(incremental, Region(rects)) << incremental.ToString();
+    CheckCanonical(incremental);
+
+    // IntersectRect against the oracle too.
+    Rect window{kMin + static_cast<int>(rng() % 20), kMin + static_cast<int>(rng() % 20),
+                static_cast<int>(rng() % 30), static_cast<int>(rng() % 30)};
+    Region clipped = incremental;
+    clipped.IntersectRect(window);
+    Grid window_grid;
+    {
+      std::vector<Rect> one{window};
+      window_grid = FromRects(one);
+    }
+    CheckAgainstOracle(clipped, FromRects(rects).Intersect(window_grid));
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(RegionPropertyTest, QueriesMatchBitmapOracle) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937_64 rng(0x9e770000 + seed);
+    std::vector<Rect> rects_a = RandomRects(rng, 6);
+    std::vector<Rect> rects_b = RandomRects(rng, 6);
+    Region a(rects_a);
+    Region b(rects_b);
+    Grid ga = FromRects(rects_a);
+    Grid gb = FromRects(rects_b);
+
+    for (int probe = 0; probe < 30; ++probe) {
+      Point p{kMin + static_cast<int>(rng() % kSpan), kMin + static_cast<int>(rng() % kSpan)};
+      ASSERT_EQ(a.Contains(p), ga.Get(p.x, p.y)) << "point " << p.x << "," << p.y;
+    }
+    for (int probe = 0; probe < 20; ++probe) {
+      Rect r{kMin + 2 + static_cast<int>(rng() % 40), kMin + 2 + static_cast<int>(rng() % 40),
+             1 + static_cast<int>(rng() % 8), 1 + static_cast<int>(rng() % 8)};
+      Grid gr;
+      gr.AddRect(r);
+      ASSERT_EQ(a.ContainsRect(r), gr.Subtract(ga).Count() == 0)
+          << "rect " << r.x << "," << r.y << " " << r.width << "x" << r.height;
+      ASSERT_EQ(a.IntersectsRect(r), ga.Intersect(gr).Count() > 0);
+    }
+    ASSERT_EQ(a.Intersects(b), ga.Intersect(gb).Count() > 0);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xbase

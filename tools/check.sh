@@ -1,7 +1,8 @@
 #!/bin/sh
 # Robustness gate: build everything under ASan+UBSan and run the full test
-# suite (including the seeded chaos tests).  Any sanitizer report fails the
-# run.  Usage: tools/check.sh [build-dir]
+# suite (including the seeded chaos tests), then rebuild the painter suites
+# under TSan and run the worker-pool tests.  Any sanitizer report fails the
+# run.  Usage: tools/check.sh [asan-build-dir] [tsan-build-dir]
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -46,4 +47,20 @@ UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
 ASAN_OPTIONS="detect_leaks=1" \
   "$BUILD/tools/fuzz_wire"
 
-echo "check.sh: all tests passed under ASan+UBSan (including the chaos/fuzz label)"
+# TSan stage: rebuild with -fsanitize=thread and run the suites that drive
+# the painter's worker pool — the parallel-vs-serial differential (including
+# its chaos-seed run with the pool enabled), the ThreadPool handshake test,
+# and the render/multiscreen suites.  This is the gate for the "no locks on
+# the pixel path" claim: disjoint tiles or a TSan report, nothing in
+# between.
+TSAN_BUILD="${2:-$ROOT/build-tsan}"
+cmake -B "$TSAN_BUILD" -S "$ROOT" -DSWM_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_BUILD" -j "$(nproc)" \
+  --target parallel_paint_test --target swm_render_test \
+  --target swm_multiscreen_test --target xserver_test
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$(nproc)" \
+    -R 'parallel_paint_test|swm_render_test|swm_multiscreen_test|xserver_test'
+
+echo "check.sh: all tests passed under ASan+UBSan (including the chaos/fuzz label) and the worker pool is TSan-clean"

@@ -8,6 +8,8 @@
 #   BENCH_2.json  resource-query fast path   (bench_eval_resource_db)
 #   BENCH_4.json  retained frame pipeline    (bench_frame_pipeline)
 #   BENCH_6.json  wire codec + trace replay  (bench_wire)
+#   BENCH_7.json  hot-path + parallel paint  (bench_frame_pipeline +
+#                                             bench_parallel_paint, merged)
 #
 # Usage: tools/run_benches.sh
 set -euo pipefail
@@ -18,7 +20,7 @@ BUILD_DIR=build
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_eval_resource_db --target bench_frame_pipeline \
-  --target bench_wire >/dev/null
+  --target bench_wire --target bench_parallel_paint >/dev/null
 
 # Let the machine settle after the build before timing anything.
 sleep 5
@@ -59,3 +61,27 @@ EOF
 record bench_eval_resource_db BENCH_2.json
 record bench_frame_pipeline BENCH_4.json
 record bench_wire BENCH_6.json
+record bench_parallel_paint BENCH_7_parallel.json
+
+# BENCH_7 = the PR-7 perf story in one file: the event-storm pair (fresh
+# run, same binary as BENCH_4) plus the parallel painter results.  Also
+# prints the retained-vs-immediate wall-clock delta, the number this repo's
+# retained pipeline is supposed to win.
+python3 - BENCH_4.json BENCH_7_parallel.json BENCH_7.json <<'EOF'
+import json, sys
+merged = {}
+for path in sys.argv[1:3]:
+    merged.update(json.load(open(path)))
+json.dump(merged, open(sys.argv[3], "w"), indent=2, sort_keys=True)
+open(sys.argv[3], "a").write("\n")
+
+retained = merged.get("BM_FramePipeline_EventStorm_Retained")
+immediate = merged.get("BM_FramePipeline_EventStorm_Immediate")
+if retained and immediate:
+    delta = (immediate - retained) / immediate * 100.0
+    faster = "faster" if retained < immediate else "SLOWER"
+    print(f"retained {retained:.0f} ns vs immediate {immediate:.0f} ns "
+          f"per drain: retained is {abs(delta):.1f}% {faster}")
+EOF
+rm -f BENCH_7_parallel.json
+echo "wrote BENCH_7.json"
