@@ -1,0 +1,142 @@
+// Duplex transport benchmarks (PR 8, docs/PROTOCOL.md):
+//
+//   BM_ReplyCodecRoundTrip      encode + decode one GetGeometry reply frame;
+//                               the pure reply-codec cost.
+//   BM_DispatchQueryDirect      a GetGeometry request through DispatchBytes,
+//                               reply frame encoded and decoded back — the
+//                               in-process baseline a socketpair round trip
+//                               is measured against.
+//   BM_SocketpairRoundTrip      one request→reply ping-pong through a real
+//                               socketpair Connection: encode, write(2),
+//                               reassemble, dispatch, encode reply, write(2)
+//                               back, reassemble, decode.
+//   BM_SocketpairThroughput     a 64-query batch pipelined through the
+//                               connection; frames_per_second is the duplex
+//                               frame rate (requests in plus replies out).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/base/logging.h"
+#include "src/xproto/transport.h"
+#include "src/xproto/wire.h"
+#include "src/xserver/connection.h"
+#include "src/xserver/server.h"
+
+namespace {
+
+void BM_ReplyCodecRoundTrip(benchmark::State& state) {
+  xproto::GeometryReply reply{.geometry = {10, 20, 300, 200}, .border_width = 2};
+  for (auto _ : state) {
+    std::vector<uint8_t> frame = xproto::EncodeReplyBytes(reply, 7);
+    xproto::Reply decoded;
+    xproto::ParseError error;
+    uint16_t sequence = 0;
+    if (xproto::DecodeReply(frame, &decoded, &error, &sequence) == 0) {
+      state.SkipWithError("reply failed to decode");
+      break;
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.counters["replies_per_second"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReplyCodecRoundTrip);
+
+void BM_DispatchQueryDirect(benchmark::State& state) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  auto server = bench_util::MakeServer();
+  xproto::ClientId client = server->Connect("bench-direct");
+  xproto::WindowId root = server->RootWindow(0);
+  std::vector<uint8_t> request =
+      xproto::EncodeRequestBytes(xproto::GetGeometryRequest{.window = root});
+  for (auto _ : state) {
+    xserver::Server::DispatchResult result = server->DispatchBytes(client, request);
+    xproto::Reply reply;
+    xproto::ParseError error;
+    if (result.reply_bytes.empty() ||
+        xproto::DecodeReply(result.reply_bytes, &reply, &error) == 0) {
+      state.SkipWithError("query produced no decodable reply");
+      break;
+    }
+    benchmark::DoNotOptimize(reply);
+  }
+  state.counters["round_trips_per_second"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DispatchQueryDirect);
+
+void BM_SocketpairRoundTrip(benchmark::State& state) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  auto server = bench_util::MakeServer();
+  xproto::ChannelPair pair = xproto::MakeSocketPair();
+  xserver::Connection conn(server.get(), std::move(pair.server), "bench-remote");
+  conn.Establish();
+  xproto::WireClientEndpoint ep(std::move(pair.client));
+  xproto::WindowId root = server->RootWindow(0);
+  for (auto _ : state) {
+    ep.QueueRequest(xproto::GetGeometryRequest{.window = root});
+    ep.Flush();
+    conn.Pump();
+    xproto::Reply reply;
+    xproto::ParseError error;
+    if (!ep.NextReply(&reply, &error)) {
+      state.SkipWithError("no reply came back over the socketpair");
+      break;
+    }
+    benchmark::DoNotOptimize(reply);
+  }
+  state.counters["round_trips_per_second"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SocketpairRoundTrip);
+
+void BM_SocketpairThroughput(benchmark::State& state) {
+  xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+  auto server = bench_util::MakeServer();
+  xproto::ChannelPair pair = xproto::MakeSocketPair();
+  xserver::Connection conn(server.get(), std::move(pair.server), "bench-pipeline");
+  conn.Establish();
+  xproto::WireClientEndpoint ep(std::move(pair.client));
+  xproto::WindowId root = server->RootWindow(0);
+  constexpr int kBatch = 64;
+  size_t frames = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      ep.QueueRequest(i % 2 == 0
+                          ? xproto::Request(xproto::GetGeometryRequest{.window = root})
+                          : xproto::Request(xproto::QueryTreeRequest{.window = root}));
+    }
+    size_t replies = 0;
+    // Pipelined: keep flushing and pumping until every reply is back.
+    for (int spin = 0; spin < 1024 && replies < kBatch; ++spin) {
+      ep.Flush();
+      conn.Pump();
+      ep.Poll();
+      xproto::Reply reply;
+      xproto::ParseError error;
+      while (ep.NextReply(&reply, &error)) {
+        ++replies;
+        benchmark::DoNotOptimize(reply);
+      }
+    }
+    if (replies < kBatch) {
+      state.SkipWithError("batch did not drain");
+      break;
+    }
+    frames += 2 * kBatch;  // Requests in + replies out.
+  }
+  state.counters["frames_per_second"] = benchmark::Counter(
+      static_cast<double>(frames), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SocketpairThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

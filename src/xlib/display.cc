@@ -21,6 +21,7 @@ Display::Display(xserver::Server* server, std::string client_machine)
 }
 
 bool Display::Issue(xproto::Request request) {
+  ++wire_stats_.wire_requests;
   xserver::Server::DispatchResult result =
       server_->DispatchBytes(client_, xproto::EncodeRequestBytes(request));
   return result.requests_dispatched == 1 && result.requests_failed == 0 &&
@@ -28,9 +29,37 @@ bool Display::Issue(xproto::Request request) {
 }
 
 xproto::WindowId Display::IssueCreate(xproto::CreateWindowRequest request) {
+  ++wire_stats_.wire_requests;
   xserver::Server::DispatchResult result =
       server_->DispatchBytes(client_, xproto::EncodeRequestBytes(request));
   return result.last_created_window;
+}
+
+std::optional<xproto::Reply> Display::RoundTrip(xproto::Request request) const {
+  ++wire_stats_.wire_requests;
+  xserver::Server::DispatchResult result =
+      server_->DispatchBytes(client_, xproto::EncodeRequestBytes(request));
+  if (result.reply_bytes.empty()) {
+    return std::nullopt;  // The server raised an X error instead of replying.
+  }
+  xproto::Reply reply;
+  xproto::ParseError error;
+  if (xproto::DecodeReply(result.reply_bytes, &reply, &error) == 0) {
+    ++wire_stats_.reply_parse_errors;
+    XB_LOG(Warning) << "reply decode failed: " << error.detail;
+    return std::nullopt;
+  }
+  ++wire_stats_.wire_replies;
+  return reply;
+}
+
+void Display::WireFallback(const char* what) const {
+  if (!wire_mode_) {
+    return;
+  }
+  ++wire_stats_.wire_fallbacks;
+  XB_LOG_EVERY_N(Warning, std::string("wire-fallback-") + what, 64)
+      << "wire mode: " << what << " has no wire encoding; falling back to a direct call";
 }
 
 Display::XErrorHandler Display::SetErrorHandler(XErrorHandler handler) {
@@ -73,6 +102,10 @@ bool Display::MapWindow(WindowId window) {
 }
 
 bool Display::MapRaised(WindowId window) {
+  if (wire_mode_) {
+    RaiseWindow(window);
+    return MapWindow(window);
+  }
   server_->RaiseWindow(client_, window);
   return server_->MapWindow(client_, window);
 }
@@ -177,25 +210,95 @@ bool Display::RemoveFromSaveSet(WindowId window) {
 }
 
 std::optional<xserver::WindowAttributes> Display::GetWindowAttributes(WindowId window) const {
+  if (wire_mode_) {
+    std::optional<xproto::Reply> reply =
+        RoundTrip(xproto::GetWindowAttributesRequest{.window = window});
+    if (!reply.has_value()) {
+      return std::nullopt;
+    }
+    const auto* r = std::get_if<xproto::AttributesReply>(&*reply);
+    if (r == nullptr) {
+      return std::nullopt;
+    }
+    xserver::WindowAttributes attrs;
+    attrs.window_class = r->window_class;
+    attrs.map_state = r->map_state;
+    attrs.override_redirect = r->override_redirect;
+    attrs.all_event_masks = r->all_event_masks;
+    attrs.border_width = r->border_width;
+    return attrs;
+  }
   return server_->GetWindowAttributes(window);
 }
 
 std::optional<xbase::Rect> Display::GetGeometry(WindowId window) const {
+  if (wire_mode_) {
+    std::optional<xproto::Reply> reply =
+        RoundTrip(xproto::GetGeometryRequest{.window = window});
+    if (!reply.has_value()) {
+      return std::nullopt;
+    }
+    const auto* r = std::get_if<xproto::GeometryReply>(&*reply);
+    return r != nullptr ? std::optional<xbase::Rect>(r->geometry) : std::nullopt;
+  }
   return server_->GetGeometry(window);
 }
 
 std::optional<xserver::QueryTreeReply> Display::QueryTree(WindowId window) const {
+  if (wire_mode_) {
+    std::optional<xproto::Reply> reply = RoundTrip(xproto::QueryTreeRequest{.window = window});
+    if (!reply.has_value()) {
+      return std::nullopt;
+    }
+    auto* r = std::get_if<xproto::TreeReply>(&*reply);
+    if (r == nullptr) {
+      return std::nullopt;
+    }
+    xserver::QueryTreeReply tree;
+    tree.root = r->root;
+    tree.parent = r->parent;
+    tree.children = std::move(r->children);
+    return tree;
+  }
   return server_->QueryTree(window);
 }
 
 std::optional<xbase::Point> Display::TranslateCoordinates(WindowId src, WindowId dst,
                                                           const xbase::Point& point) const {
+  if (wire_mode_) {
+    std::optional<xproto::Reply> reply = RoundTrip(
+        xproto::TranslateCoordinatesRequest{.src = src, .dst = dst, .point = point});
+    if (!reply.has_value()) {
+      return std::nullopt;
+    }
+    const auto* r = std::get_if<xproto::CoordinatesReply>(&*reply);
+    return r != nullptr ? std::optional<xbase::Point>(r->position) : std::nullopt;
+  }
   return server_->TranslateCoordinates(src, dst, point);
 }
 
-AtomId Display::InternAtom(const std::string& name) { return server_->InternAtom(name); }
+AtomId Display::InternAtom(const std::string& name) {
+  if (wire_mode_) {
+    std::optional<xproto::Reply> reply = RoundTrip(xproto::InternAtomRequest{.name = name});
+    if (reply.has_value()) {
+      if (const auto* r = std::get_if<xproto::AtomReply>(&*reply)) {
+        return r->atom;
+      }
+    }
+    return xproto::kAtomNone;
+  }
+  return server_->InternAtom(name);
+}
 
 std::optional<std::string> Display::GetAtomName(AtomId atom) const {
+  if (wire_mode_) {
+    std::optional<xproto::Reply> reply = RoundTrip(xproto::GetAtomNameRequest{.atom = atom});
+    if (!reply.has_value()) {
+      return std::nullopt;
+    }
+    auto* r = std::get_if<xproto::AtomNameReply>(&*reply);
+    return r != nullptr ? std::optional<std::string>(std::move(r->name)) : std::nullopt;
+  }
   return server_->GetAtomName(atom);
 }
 
@@ -215,6 +318,22 @@ bool Display::ChangeProperty(WindowId window, AtomId property, AtomId type, int 
 
 std::optional<xserver::PropertyRec> Display::GetProperty(WindowId window,
                                                          AtomId property) const {
+  if (wire_mode_) {
+    std::optional<xproto::Reply> reply =
+        RoundTrip(xproto::GetPropertyRequest{.window = window, .property = property});
+    if (!reply.has_value()) {
+      return std::nullopt;
+    }
+    auto* r = std::get_if<xproto::PropertyReply>(&*reply);
+    if (r == nullptr || !r->found) {
+      return std::nullopt;
+    }
+    xserver::PropertyRec rec;
+    rec.type = r->type;
+    rec.format = r->format;
+    rec.data = std::move(r->data);
+    return rec;
+  }
   return server_->GetProperty(window, property);
 }
 
@@ -235,12 +354,13 @@ bool Display::SetStringProperty(WindowId window, const std::string& name,
 
 std::optional<std::string> Display::GetStringProperty(WindowId window,
                                                       const std::string& name) const {
-  auto atom_it = server_->GetProperty(
-      window, const_cast<xserver::Server*>(server_)->InternAtom(name));
-  if (!atom_it.has_value()) {
+  // Routed through this->InternAtom / this->GetProperty so wire mode covers
+  // the typed helpers too.
+  auto rec = GetProperty(window, const_cast<Display*>(this)->InternAtom(name));
+  if (!rec.has_value()) {
     return std::nullopt;
   }
-  return std::string(atom_it->data.begin(), atom_it->data.end());
+  return std::string(rec->data.begin(), rec->data.end());
 }
 
 bool Display::AppendStringProperty(WindowId window, const std::string& name,
@@ -289,8 +409,7 @@ bool Display::SetCardinalProperty(WindowId window, const std::string& name,
 
 std::optional<std::vector<uint32_t>> Display::GetCardinalProperty(
     WindowId window, const std::string& name) const {
-  auto rec = server_->GetProperty(window,
-                                  const_cast<xserver::Server*>(server_)->InternAtom(name));
+  auto rec = GetProperty(window, const_cast<Display*>(this)->InternAtom(name));
   if (!rec.has_value()) {
     return std::nullopt;
   }
@@ -307,8 +426,7 @@ bool Display::SetWindowIdProperty(WindowId window, const std::string& name, Wind
 
 std::optional<WindowId> Display::GetWindowIdProperty(WindowId window,
                                                      const std::string& name) const {
-  auto rec = server_->GetProperty(window,
-                                  const_cast<xserver::Server*>(server_)->InternAtom(name));
+  auto rec = GetProperty(window, const_cast<Display*>(this)->InternAtom(name));
   if (!rec.has_value()) {
     return std::nullopt;
   }
@@ -357,7 +475,23 @@ bool Display::UngrabButton(WindowId window, int button, uint32_t modifiers) {
   return server_->UngrabButton(client_, window, button, modifiers);
 }
 
+xproto::WindowId Display::GetInputFocus() const {
+  WireFallback("GetInputFocus");
+  return server_->GetInputFocus();
+}
+
+xserver::PointerState Display::QueryPointer() const {
+  WireFallback("QueryPointer");
+  return server_->QueryPointer();
+}
+
+bool Display::IsShaped(WindowId window) const {
+  WireFallback("IsShaped");
+  return server_->IsShaped(window);
+}
+
 bool Display::ShapeSetMask(WindowId window, const xbase::Bitmap& mask) {
+  WireFallback("ShapeSetMask");
   return server_->ShapeSetMask(client_, window, mask);
 }
 

@@ -51,14 +51,26 @@ class Display {
   const std::optional<xproto::XError>& LastError() const { return last_error_; }
 
   // ---- Wire mode (docs/PROTOCOL.md) ----------------------------------------
-  // When enabled, every void (reply-free) request this Display issues is
-  // encoded to X11 wire bytes and routed through Server::DispatchBytes
-  // instead of being a direct call — the full serialize → parse → dispatch
-  // path a real out-of-process client exercises.  Reply-bearing requests
-  // (queries, InternAtom, GetProperty) stay direct calls; the wire subset
-  // has no replies.  Off by default: direct calls are the fast path.
+  // When enabled, every request this Display issues — void requests *and*
+  // reply-bearing queries (GetGeometry, QueryTree, InternAtom, GetProperty,
+  // ...) — is encoded to X11 wire bytes, routed through
+  // Server::DispatchBytes, and for queries the answer is decoded back out
+  // of the reply frame the dispatch emitted: the full serialize → parse →
+  // dispatch → encode-reply → decode-reply round trip an out-of-process
+  // client exercises.  The handful of calls with no wire encoding
+  // (ShapeSetMask, pointer/focus introspection) fall back to direct calls
+  // and are counted in wire_stats().wire_fallbacks.  Off by default:
+  // direct calls are the fast path.
   void set_wire_mode(bool enable) { wire_mode_ = enable; }
   bool wire_mode() const { return wire_mode_; }
+
+  struct WireStats {
+    uint64_t wire_requests = 0;      // Requests encoded and byte-routed.
+    uint64_t wire_replies = 0;       // Reply frames decoded back.
+    uint64_t wire_fallbacks = 0;     // Wire-mode calls with no wire encoding.
+    uint64_t reply_parse_errors = 0; // Reply frames that failed to decode.
+  };
+  const WireStats& wire_stats() const { return wire_stats_; }
 
   // ---- ICCCM sanitizer (docs/ROBUSTNESS.md) --------------------------------
   // What the sanitizing decoders in xlib/icccm repaired on this connection.
@@ -143,13 +155,13 @@ class Display {
 
   // ---- Focus ---------------------------------------------------------------
   bool SetInputFocus(xproto::WindowId window);
-  xproto::WindowId GetInputFocus() const { return server_->GetInputFocus(); }
+  xproto::WindowId GetInputFocus() const;
 
   // ---- Pointer -------------------------------------------------------------
   void WarpPointer(int screen, const xbase::Point& root_pos) {
     server_->WarpPointer(screen, root_pos);
   }
-  xserver::PointerState QueryPointer() const { return server_->QueryPointer(); }
+  xserver::PointerState QueryPointer() const;
   bool GrabButton(xproto::WindowId window, int button, uint32_t modifiers,
                   uint32_t event_mask);
   bool UngrabButton(xproto::WindowId window, int button, uint32_t modifiers);
@@ -159,7 +171,7 @@ class Display {
   bool ShapeSetRegion(xproto::WindowId window, xbase::Region region);
   bool ShapeClear(xproto::WindowId window);
   bool ShapeSelect(xproto::WindowId window, bool enable);
-  bool IsShaped(xproto::WindowId window) const { return server_->IsShaped(window); }
+  bool IsShaped(xproto::WindowId window) const;
 
   // ---- Drawing ---------------------------------------------------------------
   bool SetWindowBackground(xproto::WindowId window, char background);
@@ -173,11 +185,18 @@ class Display {
   bool Issue(xproto::Request request);
   // Same funnel for CreateWindow (the id comes back via DispatchResult).
   xproto::WindowId IssueCreate(xproto::CreateWindowRequest request);
+  // Query funnel: dispatches the encoded request and decodes the reply frame
+  // it produced.  nullopt when the server raised an X error instead.
+  std::optional<xproto::Reply> RoundTrip(xproto::Request request) const;
+  // Accounting for wire-mode calls that have no wire encoding and must go
+  // direct (logged every 64th per call site, counted always).
+  void WireFallback(const char* what) const;
 
   xserver::Server* server_;
   xproto::ClientId client_;
   std::string machine_;
   bool wire_mode_ = false;
+  mutable WireStats wire_stats_;
   XErrorHandler error_handler_;
   std::optional<xproto::XError> last_error_;
   xproto::SanitizerStats sanitizer_stats_;

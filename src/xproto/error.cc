@@ -68,6 +68,20 @@ std::string RequestCodeName(RequestCode code) {
       return "ClearWindow";
     case RequestCode::kDraw:
       return "Draw";
+    case RequestCode::kGetWindowAttributes:
+      return "GetWindowAttributes";
+    case RequestCode::kGetGeometry:
+      return "GetGeometry";
+    case RequestCode::kQueryTree:
+      return "QueryTree";
+    case RequestCode::kInternAtom:
+      return "InternAtom";
+    case RequestCode::kGetAtomName:
+      return "GetAtomName";
+    case RequestCode::kGetProperty:
+      return "GetProperty";
+    case RequestCode::kTranslateCoordinates:
+      return "TranslateCoordinates";
   }
   return "None";
 }

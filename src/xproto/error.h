@@ -44,7 +44,20 @@ enum class RequestCode : uint8_t {
   kSetCursor,
   kClearWindow,
   kDraw,
+  // Reply-bearing queries (docs/PROTOCOL.md "Replies").  Appended so the
+  // values of the codes above stay stable on the wire.
+  kGetWindowAttributes,
+  kGetGeometry,
+  kQueryTree,
+  kInternAtom,
+  kGetAtomName,
+  kGetProperty,
+  kTranslateCoordinates,
 };
+
+// Highest RequestCode value (wire decoders validate against this bound).
+inline constexpr uint8_t kMaxRequestCode =
+    static_cast<uint8_t>(RequestCode::kTranslateCoordinates);
 
 // One error report, delivered to the issuing client's error handler.  The
 // sequence number is per-connection and counts requests, so a handler can

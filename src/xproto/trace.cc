@@ -20,6 +20,7 @@ void PutRecord(const TraceRecord& rec, WireWriter* w) {
       payload.U32(rec.client);
       break;
     case TraceRecordType::kRequest:
+    case TraceRecordType::kReply:
       payload.U32(rec.client);
       payload.Bytes(rec.bytes);
       break;
@@ -87,7 +88,7 @@ std::optional<Trace> ParseTrace(std::span<const uint8_t> bytes, ParseError* erro
   if (!r.ok() || std::memcmp(magic.data(), kTraceMagic, 4) != 0) {
     return fail(ParseErrorCode::kBadOpcode, 0, "missing SWMT magic");
   }
-  if (version != kTraceVersion) {
+  if (version < kMinTraceVersion || version > kTraceVersion) {
     return fail(ParseErrorCode::kBadValue, 4, "unsupported trace version");
   }
 
@@ -124,7 +125,8 @@ std::optional<Trace> ParseTrace(std::span<const uint8_t> bytes, ParseError* erro
       case TraceRecordType::kDisconnect:
         rec.client = p.U32();
         break;
-      case TraceRecordType::kRequest: {
+      case TraceRecordType::kRequest:
+      case TraceRecordType::kReply: {
         rec.client = p.U32();
         std::span<const uint8_t> body = p.Bytes(p.remaining());
         rec.bytes.assign(body.begin(), body.end());
@@ -212,6 +214,14 @@ void TraceRecorder::RecordDisconnect(ClientId client) {
 void TraceRecorder::RecordRequestBytes(ClientId client, std::span<const uint8_t> bytes) {
   TraceRecord rec;
   rec.type = TraceRecordType::kRequest;
+  rec.client = client;
+  rec.bytes.assign(bytes.begin(), bytes.end());
+  trace_.records.push_back(std::move(rec));
+}
+
+void TraceRecorder::RecordReplyBytes(ClientId client, std::span<const uint8_t> bytes) {
+  TraceRecord rec;
+  rec.type = TraceRecordType::kReply;
   rec.client = client;
   rec.bytes.assign(bytes.begin(), bytes.end());
   trace_.records.push_back(std::move(rec));

@@ -26,7 +26,11 @@
 namespace xproto {
 
 inline constexpr uint8_t kTraceMagic[4] = {'S', 'W', 'M', 'T'};
-inline constexpr uint32_t kTraceVersion = 1;
+// Version 2 added kReply records (the server's honest outbound reply bytes,
+// captured before any transport fault touches them).  The parser accepts
+// version-1 files — the PR-6 corpus keeps replaying unchanged.
+inline constexpr uint32_t kTraceVersion = 2;
+inline constexpr uint32_t kMinTraceVersion = 1;
 // Hard cap on one record's payload (a request buffer, a machine name...).
 inline constexpr size_t kMaxTraceRecordBytes = 1 << 20;
 
@@ -40,6 +44,7 @@ enum class TraceRecordType : uint8_t {
   kWarp = 7,        // pointer warp: screen + (x, y).
   kPump = 8,        // harness checkpoint: the WM drained its events here.
   kExpect = 9,      // footer: counters the recording session ended with.
+  kReply = 10,      // client id + reply frame bytes the server emitted.
 };
 
 struct TraceRecord {
@@ -47,7 +52,7 @@ struct TraceRecord {
   // kConnect / kDisconnect / kRequest.
   ClientId client = 0;
   std::string machine;         // kConnect.
-  std::vector<uint8_t> bytes;  // kRequest: the raw wire bytes dispatched.
+  std::vector<uint8_t> bytes;  // kRequest / kReply: raw wire bytes.
   // kMotion / kWarp.
   int x = 0;
   int y = 0;
@@ -93,6 +98,7 @@ class TraceRecorder {
   void RecordConnect(ClientId client, const std::string& machine);
   void RecordDisconnect(ClientId client);
   void RecordRequestBytes(ClientId client, std::span<const uint8_t> bytes);
+  void RecordReplyBytes(ClientId client, std::span<const uint8_t> bytes);
   void RecordMotion(int x, int y);
   void RecordButton(int button, bool press, uint32_t modifiers);
   void RecordKey(KeySym keysym, bool press, uint32_t modifiers);

@@ -161,6 +161,12 @@ void WireWriter::PatchU16(size_t offset, uint16_t v) {
   bytes_[offset + 1] = static_cast<uint8_t>(v >> 8);
 }
 
+void WireWriter::PatchU32(size_t offset, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_[offset + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
 void WireWriter::BeginRequest(uint8_t opcode, uint8_t detail) {
   frame_start_ = bytes_.size();
   U8(opcode);
@@ -215,6 +221,13 @@ WIRE_INFO(DrawRequest, kDraw, kDraw)
 WIRE_INFO(ShapeRegionRequest, kShapeRegion, kShapeOp)
 WIRE_INFO(ShapeClearRequest, kShapeClear, kShapeOp)
 WIRE_INFO(ShapeSelectRequest, kShapeSelect, kShapeOp)
+WIRE_INFO(GetWindowAttributesRequest, kGetWindowAttributes, kGetWindowAttributes)
+WIRE_INFO(GetGeometryRequest, kGetGeometry, kGetGeometry)
+WIRE_INFO(QueryTreeRequest, kQueryTree, kQueryTree)
+WIRE_INFO(InternAtomRequest, kInternAtom, kInternAtom)
+WIRE_INFO(GetAtomNameRequest, kGetAtomName, kGetAtomName)
+WIRE_INFO(GetPropertyRequest, kGetProperty, kGetProperty)
+WIRE_INFO(TranslateCoordinatesRequest, kTranslateCoordinates, kTranslateCoordinates)
 
 #undef WIRE_INFO
 
@@ -279,6 +292,20 @@ RequestCode RequestCodeForOpcode(uint8_t opcode) {
     case WireOpcode::kShapeClear:
     case WireOpcode::kShapeSelect:
       return RequestCode::kShapeOp;
+    case WireOpcode::kGetWindowAttributes:
+      return RequestCode::kGetWindowAttributes;
+    case WireOpcode::kGetGeometry:
+      return RequestCode::kGetGeometry;
+    case WireOpcode::kQueryTree:
+      return RequestCode::kQueryTree;
+    case WireOpcode::kInternAtom:
+      return RequestCode::kInternAtom;
+    case WireOpcode::kGetAtomName:
+      return RequestCode::kGetAtomName;
+    case WireOpcode::kGetProperty:
+      return RequestCode::kGetProperty;
+    case WireOpcode::kTranslateCoordinates:
+      return RequestCode::kTranslateCoordinates;
   }
   return RequestCode::kNone;
 }
@@ -439,6 +466,40 @@ struct Encoder {
   void operator()(const ShapeSelectRequest& r) {
     Frame(WireOpcode::kShapeSelect, r.enable ? 1 : 0);
     w->U32(r.window);
+  }
+  void operator()(const GetWindowAttributesRequest& r) {
+    Frame(WireOpcode::kGetWindowAttributes, 0);
+    w->U32(r.window);
+  }
+  void operator()(const GetGeometryRequest& r) {
+    Frame(WireOpcode::kGetGeometry, 0);
+    w->U32(r.window);
+  }
+  void operator()(const QueryTreeRequest& r) {
+    Frame(WireOpcode::kQueryTree, 0);
+    w->U32(r.window);
+  }
+  void operator()(const InternAtomRequest& r) {
+    Frame(WireOpcode::kInternAtom, 0);
+    w->U16(static_cast<uint16_t>(r.name.size()));
+    w->U16(0);
+    w->String(r.name);
+  }
+  void operator()(const GetAtomNameRequest& r) {
+    Frame(WireOpcode::kGetAtomName, 0);
+    w->U32(r.atom);
+  }
+  void operator()(const GetPropertyRequest& r) {
+    Frame(WireOpcode::kGetProperty, 0);
+    w->U32(r.window);
+    w->U32(r.property);
+  }
+  void operator()(const TranslateCoordinatesRequest& r) {
+    Frame(WireOpcode::kTranslateCoordinates, 0);
+    w->U32(r.src);
+    w->U32(r.dst);
+    w->I16(static_cast<int16_t>(r.point.x));
+    w->I16(static_cast<int16_t>(r.point.y));
   }
 };
 
@@ -701,6 +762,53 @@ std::optional<Request> DecodePayload(WireOpcode opcode, uint8_t detail, WireRead
       out.window = r.U32();
       return out;
     }
+    case WireOpcode::kGetWindowAttributes: {
+      GetWindowAttributesRequest out;
+      out.window = r.U32();
+      return out;
+    }
+    case WireOpcode::kGetGeometry: {
+      GetGeometryRequest out;
+      out.window = r.U32();
+      return out;
+    }
+    case WireOpcode::kQueryTree: {
+      QueryTreeRequest out;
+      out.window = r.U32();
+      return out;
+    }
+    case WireOpcode::kInternAtom: {
+      InternAtomRequest out;
+      uint16_t len = r.U16();
+      r.Skip(2);
+      if (r.ok() && len > kMaxWireStringBytes) {
+        return fail(ParseErrorCode::kOversized, "atom name over cap");
+      }
+      if (r.ok() && len > r.remaining()) {
+        return fail(ParseErrorCode::kBadLength, "atom name overruns frame");
+      }
+      out.name = r.String(len);
+      return out;
+    }
+    case WireOpcode::kGetAtomName: {
+      GetAtomNameRequest out;
+      out.atom = r.U32();
+      return out;
+    }
+    case WireOpcode::kGetProperty: {
+      GetPropertyRequest out;
+      out.window = r.U32();
+      out.property = r.U32();
+      return out;
+    }
+    case WireOpcode::kTranslateCoordinates: {
+      TranslateCoordinatesRequest out;
+      out.src = r.U32();
+      out.dst = r.U32();
+      out.point.x = r.I16();
+      out.point.y = r.I16();
+      return out;
+    }
   }
   return fail(ParseErrorCode::kBadOpcode, "opcode not implemented");
 }
@@ -757,6 +865,305 @@ size_t DecodeRequest(std::span<const uint8_t> buffer, Request* out, ParseError* 
     return 0;
   }
   *out = std::move(*request);
+  return frame_bytes;
+}
+
+// ---- Reply metadata ---------------------------------------------------------
+
+namespace {
+
+struct ReplyInfo {
+  WireOpcode opcode;
+  const char* name;
+};
+
+template <typename T>
+ReplyInfo ReplyInfoFor();
+
+#define WIRE_REPLY_INFO(TYPE, OPCODE)        \
+  template <>                                \
+  ReplyInfo ReplyInfoFor<TYPE>() {           \
+    return {WireOpcode::OPCODE, #TYPE};      \
+  }
+
+WIRE_REPLY_INFO(AttributesReply, kGetWindowAttributes)
+WIRE_REPLY_INFO(GeometryReply, kGetGeometry)
+WIRE_REPLY_INFO(TreeReply, kQueryTree)
+WIRE_REPLY_INFO(AtomReply, kInternAtom)
+WIRE_REPLY_INFO(AtomNameReply, kGetAtomName)
+WIRE_REPLY_INFO(PropertyReply, kGetProperty)
+WIRE_REPLY_INFO(CoordinatesReply, kTranslateCoordinates)
+
+#undef WIRE_REPLY_INFO
+
+}  // namespace
+
+WireOpcode ReplyOpcode(const Reply& reply) {
+  return std::visit(
+      [](const auto& r) { return ReplyInfoFor<std::decay_t<decltype(r)>>().opcode; }, reply);
+}
+
+std::string WireReplyName(const Reply& reply) {
+  return std::visit(
+      [](const auto& r) { return std::string(ReplyInfoFor<std::decay_t<decltype(r)>>().name); },
+      reply);
+}
+
+// ---- Reply encoding ---------------------------------------------------------
+
+namespace {
+
+struct ReplyEncoder {
+  WireWriter* w;
+
+  void operator()(const AttributesReply& r) {
+    w->U32(r.window);
+    w->U8(static_cast<uint8_t>(r.window_class));
+    w->U8(static_cast<uint8_t>(r.map_state));
+    w->U8(r.override_redirect ? 1 : 0);
+    w->U8(0);
+    w->U32(r.all_event_masks);
+    w->U16(static_cast<uint16_t>(r.border_width));
+  }
+  void operator()(const GeometryReply& r) {
+    w->U32(r.window);
+    PutRect(r.geometry, w);
+    w->U16(static_cast<uint16_t>(r.border_width));
+  }
+  void operator()(const TreeReply& r) {
+    w->U32(r.window);
+    w->U32(r.root);
+    w->U32(r.parent);
+    size_t count = std::min(r.children.size(), kMaxReplyChildren);
+    w->U32(static_cast<uint32_t>(count));
+    for (size_t i = 0; i < count; ++i) {
+      w->U32(r.children[i]);
+    }
+  }
+  void operator()(const AtomReply& r) { w->U32(r.atom); }
+  void operator()(const AtomNameReply& r) {
+    w->U32(r.atom);
+    size_t len = std::min(r.name.size(), kMaxWireStringBytes);
+    w->U16(static_cast<uint16_t>(len));
+    w->String(r.name.substr(0, len));
+  }
+  void operator()(const PropertyReply& r) {
+    w->U32(r.window);
+    w->U32(r.property);
+    w->U32(r.type);
+    w->U8(static_cast<uint8_t>(r.format));
+    w->U8(r.found ? 1 : 0);
+    w->U16(0);
+    size_t len = std::min(r.data.size(), kMaxReplyPropertyBytes);
+    w->U32(static_cast<uint32_t>(len));
+    w->Bytes(std::span<const uint8_t>(r.data.data(), len));
+  }
+  void operator()(const CoordinatesReply& r) {
+    w->I32(r.position.x);
+    w->I32(r.position.y);
+  }
+};
+
+}  // namespace
+
+void EncodeReply(const Reply& reply, uint16_t sequence, WireWriter* writer) {
+  size_t start = writer->bytes().size();
+  writer->U8(1);  // Replies are frame type 1, as in core X11.
+  writer->U8(static_cast<uint8_t>(ReplyOpcode(reply)));
+  writer->U16(sequence);
+  writer->U32(0);  // Extra length, patched below.
+  std::visit(ReplyEncoder{writer}, reply);
+  // Pad to the 4-byte grid and to the 32-byte floor, then patch the length
+  // field with the 4-byte units beyond the floor.
+  while ((writer->bytes().size() - start) % 4 != 0 ||
+         writer->bytes().size() - start < kMinReplyBytes) {
+    writer->U8(0);
+  }
+  size_t frame_bytes = writer->bytes().size() - start;
+  writer->PatchU32(start + 4, static_cast<uint32_t>((frame_bytes - kMinReplyBytes) / 4));
+}
+
+std::vector<uint8_t> EncodeReplyBytes(const Reply& reply, uint16_t sequence) {
+  WireWriter writer;
+  EncodeReply(reply, sequence, &writer);
+  return writer.Take();
+}
+
+// ---- Reply decoding ---------------------------------------------------------
+
+namespace {
+
+std::optional<Reply> DecodeReplyPayload(WireOpcode opcode, WireReader& r,
+                                        ParseErrorCode* code, std::string* detail_text) {
+  auto fail = [&](ParseErrorCode c, const std::string& text) -> std::optional<Reply> {
+    *code = c;
+    *detail_text = text;
+    return std::nullopt;
+  };
+
+  switch (opcode) {
+    case WireOpcode::kGetWindowAttributes: {
+      AttributesReply out;
+      out.window = r.U32();
+      uint8_t window_class = r.U8();
+      uint8_t map_state = r.U8();
+      uint8_t override_redirect = r.U8();
+      r.Skip(1);
+      if (r.ok() && window_class > 1) {
+        return fail(ParseErrorCode::kBadValue, "window class not 0/1");
+      }
+      if (r.ok() && map_state > 2) {
+        return fail(ParseErrorCode::kBadValue, "map state out of range");
+      }
+      if (r.ok() && override_redirect > 1) {
+        return fail(ParseErrorCode::kBadValue, "override flag not 0/1");
+      }
+      out.window_class = static_cast<WindowClass>(window_class);
+      out.map_state = static_cast<MapState>(map_state);
+      out.override_redirect = override_redirect == 1;
+      out.all_event_masks = r.U32();
+      out.border_width = r.U16();
+      return out;
+    }
+    case WireOpcode::kGetGeometry: {
+      GeometryReply out;
+      out.window = r.U32();
+      out.geometry = GetRect(&r);
+      out.border_width = r.U16();
+      return out;
+    }
+    case WireOpcode::kQueryTree: {
+      TreeReply out;
+      out.window = r.U32();
+      out.root = r.U32();
+      out.parent = r.U32();
+      uint32_t count = r.U32();
+      if (r.ok() && count > kMaxReplyChildren) {
+        return fail(ParseErrorCode::kOversized, "child count over cap");
+      }
+      if (r.ok() && static_cast<uint64_t>(count) * 4 > r.remaining()) {
+        return fail(ParseErrorCode::kBadLength, "child list overruns frame");
+      }
+      out.children.reserve(count);
+      for (uint32_t i = 0; i < count && r.ok(); ++i) {
+        out.children.push_back(r.U32());
+      }
+      return out;
+    }
+    case WireOpcode::kInternAtom: {
+      AtomReply out;
+      out.atom = r.U32();
+      return out;
+    }
+    case WireOpcode::kGetAtomName: {
+      AtomNameReply out;
+      out.atom = r.U32();
+      uint16_t len = r.U16();
+      if (r.ok() && len > kMaxWireStringBytes) {
+        return fail(ParseErrorCode::kOversized, "atom name over cap");
+      }
+      if (r.ok() && len > r.remaining()) {
+        return fail(ParseErrorCode::kBadLength, "atom name overruns frame");
+      }
+      out.name = r.String(len);
+      return out;
+    }
+    case WireOpcode::kGetProperty: {
+      PropertyReply out;
+      out.window = r.U32();
+      out.property = r.U32();
+      out.type = r.U32();
+      out.format = r.U8();
+      uint8_t found = r.U8();
+      r.Skip(2);
+      if (r.ok() && out.format != 8 && out.format != 16 && out.format != 32) {
+        return fail(ParseErrorCode::kBadValue, "format not 8/16/32");
+      }
+      if (r.ok() && found > 1) {
+        return fail(ParseErrorCode::kBadValue, "found flag not 0/1");
+      }
+      out.found = found == 1;
+      uint32_t data_len = r.U32();
+      if (r.ok() && data_len > kMaxReplyPropertyBytes) {
+        return fail(ParseErrorCode::kOversized, "property data over cap");
+      }
+      if (r.ok() && data_len > r.remaining()) {
+        return fail(ParseErrorCode::kBadLength, "property data overruns frame");
+      }
+      std::span<const uint8_t> data = r.Bytes(data_len);
+      out.data.assign(data.begin(), data.end());
+      return out;
+    }
+    case WireOpcode::kTranslateCoordinates: {
+      CoordinatesReply out;
+      out.position.x = r.I32();
+      out.position.y = r.I32();
+      return out;
+    }
+    default:
+      return fail(ParseErrorCode::kBadOpcode, "opcode has no reply");
+  }
+}
+
+}  // namespace
+
+size_t DecodeReply(std::span<const uint8_t> buffer, Reply* out, ParseError* error,
+                   uint16_t* sequence) {
+  if (buffer.size() < 8) {
+    *error = MakeError(ParseErrorCode::kTruncated, 0, buffer.empty() ? 0 : buffer[0],
+                       "buffer shorter than reply header");
+    return 0;
+  }
+  if (buffer[0] != 1) {
+    *error = MakeError(ParseErrorCode::kBadOpcode, 0, buffer[0],
+                       "reply frames start with a one byte");
+    return 0;
+  }
+  uint8_t opcode = buffer[1];
+  uint32_t extra = 0;
+  for (int i = 3; i >= 0; --i) {
+    extra = extra << 8 | buffer[4 + static_cast<size_t>(i)];
+  }
+  if (extra > (kMaxReplyBytes - kMinReplyBytes) / 4) {
+    *error = MakeError(ParseErrorCode::kOversized, 0, opcode,
+                       "frame length exceeds kMaxReplyBytes");
+    return 0;
+  }
+  size_t frame_bytes = kMinReplyBytes + static_cast<size_t>(extra) * 4;
+  if (frame_bytes > buffer.size()) {
+    *error = MakeError(ParseErrorCode::kTruncated, 0, opcode,
+                       "frame extends past end of buffer");
+    return 0;
+  }
+
+  WireReader reader(buffer.subspan(8, frame_bytes - 8));
+  ParseErrorCode code = ParseErrorCode::kBadValue;
+  std::string detail_text;
+  std::optional<Reply> reply =
+      DecodeReplyPayload(static_cast<WireOpcode>(opcode), reader, &code, &detail_text);
+  if (!reply.has_value()) {
+    *error = MakeError(code, 0, opcode, detail_text);
+    return 0;
+  }
+  if (!reader.ok()) {
+    *error = MakeError(ParseErrorCode::kBadLength, 0, opcode,
+                       "payload shorter than the reply needs");
+    return 0;
+  }
+  // Strict framing, as for requests: the length field must name exactly the
+  // padded size of what the payload decoder consumed (with the 32-byte
+  // floor).  Anything else is a length-field lie.
+  size_t consumed = std::max(kMinReplyBytes, Pad4(8 + reader.offset()));
+  if (consumed != frame_bytes) {
+    *error = MakeError(ParseErrorCode::kBadLength, 0, opcode,
+                       "frame length disagrees with payload size");
+    return 0;
+  }
+  if (sequence != nullptr) {
+    *sequence = static_cast<uint16_t>(buffer[2]) |
+                static_cast<uint16_t>(static_cast<uint16_t>(buffer[3]) << 8);
+  }
+  *out = std::move(*reply);
   return frame_bytes;
 }
 
@@ -1228,7 +1635,7 @@ size_t DecodeError(std::span<const uint8_t> buffer, XError* out, ParseError* par
   out->resource_id = r.U32();
   out->sequence = r.U64();
   uint8_t request = r.U8();
-  if (request > static_cast<uint8_t>(RequestCode::kDraw)) {
+  if (request > kMaxRequestCode) {
     *parse_error = MakeError(ParseErrorCode::kBadValue, 0, 0, "request code out of range");
     return 0;
   }

@@ -44,6 +44,13 @@ inline constexpr size_t kEventWireBytes = 32;
 inline constexpr size_t kMaxWireStringBytes = 4096;
 inline constexpr size_t kMaxWireRects = 1024;
 inline constexpr size_t kMaxWireBitmapCells = 1 << 16;
+// Replies are 32-byte-minimum frames; the length field counts 4-byte units
+// beyond the fixed 32 bytes.  Whole-frame cap checked before the length
+// field is trusted, plus per-field caps checked before allocation.
+inline constexpr size_t kMinReplyBytes = 32;
+inline constexpr size_t kMaxReplyBytes = 1 << 20;
+inline constexpr size_t kMaxReplyChildren = 1 << 16;
+inline constexpr size_t kMaxReplyPropertyBytes = 1 << 18;
 
 // ---- Parse errors -----------------------------------------------------------
 
@@ -120,6 +127,8 @@ class WireWriter {
   void AlignPad();
   // Overwrites 2 already-written bytes (length/sequence back-patching).
   void PatchU16(size_t offset, uint16_t v);
+  // Overwrites 4 already-written bytes (reply length back-patching).
+  void PatchU32(size_t offset, uint32_t v);
 
   // Opens a request frame: writes opcode/detail, reserves the length field.
   // CloseRequest pads to 4 bytes and patches the length.  One frame at a
@@ -144,6 +153,7 @@ class WireWriter {
 // canvas, SHAPE ops folded into one extension-style block) sit above 127.
 enum class WireOpcode : uint8_t {
   kCreateWindow = 1,
+  kGetWindowAttributes = 3,
   kDestroyWindow = 4,
   kChangeSaveSet = 6,
   kReparentWindow = 7,
@@ -151,11 +161,16 @@ enum class WireOpcode : uint8_t {
   kUnmapWindow = 10,
   kConfigureWindow = 12,
   kSelectInput = 14,   // ChangeWindowAttributes(event-mask) in real X.
+  kQueryTree = 15,
+  kInternAtom = 16,
+  kGetAtomName = 17,
   kChangeProperty = 18,
   kDeleteProperty = 19,
+  kGetProperty = 20,
   kSendEvent = 25,
   kGrabButton = 28,
   kUngrabButton = 29,
+  kTranslateCoordinates = 40,
   kSetInputFocus = 42,
   kClearWindow = 61,   // ClearArea in real X.
   // Simulator-specific (>= 128, the extension opcode range).
@@ -165,6 +180,9 @@ enum class WireOpcode : uint8_t {
   kShapeRegion = 131,
   kShapeClear = 132,
   kShapeSelect = 133,
+  // Real X numbers GetGeometry 14, which kSelectInput occupies here; it
+  // lives in the extension range instead (docs/PROTOCOL.md "Replies").
+  kGetGeometry = 134,
 };
 
 struct CreateWindowRequest {
@@ -316,12 +334,56 @@ struct ShapeSelectRequest {
   friend bool operator==(const ShapeSelectRequest&, const ShapeSelectRequest&) = default;
 };
 
+// ---- Query requests (reply-bearing; docs/PROTOCOL.md "Replies") -------------
+
+struct GetWindowAttributesRequest {
+  WindowId window = kNone;
+  friend bool operator==(const GetWindowAttributesRequest&,
+                         const GetWindowAttributesRequest&) = default;
+};
+
+struct GetGeometryRequest {
+  WindowId window = kNone;
+  friend bool operator==(const GetGeometryRequest&, const GetGeometryRequest&) = default;
+};
+
+struct QueryTreeRequest {
+  WindowId window = kNone;
+  friend bool operator==(const QueryTreeRequest&, const QueryTreeRequest&) = default;
+};
+
+struct InternAtomRequest {
+  std::string name;
+  friend bool operator==(const InternAtomRequest&, const InternAtomRequest&) = default;
+};
+
+struct GetAtomNameRequest {
+  AtomId atom = kAtomNone;
+  friend bool operator==(const GetAtomNameRequest&, const GetAtomNameRequest&) = default;
+};
+
+struct GetPropertyRequest {
+  WindowId window = kNone;
+  AtomId property = kAtomNone;
+  friend bool operator==(const GetPropertyRequest&, const GetPropertyRequest&) = default;
+};
+
+struct TranslateCoordinatesRequest {
+  WindowId src = kNone;
+  WindowId dst = kNone;
+  xbase::Point point;
+  friend bool operator==(const TranslateCoordinatesRequest&,
+                         const TranslateCoordinatesRequest&) = default;
+};
+
 using Request = std::variant<
     CreateWindowRequest, DestroyWindowRequest, MapWindowRequest, UnmapWindowRequest,
     ReparentWindowRequest, ConfigureWindowRequest, SelectInputRequest, ChangeSaveSetRequest,
     ChangePropertyRequest, DeletePropertyRequest, SendEventRequest, SetInputFocusRequest,
     GrabButtonRequest, UngrabButtonRequest, ClearWindowRequest, SetWindowBackgroundRequest,
-    SetCursorRequest, DrawRequest, ShapeRegionRequest, ShapeClearRequest, ShapeSelectRequest>;
+    SetCursorRequest, DrawRequest, ShapeRegionRequest, ShapeClearRequest, ShapeSelectRequest,
+    GetWindowAttributesRequest, GetGeometryRequest, QueryTreeRequest, InternAtomRequest,
+    GetAtomNameRequest, GetPropertyRequest, TranslateCoordinatesRequest>;
 
 // Wire opcode / human-readable name / error-channel RequestCode of a request.
 WireOpcode RequestOpcode(const Request& request);
@@ -344,6 +406,97 @@ std::vector<uint8_t> EncodeRequestBytes(const Request& request);
 // Decoding is strict: the frame length must be exactly the padded size the
 // request needs — a length field that lies in either direction is rejected.
 size_t DecodeRequest(std::span<const uint8_t> buffer, Request* out, ParseError* error);
+
+// ---- Reply objects ----------------------------------------------------------
+//
+// Replies travel as 32-byte-minimum frames, as in core X11:
+//
+//   [1][opcode u8][sequence u16][length u32][payload ...]
+//
+// with `length` counting the 4-byte units beyond the fixed 32 bytes.  One
+// deviation from core X11, documented in docs/PROTOCOL.md: byte 1 carries
+// the major opcode of the originating request instead of a reply-specific
+// detail byte, so a reply frame is self-describing — DecodeReply, the
+// fuzzers and the trace verifier can parse a captured stream without
+// pairing it against a table of outstanding requests.
+
+struct AttributesReply {
+  WindowId window = kNone;
+  WindowClass window_class = WindowClass::kInputOutput;
+  MapState map_state = MapState::kUnmapped;
+  bool override_redirect = false;
+  uint32_t all_event_masks = 0;
+  int border_width = 0;
+  friend bool operator==(const AttributesReply&, const AttributesReply&) = default;
+};
+
+struct GeometryReply {
+  WindowId window = kNone;
+  xbase::Rect geometry;
+  int border_width = 0;
+  friend bool operator==(const GeometryReply&, const GeometryReply&) = default;
+};
+
+struct TreeReply {
+  WindowId window = kNone;
+  WindowId root = kNone;
+  WindowId parent = kNone;
+  std::vector<WindowId> children;  // Bottom-most first.
+  friend bool operator==(const TreeReply&, const TreeReply&) = default;
+};
+
+// InternAtom.
+struct AtomReply {
+  AtomId atom = kAtomNone;
+  friend bool operator==(const AtomReply&, const AtomReply&) = default;
+};
+
+struct AtomNameReply {
+  AtomId atom = kAtomNone;
+  std::string name;
+  friend bool operator==(const AtomNameReply&, const AtomNameReply&) = default;
+};
+
+// GetProperty on a missing property is not an error in X; `found` carries
+// the distinction (type/format/data are meaningful only when it is set).
+struct PropertyReply {
+  WindowId window = kNone;
+  AtomId property = kAtomNone;
+  bool found = false;
+  AtomId type = kAtomNone;
+  int format = 8;
+  std::vector<uint8_t> data;
+  friend bool operator==(const PropertyReply&, const PropertyReply&) = default;
+};
+
+struct CoordinatesReply {
+  xbase::Point position;
+  friend bool operator==(const CoordinatesReply&, const CoordinatesReply&) = default;
+};
+
+using Reply = std::variant<AttributesReply, GeometryReply, TreeReply, AtomReply,
+                           AtomNameReply, PropertyReply, CoordinatesReply>;
+
+// Major opcode of the request a reply answers / human-readable name.
+WireOpcode ReplyOpcode(const Reply& reply);
+std::string WireReplyName(const Reply& reply);
+
+// ---- Reply encode/decode ----------------------------------------------------
+
+// Appends one reply frame to `writer` (sequence = the issuing connection's
+// request sequence number, truncated to 16 bits as on the wire).
+// Variable-length fields are clamped to their decode caps
+// (kMaxReplyChildren / kMaxReplyPropertyBytes / kMaxWireStringBytes) so
+// every encoded reply decodes.
+void EncodeReply(const Reply& reply, uint16_t sequence, WireWriter* writer);
+std::vector<uint8_t> EncodeReplyBytes(const Reply& reply, uint16_t sequence = 0);
+
+// Decodes the reply frame at the front of `buffer`.  Same contract and
+// strictness as DecodeRequest: on success fills `*out` (and `*sequence` if
+// non-null) and returns the frame size; on failure fills `*error` and
+// returns 0 having read no byte beyond the buffer.
+size_t DecodeReply(std::span<const uint8_t> buffer, Reply* out, ParseError* error,
+                   uint16_t* sequence = nullptr);
 
 // ---- Event encode/decode ----------------------------------------------------
 

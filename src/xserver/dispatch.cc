@@ -48,8 +48,9 @@ xproto::ErrorCode ErrorForParse(ParseErrorCode code) {
 // Opcodes a scramble may rewrite to: parsing an old payload under a
 // different valid opcode's rules probes far more decoder paths than pure
 // garbage does.
-constexpr uint8_t kValidOpcodes[] = {1, 4, 6, 7, 8, 10, 12, 14, 18, 19, 25,
-                                     28, 29, 42, 61, 128, 129, 130, 131, 132, 133};
+constexpr uint8_t kValidOpcodes[] = {1,  3,  4,  6,  7,  8,  10, 12,  14,  15,
+                                     16, 17, 18, 19, 20, 25, 28, 29,  40,  42,
+                                     61, 128, 129, 130, 131, 132, 133, 134};
 
 }  // namespace
 
@@ -140,6 +141,11 @@ Server::DispatchResult Server::DispatchBytes(ClientId client,
     trace_recorder_->RecordRequestBytes(client, view);
   }
 
+  uint64_t replies_before = 0;
+  if (ClientRec* rec = FindClient(client)) {
+    replies_before = rec->replies_sent;
+  }
+
   size_t offset = 0;
   while (offset < view.size()) {
     Request request;
@@ -171,7 +177,41 @@ Server::DispatchResult Server::DispatchBytes(ClientId client,
     }
   }
   result.bytes_consumed = offset;
+
+  // Drain the connection's outbound reply encoder: the caller (transport or
+  // in-process wire client) owns delivery of these frames.
+  if (ClientRec* rec = FindClient(client)) {
+    result.replies = static_cast<size_t>(rec->replies_sent - replies_before);
+    if (!rec->outbound.bytes().empty()) {
+      result.reply_bytes = rec->outbound.Take();
+    }
+  }
   return result;
+}
+
+void Server::EmitReply(ClientId client, const xproto::Reply& reply) {
+  ClientRec* rec = FindClient(client);
+  if (rec == nullptr) {
+    return;
+  }
+  size_t start = rec->outbound.bytes().size();
+  xproto::EncodeReply(reply, static_cast<uint16_t>(rec->sequence), &rec->outbound);
+  std::span<const uint8_t> frame(rec->outbound.bytes().data() + start,
+                                 rec->outbound.bytes().size() - start);
+  ++rec->replies_sent;
+  ++replies_emitted_;
+  reply_bytes_emitted_ += frame.size();
+  // FNV-1a over the frame, chained across all replies in emission order —
+  // the reply-direction half of the replay fingerprint.
+  for (uint8_t b : frame) {
+    reply_hash_ = (reply_hash_ ^ b) * 1099511628211ull;
+  }
+  // The trace captures the honest bytes: transport faults (reply mutation,
+  // mid-frame resets) happen downstream in Connection, so a replay needs no
+  // fault plan to reproduce this stream.
+  if (trace_recorder_ != nullptr) {
+    trace_recorder_->RecordReplyBytes(client, frame);
+  }
 }
 
 bool Server::ApplyRequest(ClientId client, const Request& request,
@@ -254,6 +294,113 @@ bool Server::ApplyRequest(ClientId client, const Request& request,
           return ShapeClear(client, r.window);
         } else if constexpr (std::is_same_v<T, xproto::ShapeSelectRequest>) {
           return ShapeSelect(client, r.window, r.enable);
+        }
+        // ---- Reply-bearing queries (docs/PROTOCOL.md "Replies") -----------
+        // Byte-routed queries take a RequestGuard like any other wire request
+        // — they occupy a sequence slot (as in real X) and are visible to the
+        // fail-request-N fault hook — then answer through the connection's
+        // outbound reply encoder.  Direct-call queries stay const and free.
+        else if constexpr (std::is_same_v<T, xproto::GetWindowAttributesRequest>) {
+          RequestGuard guard(this, client, xproto::RequestCode::kGetWindowAttributes);
+          if (!guard.ok()) {
+            return false;
+          }
+          std::optional<WindowAttributes> attrs = GetWindowAttributes(r.window);
+          if (!attrs.has_value()) {
+            return RaiseError(client, xproto::ErrorCode::kBadWindow, r.window);
+          }
+          xproto::AttributesReply reply;
+          reply.window = r.window;
+          reply.window_class = attrs->window_class;
+          reply.map_state = attrs->map_state;
+          reply.override_redirect = attrs->override_redirect;
+          reply.all_event_masks = attrs->all_event_masks;
+          reply.border_width = attrs->border_width;
+          EmitReply(client, reply);
+          return true;
+        } else if constexpr (std::is_same_v<T, xproto::GetGeometryRequest>) {
+          RequestGuard guard(this, client, xproto::RequestCode::kGetGeometry);
+          if (!guard.ok()) {
+            return false;
+          }
+          std::optional<xbase::Rect> geometry = GetGeometry(r.window);
+          if (!geometry.has_value()) {
+            return RaiseError(client, xproto::ErrorCode::kBadWindow, r.window);
+          }
+          const WindowRec* win = Find(r.window);
+          xproto::GeometryReply reply;
+          reply.window = r.window;
+          reply.geometry = *geometry;
+          reply.border_width = win != nullptr ? win->border_width : 0;
+          EmitReply(client, reply);
+          return true;
+        } else if constexpr (std::is_same_v<T, xproto::QueryTreeRequest>) {
+          RequestGuard guard(this, client, xproto::RequestCode::kQueryTree);
+          if (!guard.ok()) {
+            return false;
+          }
+          std::optional<QueryTreeReply> tree = QueryTree(r.window);
+          if (!tree.has_value()) {
+            return RaiseError(client, xproto::ErrorCode::kBadWindow, r.window);
+          }
+          xproto::TreeReply reply;
+          reply.window = r.window;
+          reply.root = tree->root;
+          reply.parent = tree->parent;
+          reply.children = std::move(tree->children);
+          EmitReply(client, reply);
+          return true;
+        } else if constexpr (std::is_same_v<T, xproto::InternAtomRequest>) {
+          RequestGuard guard(this, client, xproto::RequestCode::kInternAtom);
+          if (!guard.ok()) {
+            return false;
+          }
+          EmitReply(client, xproto::AtomReply{InternAtom(r.name)});
+          return true;
+        } else if constexpr (std::is_same_v<T, xproto::GetAtomNameRequest>) {
+          RequestGuard guard(this, client, xproto::RequestCode::kGetAtomName);
+          if (!guard.ok()) {
+            return false;
+          }
+          std::optional<std::string> name = GetAtomName(r.atom);
+          if (!name.has_value()) {
+            return RaiseError(client, xproto::ErrorCode::kBadAtom, r.atom);
+          }
+          EmitReply(client, xproto::AtomNameReply{r.atom, std::move(*name)});
+          return true;
+        } else if constexpr (std::is_same_v<T, xproto::GetPropertyRequest>) {
+          RequestGuard guard(this, client, xproto::RequestCode::kGetProperty);
+          if (!guard.ok()) {
+            return false;
+          }
+          if (!WindowExists(r.window)) {
+            return RaiseError(client, xproto::ErrorCode::kBadWindow, r.window);
+          }
+          xproto::PropertyReply reply;
+          reply.window = r.window;
+          reply.property = r.property;
+          // A missing property is not an error in X: found=false says so.
+          if (std::optional<PropertyRec> prop = GetProperty(r.window, r.property)) {
+            reply.found = true;
+            reply.type = prop->type;
+            reply.format = prop->format;
+            reply.data = std::move(prop->data);
+          }
+          EmitReply(client, reply);
+          return true;
+        } else if constexpr (std::is_same_v<T, xproto::TranslateCoordinatesRequest>) {
+          RequestGuard guard(this, client, xproto::RequestCode::kTranslateCoordinates);
+          if (!guard.ok()) {
+            return false;
+          }
+          std::optional<xbase::Point> position =
+              TranslateCoordinates(r.src, r.dst, r.point);
+          if (!position.has_value()) {
+            xproto::WindowId missing = WindowExists(r.src) ? r.dst : r.src;
+            return RaiseError(client, xproto::ErrorCode::kBadWindow, missing);
+          }
+          EmitReply(client, xproto::CoordinatesReply{*position});
+          return true;
         }
       },
       request);

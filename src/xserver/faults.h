@@ -78,6 +78,32 @@ struct FaultPlan {
   // Replace the major opcode (sometimes with garbage, sometimes with a
   // different valid opcode so the old payload is parsed under new rules).
   int scramble_opcode_permille = 0;
+
+  // ---- Transport faults (docs/PROTOCOL.md) ----------------------------------
+  // Applied inside xserver::Connection, on the bytes crossing the channel
+  // rather than on frame contents — the failure modes of a real connection:
+  // reads that return a slice of what arrived, writes the peer only partly
+  // accepts, interrupted syscalls, a connection dying partway through a
+  // frame, and reply bytes corrupted in flight.  Like the wire mutations,
+  // every decision is one seeded PRNG draw and lands in FaultCounters.
+
+  // Deliver inbound bytes to the reassembler in partial slices.
+  int short_read_permille = 0;
+
+  // Flush only part of the outbound queue even when the peer would accept
+  // more.
+  int short_write_permille = 0;
+
+  // Simulate 1–4 EINTR retries before a read completes.
+  int eintr_storm_permille = 0;
+
+  // Kill the connection after queueing only a prefix of an outbound frame —
+  // the peer sees a truncated stream, then EOF.
+  int reset_midframe_permille = 0;
+
+  // Flip 1–3 bits in an outbound reply frame (after trace recording, so
+  // replays reproduce the honest bytes).
+  int mutate_reply_permille = 0;
 };
 
 // Exposed by Server::fault_counters() so tests can assert the harness
@@ -94,14 +120,25 @@ struct FaultCounters {
   uint64_t length_lies = 0;
   uint64_t truncated_requests = 0;
   uint64_t scrambled_opcodes = 0;
+  // Transport faults applied by Connection.
+  uint64_t short_reads = 0;
+  uint64_t short_writes = 0;
+  uint64_t eintr_retries = 0;
+  uint64_t connection_resets = 0;
+  uint64_t mutated_replies = 0;
 
   uint64_t WireMutations() const {
     return bitflipped_requests + length_lies + truncated_requests + scrambled_opcodes;
   }
 
+  uint64_t TransportFaults() const {
+    return short_reads + short_writes + eintr_retries + connection_resets + mutated_replies;
+  }
+
   uint64_t Total() const {
     return failed_requests + destroyed_windows + corrupted_properties +
-           malformed_properties + duplicated_events + delayed_events + WireMutations();
+           malformed_properties + duplicated_events + delayed_events + WireMutations() +
+           TransportFaults();
   }
 };
 

@@ -1,8 +1,12 @@
 #include "src/xserver/replay.h"
 
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "src/base/geometry.h"
+#include "src/xproto/transport.h"
+#include "src/xserver/connection.h"
 
 namespace xserver {
 
@@ -10,6 +14,24 @@ using xproto::ClientId;
 using xproto::Trace;
 using xproto::TraceRecord;
 using xproto::TraceRecordType;
+
+namespace {
+
+void HashBytes(std::span<const uint8_t> bytes, uint64_t* hash) {
+  for (uint8_t b : bytes) {
+    *hash = (*hash ^ b) * 1099511628211ull;
+  }
+}
+
+// One traced client's live channel when ReplayOptions::use_transport is set.
+struct TransportClient {
+  std::unique_ptr<Connection> connection;
+  std::unique_ptr<xproto::WireClientEndpoint> endpoint;
+  uint64_t requests_seen = 0;
+  uint64_t parse_errors_seen = 0;
+};
+
+}  // namespace
 
 ReplayResult ReplayTrace(Server* server, const Trace& trace,
                          const ReplayOptions& options) {
@@ -20,20 +42,86 @@ ReplayResult ReplayTrace(Server* server, const Trace& trace,
     return it == client_map.end() ? recorded : it->second;
   };
 
+  // Live channels, keyed by *recorded* client id (transport mode only).
+  std::map<ClientId, TransportClient> channels;
+
+  // Collects a transport client's reply frames and dispatch counters after
+  // moving bytes both ways until the pair goes quiescent.
+  auto pump_channel = [&](TransportClient& tc) {
+    for (int spin = 0; spin < 64; ++spin) {
+      tc.endpoint->Flush();
+      ConnectionState state = tc.connection->Pump();
+      tc.endpoint->Poll();
+      bool quiescent = tc.endpoint->queued_bytes() == 0 &&
+                       tc.connection->outbound_queued() == 0;
+      if (quiescent || state == ConnectionState::kClosed) {
+        break;
+      }
+    }
+    const Connection::Stats& stats = tc.connection->stats();
+    result.requests_dispatched +=
+        static_cast<size_t>(stats.requests_dispatched - tc.requests_seen);
+    result.parse_errors += static_cast<size_t>(stats.parse_errors - tc.parse_errors_seen);
+    tc.requests_seen = stats.requests_dispatched;
+    tc.parse_errors_seen = stats.parse_errors;
+    while (std::optional<std::vector<uint8_t>> frame = tc.endpoint->NextFrame()) {
+      if (!frame->empty() && (*frame)[0] == 1) {
+        ++result.replayed_replies;
+        result.replayed_reply_bytes += frame->size();
+        HashBytes(*frame, &result.replayed_reply_hash);
+      }
+    }
+  };
+
   for (const TraceRecord& rec : trace.records) {
     switch (rec.type) {
       case TraceRecordType::kConnect:
-        client_map[rec.client] = server->Connect(rec.machine);
+        if (options.use_transport) {
+          xproto::ChannelPair pair = xproto::MakeSocketPair();
+          TransportClient tc;
+          tc.connection = std::make_unique<Connection>(server, std::move(pair.server),
+                                                       rec.machine);
+          tc.connection->Establish();
+          tc.endpoint =
+              std::make_unique<xproto::WireClientEndpoint>(std::move(pair.client));
+          client_map[rec.client] = tc.connection->client();
+          channels[rec.client] = std::move(tc);
+        } else {
+          client_map[rec.client] = server->Connect(rec.machine);
+        }
         break;
-      case TraceRecordType::kDisconnect:
-        server->Disconnect(live(rec.client));
+      case TraceRecordType::kDisconnect: {
+        auto it = channels.find(rec.client);
+        if (it != channels.end()) {
+          it->second.connection->BeginDrain();
+          pump_channel(it->second);
+          it->second.connection->Close(CloseReason::kGracefulDrain);
+          channels.erase(it);
+        } else {
+          server->Disconnect(live(rec.client));
+        }
         break;
+      }
       case TraceRecordType::kRequest: {
+        auto it = channels.find(rec.client);
+        if (it != channels.end()) {
+          it->second.endpoint->QueueBytes(rec.bytes);
+          pump_channel(it->second);
+          break;
+        }
         Server::DispatchResult d = server->DispatchBytes(live(rec.client), rec.bytes);
         result.requests_dispatched += d.requests_dispatched;
         result.parse_errors += d.parse_errors;
+        result.replayed_replies += d.replies;
+        result.replayed_reply_bytes += d.reply_bytes.size();
+        HashBytes(d.reply_bytes, &result.replayed_reply_hash);
         break;
       }
+      case TraceRecordType::kReply:
+        ++result.recorded_replies;
+        result.recorded_reply_bytes += rec.bytes.size();
+        HashBytes(rec.bytes, &result.recorded_reply_hash);
+        break;
       case TraceRecordType::kMotion:
         server->SimulateMotion({rec.x, rec.y});
         break;
@@ -72,6 +160,31 @@ ReplayResult ReplayTrace(Server* server, const Trace& trace,
     }
     ++result.records_applied;
   }
+
+  // Channels the trace never disconnected: collect their last replies, then
+  // detach — the recorded server still had these clients connected, so the
+  // replayed one must keep their sessions (and windows) alive too.
+  for (auto& [recorded_id, tc] : channels) {
+    pump_channel(tc);
+    tc.connection->Detach();
+  }
+  channels.clear();
+
+  if (result.recorded_replies > 0 || result.replayed_replies > 0) {
+    result.replies_match =
+        result.recorded_replies == result.replayed_replies &&
+        result.recorded_reply_bytes == result.replayed_reply_bytes &&
+        result.recorded_reply_hash == result.replayed_reply_hash;
+    if (!result.replies_match) {
+      std::ostringstream out;
+      out << "reply mismatch: recorded " << result.recorded_replies << " frames/"
+          << result.recorded_reply_bytes << "B hash " << std::hex
+          << result.recorded_reply_hash << ", replayed " << std::dec
+          << result.replayed_replies << " frames/" << result.replayed_reply_bytes
+          << "B hash " << std::hex << result.replayed_reply_hash;
+      result.reply_mismatch = out.str();
+    }
+  }
   return result;
 }
 
@@ -92,6 +205,9 @@ ServerFingerprint FingerprintServer(const Server& server) {
     }
   }
   fp.screen_hash = hash;
+  fp.replies_emitted = server.replies_emitted();
+  fp.reply_bytes = server.reply_bytes_emitted();
+  fp.reply_hash = server.reply_hash();
   return fp;
 }
 

@@ -32,6 +32,13 @@ struct ReplayOptions {
   // Invoked at every kPump record — the recorded session's "drain the WM's
   // event queue" points.  Optional.
   std::function<void()> pump;
+  // Route every traced client's request bytes through a real socketpair
+  // Connection + WireClientEndpoint instead of calling DispatchBytes
+  // directly, so replay exercises framing, reassembly and the outbound
+  // queue.  Replies come back across the kernel boundary and are verified
+  // against the trace's kReply records the same way.  (Pre-bound clients in
+  // `client_map` have no channel and stay on the direct path.)
+  bool use_transport = false;
 };
 
 struct ReplayResult {
@@ -42,6 +49,18 @@ struct ReplayResult {
   size_t expectations_checked = 0;
   bool expectations_met = true;
   std::string mismatch;  // Human-readable first mismatch, empty when met.
+  // Reply-direction verification: the trace's kReply records (the honest
+  // bytes the recording server emitted) vs. the reply frames this replay
+  // produced, as chained FNV-1a hashes + byte/frame counts.  Byte-identical
+  // streams are the acceptance bar for duplex traces.
+  size_t recorded_replies = 0;
+  uint64_t recorded_reply_bytes = 0;
+  uint64_t recorded_reply_hash = 1469598103934665603ull;
+  size_t replayed_replies = 0;
+  uint64_t replayed_reply_bytes = 0;
+  uint64_t replayed_reply_hash = 1469598103934665603ull;
+  bool replies_match = true;
+  std::string reply_mismatch;
 };
 
 // Applies every record of `trace` to `server`.  Stops at nothing: malformed
@@ -58,6 +77,11 @@ struct ServerFingerprint {
   uint64_t draw_ops = 0;
   int64_t pixels_drawn = 0;
   uint64_t screen_hash = 0;
+  // Reply direction: count / bytes / chained FNV-1a of every reply frame the
+  // server emitted, in order — covers the server→client half of a session.
+  uint64_t replies_emitted = 0;
+  uint64_t reply_bytes = 0;
+  uint64_t reply_hash = 0;
 
   bool operator==(const ServerFingerprint&) const = default;
 };

@@ -128,10 +128,17 @@ class Server {
     size_t requests_failed = 0;      // Executed but refused (X error raised).
     size_t parse_errors = 0;         // Frames rejected by the wire codec.
     std::optional<xproto::ParseError> first_parse_error;
-    // Window id minted by the last CreateWindow in the buffer (the wire
-    // protocol has no replies; byte-routed clients read the id here).
+    // Window id minted by the last CreateWindow in the buffer (CreateWindow
+    // has no reply in core X either — ids are client-allocated there;
+    // byte-routed clients read the id here).
     xproto::WindowId last_created_window = xproto::kNone;
     size_t bytes_consumed = 0;
+    // Reply frames the dispatched queries emitted, drained from the
+    // connection's outbound encoder (docs/PROTOCOL.md "Replies").  The
+    // transport writes these back to the peer; in-process wire clients
+    // decode them directly.
+    std::vector<uint8_t> reply_bytes;
+    size_t replies = 0;
   };
   DispatchResult DispatchBytes(xproto::ClientId client, std::span<const uint8_t> bytes);
   // Applies one already-decoded request (the replayer and wire-mode clients
@@ -140,6 +147,13 @@ class Server {
                     DispatchResult* result);
   // Wire frames rejected across all connections (parser health metric).
   uint64_t wire_parse_errors() const { return wire_parse_errors_; }
+
+  // ---- Reply accounting (docs/PROTOCOL.md "Replies") ---------------------
+  // Counters and a running FNV-1a hash over every reply frame emitted, in
+  // order — the reply-direction half of the replay fingerprint.
+  uint64_t replies_emitted() const { return replies_emitted_; }
+  uint64_t reply_bytes_emitted() const { return reply_bytes_emitted_; }
+  uint64_t reply_hash() const { return reply_hash_; }
 
   // ---- Trace recording (docs/PROTOCOL.md) --------------------------------
   // When a recorder is installed, the server appends every external
@@ -311,6 +325,10 @@ class Server {
     uint64_t sequence = 0;  // Requests processed on this connection.
     uint64_t errors = 0;
     ErrorCallback on_error;
+    // Per-connection outbound reply encoder; DispatchBytes drains it into
+    // DispatchResult::reply_bytes.
+    xproto::WireWriter outbound;
+    uint64_t replies_sent = 0;
   };
 
   struct ActiveGrab {
@@ -423,6 +441,14 @@ class Server {
   // Applies the plan's byte-level mutations to `frame` in place (dispatch.cc).
   void MutateFrame(std::vector<uint8_t>* frame, size_t frame_start);
   uint64_t wire_parse_errors_ = 0;
+
+  // Encodes `reply` into the client's outbound writer with its current
+  // sequence number, updates the reply fingerprint and records the honest
+  // bytes to the trace (dispatch.cc).
+  void EmitReply(xproto::ClientId client, const xproto::Reply& reply);
+  uint64_t replies_emitted_ = 0;
+  uint64_t reply_bytes_emitted_ = 0;
+  uint64_t reply_hash_ = 1469598103934665603ull;  // FNV-1a offset basis.
 
   // ---- Trace recording -------------------------------------------------------
   xproto::TraceRecorder* trace_recorder_ = nullptr;

@@ -50,6 +50,16 @@ void RunScriptedSession(Server* server) {
   b.MoveWindow(wb, {70, 35});
   b.RaiseWindow(wb);
 
+  // Queries too, so the recorded session carries reply frames (kReply
+  // records) and replay can verify the server-to-client direction.
+  a.SetStringProperty(wa, "WM_NAME", "scripted");
+  (void)a.GetGeometry(wa);
+  (void)a.QueryTree(root);
+  (void)a.GetStringProperty(wa, "WM_NAME");
+  (void)b.InternAtom("WM_PROTOCOLS");
+  (void)b.GetWindowAttributes(wb);
+  (void)b.TranslateCoordinates(wb, root, {0, 0});
+
   server->SimulateMotion({75, 40});
   server->SimulateButton(1, true);
   server->SimulateButton(1, false);
@@ -81,12 +91,55 @@ TEST(TraceReplayTest, ScriptedSessionReplaysToIdenticalState) {
   Server replay2;
   ReplayResult r2 = ReplayTrace(&replay2, trace);
 
-  // Recorded run and both replays converge on the same observable state.
+  // Recorded run and both replays converge on the same observable state —
+  // reply stream included (the fingerprint hashes every emitted reply frame).
   ServerFingerprint original = FingerprintServer(recorded);
   EXPECT_EQ(FingerprintServer(replay1), original);
   EXPECT_EQ(FingerprintServer(replay2), original);
   EXPECT_EQ(r1.records_applied, r2.records_applied);
   EXPECT_EQ(r1.requests_dispatched, r2.requests_dispatched);
+  EXPECT_GT(r1.recorded_replies, 0u) << "the scripted session issues queries";
+  EXPECT_TRUE(r1.replies_match) << r1.reply_mismatch;
+  EXPECT_TRUE(r2.replies_match) << r2.reply_mismatch;
+}
+
+TEST(TraceReplayTest, TransportReplayMatchesDirectReplayByteForByte) {
+  // The acceptance bar: a recorded session replays byte-identically when
+  // every traced client is routed through a real socketpair Connection
+  // instead of direct dispatch — same fingerprint, same reply stream.
+  Server recorded;
+  xproto::TraceRecorder recorder;
+  recorded.SetTraceRecorder(&recorder);
+  RunScriptedSession(&recorded);
+  recorded.SetTraceRecorder(nullptr);
+  recorder.RecordExpect(recorded.TotalRequests(), recorded.render_stats().draw_ops,
+                        static_cast<uint64_t>(recorded.render_stats().pixels_drawn));
+  Trace trace = recorder.Take();
+
+  Server direct;
+  ReplayResult rd = ReplayTrace(&direct, trace);
+  ASSERT_TRUE(rd.expectations_met) << rd.mismatch;
+
+  xserver::ReplayOptions transport_options;
+  transport_options.use_transport = true;
+  Server t1;
+  ReplayResult rt1 = ReplayTrace(&t1, trace, transport_options);
+  Server t2;
+  ReplayResult rt2 = ReplayTrace(&t2, trace, transport_options);
+
+  EXPECT_TRUE(rt1.expectations_met) << rt1.mismatch;
+  EXPECT_GT(rt1.recorded_replies, 0u);
+  EXPECT_TRUE(rt1.replies_match) << rt1.reply_mismatch;
+  EXPECT_TRUE(rt2.replies_match) << rt2.reply_mismatch;
+  EXPECT_EQ(rt1.requests_dispatched, rd.requests_dispatched);
+  EXPECT_EQ(rt1.replayed_reply_hash, rd.replayed_reply_hash)
+      << "the socketpair transport must carry the same reply bytes direct "
+         "dispatch produces";
+
+  ServerFingerprint original = FingerprintServer(recorded);
+  EXPECT_EQ(FingerprintServer(direct), original);
+  EXPECT_EQ(FingerprintServer(t1), original);
+  EXPECT_EQ(FingerprintServer(t2), original);
 }
 
 TEST(TraceReplayTest, MutatedStreamReplaysWithoutTheFaultPlan) {
@@ -181,13 +234,39 @@ TEST_P(TraceCorpusTest, CorpusTraceReplaysDeterministically) {
   EXPECT_TRUE(r2.expectations_met) << r2.mismatch;
   EXPECT_EQ(FingerprintServer(replay1), FingerprintServer(replay2));
   EXPECT_EQ(replay1.wire_parse_errors(), replay2.wire_parse_errors());
+  EXPECT_EQ(r1.replies_match, r2.replies_match);
+
+  // The duplex traces were recorded through real framed connections: they
+  // carry kReply records and replay cleanly over socketpair transport too,
+  // with the reply stream verified in both directions.  (The v1 chaos
+  // traces predate connections; their hostile streams keep dispatching
+  // mid-buffer after parse errors, which a lifecycle-enforcing Connection
+  // deliberately refuses to do.)
+  if (GetParam().rfind("duplex", 0) == 0) {
+    EXPECT_GT(r1.recorded_replies, 0u);
+    EXPECT_TRUE(r1.replies_match) << r1.reply_mismatch;
+
+    xserver::ReplayOptions transport_options;
+    transport_options.use_transport = true;
+    xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal);
+    Server transport_replay;
+    ReplayResult rt = ReplayTrace(&transport_replay, *trace, transport_options);
+    xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning);
+    EXPECT_TRUE(rt.expectations_met) << rt.mismatch;
+    EXPECT_TRUE(rt.replies_match) << rt.reply_mismatch;
+    EXPECT_EQ(FingerprintServer(transport_replay), FingerprintServer(replay1));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(CheckedInTraces, TraceCorpusTest,
                          ::testing::Values("chaos_seed_1.swmtrace",
                                            "chaos_seed_2.swmtrace",
                                            "chaos_seed_3.swmtrace",
-                                           "chaos_seed_4.swmtrace"));
+                                           "chaos_seed_4.swmtrace",
+                                           "duplex_seed_1.swmtrace",
+                                           "duplex_seed_2.swmtrace",
+                                           "duplex_seed_3.swmtrace",
+                                           "duplex_seed_4.swmtrace"));
 
 }  // namespace
 }  // namespace swm_test

@@ -116,6 +116,17 @@ std::vector<Request> AllRequestExemplars() {
       .rects = {{0, 0, 10, 10}, {-kMaxCoordinate, kMaxCoordinate, 65535, 65535}}});
   all.push_back(ShapeClearRequest{.window = 19});
   all.push_back(ShapeSelectRequest{.window = 20, .enable = true});
+  // Reply-bearing queries.
+  all.push_back(GetWindowAttributesRequest{.window = 21});
+  all.push_back(GetGeometryRequest{.window = 0xFFFFFFFFu});
+  all.push_back(QueryTreeRequest{.window = 22});
+  all.push_back(InternAtomRequest{.name = ""});
+  all.push_back(InternAtomRequest{.name = "WM_PROTOCOLS"});
+  all.push_back(InternAtomRequest{.name = std::string(kMaxWireStringBytes, 'a')});
+  all.push_back(GetAtomNameRequest{.atom = 31});
+  all.push_back(GetPropertyRequest{.window = 23, .property = 32});
+  all.push_back(TranslateCoordinatesRequest{
+      .src = 24, .dst = 25, .point = {-kMaxCoordinate, kMaxCoordinate}});
   return all;
 }
 
@@ -441,6 +452,179 @@ TEST(TraceRoundTrip, RejectsCorruptContainers) {
   bad_type[8] = 0x7F;  // Record type header byte.
   EXPECT_FALSE(ParseTrace(bad_type, &error).has_value());
   EXPECT_EQ(error.code, ParseErrorCode::kBadOpcode);
+}
+
+// ---- Reply round-trips ------------------------------------------------------
+
+void ExpectReplyRoundTrip(const Reply& reply) {
+  SCOPED_TRACE(WireReplyName(reply));
+  std::vector<uint8_t> bytes = EncodeReplyBytes(reply, 0xCAFE);
+  ASSERT_GE(bytes.size(), kMinReplyBytes) << "replies are at least 32 bytes";
+  EXPECT_EQ(bytes.size() % 4, 0u) << "reply frames are 4-byte aligned";
+  EXPECT_EQ(bytes[0], 1) << "reply frames start with a one byte";
+  // The extra-length field counts 4-byte units beyond the 32-byte minimum.
+  uint32_t extra = static_cast<uint32_t>(bytes[4]) | (static_cast<uint32_t>(bytes[5]) << 8) |
+                   (static_cast<uint32_t>(bytes[6]) << 16) |
+                   (static_cast<uint32_t>(bytes[7]) << 24);
+  EXPECT_EQ(kMinReplyBytes + static_cast<size_t>(extra) * 4, bytes.size());
+
+  Reply decoded;
+  ParseError error;
+  uint16_t sequence = 0;
+  ASSERT_EQ(DecodeReply(bytes, &decoded, &error, &sequence), bytes.size())
+      << ParseErrorText(error);
+  EXPECT_EQ(sequence, 0xCAFE);
+  EXPECT_TRUE(reply == decoded);
+}
+
+std::vector<Reply> AllReplyExemplars() {
+  std::vector<Reply> all;
+  all.push_back(AttributesReply{.window = 1,
+                                .window_class = WindowClass::kInputOnly,
+                                .map_state = MapState::kViewable,
+                                .override_redirect = true,
+                                .all_event_masks = 0xFFFFFFFFu,
+                                .border_width = 65535});
+  all.push_back(AttributesReply{});  // All defaults.
+  all.push_back(GeometryReply{
+      .window = 2, .geometry = {-kMaxCoordinate, kMaxCoordinate, 65535, 1}, .border_width = 7});
+  all.push_back(TreeReply{.window = 3, .root = 1, .parent = 2, .children = {}});
+  std::vector<WindowId> children(500);
+  for (size_t i = 0; i < children.size(); ++i) {
+    children[i] = static_cast<WindowId>(i + 100);
+  }
+  all.push_back(TreeReply{.window = 3, .root = 1, .parent = 2, .children = children});
+  all.push_back(AtomReply{.atom = 0xFFFFFFFFu});
+  all.push_back(AtomNameReply{.atom = 5, .name = ""});
+  all.push_back(AtomNameReply{.atom = 5, .name = "WM_DELETE_WINDOW"});
+  all.push_back(AtomNameReply{.atom = 6, .name = std::string(kMaxWireStringBytes, 'n')});
+  all.push_back(PropertyReply{.window = 7, .property = 8, .found = false});
+  all.push_back(PropertyReply{.window = 7,
+                              .property = 8,
+                              .found = true,
+                              .type = 9,
+                              .format = 32,
+                              .data = std::vector<uint8_t>(4096, 0xCD)});
+  all.push_back(PropertyReply{
+      .window = 7, .property = 8, .found = true, .type = 9, .format = 16, .data = {}});
+  all.push_back(CoordinatesReply{.position = {-kMaxCoordinate, kMaxCoordinate}});
+  return all;
+}
+
+TEST(WireReplyRoundTrip, EveryReplyTypeIsIdentity) {
+  for (const Reply& reply : AllReplyExemplars()) {
+    ExpectReplyRoundTrip(reply);
+  }
+}
+
+TEST(WireReplyRoundTrip, BackToBackReplyFramesDecodeInSequence) {
+  WireWriter w;
+  std::vector<Reply> sent = AllReplyExemplars();
+  uint16_t seq = 1;
+  for (const Reply& reply : sent) {
+    EncodeReply(reply, seq++, &w);
+  }
+  std::span<const uint8_t> buffer = w.span();
+  size_t offset = 0;
+  seq = 1;
+  for (const Reply& reply : sent) {
+    Reply decoded;
+    ParseError error;
+    uint16_t decoded_seq = 0;
+    size_t consumed = DecodeReply(buffer.subspan(offset), &decoded, &error, &decoded_seq);
+    ASSERT_GT(consumed, 0u) << ParseErrorText(error);
+    EXPECT_EQ(decoded_seq, seq++);
+    EXPECT_TRUE(reply == decoded);
+    offset += consumed;
+  }
+  EXPECT_EQ(offset, buffer.size());
+}
+
+// Every reply type, every truncation point: a frame cut anywhere must come
+// back as a typed ParseError, never a crash, overread, or bogus success.
+TEST(WireReplyRejects, TruncationSweepOverEveryReplyType) {
+  for (const Reply& reply : AllReplyExemplars()) {
+    SCOPED_TRACE(WireReplyName(reply));
+    std::vector<uint8_t> bytes = EncodeReplyBytes(reply, 7);
+    // Sweep every prefix of small frames; sample larger ones (every cut
+    // within the first/last 64 bytes plus every 7th in between).
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      if (bytes.size() > 160 && len > 64 && len + 64 < bytes.size() && len % 7 != 0) {
+        continue;
+      }
+      Reply decoded;
+      ParseError error;
+      EXPECT_EQ(DecodeReply(std::span(bytes.data(), len), &decoded, &error), 0u)
+          << "prefix of " << len << " bytes decoded";
+      EXPECT_EQ(error.code, ParseErrorCode::kTruncated);
+    }
+  }
+}
+
+TEST(WireReplyRejects, FirstByteMustBeOne) {
+  std::vector<uint8_t> bytes = EncodeReplyBytes(AtomReply{.atom = 3}, 0);
+  for (uint8_t first : {0, 2, 255}) {
+    bytes[0] = first;
+    Reply decoded;
+    ParseError error;
+    EXPECT_EQ(DecodeReply(bytes, &decoded, &error), 0u);
+    EXPECT_EQ(error.code, ParseErrorCode::kBadOpcode);
+  }
+}
+
+TEST(WireReplyRejects, UnknownReplyOpcode) {
+  std::vector<uint8_t> bytes = EncodeReplyBytes(AtomReply{.atom = 3}, 0);
+  bytes[1] = 99;  // No query has opcode 99.
+  Reply decoded;
+  ParseError error;
+  EXPECT_EQ(DecodeReply(bytes, &decoded, &error), 0u);
+  EXPECT_EQ(error.code, ParseErrorCode::kBadOpcode);
+}
+
+TEST(WireReplyRejects, OversizedExtraLength) {
+  std::vector<uint8_t> bytes = EncodeReplyBytes(AtomReply{.atom = 3}, 0);
+  bytes[4] = 0xFF;
+  bytes[5] = 0xFF;
+  bytes[6] = 0xFF;
+  bytes[7] = 0xFF;
+  Reply decoded;
+  ParseError error;
+  EXPECT_EQ(DecodeReply(bytes, &decoded, &error), 0u);
+  EXPECT_EQ(error.code, ParseErrorCode::kOversized);
+}
+
+TEST(WireReplyRejects, ExtraLengthDisagreesWithPayload) {
+  // Pad a valid frame by one 4-byte unit and fix up the extra-length field:
+  // the strict framing check must reject the lie.
+  std::vector<uint8_t> bytes = EncodeReplyBytes(CoordinatesReply{.position = {1, 2}}, 0);
+  bytes.resize(bytes.size() + 4, 0);
+  uint32_t extra = static_cast<uint32_t>((bytes.size() - kMinReplyBytes) / 4);
+  bytes[4] = static_cast<uint8_t>(extra);
+  Reply decoded;
+  ParseError error;
+  EXPECT_EQ(DecodeReply(bytes, &decoded, &error), 0u);
+  EXPECT_EQ(error.code, ParseErrorCode::kBadLength);
+}
+
+TEST(WireReplyRejects, BadEnumValuesRejected) {
+  std::vector<uint8_t> bytes = EncodeReplyBytes(AttributesReply{.window = 1}, 0);
+  bytes[8 + 4] = 9;  // window_class: only 0/1 are valid.
+  Reply decoded;
+  ParseError error;
+  EXPECT_EQ(DecodeReply(bytes, &decoded, &error), 0u);
+  EXPECT_EQ(error.code, ParseErrorCode::kBadValue);
+}
+
+TEST(WireReplyRejects, ChildCountLie) {
+  std::vector<uint8_t> bytes =
+      EncodeReplyBytes(TreeReply{.window = 1, .root = 1, .parent = 1, .children = {2, 3}}, 0);
+  // Child count lives after window/root/parent: payload offset 12, frame
+  // offset 8 + 12 = 20.  Claim more children than the frame carries.
+  bytes[20] = 0xF0;
+  Reply decoded;
+  ParseError error;
+  EXPECT_EQ(DecodeReply(bytes, &decoded, &error), 0u);
+  EXPECT_EQ(error.code, ParseErrorCode::kBadLength);
 }
 
 }  // namespace

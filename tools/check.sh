@@ -37,6 +37,18 @@ UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
 ASAN_OPTIONS="detect_leaks=1" \
   ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -L chaos
 
+# Transport-fault stage: the duplex transport suites, explicitly.  The
+# framed-connection unit tests (reassembly, backpressure, lifecycle,
+# kill-mid-request) and the 24-seed transport chaos storm — wire mutations
+# plus short reads, short writes, EINTR storms and mid-frame resets over
+# real socketpairs — must come up leak-free under ASan+UBSan.  This is the
+# acceptance gate for the connection lifecycle: every storm ends in a typed
+# CloseReason, never a leak or a stuck connection.
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+    -R 'transport_test|transport_chaos_test'
+
 # And the standalone fuzz harness over the checked-in trace corpus plus its
 # seeded-random smoke mode (tools/run_fuzz.sh drives the same harness
 # open-ended under libFuzzer when clang is available).
@@ -50,17 +62,19 @@ ASAN_OPTIONS="detect_leaks=1" \
 # TSan stage: rebuild with -fsanitize=thread and run the suites that drive
 # the painter's worker pool — the parallel-vs-serial differential (including
 # its chaos-seed run with the pool enabled), the ThreadPool handshake test,
-# and the render/multiscreen suites.  This is the gate for the "no locks on
-# the pixel path" claim: disjoint tiles or a TSan report, nothing in
-# between.
+# the render/multiscreen suites, and the transport chaos storm (every third
+# seed paints with two workers while the socketpair faults fire).  This is
+# the gate for the "no locks on the pixel path" claim: disjoint tiles or a
+# TSan report, nothing in between.
 TSAN_BUILD="${2:-$ROOT/build-tsan}"
 cmake -B "$TSAN_BUILD" -S "$ROOT" -DSWM_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD" -j "$(nproc)" \
   --target parallel_paint_test --target swm_render_test \
-  --target swm_multiscreen_test --target xserver_test
+  --target swm_multiscreen_test --target xserver_test \
+  --target transport_chaos_test
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$(nproc)" \
-    -R 'parallel_paint_test|swm_render_test|swm_multiscreen_test|xserver_test'
+    -R 'parallel_paint_test|swm_render_test|swm_multiscreen_test|xserver_test|transport_chaos_test'
 
 echo "check.sh: all tests passed under ASan+UBSan (including the chaos/fuzz label) and the worker pool is TSan-clean"

@@ -14,19 +14,23 @@
 // Either way the contract under test is the same one the unit suites hold
 // the codec to: malformed bytes yield a typed ParseError (an X error on the
 // dispatch path), never UB.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/base/logging.h"
 #include "src/xproto/trace.h"
+#include "src/xproto/transport.h"
 #include "src/xproto/wire.h"
+#include "src/xserver/connection.h"
 #include "src/xserver/faults.h"
 #include "src/xserver/server.h"
 
@@ -60,10 +64,71 @@ void FuzzOne(std::span<const uint8_t> data) {
   xproto::DecodeEvent(data, &event, &error);
   xproto::XError xerror;
   xproto::DecodeError(data, &xerror, &error);
+  xproto::Reply reply;
+  uint16_t sequence = 0;
+  xproto::DecodeReply(data, &reply, &error, &sequence);
   xproto::ParseTrace(data, &error);
+
+  // Frame reassembly in arbitrary slices, both stream directions: framing
+  // must never buffer past its cap, hang on a length lie, or hand a decoder
+  // bytes it was not fed.  Slice sizes derive from the input so every run
+  // of one input reassembles identically.
+  uint64_t slice_seed = 1469598103934665603ull;
+  for (uint8_t b : data) {
+    slice_seed = (slice_seed ^ b) * 1099511628211ull;
+  }
+  for (xproto::FrameStream direction :
+       {xproto::FrameStream::kRequests, xproto::FrameStream::kServerToClient}) {
+    xserver::FaultRng slicer(slice_seed | 1);
+    xproto::FrameReassembler reasm(direction, /*buffer_cap=*/1u << 16);
+    size_t offset = 0;
+    while (offset < data.size()) {
+      size_t n = std::min(data.size() - offset,
+                          static_cast<size_t>(slicer.Range(1, 48)));
+      if (!reasm.Feed(data.subspan(offset, n))) {
+        break;  // Overflow latched; the reassembler is done.
+      }
+      while (std::optional<std::vector<uint8_t>> frame = reasm.NextFrame()) {
+        if (direction == xproto::FrameStream::kRequests) {
+          xproto::DecodeRequest(*frame, &request, &error);
+        } else {
+          xproto::DecodeReply(*frame, &reply, &error, &sequence);
+          xproto::DecodeEvent(*frame, &event, &error);
+          xproto::DecodeError(*frame, &xerror, &error);
+        }
+      }
+      offset += n;
+    }
+  }
 
   // The full dispatch path: parse, raise X errors, execute what survives.
   target.server->DispatchBytes(target.client, data);
+
+  // The duplex session: the same bytes as a hostile client stream over a
+  // real socketpair connection.  The connection must end in a typed close
+  // (or stay healthy), and the endpoint must survive whatever error, reply
+  // and event frames travel back.
+  xproto::ChannelPair pair = xproto::MakeSocketPair();
+  if (pair.client && pair.server) {
+    xserver::Connection conn(target.server.get(), std::move(pair.server),
+                             "fuzz-duplex");
+    conn.Establish();
+    xproto::WireClientEndpoint ep(std::move(pair.client));
+    ep.QueueBytes(data);
+    for (int i = 0; i < 8; ++i) {
+      ep.Flush();
+      conn.Pump();
+      ep.Poll();
+      if (conn.state() == xserver::ConnectionState::kClosed) {
+        break;
+      }
+    }
+    while (std::optional<std::vector<uint8_t>> frame = ep.NextFrame()) {
+      xproto::DecodeReply(*frame, &reply, &error, &sequence);
+      xproto::DecodeEvent(*frame, &event, &error);
+      xproto::DecodeError(*frame, &xerror, &error);
+    }
+  }
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 #   BENCH_6.json  wire codec + trace replay  (bench_wire)
 #   BENCH_7.json  hot-path + parallel paint  (bench_frame_pipeline +
 #                                             bench_parallel_paint, merged)
+#   BENCH_8.json  duplex transport           (bench_wire + bench_transport,
+#                                             merged)
 #
 # Usage: tools/run_benches.sh
 set -euo pipefail
@@ -20,7 +22,8 @@ BUILD_DIR=build
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_eval_resource_db --target bench_frame_pipeline \
-  --target bench_wire --target bench_parallel_paint >/dev/null
+  --target bench_wire --target bench_parallel_paint \
+  --target bench_transport >/dev/null
 
 # Let the machine settle after the build before timing anything.
 sleep 5
@@ -85,3 +88,26 @@ if retained and immediate:
 EOF
 rm -f BENCH_7_parallel.json
 echo "wrote BENCH_7.json"
+
+record bench_transport BENCH_8_transport.json
+
+# BENCH_8 = the PR-8 duplex transport story: the wire codec results (fresh
+# run, same binary as BENCH_6) plus the socketpair transport results.  Also
+# prints the socketpair round-trip cost against the in-process dispatch
+# baseline — the price of a real kernel boundary under the same codec.
+python3 - BENCH_6.json BENCH_8_transport.json BENCH_8.json <<'EOF'
+import json, sys
+merged = {}
+for path in sys.argv[1:3]:
+    merged.update(json.load(open(path)))
+json.dump(merged, open(sys.argv[3], "w"), indent=2, sort_keys=True)
+open(sys.argv[3], "a").write("\n")
+
+direct = merged.get("BM_DispatchQueryDirect")
+socket = merged.get("BM_SocketpairRoundTrip")
+if direct and socket:
+    print(f"query round trip: direct {direct:.0f} ns vs socketpair "
+          f"{socket:.0f} ns ({socket / direct:.1f}x for the kernel boundary)")
+EOF
+rm -f BENCH_8_transport.json
+echo "wrote BENCH_8.json"

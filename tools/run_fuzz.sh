@@ -33,6 +33,7 @@ cmake -B "$BUILD" -S "$ROOT" -DSWM_SANITIZE=address,undefined \
 cmake --build "$BUILD" -j "$(nproc)" \
   --target wire_fuzz_test --target trace_replay_test --target wire_roundtrip_test \
   --target chaos_test --target restart_chaos_test --target xtb_fuzz_test \
+  --target transport_test --target transport_chaos_test \
   --target fuzz_wire
 
 UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
