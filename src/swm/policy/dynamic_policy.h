@@ -1,0 +1,39 @@
+// Dynamic reflow policy (docs/POLICIES.md), after "A Dynamic Take on Window
+// Management": the eligible population is kept in a near-square grid that
+// re-balances itself on every change — manage, unmanage, iconify/deiconify
+// and viewport pan all trigger a reflow of the survivors.  Grid cell
+// boundaries are proportional (i·W/cols), so the viewport is covered
+// exactly regardless of divisibility; ICCCM hints are honored per cell.
+#ifndef SRC_SWM_POLICY_DYNAMIC_POLICY_H_
+#define SRC_SWM_POLICY_DYNAMIC_POLICY_H_
+
+#include <vector>
+
+#include "src/swm/policy/layout_policy.h"
+
+namespace swm {
+
+class DynamicPolicy : public LayoutPolicy {
+ public:
+  using LayoutPolicy::LayoutPolicy;
+
+  const char* name() const override { return "dynamic"; }
+
+  xbase::Point PlaceNew(ManagedClient* client, const xbase::Rect& client_geometry,
+                        const std::optional<SwmHintsRecord>& session) override;
+  void OnManage(ManagedClient* client) override;
+  void OnUnmanage(xproto::WindowId window, int screen) override;
+  bool OnConfigureRequest(ManagedClient* client,
+                          const xproto::ConfigureRequestEvent& event) override;
+  void OnViewportChange(int screen) override;
+  void OnIconicChange(ManagedClient* client) override;
+  void Relayout(int screen) override;
+
+  // The near-square grid cells for `count` windows, row-major — exposed for
+  // tests (pure geometry, no WM access).
+  static std::vector<xbase::Rect> GridSlots(xbase::Size view, size_t count);
+};
+
+}  // namespace swm
+
+#endif  // SRC_SWM_POLICY_DYNAMIC_POLICY_H_

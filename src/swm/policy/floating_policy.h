@@ -1,0 +1,31 @@
+// The default policy: swm's classic manual placement (docs/POLICIES.md).
+// New windows honor session geometry and US/PPosition hints, else cascade
+// across the visible viewport; clients keep full control of their geometry.
+// This policy is a behavioral no-op relative to the pre-policy WindowManager
+// (tests/policy_noop_test.cc pins that with a golden server fingerprint).
+#ifndef SRC_SWM_POLICY_FLOATING_POLICY_H_
+#define SRC_SWM_POLICY_FLOATING_POLICY_H_
+
+#include "src/swm/policy/layout_policy.h"
+
+namespace swm {
+
+class FloatingPolicy : public LayoutPolicy {
+ public:
+  using LayoutPolicy::LayoutPolicy;
+
+  const char* name() const override { return "floating"; }
+
+  xbase::Point PlaceNew(ManagedClient* client, const xbase::Rect& client_geometry,
+                        const std::optional<SwmHintsRecord>& session) override {
+    return PlaceFloating(client, client_geometry, session);
+  }
+
+  // After a pan the old cascade point may be far outside the new view;
+  // re-anchor so the next window lands visibly.
+  void OnViewportChange(int screen) override { ResetCascade(screen); }
+};
+
+}  // namespace swm
+
+#endif  // SRC_SWM_POLICY_FLOATING_POLICY_H_

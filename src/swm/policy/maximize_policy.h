@@ -1,0 +1,53 @@
+// xswm-style maximize-all policy (docs/POLICIES.md): every eligible window
+// fills the visible viewport; the newest/raised window is focused; a
+// most-recently-used stack backs xswm's remote-control verbs, which ride
+// the swmcmd channel here:
+//   swmcmd close   — politely close the focused window (WM_DELETE_WINDOW
+//                    when supported, destroy otherwise)
+//   swmcmd last    — raise and focus the previously focused window
+// Transients, sticky windows and icons keep floating semantics; max-size
+// hints are honored (the client centers in the viewport).
+#ifndef SRC_SWM_POLICY_MAXIMIZE_POLICY_H_
+#define SRC_SWM_POLICY_MAXIMIZE_POLICY_H_
+
+#include <vector>
+
+#include "src/swm/policy/layout_policy.h"
+
+namespace swm {
+
+class MaximizePolicy : public LayoutPolicy {
+ public:
+  using LayoutPolicy::LayoutPolicy;
+
+  const char* name() const override { return "maximize"; }
+
+  xbase::Point PlaceNew(ManagedClient* client, const xbase::Rect& client_geometry,
+                        const std::optional<SwmHintsRecord>& session) override;
+  void OnManage(ManagedClient* client) override;
+  void OnUnmanage(xproto::WindowId window, int screen) override;
+  bool OnConfigureRequest(ManagedClient* client,
+                          const xproto::ConfigureRequestEvent& event) override;
+  void OnViewportChange(int screen) override;
+  void OnStackingChange(ManagedClient* client, bool raised) override;
+  void OnIconicChange(ManagedClient* client) override;
+  void Relayout(int screen) override;
+  bool HandleCommand(const std::vector<std::string>& words, int screen) override;
+
+  // Focus order, oldest first; back() is the focused window.
+  const std::vector<xproto::WindowId>& focus_order() const { return mru_; }
+
+ private:
+  // Moves the client to the top of the MRU stack and gives it input focus.
+  void Touch(ManagedClient* client);
+  void Drop(xproto::WindowId window);
+  // The client currently considered focused (input focus if managed by this
+  // policy, else the MRU top).
+  ManagedClient* FocusedClient();
+
+  std::vector<xproto::WindowId> mru_;
+};
+
+}  // namespace swm
+
+#endif  // SRC_SWM_POLICY_MAXIMIZE_POLICY_H_

@@ -1,0 +1,46 @@
+// Classic recursive-split tiling (docs/POLICIES.md): the viewport is halved
+// window by window in manage order, alternating vertical/horizontal cuts —
+// the first window keeps the left half, the second the top of the right
+// half, and so on (a spiral).  Clients do not control their own geometry;
+// ICCCM min/max/increment hints are honored, centering short windows in
+// their slots.  Transients/sticky windows float; iconified windows release
+// their slot and the survivors reflow.
+#ifndef SRC_SWM_POLICY_TILING_POLICY_H_
+#define SRC_SWM_POLICY_TILING_POLICY_H_
+
+#include <vector>
+
+#include "src/swm/policy/layout_policy.h"
+
+namespace swm {
+
+class TilingPolicy : public LayoutPolicy {
+ public:
+  using LayoutPolicy::LayoutPolicy;
+
+  const char* name() const override { return "tiling"; }
+
+  xbase::Point PlaceNew(ManagedClient* client, const xbase::Rect& client_geometry,
+                        const std::optional<SwmHintsRecord>& session) override;
+  void OnManage(ManagedClient* client) override;
+  void OnUnmanage(xproto::WindowId window, int screen) override;
+  bool OnConfigureRequest(ManagedClient* client,
+                          const xproto::ConfigureRequestEvent& event) override;
+  void OnViewportChange(int screen) override;
+  void OnIconicChange(ManagedClient* client) override;
+  void Relayout(int screen) override;
+
+  // The recursive-split slots for `count` windows within `view` — exposed
+  // for tests (pure geometry, no WM access).
+  static std::vector<xbase::Rect> SplitSlots(xbase::Size view, size_t count);
+
+ private:
+  // Clients in manage order (adopting unseen ones in id order).
+  std::vector<ManagedClient*> OrderedClients(int screen);
+
+  std::vector<xproto::WindowId> order_;  // Manage order, survivors only.
+};
+
+}  // namespace swm
+
+#endif  // SRC_SWM_POLICY_TILING_POLICY_H_

@@ -188,6 +188,12 @@ RestartTable RestartTable::FromPropertyText(const std::string& text) {
     if (trimmed.empty()) {
       continue;
     }
+    if (xbase::StartsWith(trimmed, "policy ")) {
+      // Layout-policy adoption line; last one wins.  Validated against the
+      // registered policy names by the consumer, not here.
+      table.policy_name_ = xbase::TrimWhitespace(trimmed.substr(7));
+      continue;
+    }
     std::optional<SwmHintsRecord> record = SwmHintsRecord::Parse(trimmed);
     if (record.has_value()) {
       table.Add(std::move(*record));
@@ -207,12 +213,21 @@ std::string RestartTable::ToPropertyText() const {
     out += record.Encode();
     out += '\n';
   }
+  if (policy_name_.has_value()) {
+    out += "policy " + *policy_name_ + '\n';
+  }
   return out;
 }
 
 bool AppendSwmHints(xlib::Display* display, int screen, const SwmHintsRecord& record) {
   return display->AppendStringProperty(display->RootWindow(screen),
                                        xproto::kAtomSwmRestartInfo, record.Encode() + "\n");
+}
+
+bool AppendSwmPolicy(xlib::Display* display, int screen, const std::string& name) {
+  return display->AppendStringProperty(display->RootWindow(screen),
+                                       xproto::kAtomSwmRestartInfo,
+                                       "policy " + name + "\n");
 }
 
 RestartTable TakeRestartInfo(xlib::Display* display, int screen) {

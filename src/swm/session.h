@@ -57,17 +57,27 @@ class RestartTable {
   bool empty() const { return records_.empty(); }
   const std::deque<SwmHintsRecord>& records() const { return records_; }
 
+  // A restarting swm may also record which layout policy was active, as a
+  // bare "policy <name>" line riding the same property.
+  const std::optional<std::string>& policy_name() const { return policy_name_; }
+  void set_policy_name(std::string name) { policy_name_ = std::move(name); }
+
   // Property text is newline-separated encoded records.
   static RestartTable FromPropertyText(const std::string& text);
   std::string ToPropertyText() const;
 
  private:
   std::deque<SwmHintsRecord> records_;
+  std::optional<std::string> policy_name_;
 };
 
 // What the swmhints *program* does: appends one record to the
 // SWM_RESTART_INFO property on the screen's root window.
 bool AppendSwmHints(xlib::Display* display, int screen, const SwmHintsRecord& record);
+
+// Records the active layout policy alongside the restart records, so the
+// next swm adopts it before managing anything.
+bool AppendSwmPolicy(xlib::Display* display, int screen, const std::string& name);
 
 // Reads and deletes the accumulated property (done by swm at startup).
 RestartTable TakeRestartInfo(xlib::Display* display, int screen);

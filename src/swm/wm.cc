@@ -5,6 +5,7 @@
 #include "src/base/logging.h"
 #include "src/base/strings.h"
 #include "src/swm/panner.h"
+#include "src/swm/policy/layout_policy.h"
 #include "src/swm/scrollbars.h"
 #include "src/swm/templates.h"
 #include "src/xlib/icccm.h"
@@ -57,6 +58,18 @@ WindowManager::WindowManager(xserver::Server* server, Options options)
   display_.SetErrorHandler([this](const xproto::XError& error) { OnXError(error); });
   aux_display_.SetErrorHandler([this](const xproto::XError& error) { OnXError(error); });
   LoadResources();
+  // Layout policy (docs/POLICIES.md): resource-selected, floating default.
+  std::string policy_name = "floating";
+  if (std::optional<std::string> configured =
+          db_.Get("swm.layout.policy", "Swm.Layout.Policy")) {
+    policy_name = xbase::TrimWhitespace(*configured);
+  }
+  policy_ = CreateLayoutPolicy(policy_name, this);
+  if (policy_ == nullptr) {
+    XB_LOG(Warning) << "swm: unknown layout policy '" << policy_name
+                    << "'; using floating";
+    policy_ = CreateLayoutPolicy("floating", this);
+  }
 }
 
 void WindowManager::OnXError(const xproto::XError& error) {
@@ -120,6 +133,7 @@ void WindowManager::HealSuspects() {
 }
 
 WindowManager::~WindowManager() {
+  in_teardown_ = true;  // Unmanaging everything must not trigger reflows.
   // Hand the session to whoever manages these clients next (restart
   // recovery, docs/ROBUSTNESS.md): the successor's TakeRestartInfo restores
   // geometry, icon position, iconic and sticky state.
@@ -190,6 +204,16 @@ bool WindowManager::Start() {
   for (int screen = 0; screen < display_.ScreenCount(); ++screen) {
     InitScreen(screen);
   }
+  // Restart persistence: a predecessor's runtime policy selection rides
+  // SWM_RESTART_INFO (read by InitScreen above) and outranks the
+  // swm.layout.policy resource default — adopted before any client manages.
+  if (restart_policy_name_.has_value()) {
+    if (!SetLayoutPolicy(*restart_policy_name_)) {
+      XB_LOG(Warning) << "swm: restart info names unknown layout policy '"
+                      << *restart_policy_name_ << "'; keeping " << policy_->name();
+    }
+    restart_policy_name_.reset();
+  }
   for (int screen = 0; screen < display_.ScreenCount(); ++screen) {
     ManageExistingWindows(screen);
   }
@@ -247,6 +271,9 @@ void WindowManager::InitScreen(int screen) {
   RestartTable table = TakeRestartInfo(&display_, screen);
   for (const SwmHintsRecord& record : table.records()) {
     restart_table_.Add(record);
+  }
+  if (table.policy_name().has_value()) {
+    restart_policy_name_ = table.policy_name();
   }
 
   // Panner (paper §6.1) — requires the Virtual Desktop.
@@ -437,6 +464,11 @@ void WindowManager::DesktopViewChanged(int screen) {
   if (state.scrollbars != nullptr) {
     state.scrollbars->Update();
   }
+  // Policies react to the viewport move (slot policies keep their layout
+  // glued to the visible view; floating re-anchors its cascade cursor).
+  if (started_ && !in_teardown_ && policy_ != nullptr) {
+    policy_->OnViewportChange(screen);
+  }
 }
 
 size_t WindowManager::ClientCount() const { return clients_.size(); }
@@ -561,12 +593,18 @@ void WindowManager::ResizeClient(ManagedClient* client, xbase::Size client_size)
 void WindowManager::RaiseClient(ManagedClient* client) {
   if (client != nullptr && client->frame != nullptr) {
     display_.RaiseWindow(client->frame->window());
+    if (!in_teardown_ && policy_ != nullptr && !client->is_internal) {
+      policy_->OnStackingChange(client, /*raised=*/true);
+    }
   }
 }
 
 void WindowManager::LowerClient(ManagedClient* client) {
   if (client != nullptr && client->frame != nullptr) {
     display_.LowerWindow(client->frame->window());
+    if (!in_teardown_ && policy_ != nullptr && !client->is_internal) {
+      policy_->OnStackingChange(client, /*raised=*/false);
+    }
   }
 }
 
@@ -611,6 +649,39 @@ void WindowManager::Zoom(ManagedClient* client) {
                          frame_size.height - client_size.height};
   MoveFrameTo(client, origin);
   ResizeClient(client, {view.width - decoration.width, view.height - decoration.height});
+}
+
+void WindowManager::CloseClient(ManagedClient* client) {
+  if (client == nullptr) {
+    return;
+  }
+  // Politely via WM_DELETE_WINDOW when supported, else disconnect-kill.
+  std::optional<std::vector<std::string>> protocols =
+      xlib::GetWmProtocols(&display_, client->window);
+  bool supports_delete =
+      protocols.has_value() &&
+      std::find(protocols->begin(), protocols->end(),
+                xproto::kAtomWmDeleteWindow) != protocols->end();
+  if (supports_delete) {
+    xlib::SendDeleteWindow(&display_, client->window);
+  } else {
+    display_.DestroyWindow(client->window);
+  }
+}
+
+bool WindowManager::SetLayoutPolicy(const std::string& name) {
+  std::unique_ptr<LayoutPolicy> policy = CreateLayoutPolicy(name, this);
+  if (policy == nullptr) {
+    return false;
+  }
+  policy_ = std::move(policy);
+  // Full re-layout under the new regime; the frames flush at the caller's
+  // batch boundary (or right here when invoked outside ProcessEvents).
+  for (ScreenState& state : screens_) {
+    policy_->Relayout(state.number);
+  }
+  MaybeFlushFrames();
+  return true;
 }
 
 void WindowManager::ReloadResources() {

@@ -27,6 +27,7 @@ class WindowManager;
 class Panner;
 class IconHolder;
 class DesktopScrollbars;
+class LayoutPolicy;
 
 // Per-managed-window state.
 struct ManagedClient {
@@ -270,6 +271,20 @@ class WindowManager {
   void SaveGeometry(ManagedClient* client);
   void RestoreGeometry(ManagedClient* client);
   void SetSticky(ManagedClient* client, bool sticky);
+  // Politely closes a client: WM_DELETE_WINDOW when the client speaks the
+  // protocol, destroy otherwise (f.delete and the maximize policy's `close`).
+  void CloseClient(ManagedClient* client);
+
+  // ---- Layout policy (docs/POLICIES.md) ------------------------------------
+  // The active placement/geometry policy.  All layout decisions (PlaceNew,
+  // ConfigureRequest treatment, reflow on manage/unmanage/viewport change)
+  // delegate through it; `floating` reproduces the classic behaviour.
+  LayoutPolicy& layout_policy() { return *policy_; }
+  // Switches policies by name ("floating", "maximize", "tiling", "dynamic")
+  // and re-lays out every screen.  False: unknown name (policy unchanged).
+  // Reachable at runtime via `swmcmd policy <name>` or f.policy(name); the
+  // selection persists across WM restart on SWM_RESTART_INFO.
+  bool SetLayoutPolicy(const std::string& name);
 
   // ---- Function execution ------------------------------------------------------
   // Executes one bound function in a dispatch context.
@@ -335,7 +350,6 @@ class WindowManager {
     std::vector<std::unique_ptr<oi::Panel>> root_icons;
     std::vector<std::unique_ptr<oi::Panel>> root_panel_trees;
     std::map<std::string, std::unique_ptr<oi::Menu>> menus;
-    xbase::Point place_cursor{8, 8};  // Default-placement cascade position.
   };
 
   // ---- Startup ---------------------------------------------------------------
@@ -359,8 +373,6 @@ class WindowManager {
   // Re-decorates in place (used when stickiness toggles: the resource
   // prefix changes, so the decoration may change; paper §6.2).
   void ReDecorate(ManagedClient* client);
-  xbase::Point PlaceNewWindow(ManagedClient* client, const xbase::Rect& client_geometry,
-                              const std::optional<SwmHintsRecord>& session);
   // The swmhints record describing one client's current state.
   SwmHintsRecord SessionRecordFor(ManagedClient* client);
   // Walks the transient_for chain through managed clients; returns kNone
@@ -436,6 +448,15 @@ class WindowManager {
   xrdb::ResourceDatabase db_;
 
   std::vector<ScreenState> screens_;
+  // The active layout policy (never null after construction); see
+  // layout_policy() above.  `restart_policy_name_` carries a predecessor's
+  // runtime selection from SWM_RESTART_INFO until Start adopts it.
+  std::unique_ptr<LayoutPolicy> policy_;
+  std::optional<std::string> restart_policy_name_;
+  // Set for the destructor's unmanage-all sweep: policy reflow hooks are
+  // skipped during teardown (each unmanage would trigger a full re-layout
+  // of a population that is about to disappear anyway).
+  bool in_teardown_ = false;
   std::map<xproto::WindowId, std::unique_ptr<ManagedClient>> clients_;
   std::set<xproto::WindowId> internal_windows_;
   // Maps decoration/icon tree roots to their client window.

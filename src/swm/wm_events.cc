@@ -7,6 +7,7 @@
 #include "src/base/logging.h"
 #include "src/base/strings.h"
 #include "src/swm/panner.h"
+#include "src/swm/policy/layout_policy.h"
 #include "src/swm/scrollbars.h"
 #include "src/swm/wm.h"
 #include "src/xlib/icccm.h"
@@ -314,6 +315,11 @@ void WindowManager::HandleConfigureRequest(const xproto::ConfigureRequestEvent& 
     values.sibling = event.sibling;
     values.stack_mode = event.stack_mode;
     display_.ConfigureWindow(event.window, event.value_mask, values);
+    return;
+  }
+  if (!client->is_internal && policy_->OnConfigureRequest(client, event)) {
+    // The layout policy owns this window's geometry and has answered the
+    // request itself (typically by reasserting the slot).
     return;
   }
   // Size change: constrain and re-layout the decoration around it.

@@ -12,6 +12,7 @@
 #include "src/base/logging.h"
 #include "src/base/strings.h"
 #include "src/swm/panner.h"
+#include "src/swm/policy/layout_policy.h"
 #include "src/swm/wm.h"
 #include "src/xlib/icccm.h"
 
@@ -171,18 +172,7 @@ void WindowManager::ApplyWindowFunction(const std::string& name, ManagedClient* 
       drag_.start_frame = client->frame->geometry();
     }
   } else if (name == "f.delete") {
-    // Politely via WM_DELETE_WINDOW when supported, else disconnect-kill.
-    std::optional<std::vector<std::string>> protocols =
-        xlib::GetWmProtocols(&display_, client->window);
-    bool supports_delete =
-        protocols.has_value() &&
-        std::find(protocols->begin(), protocols->end(),
-                  xproto::kAtomWmDeleteWindow) != protocols->end();
-    if (supports_delete) {
-      xlib::SendDeleteWindow(&display_, client->window);
-    } else {
-      display_.DestroyWindow(client->window);
-    }
+    CloseClient(client);
   } else if (name == "f.destroy") {
     display_.DestroyWindow(client->window);
   } else if (name == "f.focus") {
@@ -374,6 +364,14 @@ void WindowManager::ExecuteFunction(const xtb::FunctionCall& function,
     }
     return;
   }
+  if (name == "f.policy") {
+    // Runtime layout-policy switch; the whole population re-lays out.
+    const std::string requested = function.args.empty() ? "" : function.args[0];
+    if (!SetLayoutPolicy(requested)) {
+      XB_LOG(Warning) << "f.policy: '" << requested << "' is not a layout policy";
+    }
+    return;
+  }
   if (name == "f.nop") {
     return;
   }
@@ -383,8 +381,26 @@ void WindowManager::ExecuteFunction(const xtb::FunctionCall& function,
 bool WindowManager::ExecuteCommandString(const std::string& text, int screen) {
   // swmcmd (paper §4.5): "By writing a special property on the root window,
   // swm interprets its contents and executes commands."
+  std::string trimmed = xbase::TrimWhitespace(text);
+  std::vector<std::string> words = xbase::SplitWhitespace(trimmed);
+  if (!words.empty() && !xbase::StartsWith(words[0], "f.") && words[0] != "!") {
+    // The function-list grammar only admits f.* names; bare layout verbs
+    // ("policy tiling", xswm's "close"/"last") are routed before parsing.
+    if (words[0] == "policy") {
+      bool switched = words.size() == 2 && SetLayoutPolicy(words[1]);
+      if (!switched) {
+        XB_LOG(Warning) << "swmcmd: '" << trimmed.substr(0, 128)
+                        << "' names no layout policy";
+      }
+      return switched;
+    }
+    if (policy_ != nullptr && policy_->HandleCommand(words, screen)) {
+      MaybeFlushFrames();
+      return true;
+    }
+  }
   std::optional<std::vector<xtb::FunctionCall>> functions =
-      xtb::ParseFunctionList(xbase::TrimWhitespace(text));
+      xtb::ParseFunctionList(trimmed);
   if (!functions.has_value()) {
     // A malformed-command flood (hostile swmcmd sender) repeats this line;
     // log every Nth occurrence instead of each one.
@@ -394,7 +410,6 @@ bool WindowManager::ExecuteCommandString(const std::string& text, int screen) {
   }
   oi::ActionContext context;
   context.root_pos = server_->QueryPointer().root_pos;
-  (void)screen;
   for (const xtb::FunctionCall& function : *functions) {
     ExecuteFunction(function, context);
   }
@@ -469,6 +484,9 @@ void WindowManager::PersistSessionState() {
   for (const SwmHintsRecord& record : restart_table_.records()) {
     AppendSwmHints(&display_, 0, record);
   }
+  // The active layout policy rides the same property so the successor
+  // re-adopts it before managing anything.
+  AppendSwmPolicy(&display_, 0, policy_->name());
 }
 
 std::string WindowManager::GeneratePlaces() {

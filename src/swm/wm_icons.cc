@@ -5,6 +5,7 @@
 #include "src/base/logging.h"
 #include "src/base/strings.h"
 #include "src/swm/panner.h"
+#include "src/swm/policy/layout_policy.h"
 #include "src/swm/wm.h"
 #include "src/xlib/icccm.h"
 
@@ -171,6 +172,9 @@ void WindowManager::Iconify(ManagedClient* client) {
   if (Panner* p = panner(client->screen)) {
     p->Update();
   }
+  if (!in_teardown_ && policy_ != nullptr && !client->is_internal) {
+    policy_->OnIconicChange(client);
+  }
 }
 
 void WindowManager::Deiconify(ManagedClient* client) {
@@ -196,6 +200,9 @@ void WindowManager::Deiconify(ManagedClient* client) {
   xlib::SetWmState(&display_, client->window, xproto::WmState::kNormal, xproto::kNone);
   if (Panner* p = panner(client->screen)) {
     p->Update();
+  }
+  if (!in_teardown_ && policy_ != nullptr && !client->is_internal) {
+    policy_->OnIconicChange(client);
   }
 }
 

@@ -6,6 +6,7 @@
 #include "src/base/logging.h"
 #include "src/base/strings.h"
 #include "src/swm/panner.h"
+#include "src/swm/policy/layout_policy.h"
 #include "src/swm/wm.h"
 #include "src/xlib/icccm.h"
 
@@ -169,50 +170,6 @@ void WindowManager::PositionResizeCorners(ManagedClient* client) {
   }
 }
 
-xbase::Point WindowManager::PlaceNewWindow(ManagedClient* client,
-                                           const xbase::Rect& client_geometry,
-                                           const std::optional<SwmHintsRecord>& session) {
-  ScreenState& state = screens_[client->screen];
-  xbase::Point client_offset = OffsetWithinTree(client->client_panel);
-  xbase::Point desktop_offset =
-      (!client->sticky && state.vdesk() != nullptr) ? state.vdesk()->offset() : xbase::Point{};
-
-  // Desired *client* position, in the frame parent's coordinate space
-  // (desktop coordinates for normal windows, viewport for sticky ones).
-  xbase::Point client_pos;
-  if (session.has_value()) {
-    client_pos = session->geometry.origin();
-  } else if (client->size_hints.HasUserPosition()) {
-    // USPosition is an absolute desktop location, "even if the coordinates
-    // on the desktop are not currently visible" (§6.3.2).
-    client_pos = {client->size_hints.x, client->size_hints.y};
-    if (client->sticky) {
-      client_pos = {client_pos.x - desktop_offset.x, client_pos.y - desktop_offset.y};
-    }
-  } else if (client->size_hints.HasProgramPosition()) {
-    // PPosition is relative to the currently visible portion of the desktop.
-    client_pos = {client->size_hints.x, client->size_hints.y};
-    if (!client->sticky) {
-      client_pos = {client_pos.x + desktop_offset.x, client_pos.y + desktop_offset.y};
-    }
-  } else {
-    // Default placement: a cascade within the visible viewport.
-    xbase::Size view = display_.DisplaySize(client->screen);
-    xbase::Point cursor = state.place_cursor;
-    state.place_cursor.x += 24;
-    state.place_cursor.y += 24;
-    if (state.place_cursor.x + client_geometry.width > view.width ||
-        state.place_cursor.y + client_geometry.height > view.height) {
-      state.place_cursor = {8, 8};
-    }
-    client_pos = cursor;
-    if (!client->sticky) {
-      client_pos = {client_pos.x + desktop_offset.x, client_pos.y + desktop_offset.y};
-    }
-  }
-  return {client_pos.x - client_offset.x, client_pos.y - client_offset.y};
-}
-
 ManagedClient* WindowManager::ManageWindow(xproto::WindowId window, int screen) {
   if (FindClient(window) != nullptr) {
     return FindClient(window);
@@ -306,14 +263,15 @@ ManagedClient* WindowManager::ManageWindow(xproto::WindowId window, int screen) 
     return nullptr;
   }
   client->client_panel->SetSizeOverride(client_size);
-  // PlaceNewWindow reads the laid-out frame geometry, so the freshly built
+  // PlaceNew reads the laid-out frame geometry, so the freshly built
   // (all-dirty) tree flushes synchronously here; the layout observer pins
   // the resize corners.
   screens_[screen].toolkit->FlushFrame();
 
-  xbase::Point frame_pos =
-      PlaceNewWindow(client, xbase::Rect{0, 0, client_size.width, client_size.height},
-                     session);
+  // Placement is a policy decision (docs/POLICIES.md): floating runs the
+  // classic session/hints/cascade logic; slot policies claim their slot.
+  xbase::Point frame_pos = policy_->PlaceNew(
+      client, xbase::Rect{0, 0, client_size.width, client_size.height}, session);
   client->frame->SetGeometry(xbase::Rect{frame_pos.x, frame_pos.y,
                                          client->frame->geometry().width,
                                          client->frame->geometry().height});
@@ -393,6 +351,14 @@ ManagedClient* WindowManager::ManageWindow(xproto::WindowId window, int screen) 
   if (Panner* p = panner(screen)) {
     p->Update();
   }
+  if (!client->is_internal) {
+    // The policy sees the fully built client last: slot policies reflow the
+    // population around it (which may resize this very window).
+    policy_->OnManage(client);
+    if (died_mid_manage()) {
+      return nullptr;
+    }
+  }
   return client;
 }
 
@@ -428,12 +394,18 @@ void WindowManager::UnmanageWindow(xproto::WindowId window, bool reparent_back) 
     display_.RemoveFromSaveSet(window);
     xlib::SetWmState(&display_, window, xproto::WmState::kWithdrawn, xproto::kNone);
   }
+  bool was_internal = client->is_internal;
   client->frame.reset();  // Destroys the decoration tree windows.
   clients_.erase(it);
   ledger_.Forget(window);
   quarantine_pending_configure_.erase(window);
   if (Panner* p = panner(screen)) {
     p->Update();
+  }
+  if (!was_internal && !in_teardown_ && policy_ != nullptr) {
+    // Survivors reflow into the vacated space (slot policies); the client
+    // is fully gone from the tables by now.
+    policy_->OnUnmanage(window, screen);
   }
 }
 

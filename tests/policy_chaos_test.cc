@@ -1,0 +1,193 @@
+// Policy-switch chaos (docs/POLICIES.md): the seeded fault workload from
+// chaos_test.cc, with one twist — mid-run the active layout policy cycles
+// through all four registered policies via the swmcmd channel, so manage,
+// unmanage, configure, iconify and reflow races all happen across policy
+// boundaries.  After every step the WM's structural invariants must hold,
+// plus a policy-specific one: under slot-granting policies every eligible
+// frame stays inside the viewport.
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/swm/policy/layout_policy.h"
+#include "src/swm/swmcmd.h"
+#include "src/swm/wm.h"
+#include "src/xserver/faults.h"
+#include "tests/swm_test_util.h"
+
+namespace swm_test {
+namespace {
+
+using swm::ManagedClient;
+
+// Structural invariants (as in chaos_test.cc): no dangling clients, frames
+// exist, clients are parented in their frames.
+void CheckStructure(xserver::Server* server, swm::WindowManager* wm) {
+  for (ManagedClient* client : wm->Clients()) {
+    ASSERT_TRUE(server->WindowExists(client->window))
+        << "dangling ManagedClient for window " << client->window;
+    ASSERT_NE(client->frame, nullptr) << "client " << client->window;
+    ASSERT_TRUE(server->WindowExists(client->frame->window()))
+        << "frame of client " << client->window;
+    ASSERT_NE(client->client_panel, nullptr) << "client " << client->window;
+    auto tree = server->QueryTree(client->window);
+    ASSERT_TRUE(tree.has_value());
+    EXPECT_EQ(tree->parent, client->client_panel->window())
+        << "client " << client->window << " not parented in its frame";
+  }
+}
+
+// Slot policies must never push a frame outside the 200x100 viewport.
+// (Floating windows may hang off-screen by design; transients and sticky
+// windows float under every policy, so only slot-eligible clients count.)
+void CheckSlotContainment(swm::WindowManager* wm) {
+  std::string policy = wm->layout_policy().name();
+  if (policy == "floating") {
+    return;
+  }
+  for (ManagedClient* client : wm->Clients()) {
+    if (client->is_internal || client->sticky ||
+        client->transient_for != xproto::kNone ||
+        client->state != xproto::WmState::kNormal || client->frame == nullptr) {
+      continue;
+    }
+    xbase::Rect frame = client->frame->geometry();
+    EXPECT_GE(frame.x, 0) << policy << " pushed client " << client->window;
+    EXPECT_GE(frame.y, 0) << policy << " pushed client " << client->window;
+    // The frame's origin stays inside the viewport, and its size never
+    // exceeds the viewport — except that ICCCM trumps the slot: a (possibly
+    // fault-corrupted) WM_NORMAL_HINTS minimum larger than the viewport
+    // cannot be shrunk, so the hinted floor caps the size instead.
+    EXPECT_LT(frame.x, 200) << policy << " pushed client " << client->window;
+    EXPECT_LT(frame.y, 100) << policy << " pushed client " << client->window;
+    xbase::Size hinted_min = client->size_hints.Constrain({1, 1});
+    int decoration_w = frame.width - client->client_panel->geometry().width;
+    int decoration_h = frame.height - client->client_panel->geometry().height;
+    EXPECT_LE(frame.width, std::max(200, hinted_min.width + decoration_w))
+        << policy << " overgrew client " << client->window;
+    EXPECT_LE(frame.height, std::max(100, hinted_min.height + decoration_h))
+        << policy << " overgrew client " << client->window;
+  }
+}
+
+class PolicyChaosTest : public SwmTest,
+                        public ::testing::WithParamInterface<uint64_t> {
+ protected:
+  void SetUp() override { xbase::SetMinLogSeverity(xbase::LogSeverity::kFatal); }
+  void TearDown() override { xbase::SetMinLogSeverity(xbase::LogSeverity::kWarning); }
+};
+
+TEST_P(PolicyChaosTest, SurvivesSeededFaultsAcrossPolicySwitches) {
+  uint64_t seed = GetParam();
+  StartWm();
+
+  xserver::FaultPlan plan;
+  plan.seed = seed;
+  plan.destroy_on_map_permille = 250;
+  plan.destroy_on_reparent_permille = 120;
+  plan.destroy_on_configure_permille = 80;
+  plan.corrupt_property_permille = 30;
+  plan.duplicate_event_permille = 60;
+  plan.delay_event_permille = 60;
+  server_->InstallFaultPlan(plan);
+
+  const std::vector<std::string>& policies = swm::LayoutPolicyNames();
+  xserver::FaultRng driver(seed * 0x9e3779b9u + 17);
+  std::vector<std::unique_ptr<xlib::ClientApp>> apps;
+  int spawned = 0;
+  size_t next_policy = seed % policies.size();
+
+  for (int step = 0; step < 60; ++step) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " step " + std::to_string(step) +
+                 " policy " + wm_->layout_policy().name());
+    // Every 10th step the policy switches mid-chaos — the relayout runs
+    // against whatever half-dead population the faults left behind.
+    if (step % 10 == 5) {
+      xlib::Display shell(server_.get(), "policy-chaos-shell");
+      swm::SendSwmCommand(&shell, 0, "policy " + policies[next_policy]);
+      next_policy = (next_policy + 1) % policies.size();
+    }
+    int action = apps.empty() ? 0 : driver.Range(0, 6);
+    switch (action) {
+      case 0: {  // Spawn and map a fresh client.
+        xlib::ClientAppConfig config;
+        config.name = "pchaos" + std::to_string(spawned++);
+        config.wm_class = {config.name, "PolicyChaos"};
+        config.command = {config.name};
+        config.geometry = {driver.Range(0, 120), driver.Range(0, 60),
+                           driver.Range(10, 50), driver.Range(8, 30)};
+        apps.push_back(std::make_unique<xlib::ClientApp>(server_.get(), config));
+        apps.back()->Map();
+        break;
+      }
+      case 1: {  // A client destroys its window.
+        auto& app = apps[driver.Range(0, static_cast<int>(apps.size()) - 1)];
+        app->display().DestroyWindow(app->window());
+        break;
+      }
+      case 2: {  // ICCCM withdrawal.
+        apps[driver.Range(0, static_cast<int>(apps.size()) - 1)]->Unmap();
+        break;
+      }
+      case 3: {  // Configure through the redirect (slot policies deny it).
+        auto& app = apps[driver.Range(0, static_cast<int>(apps.size()) - 1)];
+        app->RequestMoveResize({driver.Range(-10, 150), driver.Range(-10, 80),
+                                driver.Range(1, 60), driver.Range(1, 40)});
+        break;
+      }
+      case 4: {  // WM_CHANGE_STATE iconify request.
+        apps[driver.Range(0, static_cast<int>(apps.size()) - 1)]->RequestIconify();
+        break;
+      }
+      case 5: {  // (Re)map — deiconifies or remaps a withdrawn window.
+        apps[driver.Range(0, static_cast<int>(apps.size()) - 1)]->Map();
+        break;
+      }
+      case 6: {  // Policy verbs, valid and garbage.
+        xlib::Display shell(server_.get(), "policy-chaos-shell");
+        const char* command = driver.Roll(333)   ? "last"
+                              : driver.Roll(500) ? "close"
+                                                 : "policy no-such-policy";
+        swm::SendSwmCommand(&shell, 0, command);
+        break;
+      }
+    }
+    wm_->ProcessEvents();
+    CheckStructure(server_.get(), wm_.get());
+    CheckSlotContainment(wm_.get());
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+
+  // Faults off: whatever policy is active, the WM must still manage new
+  // clients and hold its invariants.
+  server_->ClearFaultPlan();
+  wm_->ProcessEvents();
+  CheckStructure(server_.get(), wm_.get());
+  EXPECT_GT(server_->fault_counters().Total(), 0u)
+      << "seed " << seed << " injected nothing — chaos was a no-op";
+
+  auto survivor = Spawn("survivor", {"survivor", "Survivor"});
+  ManagedClient* client = Managed(*survivor);
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(server_->IsViewable(survivor->window()));
+  CheckSlotContainment(wm_.get());
+
+  // And a final full cycle through every policy with the fault plan gone:
+  // each switch relayouts the surviving population without violating
+  // containment or structure.
+  for (const std::string& name : policies) {
+    ASSERT_TRUE(wm_->SetLayoutPolicy(name));
+    wm_->ProcessEvents();
+    CheckStructure(server_.get(), wm_.get());
+    CheckSlotContainment(wm_.get());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyChaosTest,
+                         ::testing::Range<uint64_t>(1, 25));  // 24 distinct seeds.
+
+}  // namespace
+}  // namespace swm_test

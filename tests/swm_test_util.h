@@ -34,6 +34,9 @@ class SwmTest : public ::testing::Test {
   void StartWm(swm::WindowManager::Options options,
                std::vector<xserver::ScreenConfig> screens = {
                    xserver::ScreenConfig{200, 100, false}}) {
+    // An old WM must die before its server: its destructor persists session
+    // state to the server it was built on (tests may call StartWm twice).
+    wm_.reset();
     server_ = std::make_unique<xserver::Server>(std::move(screens));
     wm_ = std::make_unique<swm::WindowManager>(server_.get(), options);
     ASSERT_TRUE(wm_->Start());

@@ -37,6 +37,17 @@ UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
 ASAN_OPTIONS="detect_leaks=1" \
   ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -L chaos
 
+# Layout-policy stage: every ctest target labeled `policy` — the golden
+# no-op gate (the floating policy must reproduce the pre-refactor server
+# fingerprint byte for byte), the four-policy conformance suite, and the
+# 24-seed policy-switch chaos storm (policies cycling mid-fault-injection).
+# This is the acceptance gate for the pluggable layout engine: extracting
+# the policy layer must not move a single pixel under the default policy,
+# and no policy may leak or corrupt client state under faults.
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -L policy
+
 # Transport-fault stage: the duplex transport suites, explicitly.  The
 # framed-connection unit tests (reassembly, backpressure, lifecycle,
 # kill-mid-request) and the 24-seed transport chaos storm — wire mutations

@@ -12,6 +12,7 @@
 #                                             bench_parallel_paint, merged)
 #   BENCH_8.json  duplex transport           (bench_wire + bench_transport,
 #                                             merged)
+#   BENCH_9.json  layout-policy engine       (bench_policy)
 #
 # Usage: tools/run_benches.sh
 set -euo pipefail
@@ -23,7 +24,7 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_eval_resource_db --target bench_frame_pipeline \
   --target bench_wire --target bench_parallel_paint \
-  --target bench_transport >/dev/null
+  --target bench_transport --target bench_policy >/dev/null
 
 # Let the machine settle after the build before timing anything.
 sleep 5
@@ -111,3 +112,18 @@ if direct and socket:
 EOF
 rm -f BENCH_8_transport.json
 echo "wrote BENCH_8.json"
+
+# BENCH_9 = the PR-9 layout-policy story: manage-storm cost per policy
+# (floating is the pre-refactor baseline), the price of a full runtime
+# policy switch, and the isolated slot-geometry cost.  Also prints the
+# per-client overhead the slot policies add over floating at 32 clients.
+record bench_policy BENCH_9.json
+python3 - BENCH_9.json <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+floating = data.get("BM_ManageStorm_Floating/32/manual_time")
+tiling = data.get("BM_ManageStorm_Tiling/32/manual_time")
+if floating and tiling:
+    print(f"manage storm (32 clients): floating {floating / 1e6:.2f} ms vs "
+          f"tiling {tiling / 1e6:.2f} ms ({tiling / floating:.2f}x for reflow)")
+EOF
