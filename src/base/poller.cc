@@ -1,0 +1,253 @@
+#include "src/base/poller.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/timerfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "src/base/logging.h"
+
+namespace xbase {
+
+namespace {
+
+// The timerfd shares the epoll instance with connection fds; this reserved
+// key keeps it out of the fd-keyed dispatch.
+constexpr uint64_t kTimerKey = ~0ull;
+
+uint32_t EpollMask(bool want_read, bool want_write) {
+  uint32_t mask = 0;
+  if (want_read) {
+    mask |= EPOLLIN;
+  }
+  if (want_write) {
+    mask |= EPOLLOUT;
+  }
+  return mask;
+}
+
+}  // namespace
+
+Poller::Poller() : epoll_fd_(epoll_create1(EPOLL_CLOEXEC)) {
+  if (epoll_fd_ < 0) {
+    XB_LOG(Error) << "poller: epoll_create1: " << strerror(errno);
+  }
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+  }
+}
+
+bool Poller::Add(int fd, uint64_t key, bool want_read, bool want_write) {
+  struct epoll_event ev = {};
+  ev.events = EpollMask(want_read, want_write);
+  ev.data.u64 = key;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    XB_LOG(Error) << "poller: epoll_ctl(ADD, " << fd << "): " << strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool Poller::Modify(int fd, uint64_t key, bool want_read, bool want_write) {
+  struct epoll_event ev = {};
+  ev.events = EpollMask(want_read, want_write);
+  ev.data.u64 = key;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    XB_LOG(Error) << "poller: epoll_ctl(MOD, " << fd << "): " << strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool Poller::Remove(int fd) {
+  return epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) == 0;
+}
+
+int Poller::Wait(int timeout_ms, std::vector<Event>* out) {
+  struct epoll_event events[64];
+  int n;
+  do {
+    n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    XB_LOG(Error) << "poller: epoll_wait: " << strerror(errno);
+    return 0;
+  }
+  for (int i = 0; i < n; ++i) {
+    Event event;
+    event.key = events[i].data.u64;
+    event.readable = (events[i].events & EPOLLIN) != 0;
+    event.writable = (events[i].events & EPOLLOUT) != 0;
+    event.closed = (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+    out->push_back(event);
+  }
+  return n;
+}
+
+EventLoop::EventLoop() {
+  timer_fd_ = timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (timer_fd_ < 0) {
+    XB_LOG(Error) << "poller: timerfd_create: " << strerror(errno);
+    return;
+  }
+  poller_.Add(timer_fd_, kTimerKey, /*want_read=*/true, /*want_write=*/false);
+}
+
+EventLoop::~EventLoop() {
+  if (timer_fd_ >= 0) {
+    ::close(timer_fd_);
+  }
+}
+
+bool EventLoop::ok() const { return poller_.ok() && timer_fd_ >= 0; }
+
+bool EventLoop::WatchFd(int fd, FdCallback callback, bool want_read,
+                        bool want_write) {
+  if (fd < 0 || watches_.count(fd) != 0) {
+    return false;
+  }
+  if (!poller_.Add(fd, static_cast<uint64_t>(fd), want_read, want_write)) {
+    return false;
+  }
+  watches_[fd] = Watch{std::move(callback), want_read, want_write};
+  return true;
+}
+
+bool EventLoop::ModifyFd(int fd, bool want_read, bool want_write) {
+  auto it = watches_.find(fd);
+  if (it == watches_.end()) {
+    return false;
+  }
+  if (it->second.want_read == want_read && it->second.want_write == want_write) {
+    return true;
+  }
+  if (!poller_.Modify(fd, static_cast<uint64_t>(fd), want_read, want_write)) {
+    return false;
+  }
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
+  return true;
+}
+
+void EventLoop::UnwatchFd(int fd) {
+  if (watches_.erase(fd) != 0) {
+    poller_.Remove(fd);
+  }
+}
+
+EventLoop::TimerId EventLoop::AddTimer(int64_t delay_ms, TimerCallback callback) {
+  TimerId id = next_timer_id_++;
+  int64_t deadline = NowMs() + (delay_ms < 0 ? 0 : delay_ms);
+  timers_[id] = std::move(callback);
+  heap_.push(TimerEntry{deadline, id});
+  if (heap_.top().id == id) {
+    RearmTimerFd();
+  }
+  return id;
+}
+
+void EventLoop::CancelTimer(TimerId id) {
+  if (timers_.erase(id) != 0) {
+    ++stats_.timers_canceled;
+  }
+}
+
+void EventLoop::RearmTimerFd() {
+  // Skip heap entries whose timers were cancelled before arming.
+  while (!heap_.empty() && timers_.count(heap_.top().id) == 0) {
+    heap_.pop();
+  }
+  struct itimerspec spec = {};
+  if (!heap_.empty()) {
+    int64_t deadline = heap_.top().deadline_ms;
+    // A deadline in the past must still fire: 0/0 would disarm the timer,
+    // so clamp to the smallest representable interval.
+    int64_t delay = deadline - NowMs();
+    if (delay <= 0) {
+      spec.it_value.tv_nsec = 1;
+    } else {
+      spec.it_value.tv_sec = delay / 1000;
+      spec.it_value.tv_nsec = (delay % 1000) * 1000000;
+    }
+  }
+  if (timerfd_settime(timer_fd_, 0, &spec, nullptr) != 0) {
+    XB_LOG(Error) << "poller: timerfd_settime: " << strerror(errno);
+  }
+}
+
+int EventLoop::FireDueTimers() {
+  int fired = 0;
+  int64_t now = NowMs();
+  while (!heap_.empty() && heap_.top().deadline_ms <= now) {
+    TimerEntry entry = heap_.top();
+    heap_.pop();
+    auto it = timers_.find(entry.id);
+    if (it == timers_.end()) {
+      continue;  // Cancelled.
+    }
+    TimerCallback callback = std::move(it->second);
+    timers_.erase(it);
+    ++stats_.timers_fired;
+    ++fired;
+    callback();
+    now = NowMs();
+  }
+  RearmTimerFd();
+  return fired;
+}
+
+int EventLoop::PollOnce(int timeout_ms) {
+  scratch_.clear();
+  ++stats_.polls;
+  poller_.Wait(timeout_ms, &scratch_);
+  int dispatched = 0;
+  for (const Poller::Event& event : scratch_) {
+    if (event.key == kTimerKey) {
+      uint64_t expirations = 0;
+      ssize_t n;
+      do {
+        n = ::read(timer_fd_, &expirations, sizeof(expirations));
+      } while (n < 0 && errno == EINTR);
+      dispatched += FireDueTimers();
+      continue;
+    }
+    auto it = watches_.find(static_cast<int>(event.key));
+    if (it == watches_.end()) {
+      continue;  // Unwatched by an earlier callback in this batch.
+    }
+    // Copy: the callback may UnwatchFd its own fd, destroying the Watch.
+    FdCallback callback = it->second.callback;
+    ++stats_.fd_events;
+    ++dispatched;
+    callback(event);
+  }
+  // Deadlines can lapse while fd callbacks run; don't make them wait for
+  // the next epoll wakeup.
+  dispatched += FireDueTimers();
+  return dispatched;
+}
+
+bool EventLoop::RunUntil(const std::function<bool()>& done, int64_t budget_ms) {
+  int64_t deadline = NowMs() + budget_ms;
+  while (!done()) {
+    int64_t remaining = deadline - NowMs();
+    if (remaining <= 0) {
+      return done();
+    }
+    PollOnce(static_cast<int>(remaining > 50 ? 50 : remaining));
+  }
+  return true;
+}
+
+int64_t EventLoop::NowMs() {
+  struct timespec ts = {};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+}  // namespace xbase

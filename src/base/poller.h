@@ -1,0 +1,139 @@
+// Readiness-driven I/O core (docs/PROTOCOL.md "Out-of-process operation"):
+// a thin epoll wrapper plus an event loop that dispatches fd callbacks and
+// one-shot timers from a timerfd-backed deadline heap.  This replaces the
+// test harnesses' explicit Pump() spinning for out-of-process clients: the
+// loop sleeps in epoll_wait and only touches connections the kernel says
+// are ready.  Single-threaded by design — all callbacks run on the caller
+// of PollOnce/RunUntil.
+#ifndef SRC_BASE_POLLER_H_
+#define SRC_BASE_POLLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+namespace xbase {
+
+// Wraps one epoll instance.  Add/Modify/Remove never throw; they return
+// false (and log) on kernel refusal.  Wait retries EINTR internally so a
+// signal delivery (SIGCHLD from a dying client, say) never surfaces as a
+// spurious failure.
+class Poller {
+ public:
+  struct Event {
+    uint64_t key = 0;
+    bool readable = false;
+    bool writable = false;
+    // EPOLLHUP/EPOLLERR: the fd is dead; a read will return EOF or an error.
+    bool closed = false;
+  };
+
+  Poller();
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  bool ok() const { return epoll_fd_ >= 0; }
+
+  bool Add(int fd, uint64_t key, bool want_read, bool want_write);
+  bool Modify(int fd, uint64_t key, bool want_read, bool want_write);
+  bool Remove(int fd);
+
+  // Appends ready events to `out`.  timeout_ms < 0 blocks indefinitely;
+  // 0 polls.  Returns the number of events appended (0 on timeout).
+  int Wait(int timeout_ms, std::vector<Event>* out);
+
+ private:
+  int epoll_fd_ = -1;
+};
+
+// An fd + timer event loop over a Poller.  Timers are one-shot, identified
+// by the id AddTimer returns, and backed by a single timerfd armed to the
+// earliest pending deadline — expiry costs one epoll wakeup regardless of
+// how many connections carry deadlines.
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(const Poller::Event&)>;
+  using TimerCallback = std::function<void()>;
+  using TimerId = uint64_t;
+
+  struct Stats {
+    uint64_t polls = 0;
+    uint64_t fd_events = 0;
+    uint64_t timers_fired = 0;
+    uint64_t timers_canceled = 0;
+  };
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  bool ok() const;
+
+  // Watches `fd` (not owned; unwatch before closing it).  The callback runs
+  // on every readiness edge and may Watch/Unwatch/AddTimer freely, including
+  // unwatching its own fd.
+  bool WatchFd(int fd, FdCallback callback, bool want_read = true,
+               bool want_write = false);
+  bool ModifyFd(int fd, bool want_read, bool want_write);
+  void UnwatchFd(int fd);
+
+  // Schedules `callback` once, `delay_ms` from now (0 fires on the next
+  // PollOnce).  Returns an id for CancelTimer; ids are never reused.
+  TimerId AddTimer(int64_t delay_ms, TimerCallback callback);
+  void CancelTimer(TimerId id);
+
+  // Waits up to timeout_ms (-1 = until activity) and dispatches every ready
+  // fd callback and due timer.  Returns the number of callbacks dispatched.
+  int PollOnce(int timeout_ms);
+
+  // Polls until done() returns true or budget_ms elapses.  Returns done()'s
+  // final verdict — false means the budget expired first.
+  bool RunUntil(const std::function<bool()>& done, int64_t budget_ms);
+
+  // Monotonic milliseconds (CLOCK_MONOTONIC); the clock deadlines live on.
+  static int64_t NowMs();
+
+  const Stats& stats() const { return stats_; }
+  size_t watch_count() const { return watches_.size(); }
+  size_t pending_timers() const { return timers_.size(); }
+
+ private:
+  struct Watch {
+    FdCallback callback;
+    bool want_read = true;
+    bool want_write = false;
+  };
+  struct TimerEntry {
+    int64_t deadline_ms = 0;
+    TimerId id = 0;
+    bool operator>(const TimerEntry& other) const {
+      return deadline_ms != other.deadline_ms ? deadline_ms > other.deadline_ms
+                                              : id > other.id;
+    }
+  };
+
+  void RearmTimerFd();
+  int FireDueTimers();
+
+  Poller poller_;
+  int timer_fd_ = -1;
+  std::map<int, Watch> watches_;
+  // Heap of (deadline, id); cancelled ids stay in the heap and are skipped
+  // lazily — `timers_` (id -> callback) is the source of truth.
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>>
+      heap_;
+  std::map<TimerId, TimerCallback> timers_;
+  TimerId next_timer_id_ = 1;
+  Stats stats_;
+  std::vector<Poller::Event> scratch_;
+};
+
+}  // namespace xbase
+
+#endif  // SRC_BASE_POLLER_H_

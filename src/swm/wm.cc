@@ -186,6 +186,28 @@ void WindowManager::LoadResources() {
   db_.LoadFromString(options_.resources);
 }
 
+xserver::ConnectionLimits WindowManager::TransportLimits() const {
+  xserver::ConnectionLimits limits;  // Defaults: idle disabled, stall 5000ms.
+  auto read_ms = [this](const char* name, const char* cls, int64_t fallback) {
+    std::optional<std::string> value = db_.Get(name, cls);
+    if (!value.has_value()) {
+      return fallback;
+    }
+    std::optional<int> parsed = xbase::ParseInt(xbase::TrimWhitespace(*value));
+    if (!parsed.has_value() || *parsed < 0) {
+      XB_LOG(Warning) << "swm: bad " << name << " value '" << *value
+                      << "', using " << fallback;
+      return fallback;
+    }
+    return static_cast<int64_t>(*parsed);
+  };
+  limits.read_idle_ms = read_ms("swm.transport.idleMs", "Swm.Transport.IdleMs",
+                                limits.read_idle_ms);
+  limits.write_stall_ms = read_ms("swm.transport.stallMs", "Swm.Transport.StallMs",
+                                  limits.write_stall_ms);
+  return limits;
+}
+
 bool WindowManager::Start() {
   XB_CHECK(!started_);
   // Claim window management on every screen; failure means another window

@@ -20,6 +20,7 @@
 #include "src/swm/vdesk.h"
 #include "src/xlib/display.h"
 #include "src/xrdb/database.h"
+#include "src/xserver/connection.h"
 
 namespace swm {
 
@@ -218,6 +219,18 @@ class WindowManager {
   std::vector<ManagedClient*> Clients();
   std::vector<IconHolder*> icon_holders(int screen);
   const std::vector<std::string>& executed_commands() const { return executed_commands_; }
+  // ---- Out-of-process transport (docs/PROTOCOL.md) -------------------------
+  // Connection deadlines for hosting remote clients over a listening socket,
+  // read from the resource database:
+  //   swm.transport.idleMs  (Swm.Transport.IdleMs)  — read-idle deadline in
+  //       milliseconds; a connection that sends no bytes for this long is
+  //       closed with CloseReason::kReadIdle.  Default 0 (disabled).
+  //   swm.transport.stallMs (Swm.Transport.StallMs) — write-stall deadline in
+  //       milliseconds; a peer that refuses to drain queued replies for this
+  //       long is closed with CloseReason::kWriteStalled.  Default 5000.
+  // Negative or unparsable values fall back to the defaults.  Feed the result
+  // into xserver::WireHostOptions::limits.
+  xserver::ConnectionLimits TransportLimits() const;
   // ---- Robustness counters (docs/ROBUSTNESS.md) ----------------------------
   // X errors raised against either of swm's connections.
   uint64_t x_error_count() const { return x_errors_; }

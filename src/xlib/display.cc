@@ -1,11 +1,25 @@
 #include "src/xlib/display.h"
 
+#include <poll.h>
+
+#include <cstdlib>
+
 #include "src/base/logging.h"
+#include "src/base/poller.h"
 
 namespace xlib {
 
 using xproto::AtomId;
 using xproto::WindowId;
+
+namespace {
+
+// Wall-clock bound on a remote query round trip.  A healthy server answers
+// in microseconds; blowing this means the server died or wedged, and the
+// caller gets nullopt (the same shape a server-raised error produces).
+constexpr int64_t kRemoteRoundTripMs = 5000;
+
+}  // namespace
 
 Display::Display(xserver::Server* server, std::string client_machine)
     : server_(server), machine_(std::move(client_machine)) {
@@ -20,7 +34,192 @@ Display::Display(xserver::Server* server, std::string client_machine)
   });
 }
 
+Display::Display(const std::string& socket_path, std::string client_machine)
+    : server_(nullptr), client_(0), machine_(std::move(client_machine)) {
+  // Remote displays have no direct-call path: everything is wire.
+  wire_mode_ = true;
+  std::unique_ptr<xproto::ByteChannel> channel = xproto::ConnectSocket(socket_path);
+  if (channel == nullptr) {
+    XB_LOG(Warning) << "display: cannot connect to " << socket_path;
+    // Leave endpoint_ null-but-remote impossible: park a closed endpoint so
+    // remote() stays true and every call fails soft instead of touching a
+    // null server_.
+    endpoint_ = std::make_unique<xproto::WireClientEndpoint>(nullptr);
+    return;
+  }
+  endpoint_ = std::make_unique<xproto::WireClientEndpoint>(std::move(channel));
+  // Connection setup: learn the screen table.  Failure (timeout, dead
+  // socket) leaves screens_ empty and Connected() false.
+  std::optional<xproto::Reply> reply = RemoteRoundTrip(xproto::QueryScreensRequest{});
+  if (reply.has_value()) {
+    if (const auto* r = std::get_if<xproto::ScreensReply>(&*reply)) {
+      int number = 0;
+      for (const auto& s : r->screens) {
+        xserver::ScreenInfo info;
+        info.number = number++;
+        info.root = s.root;
+        info.size = xbase::Size{s.width, s.height};
+        info.monochrome = s.monochrome;
+        screens_.push_back(info);
+      }
+    }
+  }
+  if (screens_.empty()) {
+    XB_LOG(Warning) << "display: QueryScreens handshake failed on " << socket_path;
+  }
+}
+
+std::unique_ptr<Display> Display::FromEnv(std::string client_machine) {
+  const char* path = std::getenv("SWM_SOCKET");
+  if (path == nullptr || *path == '\0') {
+    return nullptr;
+  }
+  auto display = std::make_unique<Display>(std::string(path), std::move(client_machine));
+  if (!display->Connected()) {
+    return nullptr;
+  }
+  return display;
+}
+
+bool Display::HandleRemoteFrame(std::span<const uint8_t> frame, int want_sequence,
+                                std::optional<xproto::Reply>* reply_out) {
+  if (frame.empty()) {
+    return false;
+  }
+  xproto::ParseError parse_error;
+  if (frame[0] == 0) {  // Error frame.
+    xproto::XError error;
+    if (xproto::DecodeError(frame, &error, &parse_error) == 0) {
+      ++wire_stats_.reply_parse_errors;
+      return false;
+    }
+    ++remote_errors_;
+    last_error_ = error;
+    if (error_handler_) {
+      error_handler_(error);
+    } else {
+      XB_LOG(Warning) << "X error: " << xproto::ErrorText(error);
+    }
+    return want_sequence >= 0 &&
+           (error.sequence & 0xffff) == static_cast<uint64_t>(want_sequence);
+  }
+  if (frame[0] == 1) {  // Reply frame.
+    xproto::Reply reply;
+    uint16_t sequence = 0;
+    if (xproto::DecodeReply(frame, &reply, &parse_error, &sequence) == 0) {
+      ++wire_stats_.reply_parse_errors;
+      XB_LOG(Warning) << "reply decode failed: " << parse_error.detail;
+      return false;
+    }
+    if (want_sequence >= 0 && sequence == static_cast<uint16_t>(want_sequence)) {
+      ++wire_stats_.wire_replies;
+      *reply_out = std::move(reply);
+      return true;
+    }
+    // A reply nobody is waiting for: every query consumes its reply before
+    // returning, so this is a stale leftover.  Drop it.
+    return false;
+  }
+  // Event frame.
+  xproto::Event event;
+  if (xproto::DecodeEvent(frame, &event, &parse_error) == 0) {
+    ++wire_stats_.reply_parse_errors;
+    return false;
+  }
+  remote_events_.push_back(std::move(event));
+  return false;
+}
+
+void Display::DrainRemote() {
+  if (endpoint_ == nullptr) {
+    return;
+  }
+  endpoint_->Flush();
+  endpoint_->Poll();
+  std::optional<xproto::Reply> unused;
+  while (std::optional<std::vector<uint8_t>> frame = endpoint_->NextFrame()) {
+    HandleRemoteFrame(*frame, /*want_sequence=*/-1, &unused);
+  }
+}
+
+bool Display::RemoteIssue(const xproto::Request& request) {
+  if (endpoint_ == nullptr || !endpoint_->open()) {
+    return false;
+  }
+  ++wire_stats_.wire_requests;
+  ++remote_sequence_;
+  endpoint_->QueueRequest(request);
+  // Fire-and-forget, as in real Xlib: a failure surfaces later as an X
+  // error frame.  The opportunistic drain keeps the inbound stream moving.
+  endpoint_->Flush();
+  DrainRemote();
+  return endpoint_->open();
+}
+
+std::optional<xproto::Reply> Display::RemoteRoundTrip(const xproto::Request& request) {
+  if (endpoint_ == nullptr || !endpoint_->open()) {
+    return std::nullopt;
+  }
+  ++wire_stats_.wire_requests;
+  uint64_t sequence = ++remote_sequence_;
+  int want = static_cast<int>(sequence & 0xffff);
+  endpoint_->QueueRequest(request);
+  int64_t deadline = xbase::EventLoop::NowMs() + kRemoteRoundTripMs;
+  std::optional<xproto::Reply> reply;
+  for (;;) {
+    endpoint_->Flush();
+    endpoint_->Poll();
+    while (std::optional<std::vector<uint8_t>> frame = endpoint_->NextFrame()) {
+      if (HandleRemoteFrame(*frame, want, &reply)) {
+        return reply;  // Matching reply, or nullopt if the server errored.
+      }
+    }
+    if (!endpoint_->open()) {
+      return std::nullopt;
+    }
+    int64_t remaining = deadline - xbase::EventLoop::NowMs();
+    if (remaining <= 0) {
+      XB_LOG(Warning) << "display: remote round trip timed out (seq " << sequence << ")";
+      return std::nullopt;
+    }
+    struct pollfd pfd = {};
+    pfd.fd = endpoint_->PollFd();
+    pfd.events = POLLIN;
+    if (endpoint_->queued_bytes() > 0) {
+      pfd.events |= POLLOUT;
+    }
+    ::poll(&pfd, 1, static_cast<int>(remaining > 50 ? 50 : remaining));
+  }
+}
+
+WindowId Display::RemoteCreate(const xproto::CreateWindowRequest& request) {
+  uint64_t create_sequence = remote_sequence_ + 1;
+  if (!RemoteIssue(request)) {
+    return xproto::kNone;
+  }
+  // The query round trip is the synchronization point: any error the create
+  // raised is on the stream ahead of this reply.
+  std::optional<xproto::Reply> reply = RemoteRoundTrip(xproto::QueryClientWindowsRequest{});
+  if (last_error_.has_value() &&
+      (last_error_->sequence & 0xffff) == (create_sequence & 0xffff)) {
+    return xproto::kNone;
+  }
+  if (!reply.has_value()) {
+    return xproto::kNone;
+  }
+  const auto* r = std::get_if<xproto::ClientWindowsReply>(&*reply);
+  if (r == nullptr || r->windows.empty()) {
+    return xproto::kNone;
+  }
+  // Ids are minted monotonically and the reply is ascending: the newest
+  // window — ours — is last.
+  return r->windows.back();
+}
+
 bool Display::Issue(xproto::Request request) {
+  if (remote()) {
+    return RemoteIssue(request);
+  }
   ++wire_stats_.wire_requests;
   xserver::Server::DispatchResult result =
       server_->DispatchBytes(client_, xproto::EncodeRequestBytes(request));
@@ -29,6 +228,9 @@ bool Display::Issue(xproto::Request request) {
 }
 
 xproto::WindowId Display::IssueCreate(xproto::CreateWindowRequest request) {
+  if (remote()) {
+    return RemoteCreate(request);
+  }
   ++wire_stats_.wire_requests;
   xserver::Server::DispatchResult result =
       server_->DispatchBytes(client_, xproto::EncodeRequestBytes(request));
@@ -36,6 +238,9 @@ xproto::WindowId Display::IssueCreate(xproto::CreateWindowRequest request) {
 }
 
 std::optional<xproto::Reply> Display::RoundTrip(xproto::Request request) const {
+  if (remote()) {
+    return const_cast<Display*>(this)->RemoteRoundTrip(request);
+  }
   ++wire_stats_.wire_requests;
   xserver::Server::DispatchResult result =
       server_->DispatchBytes(client_, xproto::EncodeRequestBytes(request));
@@ -69,6 +274,12 @@ Display::XErrorHandler Display::SetErrorHandler(XErrorHandler handler) {
 }
 
 Display::~Display() {
+  if (remote()) {
+    // Closing the socket is our disconnect: the server's readiness loop sees
+    // EOF, drains, and sweeps this client's windows.
+    endpoint_->Close();
+    return;
+  }
   if (server_->HasClient(client_)) {
     server_->Disconnect(client_);
   }
@@ -452,9 +663,26 @@ bool Display::SetInputFocus(WindowId window) {
   return server_->SetInputFocus(client_, window);
 }
 
-std::optional<xproto::Event> Display::NextEvent() { return server_->NextEvent(client_); }
+std::optional<xproto::Event> Display::NextEvent() {
+  if (remote()) {
+    DrainRemote();
+    if (remote_events_.empty()) {
+      return std::nullopt;
+    }
+    xproto::Event event = std::move(remote_events_.front());
+    remote_events_.pop_front();
+    return event;
+  }
+  return server_->NextEvent(client_);
+}
 
-size_t Display::Pending() const { return server_->PendingEvents(client_); }
+size_t Display::Pending() const {
+  if (remote()) {
+    const_cast<Display*>(this)->DrainRemote();
+    return remote_events_.size();
+  }
+  return server_->PendingEvents(client_);
+}
 
 bool Display::GrabButton(WindowId window, int button, uint32_t modifiers,
                          uint32_t event_mask) {
@@ -477,22 +705,22 @@ bool Display::UngrabButton(WindowId window, int button, uint32_t modifiers) {
 
 xproto::WindowId Display::GetInputFocus() const {
   WireFallback("GetInputFocus");
-  return server_->GetInputFocus();
+  return server_ != nullptr ? server_->GetInputFocus() : xproto::kNone;
 }
 
 xserver::PointerState Display::QueryPointer() const {
   WireFallback("QueryPointer");
-  return server_->QueryPointer();
+  return server_ != nullptr ? server_->QueryPointer() : xserver::PointerState{};
 }
 
 bool Display::IsShaped(WindowId window) const {
   WireFallback("IsShaped");
-  return server_->IsShaped(window);
+  return server_ != nullptr && server_->IsShaped(window);
 }
 
 bool Display::ShapeSetMask(WindowId window, const xbase::Bitmap& mask) {
   WireFallback("ShapeSetMask");
-  return server_->ShapeSetMask(client_, window, mask);
+  return server_ != nullptr && server_->ShapeSetMask(client_, window, mask);
 }
 
 bool Display::ShapeSetRegion(WindowId window, xbase::Region region) {

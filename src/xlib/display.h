@@ -8,14 +8,18 @@
 #ifndef SRC_XLIB_DISPLAY_H_
 #define SRC_XLIB_DISPLAY_H_
 
+#include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/xproto/error.h"
 #include "src/xproto/events.h"
 #include "src/xproto/sanitize.h"
+#include "src/xproto/transport.h"
 #include "src/xproto/types.h"
 #include "src/xserver/server.h"
 
@@ -27,6 +31,20 @@ class Display {
   // this client runs on (clients "are not constrained to be run on the same
   // system that is actually running the X server", paper §1).
   explicit Display(xserver::Server* server, std::string client_machine = "localhost");
+
+  // Connects to an out-of-process server over its listening socket
+  // (docs/PROTOCOL.md "Out-of-process operation"; '@'-prefixed paths name
+  // the abstract namespace).  The constructor performs the QueryScreens
+  // handshake; check Connected() before use.  Every request travels the
+  // wire — there is no direct-call fast path and no Server pointer, so
+  // server() must not be called on a remote display.
+  explicit Display(const std::string& socket_path, std::string client_machine = "remote");
+
+  // Remote display from $SWM_SOCKET (the conventional handoff from a server
+  // that forked us).  nullptr when the variable is unset or the handshake
+  // failed.
+  static std::unique_ptr<Display> FromEnv(std::string client_machine = "remote");
+
   ~Display();
 
   Display(const Display&) = delete;
@@ -37,6 +55,16 @@ class Display {
   xproto::ClientId client_id() const { return client_; }
   const std::string& client_machine() const { return machine_; }
 
+  // True for displays constructed over a socket (no in-process Server).
+  bool remote() const { return endpoint_ != nullptr; }
+  // In-process displays are always connected; remote ones only after the
+  // QueryScreens handshake succeeded and while the socket stays open.
+  bool Connected() const {
+    return remote() ? endpoint_->open() && !screens_.empty() : true;
+  }
+  // Remote socket fd for poll(2)/epoll waits; -1 in-process.
+  int PollFd() const { return remote() ? endpoint_->PollFd() : -1; }
+
   // ---- Error handling ------------------------------------------------------
   // XSetErrorHandler-style: the handler runs synchronously when the server
   // raises an error against this connection.  Returns the previous handler;
@@ -44,9 +72,13 @@ class Display {
   using XErrorHandler = std::function<void(const xproto::XError&)>;
   XErrorHandler SetErrorHandler(XErrorHandler handler);
   // Errors raised against this connection so far.
-  uint64_t ErrorCount() const { return server_->ErrorCount(client_); }
+  uint64_t ErrorCount() const {
+    return remote() ? remote_errors_ : server_->ErrorCount(client_);
+  }
   // Per-connection request sequence number — requests issued so far.
-  uint64_t RequestCount() const { return server_->SequenceNumber(client_); }
+  uint64_t RequestCount() const {
+    return remote() ? remote_sequence_ : server_->SequenceNumber(client_);
+  }
   // The most recent error, if any.
   const std::optional<xproto::XError>& LastError() const { return last_error_; }
 
@@ -79,10 +111,29 @@ class Display {
   xproto::SanitizerStats* mutable_sanitizer_stats() { return &sanitizer_stats_; }
 
   // ---- Screens -----------------------------------------------------------
-  int ScreenCount() const { return server_->ScreenCount(); }
-  xproto::WindowId RootWindow(int screen = 0) const { return server_->RootWindow(screen); }
-  xbase::Size DisplaySize(int screen = 0) const { return server_->screen(screen).size; }
-  bool IsMonochrome(int screen = 0) const { return server_->screen(screen).monochrome; }
+  // Remote displays answer from the screen table the QueryScreens handshake
+  // cached — screen geometry is immutable for the life of a connection.
+  int ScreenCount() const {
+    return remote() ? static_cast<int>(screens_.size()) : server_->ScreenCount();
+  }
+  xproto::WindowId RootWindow(int screen = 0) const {
+    if (remote()) {
+      return ScreenKnown(screen) ? screens_[screen].root : xproto::kNone;
+    }
+    return server_->RootWindow(screen);
+  }
+  xbase::Size DisplaySize(int screen = 0) const {
+    if (remote()) {
+      return ScreenKnown(screen) ? screens_[screen].size : xbase::Size{};
+    }
+    return server_->screen(screen).size;
+  }
+  bool IsMonochrome(int screen = 0) const {
+    if (remote()) {
+      return ScreenKnown(screen) && screens_[screen].monochrome;
+    }
+    return server_->screen(screen).monochrome;
+  }
 
   // ---- Windows -----------------------------------------------------------
   xproto::WindowId CreateWindow(xproto::WindowId parent, const xbase::Rect& geometry,
@@ -159,6 +210,10 @@ class Display {
 
   // ---- Pointer -------------------------------------------------------------
   void WarpPointer(int screen, const xbase::Point& root_pos) {
+    if (server_ == nullptr) {
+      WireFallback("WarpPointer");
+      return;
+    }
     server_->WarpPointer(screen, root_pos);
   }
   xserver::PointerState QueryPointer() const;
@@ -192,6 +247,29 @@ class Display {
   // direct (logged every 64th per call site, counted always).
   void WireFallback(const char* what) const;
 
+  bool ScreenKnown(int screen) const {
+    return screen >= 0 && screen < static_cast<int>(screens_.size());
+  }
+  // ---- Remote transport (socket-connected displays) ------------------------
+  // Fire-and-forget void request: queue, flush, opportunistically drain any
+  // inbound frames already waiting.  Errors surface asynchronously, as in
+  // real Xlib.
+  bool RemoteIssue(const xproto::Request& request);
+  // Blocking (bounded) query round trip over the socket.
+  std::optional<xproto::Reply> RemoteRoundTrip(const xproto::Request& request);
+  // CreateWindow + QueryClientWindows: the wire substitute for the
+  // in-process DispatchResult::last_created_window.
+  xproto::WindowId RemoteCreate(const xproto::CreateWindowRequest& request);
+  // Dispatches one inbound frame: errors hit the error handler, events join
+  // the local queue, a reply with sequence == want_sequence lands in
+  // *reply_out.  Returns true when the frame settles the round trip
+  // `want_sequence` identifies (matching reply or matching error); pass
+  // want_sequence < 0 when not waiting.
+  bool HandleRemoteFrame(std::span<const uint8_t> frame, int want_sequence,
+                         std::optional<xproto::Reply>* reply_out);
+  // Non-blocking drain of whatever the socket has (events, stray errors).
+  void DrainRemote();
+
   xserver::Server* server_;
   xproto::ClientId client_;
   std::string machine_;
@@ -200,6 +278,13 @@ class Display {
   XErrorHandler error_handler_;
   std::optional<xproto::XError> last_error_;
   xproto::SanitizerStats sanitizer_stats_;
+
+  // Remote-mode state (null/empty for in-process displays).
+  std::unique_ptr<xproto::WireClientEndpoint> endpoint_;
+  std::vector<xserver::ScreenInfo> screens_;
+  uint64_t remote_sequence_ = 0;  // Local mirror of the server's per-client count.
+  uint64_t remote_errors_ = 0;
+  std::deque<xproto::Event> remote_events_;
 };
 
 }  // namespace xlib

@@ -82,6 +82,10 @@ std::string RequestCodeName(RequestCode code) {
       return "GetProperty";
     case RequestCode::kTranslateCoordinates:
       return "TranslateCoordinates";
+    case RequestCode::kQueryScreens:
+      return "QueryScreens";
+    case RequestCode::kQueryClientWindows:
+      return "QueryClientWindows";
   }
   return "None";
 }

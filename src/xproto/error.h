@@ -53,11 +53,15 @@ enum class RequestCode : uint8_t {
   kGetAtomName,
   kGetProperty,
   kTranslateCoordinates,
+  // Out-of-process connection-setup queries (docs/PROTOCOL.md
+  // "Out-of-process operation").  Appended, same stability rule as above.
+  kQueryScreens,
+  kQueryClientWindows,
 };
 
 // Highest RequestCode value (wire decoders validate against this bound).
 inline constexpr uint8_t kMaxRequestCode =
-    static_cast<uint8_t>(RequestCode::kTranslateCoordinates);
+    static_cast<uint8_t>(RequestCode::kQueryClientWindows);
 
 // One error report, delivered to the issuing client's error handler.  The
 // sequence number is per-connection and counts requests, so a handler can

@@ -3,7 +3,9 @@
 #include <errno.h>
 #include <fcntl.h>
 #include <signal.h>
+#include <stddef.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -100,6 +102,9 @@ class FdChannel : public ByteChannel {
 
   bool IsOpen() const override { return read_fd_ >= 0 || write_fd_ >= 0; }
 
+  int ReadFd() const override { return read_fd_; }
+  int WriteFd() const override { return write_fd_; }
+
  private:
   int read_fd_;
   int write_fd_;
@@ -173,6 +178,132 @@ ChannelPair MakePipePair() {
   pair.client = std::make_unique<FdChannel>(/*read_fd=*/b_to_a[0], /*write_fd=*/a_to_b[1]);
   pair.server = std::make_unique<FdChannel>(/*read_fd=*/a_to_b[0], /*write_fd=*/b_to_a[1]);
   return pair;
+}
+
+// ---- Listening sockets ------------------------------------------------------
+
+namespace {
+
+// Fills sockaddr_un for `path`, honouring the '@' abstract-namespace
+// convention.  Returns the addrlen to pass to bind/connect, or 0 when the
+// path does not fit.
+socklen_t FillSockaddr(const std::string& path, struct sockaddr_un* addr,
+                       bool* is_abstract) {
+  *addr = {};
+  addr->sun_family = AF_UNIX;
+  *is_abstract = !path.empty() && path[0] == '@';
+  if (path.size() >= sizeof(addr->sun_path)) {
+    XB_LOG(Warning) << "unix socket path too long: " << path;
+    return 0;
+  }
+  if (*is_abstract) {
+    // Abstract namespace: sun_path[0] == '\0', name follows, length counts
+    // the name bytes (no trailing NUL).
+    addr->sun_path[0] = '\0';
+    std::memcpy(addr->sun_path + 1, path.data() + 1, path.size() - 1);
+    return static_cast<socklen_t>(offsetof(struct sockaddr_un, sun_path) + path.size());
+  }
+  std::memcpy(addr->sun_path, path.data(), path.size());
+  return static_cast<socklen_t>(offsetof(struct sockaddr_un, sun_path) + path.size() + 1);
+}
+
+}  // namespace
+
+Listener::Listener(const std::string& path, int backlog) : path_(path) {
+  IgnoreSigpipeOnce();
+  struct sockaddr_un addr;
+  bool is_abstract = false;
+  socklen_t addrlen = FillSockaddr(path, &addr, &is_abstract);
+  if (addrlen == 0) {
+    return;
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    XB_LOG(Warning) << "listener: socket failed: " << std::strerror(errno);
+    return;
+  }
+  if (!is_abstract) {
+    // A predecessor that crashed leaves its socket inode behind; bind would
+    // fail with EADDRINUSE forever.  Unlinking is safe: we own this path.
+    ::unlink(path.c_str());
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), addrlen) != 0) {
+    XB_LOG(Warning) << "listener: bind(" << path << ") failed: " << std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  if (::listen(fd, backlog) != 0) {
+    XB_LOG(Warning) << "listener: listen(" << path << ") failed: " << std::strerror(errno);
+    ::close(fd);
+    if (!is_abstract) {
+      ::unlink(path.c_str());
+    }
+    return;
+  }
+  fd_ = fd;
+  unlink_on_close_ = !is_abstract;
+}
+
+Listener::~Listener() { Close(); }
+
+std::unique_ptr<ByteChannel> Listener::Accept() {
+  if (fd_ < 0) {
+    return nullptr;
+  }
+  int client;
+  do {
+    client = ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  } while (client < 0 && errno == EINTR);
+  if (client < 0) {
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != ECONNABORTED) {
+      XB_LOG(Warning) << "listener: accept failed: " << std::strerror(errno);
+    }
+    return nullptr;
+  }
+  return std::make_unique<FdChannel>(client, client);
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (unlink_on_close_) {
+    ::unlink(path_.c_str());
+    unlink_on_close_ = false;
+  }
+}
+
+std::unique_ptr<ByteChannel> ConnectSocket(const std::string& path) {
+  IgnoreSigpipeOnce();
+  struct sockaddr_un addr;
+  bool is_abstract = false;
+  socklen_t addrlen = FillSockaddr(path, &addr, &is_abstract);
+  if (addrlen == 0) {
+    return nullptr;
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    XB_LOG(Warning) << "connect: socket failed: " << std::strerror(errno);
+    return nullptr;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), addrlen);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    XB_LOG(Warning) << "connect(" << path << ") failed: " << std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  // Connect blocking (the accept queue hands out connections immediately),
+  // then switch to non-blocking for the framed channel discipline.
+  if (!SetNonBlocking(fd)) {
+    XB_LOG(Warning) << "connect: fcntl(O_NONBLOCK) failed: " << std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<FdChannel>(fd, fd);
 }
 
 // ---- Frame reassembly -------------------------------------------------------
@@ -331,6 +462,12 @@ IoStatus WireClientEndpoint::Poll() {
       last = IoStatus::kOk;
     }
     if (status != IoStatus::kOk || n == 0) {
+      if (status == IoStatus::kClosed && channel_ != nullptr) {
+        // EOF is terminal: latch it so open() reports the truth instead of
+        // letting callers retry a dead socket forever.  Frames already
+        // reassembled stay extractable via NextFrame.
+        channel_->Close();
+      }
       return status == IoStatus::kOk ? last : status;
     }
   }

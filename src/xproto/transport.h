@@ -33,6 +33,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/xproto/wire.h"
@@ -60,6 +61,13 @@ class ByteChannel {
   virtual IoStatus Read(uint8_t* buf, size_t cap, size_t* bytes_read) = 0;
   virtual void Close() = 0;
   virtual bool IsOpen() const = 0;
+
+  // The underlying kernel fds, for readiness polling (epoll registration,
+  // poll(2) waits) and targeted shutdown(2) in tests.  The fd stays owned
+  // by the channel — callers must not close it.  -1 when the channel has no
+  // kernel fd (closed, or a test double).
+  virtual int ReadFd() const { return -1; }
+  virtual int WriteFd() const { return -1; }
 };
 
 // A connected pair of channel ends.  Both null if creation failed (logged).
@@ -76,6 +84,44 @@ ChannelPair MakeSocketPair(size_t buffer_bytes = 0);
 // Two pipe(2)s glued into one duplex channel per end — the fallback when
 // socketpair is unavailable, and a second kernel path for the fuzzers.
 ChannelPair MakePipePair();
+
+// ---- Listening sockets ------------------------------------------------------
+
+// A bound, listening AF_UNIX SOCK_STREAM socket that genuinely separate
+// processes connect to (docs/PROTOCOL.md "Out-of-process operation").
+// Paths beginning with '@' name the Linux abstract namespace (no filesystem
+// entry, auto-reclaimed on process death); filesystem paths have any stale
+// socket left by a crashed predecessor unlinked before bind, and are
+// unlinked again on destruction.
+class Listener {
+ public:
+  explicit Listener(const std::string& path, int backlog = 16);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  // The listening fd, for epoll registration.  Owned by the Listener.
+  int fd() const { return fd_; }
+  const std::string& path() const { return path_; }
+
+  // Accepts one pending connection as a non-blocking ByteChannel, or
+  // nullptr when none is pending (EAGAIN) or the accept failed (logged).
+  // Call in a loop on listener readability until it returns nullptr.
+  std::unique_ptr<ByteChannel> Accept();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  bool unlink_on_close_ = false;
+};
+
+// Connects to a Listener's socket (same '@' abstract-namespace convention)
+// and returns the non-blocking client channel, or nullptr on failure.
+std::unique_ptr<ByteChannel> ConnectSocket(const std::string& path);
 
 // ---- Frame reassembly -------------------------------------------------------
 
@@ -153,6 +199,9 @@ class WireClientEndpoint {
 
   size_t queued_bytes() const { return outbox_.size() - outbox_sent_; }
   FrameReassembler& reassembler() { return inbound_; }
+  // The channel's read fd, for poll(2)/epoll waits.  -1 when closed.
+  int PollFd() const { return channel_ ? channel_->ReadFd() : -1; }
+  ByteChannel* channel() { return channel_.get(); }
 
  private:
   std::unique_ptr<ByteChannel> channel_;

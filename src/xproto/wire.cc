@@ -228,6 +228,8 @@ WIRE_INFO(InternAtomRequest, kInternAtom, kInternAtom)
 WIRE_INFO(GetAtomNameRequest, kGetAtomName, kGetAtomName)
 WIRE_INFO(GetPropertyRequest, kGetProperty, kGetProperty)
 WIRE_INFO(TranslateCoordinatesRequest, kTranslateCoordinates, kTranslateCoordinates)
+WIRE_INFO(QueryScreensRequest, kQueryScreens, kQueryScreens)
+WIRE_INFO(QueryClientWindowsRequest, kQueryClientWindows, kQueryClientWindows)
 
 #undef WIRE_INFO
 
@@ -306,6 +308,10 @@ RequestCode RequestCodeForOpcode(uint8_t opcode) {
       return RequestCode::kGetProperty;
     case WireOpcode::kTranslateCoordinates:
       return RequestCode::kTranslateCoordinates;
+    case WireOpcode::kQueryScreens:
+      return RequestCode::kQueryScreens;
+    case WireOpcode::kQueryClientWindows:
+      return RequestCode::kQueryClientWindows;
   }
   return RequestCode::kNone;
 }
@@ -500,6 +506,10 @@ struct Encoder {
     w->U32(r.dst);
     w->I16(static_cast<int16_t>(r.point.x));
     w->I16(static_cast<int16_t>(r.point.y));
+  }
+  void operator()(const QueryScreensRequest&) { Frame(WireOpcode::kQueryScreens, 0); }
+  void operator()(const QueryClientWindowsRequest&) {
+    Frame(WireOpcode::kQueryClientWindows, 0);
   }
 };
 
@@ -809,6 +819,12 @@ std::optional<Request> DecodePayload(WireOpcode opcode, uint8_t detail, WireRead
       out.point.y = r.I16();
       return out;
     }
+    case WireOpcode::kQueryScreens: {
+      return QueryScreensRequest{};
+    }
+    case WireOpcode::kQueryClientWindows: {
+      return QueryClientWindowsRequest{};
+    }
   }
   return fail(ParseErrorCode::kBadOpcode, "opcode not implemented");
 }
@@ -893,6 +909,8 @@ WIRE_REPLY_INFO(AtomReply, kInternAtom)
 WIRE_REPLY_INFO(AtomNameReply, kGetAtomName)
 WIRE_REPLY_INFO(PropertyReply, kGetProperty)
 WIRE_REPLY_INFO(CoordinatesReply, kTranslateCoordinates)
+WIRE_REPLY_INFO(ScreensReply, kQueryScreens)
+WIRE_REPLY_INFO(ClientWindowsReply, kQueryClientWindows)
 
 #undef WIRE_REPLY_INFO
 
@@ -961,6 +979,26 @@ struct ReplyEncoder {
   void operator()(const CoordinatesReply& r) {
     w->I32(r.position.x);
     w->I32(r.position.y);
+  }
+  void operator()(const ScreensReply& r) {
+    size_t count = std::min(r.screens.size(), kMaxReplyChildren);
+    w->U32(static_cast<uint32_t>(count));
+    for (size_t i = 0; i < count; ++i) {
+      const ScreensReply::Screen& s = r.screens[i];
+      w->U32(s.root);
+      w->U16(static_cast<uint16_t>(s.width));
+      w->U16(static_cast<uint16_t>(s.height));
+      w->U8(s.monochrome ? 1 : 0);
+      w->U8(0);
+      w->U16(0);
+    }
+  }
+  void operator()(const ClientWindowsReply& r) {
+    size_t count = std::min(r.windows.size(), kMaxReplyChildren);
+    w->U32(static_cast<uint32_t>(count));
+    for (size_t i = 0; i < count; ++i) {
+      w->U32(r.windows[i]);
+    }
   }
 };
 
@@ -1098,6 +1136,46 @@ std::optional<Reply> DecodeReplyPayload(WireOpcode opcode, WireReader& r,
       CoordinatesReply out;
       out.position.x = r.I32();
       out.position.y = r.I32();
+      return out;
+    }
+    case WireOpcode::kQueryScreens: {
+      ScreensReply out;
+      uint32_t count = r.U32();
+      if (r.ok() && count > kMaxReplyChildren) {
+        return fail(ParseErrorCode::kOversized, "screen count over cap");
+      }
+      if (r.ok() && static_cast<uint64_t>(count) * 12 > r.remaining()) {
+        return fail(ParseErrorCode::kBadLength, "screen list overruns frame");
+      }
+      out.screens.reserve(count);
+      for (uint32_t i = 0; i < count && r.ok(); ++i) {
+        ScreensReply::Screen s;
+        s.root = r.U32();
+        s.width = r.U16();
+        s.height = r.U16();
+        uint8_t mono = r.U8();
+        r.Skip(3);
+        if (r.ok() && mono > 1) {
+          return fail(ParseErrorCode::kBadValue, "monochrome flag not 0/1");
+        }
+        s.monochrome = mono == 1;
+        out.screens.push_back(s);
+      }
+      return out;
+    }
+    case WireOpcode::kQueryClientWindows: {
+      ClientWindowsReply out;
+      uint32_t count = r.U32();
+      if (r.ok() && count > kMaxReplyChildren) {
+        return fail(ParseErrorCode::kOversized, "window count over cap");
+      }
+      if (r.ok() && static_cast<uint64_t>(count) * 4 > r.remaining()) {
+        return fail(ParseErrorCode::kBadLength, "window list overruns frame");
+      }
+      out.windows.reserve(count);
+      for (uint32_t i = 0; i < count && r.ok(); ++i) {
+        out.windows.push_back(r.U32());
+      }
       return out;
     }
     default:

@@ -183,6 +183,13 @@ enum class WireOpcode : uint8_t {
   // Real X numbers GetGeometry 14, which kSelectInput occupies here; it
   // lives in the extension range instead (docs/PROTOCOL.md "Replies").
   kGetGeometry = 134,
+  // Connection-setup queries for out-of-process clients (docs/PROTOCOL.md
+  // "Out-of-process operation"): the screen table a remote Display caches at
+  // connect, and the issuing client's own window list (ascending id, newest
+  // last) — the wire substitute for the in-process DispatchResult's
+  // last_created_window.
+  kQueryScreens = 135,
+  kQueryClientWindows = 136,
 };
 
 struct CreateWindowRequest {
@@ -376,6 +383,17 @@ struct TranslateCoordinatesRequest {
                          const TranslateCoordinatesRequest&) = default;
 };
 
+// Both out-of-process setup queries are payload-free: the screens table is
+// global, and QueryClientWindows is implicitly about the issuing client.
+struct QueryScreensRequest {
+  friend bool operator==(const QueryScreensRequest&, const QueryScreensRequest&) = default;
+};
+
+struct QueryClientWindowsRequest {
+  friend bool operator==(const QueryClientWindowsRequest&,
+                         const QueryClientWindowsRequest&) = default;
+};
+
 using Request = std::variant<
     CreateWindowRequest, DestroyWindowRequest, MapWindowRequest, UnmapWindowRequest,
     ReparentWindowRequest, ConfigureWindowRequest, SelectInputRequest, ChangeSaveSetRequest,
@@ -383,7 +401,8 @@ using Request = std::variant<
     GrabButtonRequest, UngrabButtonRequest, ClearWindowRequest, SetWindowBackgroundRequest,
     SetCursorRequest, DrawRequest, ShapeRegionRequest, ShapeClearRequest, ShapeSelectRequest,
     GetWindowAttributesRequest, GetGeometryRequest, QueryTreeRequest, InternAtomRequest,
-    GetAtomNameRequest, GetPropertyRequest, TranslateCoordinatesRequest>;
+    GetAtomNameRequest, GetPropertyRequest, TranslateCoordinatesRequest,
+    QueryScreensRequest, QueryClientWindowsRequest>;
 
 // Wire opcode / human-readable name / error-channel RequestCode of a request.
 WireOpcode RequestOpcode(const Request& request);
@@ -474,8 +493,31 @@ struct CoordinatesReply {
   friend bool operator==(const CoordinatesReply&, const CoordinatesReply&) = default;
 };
 
+// QueryScreens: the per-screen table a remote Display caches at connect so
+// ScreenCount/RootWindow/DisplaySize/IsMonochrome need no further traffic.
+struct ScreensReply {
+  struct Screen {
+    WindowId root = kNone;
+    int width = 0;
+    int height = 0;
+    bool monochrome = false;
+    friend bool operator==(const Screen&, const Screen&) = default;
+  };
+  std::vector<Screen> screens;
+  friend bool operator==(const ScreensReply&, const ScreensReply&) = default;
+};
+
+// QueryClientWindows: every window the issuing client owns, ascending id.
+// Ids are minted monotonically, so the newest window is last — how a remote
+// client learns the id its CreateWindow produced.
+struct ClientWindowsReply {
+  std::vector<WindowId> windows;
+  friend bool operator==(const ClientWindowsReply&, const ClientWindowsReply&) = default;
+};
+
 using Reply = std::variant<AttributesReply, GeometryReply, TreeReply, AtomReply,
-                           AtomNameReply, PropertyReply, CoordinatesReply>;
+                           AtomNameReply, PropertyReply, CoordinatesReply,
+                           ScreensReply, ClientWindowsReply>;
 
 // Major opcode of the request a reply answers / human-readable name.
 WireOpcode ReplyOpcode(const Reply& reply);

@@ -123,6 +123,14 @@ void Connection::Close(CloseReason reason) {
   }
 }
 
+void Connection::CloseExpired(CloseReason reason) {
+  if (state_ == ConnectionState::kClosed) {
+    return;
+  }
+  ChargeMisbehavior();
+  Close(reason);
+}
+
 void Connection::Detach() {
   if (state_ == ConnectionState::kClosed) {
     return;
@@ -351,8 +359,21 @@ ConnectionState Connection::Pump() {
   stats_.write_queue_peak = std::max(stats_.write_queue_peak, outbound_queued());
   IoStatus flush = FlushOutbound();
   if (flush == IoStatus::kClosed) {
-    Close(state_ == ConnectionState::kDraining ? drain_reason_
-                                               : CloseReason::kPeerClosed);
+    // A write rejected with EPIPE/ECONNRESET on a still-established
+    // connection is a dead peer we only discovered on the write side —
+    // a transport error, not a clean EOF.  During a drain the read side
+    // already diagnosed the close; keep its reason (and still account a
+    // partial request frame as a mid-request death).
+    if (state_ == ConnectionState::kDraining) {
+      if (drain_reason_ == CloseReason::kPeerClosed &&
+          inbound_.buffered_bytes() > 0) {
+        died_mid_frame_ = true;
+        ChargeMisbehavior();
+      }
+      Close(drain_reason_);
+    } else {
+      Close(CloseReason::kTransportError);
+    }
     return state_;
   }
   if (flush == IoStatus::kError) {
@@ -362,6 +383,15 @@ ConnectionState Connection::Pump() {
 
   if (state_ == ConnectionState::kDraining) {
     if (outbound_queued() == 0) {
+      // EOF with a partial request frame still buffered: the client died
+      // mid-request (SIGKILL, crash).  That burdened the server with
+      // reassembly work it can never finish — charge it like any other
+      // misbehavior before the sweep.
+      if (drain_reason_ == CloseReason::kPeerClosed &&
+          inbound_.buffered_bytes() > 0) {
+        died_mid_frame_ = true;
+        ChargeMisbehavior();
+      }
       Close(drain_reason_);
     }
     return state_;

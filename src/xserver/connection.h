@@ -68,6 +68,14 @@ struct ConnectionLimits {
   // Consecutive pumps with no inbound bytes before an established peer is
   // declared dead.  0 disables (the default: quiet clients are legal).
   int read_idle_limit = 0;
+  // Wall-clock deadlines for readiness-driven hosts (WireHost): a peer that
+  // sends nothing for read_idle_ms, or leaves our outbound queue non-empty
+  // for write_stall_ms, is closed (kReadIdle / kWriteStalled).  Pump()-based
+  // harnesses ignore these — they count pumps, not time.  read_idle_ms == 0
+  // disables the idle deadline (quiet clients are legal); the resource
+  // database exposes both as swm.transport.idleMs / swm.transport.stallMs.
+  int64_t read_idle_ms = 0;
+  int64_t write_stall_ms = 5000;
   // Cost charged to the misbehavior hook per detection (matches the swm
   // quarantine policy's error_cost).
   int misbehavior_cost = 12;
@@ -115,6 +123,11 @@ class Connection {
   // processing + window sweep) and closes the channel.
   void Close(CloseReason reason);
 
+  // Deadline-expiry teardown for readiness hosts (WireHost): charges the
+  // misbehavior hook — blowing a wall-clock deadline is a policy violation,
+  // exactly like blowing a pump-count limit — then closes with `reason`.
+  void CloseExpired(CloseReason reason);
+
   // Abandons the transport without tearing down the session: the channel
   // closes but the client record — windows included — survives on the
   // server.  Trace replay uses this for clients the recording never
@@ -137,6 +150,13 @@ class Connection {
   const Stats& stats() const { return stats_; }
   const FaultCounters& transport_fault_counters() const { return fault_counters_; }
   size_t outbound_queued() const { return outbox_.size() - outbox_sent_; }
+  const ConnectionLimits& limits() const { return limits_; }
+  // Channel fd for readiness polling (epoll/poll); -1 for fd-less channels.
+  // The fd stays channel-owned — callers must not close it.
+  int PollFd() const { return channel_ ? channel_->ReadFd() : -1; }
+  // True when the peer's EOF arrived with a partial request frame still
+  // buffered — the signature of a client killed mid-request.
+  bool died_mid_frame() const { return died_mid_frame_; }
 
  private:
   // Reads whatever the channel has into the reassembler (short-read and
@@ -180,6 +200,7 @@ class Connection {
   size_t outbox_sent_ = 0;
   int stalled_pumps_ = 0;
   int idle_pumps_ = 0;
+  bool died_mid_frame_ = false;
 
   bool faults_active_ = false;
   FaultPlan plan_;

@@ -50,7 +50,8 @@ xproto::ErrorCode ErrorForParse(ParseErrorCode code) {
 // garbage does.
 constexpr uint8_t kValidOpcodes[] = {1,  3,  4,  6,  7,  8,  10, 12,  14,  15,
                                      16, 17, 18, 19, 20, 25, 28, 29,  40,  42,
-                                     61, 128, 129, 130, 131, 132, 133, 134};
+                                     61, 128, 129, 130, 131, 132, 133, 134, 135,
+                                     136};
 
 }  // namespace
 
@@ -400,6 +401,35 @@ bool Server::ApplyRequest(ClientId client, const Request& request,
             return RaiseError(client, xproto::ErrorCode::kBadWindow, missing);
           }
           EmitReply(client, xproto::CoordinatesReply{*position});
+          return true;
+        }
+        // ---- Connection-setup queries (out-of-process clients) ------------
+        // A remote Display has no direct Server pointer, so screen layout and
+        // resource-id discovery travel over the wire like everything else.
+        else if constexpr (std::is_same_v<T, xproto::QueryScreensRequest>) {
+          RequestGuard guard(this, client, xproto::RequestCode::kQueryScreens);
+          if (!guard.ok()) {
+            return false;
+          }
+          xproto::ScreensReply reply;
+          for (int i = 0; i < ScreenCount(); ++i) {
+            const ScreenInfo& info = screen(i);
+            xproto::ScreensReply::Screen out;
+            out.root = info.root;
+            out.width = info.size.width;
+            out.height = info.size.height;
+            out.monochrome = info.monochrome;
+            reply.screens.push_back(out);
+          }
+          EmitReply(client, reply);
+          return true;
+        } else if constexpr (std::is_same_v<T, xproto::QueryClientWindowsRequest>) {
+          RequestGuard guard(this, client,
+                             xproto::RequestCode::kQueryClientWindows);
+          if (!guard.ok()) {
+            return false;
+          }
+          EmitReply(client, xproto::ClientWindowsReply{ClientWindows(client)});
           return true;
         }
       },

@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "src/base/geometry.h"
+#include "src/base/logging.h"
 #include "src/xproto/transport.h"
 #include "src/xserver/connection.h"
+#include "src/xserver/wire_host.h"
 
 namespace xserver {
 
@@ -23,12 +25,16 @@ void HashBytes(std::span<const uint8_t> bytes, uint64_t* hash) {
   }
 }
 
-// One traced client's live channel when ReplayOptions::use_transport is set.
+// One traced client's live channel when ReplayOptions::use_transport or
+// listen_socket is set.
 struct TransportClient {
-  std::unique_ptr<Connection> connection;
+  std::unique_ptr<Connection> connection;  // Socketpair mode: replay-owned.
+  Connection* conn = nullptr;  // Either mode: view (host-owned in socket mode).
   std::unique_ptr<xproto::WireClientEndpoint> endpoint;
+  ClientId live_id = 0;
   uint64_t requests_seen = 0;
   uint64_t parse_errors_seen = 0;
+  uint64_t bytes_sent = 0;  // Request bytes queued, for quiescence detection.
 };
 
 }  // namespace
@@ -45,6 +51,55 @@ ReplayResult ReplayTrace(Server* server, const Trace& trace,
   // Live channels, keyed by *recorded* client id (transport mode only).
   std::map<ClientId, TransportClient> channels;
 
+  // Socket mode: the readiness loop owns every server-side connection.
+  std::unique_ptr<WireHost> host;
+  if (!options.listen_socket.empty()) {
+    WireHostOptions host_options;
+    host_options.machine = "replay-socket";
+    // A connection the host reaps (protocol error, EOF) dies with dispatch
+    // counters the record loop hasn't folded in yet; catch them here.
+    host_options.on_close = [&](const Connection& conn) {
+      for (auto& [recorded_id, tc] : channels) {
+        if (tc.conn == &conn) {
+          const Connection::Stats& stats = conn.stats();
+          result.requests_dispatched +=
+              static_cast<size_t>(stats.requests_dispatched - tc.requests_seen);
+          result.parse_errors +=
+              static_cast<size_t>(stats.parse_errors - tc.parse_errors_seen);
+          tc.requests_seen = stats.requests_dispatched;
+          tc.parse_errors_seen = stats.parse_errors;
+          tc.conn = nullptr;
+          break;
+        }
+      }
+    };
+    host = std::make_unique<WireHost>(server, options.listen_socket,
+                                      std::move(host_options));
+    if (!host->ok()) {
+      XB_LOG(Error) << "replay: cannot listen on " << options.listen_socket;
+      host.reset();
+    }
+  }
+
+  // Folds a channel's dispatch counters and reply frames into the result.
+  auto collect = [&](TransportClient& tc) {
+    if (tc.conn != nullptr) {
+      const Connection::Stats& stats = tc.conn->stats();
+      result.requests_dispatched +=
+          static_cast<size_t>(stats.requests_dispatched - tc.requests_seen);
+      result.parse_errors += static_cast<size_t>(stats.parse_errors - tc.parse_errors_seen);
+      tc.requests_seen = stats.requests_dispatched;
+      tc.parse_errors_seen = stats.parse_errors;
+    }
+    while (std::optional<std::vector<uint8_t>> frame = tc.endpoint->NextFrame()) {
+      if (!frame->empty() && (*frame)[0] == 1) {
+        ++result.replayed_replies;
+        result.replayed_reply_bytes += frame->size();
+        HashBytes(*frame, &result.replayed_reply_hash);
+      }
+    }
+  };
+
   // Collects a transport client's reply frames and dispatch counters after
   // moving bytes both ways until the pair goes quiescent.
   auto pump_channel = [&](TransportClient& tc) {
@@ -58,33 +113,71 @@ ReplayResult ReplayTrace(Server* server, const Trace& trace,
         break;
       }
     }
-    const Connection::Stats& stats = tc.connection->stats();
-    result.requests_dispatched +=
-        static_cast<size_t>(stats.requests_dispatched - tc.requests_seen);
-    result.parse_errors += static_cast<size_t>(stats.parse_errors - tc.parse_errors_seen);
-    tc.requests_seen = stats.requests_dispatched;
-    tc.parse_errors_seen = stats.parse_errors;
-    while (std::optional<std::vector<uint8_t>> frame = tc.endpoint->NextFrame()) {
-      if (!frame->empty() && (*frame)[0] == 1) {
-        ++result.replayed_replies;
-        result.replayed_reply_bytes += frame->size();
-        HashBytes(*frame, &result.replayed_reply_hash);
-      }
-    }
+    collect(tc);
+  };
+
+  // Socket mode: let the epoll loop move bytes until the client's stream is
+  // fully absorbed (every queued byte flushed and read server-side) and the
+  // server's replies are fully flushed, then drain them client-side.
+  auto pump_socket = [&](TransportClient& tc) {
+    host->RunUntil(
+        [&]() {
+          tc.endpoint->Flush();
+          tc.endpoint->Poll();
+          if (tc.endpoint->queued_bytes() > 0) {
+            return false;
+          }
+          if (tc.conn == nullptr) {
+            return true;  // Closed and reaped; nothing more will move.
+          }
+          return tc.conn->stats().bytes_read >= tc.bytes_sent &&
+                 tc.conn->outbound_queued() == 0;
+        },
+        /*budget_ms=*/2000);
+    tc.endpoint->Poll();
+    collect(tc);
   };
 
   for (const TraceRecord& rec : trace.records) {
     switch (rec.type) {
       case TraceRecordType::kConnect:
+        if (host != nullptr) {
+          TransportClient tc;
+          std::unique_ptr<xproto::ByteChannel> channel =
+              xproto::ConnectSocket(host->socket_path());
+          uint64_t accepted_before = host->stats().accepted;
+          if (channel != nullptr) {
+            tc.endpoint =
+                std::make_unique<xproto::WireClientEndpoint>(std::move(channel));
+            host->RunUntil(
+                [&]() { return host->stats().accepted > accepted_before; },
+                /*budget_ms=*/2000);
+          }
+          if (host->stats().accepted > accepted_before) {
+            // Accept order is connect order on a unix socket: the newest
+            // live client is ours.
+            tc.live_id = host->clients().back();
+            tc.conn = host->FindConnection(tc.live_id);
+            client_map[rec.client] = tc.live_id;
+            channels[rec.client] = std::move(tc);
+          } else {
+            XB_LOG(Error) << "replay: socket connect failed for traced client "
+                          << rec.client;
+            client_map[rec.client] = server->Connect(rec.machine);
+          }
+          break;
+        }
         if (options.use_transport) {
           xproto::ChannelPair pair = xproto::MakeSocketPair();
           TransportClient tc;
           tc.connection = std::make_unique<Connection>(server, std::move(pair.server),
                                                        rec.machine);
           tc.connection->Establish();
+          tc.conn = tc.connection.get();
+          tc.live_id = tc.connection->client();
           tc.endpoint =
               std::make_unique<xproto::WireClientEndpoint>(std::move(pair.client));
-          client_map[rec.client] = tc.connection->client();
+          client_map[rec.client] = tc.live_id;
           channels[rec.client] = std::move(tc);
         } else {
           client_map[rec.client] = server->Connect(rec.machine);
@@ -93,9 +186,18 @@ ReplayResult ReplayTrace(Server* server, const Trace& trace,
       case TraceRecordType::kDisconnect: {
         auto it = channels.find(rec.client);
         if (it != channels.end()) {
-          it->second.connection->BeginDrain();
-          pump_channel(it->second);
-          it->second.connection->Close(CloseReason::kGracefulDrain);
+          if (host != nullptr) {
+            pump_socket(it->second);
+            // EOF is the disconnect: the readiness loop drains and sweeps.
+            it->second.endpoint->Close();
+            TransportClient& tc = it->second;
+            host->RunUntil([&]() { return tc.conn == nullptr; },
+                           /*budget_ms=*/2000);
+          } else {
+            it->second.connection->BeginDrain();
+            pump_channel(it->second);
+            it->second.connection->Close(CloseReason::kGracefulDrain);
+          }
           channels.erase(it);
         } else {
           server->Disconnect(live(rec.client));
@@ -106,7 +208,12 @@ ReplayResult ReplayTrace(Server* server, const Trace& trace,
         auto it = channels.find(rec.client);
         if (it != channels.end()) {
           it->second.endpoint->QueueBytes(rec.bytes);
-          pump_channel(it->second);
+          it->second.bytes_sent += rec.bytes.size();
+          if (host != nullptr) {
+            pump_socket(it->second);
+          } else {
+            pump_channel(it->second);
+          }
           break;
         }
         Server::DispatchResult d = server->DispatchBytes(live(rec.client), rec.bytes);
@@ -164,9 +271,17 @@ ReplayResult ReplayTrace(Server* server, const Trace& trace,
   // Channels the trace never disconnected: collect their last replies, then
   // detach — the recorded server still had these clients connected, so the
   // replayed one must keep their sessions (and windows) alive too.
-  for (auto& [recorded_id, tc] : channels) {
-    pump_channel(tc);
-    tc.connection->Detach();
+  if (host != nullptr) {
+    for (auto& [recorded_id, tc] : channels) {
+      pump_socket(tc);
+      tc.conn = nullptr;  // DetachAll destroys the host-owned connections.
+    }
+    host->DetachAll();
+  } else {
+    for (auto& [recorded_id, tc] : channels) {
+      pump_channel(tc);
+      tc.connection->Detach();
+    }
   }
   channels.clear();
 

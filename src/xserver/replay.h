@@ -39,6 +39,14 @@ struct ReplayOptions {
   // against the trace's kReply records the same way.  (Pre-bound clients in
   // `client_map` have no channel and stay on the direct path.)
   bool use_transport = false;
+  // Non-empty: the full out-of-process path.  Replay binds a WireHost to
+  // this socket ('@' prefix = abstract namespace), connects each traced
+  // client through the listener, and lets the epoll readiness loop — accept,
+  // read, dispatch, flush — move every byte.  Traced clients bind to live
+  // ids in accept order (connect order on a unix socket).  Takes precedence
+  // over use_transport; the reply-stream verification is identical, which
+  // is what makes this the cross-version gate for recorded sessions.
+  std::string listen_socket;
 };
 
 struct ReplayResult {

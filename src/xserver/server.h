@@ -229,6 +229,10 @@ class Server {
                                                    const xbase::Point& point) const;
   bool WindowExists(xproto::WindowId window) const;
   bool IsViewable(xproto::WindowId window) const;
+  // All windows a client created, ascending id (newest last — ids are minted
+  // monotonically).  The wire substitute for DispatchResult's
+  // last_created_window when the client lives in another process.
+  std::vector<xproto::WindowId> ClientWindows(xproto::ClientId client) const;
   // Position of the window's top-left corner in real-root coordinates.
   xbase::Point RootPosition(xproto::WindowId window) const;
 

@@ -1,0 +1,204 @@
+#include "src/xserver/wire_host.h"
+
+#include <iterator>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace xserver {
+
+WireHost::WireHost(Server* server, const std::string& socket_path,
+                   WireHostOptions options)
+    : server_(server), options_(std::move(options)), listener_(socket_path) {
+  if (!ok()) {
+    return;
+  }
+  loop_.WatchFd(listener_.fd(), [this](const xbase::Poller::Event&) {
+    AcceptPending();
+  });
+}
+
+WireHost::~WireHost() {
+  // Sessions tear down through ~Connection (graceful drain close); unwatch
+  // first so the loop never touches a dying fd.
+  for (auto& [id, session] : sessions_) {
+    loop_.UnwatchFd(session.fd);
+    loop_.CancelTimer(session.idle_timer);
+    loop_.CancelTimer(session.stall_timer);
+  }
+  sessions_.clear();
+  if (listener_.ok()) {
+    loop_.UnwatchFd(listener_.fd());
+  }
+}
+
+void WireHost::AcceptPending() {
+  while (std::unique_ptr<xproto::ByteChannel> channel = listener_.Accept()) {
+    uint64_t id = next_session_id_++;
+    Session session;
+    session.conn = std::make_unique<Connection>(server_, std::move(channel),
+                                                options_.machine, options_.limits);
+    if (options_.misbehavior_hook) {
+      session.conn->SetMisbehaviorHook(options_.misbehavior_hook);
+    }
+    // Establish immediately: client ids are minted in accept order, which is
+    // connect order on a unix socket — the property trace replay relies on
+    // to bind recorded clients to live connections.
+    session.conn->Establish();
+    if (options_.faults_active) {
+      session.conn->InstallTransportFaults(options_.transport_faults);
+    }
+    session.fd = session.conn->PollFd();
+    ++stats_.accepted;
+    auto [it, inserted] = sessions_.emplace(id, std::move(session));
+    (void)inserted;
+    if (!loop_.WatchFd(it->second.fd, [this, id](const xbase::Poller::Event&) {
+          PumpSession(id);
+        })) {
+      XB_LOG(Error) << "wire-host: cannot watch accepted fd " << it->second.fd;
+      it->second.conn->Close(CloseReason::kTransportError);
+      ReapSession(id);
+      continue;
+    }
+    ArmIdleTimer(id);
+    // A peer may have connected, written and died before we accepted; don't
+    // wait for an edge that already passed.
+    PumpSession(id);
+  }
+}
+
+void WireHost::ArmIdleTimer(uint64_t id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return;
+  }
+  Session& session = it->second;
+  loop_.CancelTimer(session.idle_timer);
+  session.idle_timer = 0;
+  if (options_.limits.read_idle_ms > 0) {
+    session.idle_timer = loop_.AddTimer(options_.limits.read_idle_ms,
+                                        [this, id]() {
+                                          ExpireSession(id, CloseReason::kReadIdle);
+                                        });
+  }
+}
+
+void WireHost::UpdateWriteInterest(uint64_t id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return;
+  }
+  Session& session = it->second;
+  bool want_write = session.conn->outbound_queued() > 0;
+  if (want_write != session.want_write) {
+    session.want_write = want_write;
+    loop_.ModifyFd(session.fd, /*want_read=*/true, want_write);
+  }
+  if (want_write) {
+    // The stall clock starts when reply bytes first queue and keeps running
+    // until the peer drains them — re-arming per pump would let a reader
+    // that nibbles one byte per deadline stall us forever.
+    if (session.stall_timer == 0 && options_.limits.write_stall_ms > 0) {
+      session.stall_timer = loop_.AddTimer(options_.limits.write_stall_ms,
+                                           [this, id]() {
+                                             ExpireSession(id, CloseReason::kWriteStalled);
+                                           });
+    }
+  } else if (session.stall_timer != 0) {
+    loop_.CancelTimer(session.stall_timer);
+    session.stall_timer = 0;
+  }
+}
+
+void WireHost::ExpireSession(uint64_t id, CloseReason reason) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return;
+  }
+  if (reason == CloseReason::kReadIdle) {
+    ++stats_.idle_expirations;
+    it->second.idle_timer = 0;
+  } else {
+    ++stats_.stall_expirations;
+    it->second.stall_timer = 0;
+  }
+  it->second.conn->CloseExpired(reason);
+  ReapSession(id);
+}
+
+void WireHost::PumpSession(uint64_t id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return;
+  }
+  Session& session = it->second;
+  uint64_t read_before = session.conn->stats().bytes_read;
+  ConnectionState state = session.conn->Pump();
+  if (state == ConnectionState::kClosed) {
+    ReapSession(id);
+    return;
+  }
+  if (session.conn->stats().bytes_read != read_before) {
+    ArmIdleTimer(id);
+  }
+  UpdateWriteInterest(id);
+}
+
+void WireHost::ReapSession(uint64_t id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return;
+  }
+  Session& session = it->second;
+  loop_.UnwatchFd(session.fd);
+  loop_.CancelTimer(session.idle_timer);
+  loop_.CancelTimer(session.stall_timer);
+  ++stats_.closed;
+  size_t reason = static_cast<size_t>(session.conn->close_reason());
+  if (reason < std::size(stats_.closed_by_reason)) {
+    ++stats_.closed_by_reason[reason];
+  }
+  if (session.conn->died_mid_frame()) {
+    ++stats_.mid_frame_deaths;
+  }
+  if (options_.on_close) {
+    options_.on_close(*session.conn);
+  }
+  sessions_.erase(it);
+}
+
+int WireHost::PollOnce(int timeout_ms) { return loop_.PollOnce(timeout_ms); }
+
+bool WireHost::RunUntil(const std::function<bool()>& done, int64_t budget_ms) {
+  return loop_.RunUntil(done, budget_ms);
+}
+
+Connection* WireHost::FindConnection(xproto::ClientId client) {
+  for (auto& [id, session] : sessions_) {
+    if (session.conn->client() == client) {
+      return session.conn.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<xproto::ClientId> WireHost::clients() const {
+  std::vector<xproto::ClientId> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    out.push_back(session.conn->client());
+  }
+  return out;
+}
+
+void WireHost::DetachAll() {
+  for (auto& [id, session] : sessions_) {
+    loop_.UnwatchFd(session.fd);
+    loop_.CancelTimer(session.idle_timer);
+    loop_.CancelTimer(session.stall_timer);
+    session.conn->Detach();
+  }
+  sessions_.clear();
+}
+
+}  // namespace xserver

@@ -1,0 +1,133 @@
+// Readiness-driven host for out-of-process clients (docs/PROTOCOL.md,
+// "Out-of-process operation").
+//
+// A WireHost owns one xproto::Listener plus one xbase::EventLoop and turns
+// kernel readiness into Connection pumps: the listening socket's readability
+// drives an accept loop that mints an xserver::Connection per peer, each
+// connection's fd is watched for read (always) and write (only while reply
+// bytes are queued), and the ConnectionLimits wall-clock deadlines —
+// read_idle_ms / write_stall_ms — live on the event loop's timerfd wheel.
+// Nothing spins: between events the host sleeps in epoll_wait, which is the
+// difference between the test harnesses' Pump() loops and a process that can
+// host real clients.
+//
+// Crash tolerance is the point.  A client killed mid-request surfaces here
+// as readability, then EOF with a partial frame buffered: the connection
+// drains, closes as kPeerClosed with died_mid_frame() latched, the
+// misbehavior ledger is charged, and Server::Disconnect sweeps exactly that
+// client's windows.  Other connections never notice — their reply streams
+// are byte-identical with or without the crash.
+#ifndef SRC_XSERVER_WIRE_HOST_H_
+#define SRC_XSERVER_WIRE_HOST_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/poller.h"
+#include "src/xproto/transport.h"
+#include "src/xserver/connection.h"
+#include "src/xserver/faults.h"
+#include "src/xserver/server.h"
+
+namespace xserver {
+
+struct WireHostOptions {
+  // Per-connection lifecycle limits; read_idle_ms / write_stall_ms become
+  // event-loop deadlines here (the pump-count limits still apply inside
+  // each Pump).
+  ConnectionLimits limits;
+  // Machine label new connections register with (shows up in client recs).
+  std::string machine = "socket";
+  // Transport fault plan, applied to every accepted connection when active.
+  FaultPlan transport_faults;
+  bool faults_active = false;
+  // Wired into each connection's misbehavior hook (the swm layer points
+  // this at MisbehaviorLedger::Charge).
+  std::function<void(xproto::ClientId, int)> misbehavior_hook;
+  // Observes each connection just before it is reaped (stats, tests).
+  std::function<void(const Connection&)> on_close;
+};
+
+class WireHost {
+ public:
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t closed = 0;
+    uint64_t idle_expirations = 0;
+    uint64_t stall_expirations = 0;
+    uint64_t mid_frame_deaths = 0;
+    // Indexed by static_cast<size_t>(CloseReason).
+    uint64_t closed_by_reason[9] = {};
+  };
+
+  // Binds `socket_path` (xproto::Listener conventions: '@' prefix selects
+  // the abstract namespace, filesystem paths get stale-socket cleanup).
+  // Check ok() — a bind failure leaves the host inert, not crashed.
+  WireHost(Server* server, const std::string& socket_path,
+           WireHostOptions options = {});
+  ~WireHost();
+
+  WireHost(const WireHost&) = delete;
+  WireHost& operator=(const WireHost&) = delete;
+
+  bool ok() const { return listener_.ok() && loop_.ok(); }
+  const std::string& socket_path() const { return listener_.path(); }
+
+  // One event-loop turn: sleeps up to timeout_ms in epoll_wait, then runs
+  // every ready accept, connection pump and due deadline.  Returns the
+  // number of callbacks dispatched.
+  int PollOnce(int timeout_ms);
+
+  // Polls until done() returns true or budget_ms elapses; returns done()'s
+  // final verdict.
+  bool RunUntil(const std::function<bool()>& done, int64_t budget_ms);
+
+  size_t connection_count() const { return sessions_.size(); }
+  // Live connection for a server-side client id, or nullptr.
+  Connection* FindConnection(xproto::ClientId client);
+  // Live client ids in accept order (how trace replay binds recorded
+  // clients to freshly accepted connections).
+  std::vector<xproto::ClientId> clients() const;
+  // Abandons every live transport without tearing down its session state —
+  // replay's end-of-trace semantics (Connection::Detach).
+  void DetachAll();
+
+  const Stats& stats() const { return stats_; }
+  uint64_t closed_with(CloseReason reason) const {
+    return stats_.closed_by_reason[static_cast<size_t>(reason)];
+  }
+  xbase::EventLoop& loop() { return loop_; }
+
+ private:
+  struct Session {
+    std::unique_ptr<Connection> conn;
+    int fd = -1;  // Cached: the channel fd dies inside Connection::Close.
+    xbase::EventLoop::TimerId idle_timer = 0;
+    xbase::EventLoop::TimerId stall_timer = 0;
+    bool want_write = false;
+  };
+
+  void AcceptPending();
+  // Pump + post-pump bookkeeping (timers, write interest, reaping).
+  void PumpSession(uint64_t id);
+  void ArmIdleTimer(uint64_t id);
+  void UpdateWriteInterest(uint64_t id);
+  void ExpireSession(uint64_t id, CloseReason reason);
+  void ReapSession(uint64_t id);
+
+  Server* server_;
+  WireHostOptions options_;
+  xproto::Listener listener_;
+  xbase::EventLoop loop_;
+  std::map<uint64_t, Session> sessions_;
+  uint64_t next_session_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace xserver
+
+#endif  // SRC_XSERVER_WIRE_HOST_H_

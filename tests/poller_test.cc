@@ -1,0 +1,225 @@
+// Readiness core tests (docs/PROTOCOL.md "Out-of-process operation"): the
+// epoll wrapper's add/modify/remove discipline, the event loop's fd dispatch,
+// and the timerfd-backed one-shot deadline heap — ordering, cancellation,
+// re-arming from inside callbacks, and RunUntil budgets.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/poller.h"
+
+namespace xbase {
+namespace {
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() {
+    EXPECT_EQ(::pipe2(fds, O_NONBLOCK | O_CLOEXEC), 0);
+  }
+  ~Pipe() {
+    CloseRead();
+    CloseWrite();
+  }
+  int read_fd() const { return fds[0]; }
+  int write_fd() const { return fds[1]; }
+  void CloseRead() {
+    if (fds[0] >= 0) {
+      ::close(fds[0]);
+      fds[0] = -1;
+    }
+  }
+  void CloseWrite() {
+    if (fds[1] >= 0) {
+      ::close(fds[1]);
+      fds[1] = -1;
+    }
+  }
+  void WriteByte() {
+    uint8_t b = 0x5a;
+    EXPECT_EQ(::write(fds[1], &b, 1), 1);
+  }
+  void DrainRead() {
+    uint8_t buf[64];
+    while (::read(fds[0], buf, sizeof buf) > 0) {
+    }
+  }
+};
+
+// ---- Poller ----------------------------------------------------------------
+
+TEST(Poller, ReportsReadabilityByKey) {
+  Poller poller;
+  ASSERT_TRUE(poller.ok());
+  Pipe pipe;
+  ASSERT_TRUE(poller.Add(pipe.read_fd(), /*key=*/42, /*want_read=*/true,
+                         /*want_write=*/false));
+
+  std::vector<Poller::Event> events;
+  EXPECT_EQ(poller.Wait(0, &events), 0) << "nothing written yet";
+
+  pipe.WriteByte();
+  ASSERT_EQ(poller.Wait(/*timeout_ms=*/1000, &events), 1);
+  EXPECT_EQ(events[0].key, 42u);
+  EXPECT_TRUE(events[0].readable);
+  EXPECT_FALSE(events[0].writable);
+
+  events.clear();
+  pipe.DrainRead();
+  EXPECT_EQ(poller.Wait(0, &events), 0) << "drained; level-triggered edge gone";
+
+  EXPECT_TRUE(poller.Remove(pipe.read_fd()));
+  pipe.WriteByte();
+  EXPECT_EQ(poller.Wait(0, &events), 0) << "removed fds stay silent";
+}
+
+TEST(Poller, PeerCloseSurfacesAsReadableOrClosed) {
+  Poller poller;
+  Pipe pipe;
+  ASSERT_TRUE(poller.Add(pipe.read_fd(), 7, true, false));
+  pipe.CloseWrite();
+  std::vector<Poller::Event> events;
+  ASSERT_EQ(poller.Wait(1000, &events), 1);
+  // A dead writer must wake the reader so it can observe EOF.
+  EXPECT_TRUE(events[0].readable || events[0].closed);
+}
+
+TEST(Poller, ModifyChangesInterestSet) {
+  Poller poller;
+  Pipe pipe;
+  // Write side of an empty pipe is immediately writable.
+  ASSERT_TRUE(poller.Add(pipe.write_fd(), 9, /*want_read=*/false,
+                         /*want_write=*/true));
+  std::vector<Poller::Event> events;
+  ASSERT_EQ(poller.Wait(1000, &events), 1);
+  EXPECT_TRUE(events[0].writable);
+
+  // Drop write interest: silence.
+  ASSERT_TRUE(poller.Modify(pipe.write_fd(), 9, /*want_read=*/false,
+                            /*want_write=*/false));
+  events.clear();
+  EXPECT_EQ(poller.Wait(0, &events), 0);
+}
+
+TEST(Poller, AddUnpollableFdFailsWithoutCrashing) {
+  Poller poller;
+  EXPECT_FALSE(poller.Add(-1, 1, true, false));
+  EXPECT_FALSE(poller.Remove(-1));
+}
+
+// ---- EventLoop: fd watches -------------------------------------------------
+
+TEST(EventLoop, DispatchesFdCallbacks) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.ok());
+  Pipe pipe;
+  int fired = 0;
+  ASSERT_TRUE(loop.WatchFd(pipe.read_fd(), [&](const Poller::Event& event) {
+    EXPECT_TRUE(event.readable);
+    ++fired;
+    pipe.DrainRead();
+  }));
+  EXPECT_EQ(loop.watch_count(), 1u);
+
+  EXPECT_EQ(loop.PollOnce(0), 0);
+  pipe.WriteByte();
+  EXPECT_EQ(loop.PollOnce(1000), 1);
+  EXPECT_EQ(fired, 1);
+
+  loop.UnwatchFd(pipe.read_fd());
+  EXPECT_EQ(loop.watch_count(), 0u);
+  pipe.WriteByte();
+  EXPECT_EQ(loop.PollOnce(0), 0);
+}
+
+TEST(EventLoop, CallbackMayUnwatchItsOwnFd) {
+  EventLoop loop;
+  Pipe pipe;
+  int fired = 0;
+  ASSERT_TRUE(loop.WatchFd(pipe.read_fd(), [&](const Poller::Event&) {
+    ++fired;
+    loop.UnwatchFd(pipe.read_fd());
+  }));
+  pipe.WriteByte();
+  EXPECT_EQ(loop.PollOnce(1000), 1);
+  // The byte is still buffered, but the watch is gone.
+  EXPECT_EQ(loop.PollOnce(0), 0);
+  EXPECT_EQ(fired, 1);
+}
+
+// ---- EventLoop: timers -----------------------------------------------------
+
+TEST(EventLoop, TimersFireInDeadlineOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.AddTimer(30, [&]() { order.push_back(3); });
+  loop.AddTimer(10, [&]() { order.push_back(1); });
+  loop.AddTimer(20, [&]() { order.push_back(2); });
+  ASSERT_EQ(loop.pending_timers(), 3u);
+
+  int64_t deadline = EventLoop::NowMs() + 2000;
+  while (loop.pending_timers() > 0 && EventLoop::NowMs() < deadline) {
+    loop.PollOnce(50);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.stats().timers_fired, 3u);
+}
+
+TEST(EventLoop, ZeroDelayFiresOnNextPoll) {
+  EventLoop loop;
+  bool fired = false;
+  loop.AddTimer(0, [&]() { fired = true; });
+  loop.PollOnce(1000);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoop, CanceledTimersNeverFire) {
+  EventLoop loop;
+  bool fired = false;
+  EventLoop::TimerId id = loop.AddTimer(0, [&]() { fired = true; });
+  loop.CancelTimer(id);
+  EXPECT_EQ(loop.pending_timers(), 0u);
+  loop.PollOnce(10);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(loop.stats().timers_canceled, 1u);
+  // Double-cancel and bogus ids are harmless.
+  loop.CancelTimer(id);
+  loop.CancelTimer(99999);
+}
+
+TEST(EventLoop, TimerCallbackMayRearm) {
+  EventLoop loop;
+  int fired = 0;
+  std::function<void()> tick = [&]() {
+    if (++fired < 3) {
+      loop.AddTimer(1, tick);
+    }
+  };
+  loop.AddTimer(1, tick);
+  int64_t deadline = EventLoop::NowMs() + 2000;
+  while (fired < 3 && EventLoop::NowMs() < deadline) {
+    loop.PollOnce(50);
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventLoop, RunUntilReturnsVerdict) {
+  EventLoop loop;
+  bool done = false;
+  loop.AddTimer(10, [&]() { done = true; });
+  EXPECT_TRUE(loop.RunUntil([&]() { return done; }, /*budget_ms=*/2000));
+  // An impossible predicate exhausts the budget and says so.
+  EXPECT_FALSE(loop.RunUntil([]() { return false; }, /*budget_ms=*/30));
+}
+
+TEST(EventLoop, NowMsIsMonotonic) {
+  int64_t a = EventLoop::NowMs();
+  int64_t b = EventLoop::NowMs();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace xbase

@@ -6,6 +6,9 @@
 // windows are swept, every other client's sequence space is untouched.
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <sys/socket.h>
+
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -430,6 +433,67 @@ TEST(Connection, KillClientMidRequestSweepsWindowsAndSparesOthers) {
   ASSERT_TRUE(survivor.MoveWindow(survivor_win, {3, 4}));
   EXPECT_EQ(survivor.RequestCount(), survivor_seq + 1);
   EXPECT_EQ(survivor.GetGeometry(survivor_win)->x, 3);
+}
+
+// ---- Dead-peer writes ------------------------------------------------------
+
+// A peer that stops *receiving* (SHUT_RD) without closing its write side is
+// only discoverable on the write path: the reply flush hits EPIPE.  That is
+// a transport error on an established connection — not a crash, not a
+// busy-loop, and (because SIGPIPE is suppressed) not process death.
+TEST(Connection, EpipeOnReplyFlushClosesWithTransportError) {
+  Server server;
+  ChannelPair pair = MakeSocketPair();
+  Connection conn(&server, std::move(pair.server), "dead-reader");
+  WireClientEndpoint ep(std::move(pair.client));
+  conn.Establish();
+
+  // The request reaches the server-side buffer before the receive side is
+  // shut down; only the reply direction is broken.
+  ep.QueueRequest(xproto::GetGeometryRequest{.window = server.RootWindow(0)});
+  ep.Flush();
+  ASSERT_EQ(::shutdown(ep.PollFd(), SHUT_RD), 0);
+
+  for (int i = 0; i < 8 && conn.state() != ConnectionState::kClosed; ++i) {
+    conn.Pump();
+  }
+  EXPECT_EQ(conn.state(), ConnectionState::kClosed);
+  EXPECT_EQ(conn.close_reason(), CloseReason::kTransportError)
+      << "a write-side death discovery is a transport error, not an EOF";
+  EXPECT_GT(conn.stats().requests_dispatched, 0u)
+      << "the request itself was intact and must have been dispatched";
+  // Surviving to this line IS the SIGPIPE regression test: the EPIPE write
+  // above would have killed the process under the default disposition.
+  struct sigaction current;
+  ASSERT_EQ(::sigaction(SIGPIPE, nullptr, &current), 0);
+  EXPECT_EQ(current.sa_handler, SIG_IGN)
+      << "transport channel creation must suppress SIGPIPE process-wide";
+}
+
+// Same discovery, mid-drain: EOF was already read (so the close reason is
+// the drain's kPeerClosed), and the undeliverable replies are discarded
+// without spinning on the dead socket.
+TEST(Connection, EpipeDuringDrainKeepsPeerClosedReason) {
+  Server server;
+  ChannelPair pair = MakeSocketPair();
+  Connection conn(&server, std::move(pair.server), "dying-reader");
+  WireClientEndpoint ep(std::move(pair.client));
+  conn.Establish();
+
+  ep.QueueRequest(xproto::GetGeometryRequest{.window = server.RootWindow(0)});
+  ep.Flush();
+  // Full close: the server reads EOF and drains, but the queued reply can
+  // no longer be delivered.
+  ep.Close();
+  uint64_t pumps_before = conn.stats().pumps;
+  for (int i = 0; i < 8 && conn.state() != ConnectionState::kClosed; ++i) {
+    conn.Pump();
+  }
+  EXPECT_EQ(conn.state(), ConnectionState::kClosed);
+  EXPECT_EQ(conn.close_reason(), CloseReason::kPeerClosed);
+  EXPECT_LE(conn.stats().pumps - pumps_before, 8u) << "no busy-loop on EPIPE";
+  // Closed is terminal: further pumps are cheap no-ops.
+  EXPECT_EQ(conn.Pump(), ConnectionState::kClosed);
 }
 
 // ---- Display duplex equivalence --------------------------------------------

@@ -127,6 +127,8 @@ std::vector<Request> AllRequestExemplars() {
   all.push_back(GetPropertyRequest{.window = 23, .property = 32});
   all.push_back(TranslateCoordinatesRequest{
       .src = 24, .dst = 25, .point = {-kMaxCoordinate, kMaxCoordinate}});
+  all.push_back(QueryScreensRequest{});
+  all.push_back(QueryClientWindowsRequest{});
   return all;
 }
 
@@ -508,6 +510,15 @@ std::vector<Reply> AllReplyExemplars() {
   all.push_back(PropertyReply{
       .window = 7, .property = 8, .found = true, .type = 9, .format = 16, .data = {}});
   all.push_back(CoordinatesReply{.position = {-kMaxCoordinate, kMaxCoordinate}});
+  all.push_back(ScreensReply{});
+  all.push_back(ScreensReply{.screens = {{.root = 1, .width = 80, .height = 24, .monochrome = true},
+                                         {.root = 2, .width = 65535, .height = 1}}});
+  all.push_back(ClientWindowsReply{});
+  std::vector<WindowId> owned(300);
+  for (size_t i = 0; i < owned.size(); ++i) {
+    owned[i] = static_cast<WindowId>(i * 3 + 2);
+  }
+  all.push_back(ClientWindowsReply{.windows = owned});
   return all;
 }
 

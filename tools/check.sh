@@ -60,6 +60,18 @@ ASAN_OPTIONS="detect_leaks=1" \
   ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
     -R 'transport_test|transport_chaos_test'
 
+# Out-of-process transport stage: every ctest target labeled
+# `transport-proc` — the epoll/timerfd readiness core units, the
+# forked-client lifecycle suite (real unix-socket clients, deadline expiry,
+# EPIPE-to-dead-peer, live-socket trace replay) and the 24-seed
+# multi-process crash chaos storm (SIGKILL mid-frame; survivors'
+# reply streams must be byte-identical with or without the crash).  The
+# label carries hard per-test timeouts, so a wedged accept loop or a
+# readiness bug fails the stage instead of hanging it.
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" -L transport-proc
+
 # And the standalone fuzz harness over the checked-in trace corpus plus its
 # seeded-random smoke mode (tools/run_fuzz.sh drives the same harness
 # open-ended under libFuzzer when clang is available).
@@ -83,9 +95,15 @@ cmake -B "$TSAN_BUILD" -S "$ROOT" -DSWM_SANITIZE=thread \
 cmake --build "$TSAN_BUILD" -j "$(nproc)" \
   --target parallel_paint_test --target swm_render_test \
   --target swm_multiscreen_test --target xserver_test \
-  --target transport_chaos_test
+  --target transport_chaos_test \
+  --target poller_test --target transport_proc_test \
+  --target transport_proc_chaos_test
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$(nproc)" \
     -R 'parallel_paint_test|swm_render_test|swm_multiscreen_test|xserver_test|transport_chaos_test'
+# The transport-proc label again under TSan: epoll dispatch, the timer
+# wheel, and multi-process accept/close must be race-free too.
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$(nproc)" -L transport-proc
 
-echo "check.sh: all tests passed under ASan+UBSan (including the chaos/fuzz label) and the worker pool is TSan-clean"
+echo "check.sh: all tests passed under ASan+UBSan (including the chaos/fuzz and transport-proc labels) and the worker pool + out-of-process transport are TSan-clean"

@@ -31,6 +31,12 @@ sleep 5
 
 record() {
   local bench="$1" out="$2"
+  # A missing binary means the build list above is out of sync with the
+  # record calls below — fail loudly instead of skipping the bench.
+  if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
+    echo "error: expected bench binary $BUILD_DIR/bench/$bench is missing" >&2
+    exit 1
+  fi
   "$BUILD_DIR"/bench/"$bench" \
       --benchmark_min_time=0.3 \
       --benchmark_repetitions=3 \
